@@ -1,0 +1,150 @@
+//! Criterion benches for the real GEMM substrate on the host: blocked vs
+//! naive kernels, packing cost, and thread scaling.
+
+use adsala_gemm::gemm::{gemm_with_stats, gemm_with_stats_pooled, GemmCall};
+use adsala_gemm::gemv::gemv_with_stats;
+use adsala_gemm::naive::naive_gemm;
+use adsala_gemm::pack::{pack_a, pack_b, MatView};
+use adsala_gemm::pool::ThreadPool;
+use adsala_gemm::syrk::syrk_with_stats;
+use adsala_gemm::Transpose;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn fill(n: usize, seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 997) as f32 / 500.0)
+        .collect()
+}
+
+fn bench_blocked_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm/blocked_vs_naive");
+    for &d in &[64usize, 128, 256] {
+        let a = fill(d * d, 1);
+        let b = fill(d * d, 2);
+        group.throughput(Throughput::Elements((2 * d * d * d) as u64));
+        group.bench_with_input(BenchmarkId::new("blocked_1t", d), &d, |bench, &d| {
+            let mut out = vec![0.0f32; d * d];
+            let call = GemmCall::new(d, d, d, 1);
+            bench.iter(|| {
+                gemm_with_stats(&call, 1.0, &a, d, &b, d, 0.0, black_box(&mut out), d)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", d), &d, |bench, &d| {
+            let mut out = vec![0.0f32; d * d];
+            bench.iter(|| {
+                naive_gemm(
+                    Transpose::No,
+                    Transpose::No,
+                    d,
+                    d,
+                    d,
+                    1.0f32,
+                    &a,
+                    d,
+                    &b,
+                    d,
+                    0.0,
+                    black_box(&mut out),
+                    d,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm/thread_scaling_512");
+    let d = 512usize;
+    let a = fill(d * d, 3);
+    let b = fill(d * d, 4);
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for &t in &[1usize, 2, 4, 8] {
+        if t > max {
+            continue;
+        }
+        group.throughput(Throughput::Elements((2 * d * d * d) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bench, &t| {
+            let mut out = vec![0.0f32; d * d];
+            let call = GemmCall::new(d, d, d, t);
+            bench.iter(|| {
+                gemm_with_stats(&call, 1.0, &a, d, &b, d, 0.0, black_box(&mut out), d)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm/packing");
+    let rows = 256usize;
+    let cols = 384usize;
+    let data = fill(rows * cols, 5);
+    let view = MatView::row_major(&data, rows, cols, cols);
+    let mut buf_a = vec![0.0f32; rows.div_ceil(8) * 8 * cols];
+    group.throughput(Throughput::Bytes((rows * cols * 4) as u64));
+    group.bench_function("pack_a_256x384", |bench| {
+        bench.iter(|| pack_a(black_box(&view), 8, black_box(&mut buf_a)))
+    });
+    let mut buf_b = vec![0.0f32; rows * cols.div_ceil(8) * 8];
+    group.bench_function("pack_b_256x384", |bench| {
+        bench.iter(|| pack_b(black_box(&view), 8, black_box(&mut buf_b)))
+    });
+    group.finish();
+}
+
+fn bench_pool_vs_spawn(c: &mut Criterion) {
+    // The spawn-per-call overhead is material for exactly the small GEMMs
+    // the paper targets; the pooled driver amortises it.
+    let mut group = c.benchmark_group("gemm/pool_vs_spawn_128");
+    let d = 128usize;
+    let a = fill(d * d, 6);
+    let b = fill(d * d, 7);
+    let threads = 4.min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let call = GemmCall::new(d, d, d, threads);
+    group.throughput(Throughput::Elements((2 * d * d * d) as u64));
+    group.bench_function("spawn_per_call", |bench| {
+        let mut out = vec![0.0f32; d * d];
+        bench.iter(|| gemm_with_stats(&call, 1.0, &a, d, &b, d, 0.0, black_box(&mut out), d));
+    });
+    group.bench_function("persistent_pool", |bench| {
+        let pool = ThreadPool::new(threads);
+        let mut out = vec![0.0f32; d * d];
+        bench.iter(|| {
+            gemm_with_stats_pooled(&pool, &call, 1.0, &a, d, &b, d, 0.0, black_box(&mut out), d)
+        });
+    });
+    group.finish();
+}
+
+fn bench_extension_routines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blas_ext");
+    let m = 256usize;
+    let k = 128usize;
+    let a = fill(m * k, 8);
+    group.throughput(Throughput::Elements((m * m * k) as u64));
+    group.bench_function("syrk_256x128_2t", |bench| {
+        let mut out = vec![0.0f32; m * m];
+        bench.iter(|| syrk_with_stats(m, k, 1.0, &a, k, 0.0, black_box(&mut out), m, 2));
+    });
+    let (gm, gn) = (1024usize, 1024usize);
+    let ga = fill(gm * gn, 9);
+    let x = fill(gn, 10);
+    group.throughput(Throughput::Bytes((gm * gn * 4) as u64));
+    group.bench_function("gemv_1024_2t", |bench| {
+        let mut y = vec![0.0f32; gm];
+        bench.iter(|| gemv_with_stats(gm, gn, 1.0, &ga, gn, &x, 0.0, black_box(&mut y), 2));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_blocked_vs_naive,
+    bench_thread_scaling,
+    bench_packing,
+    bench_pool_vs_spawn,
+    bench_extension_routines
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches for per-model evaluation latency — the host-measured
+//! analogue of the `t_eval` column in the paper's Tables III/IV.
+//!
+//! Each model family is fitted once on a shared synthetic regression
+//! problem, then timed on single-row prediction (the runtime hot path) —
+//! the ordering (linear fastest, forest slowest among trees) is the
+//! property the paper's model selection hinges on.
+
+use adsala_ml::data::Matrix;
+use adsala_ml::{AnyModel, ModelKind, Regressor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn dataset(n: usize) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..10).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| r[0] * r[0] + (r[1] * 3.0).sin() + 0.3 * r[2] * r[3])
+        .collect();
+    (Matrix::from_rows(&rows), y)
+}
+
+fn bench_predict_row(c: &mut Criterion) {
+    let (x, y) = dataset(800);
+    let probe: Vec<f64> = x.row(17).to_vec();
+    let mut group = c.benchmark_group("model_eval/predict_row");
+    for kind in ModelKind::all() {
+        let mut model = AnyModel::default_for(kind);
+        model.fit(&x, &y).expect("fit");
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &model, |b, m| {
+            b.iter(|| m.predict_row(black_box(&probe)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let (x, y) = dataset(400);
+    let mut group = c.benchmark_group("model_eval/fit_400x10");
+    group.sample_size(10);
+    for kind in [
+        ModelKind::LinearRegression,
+        ModelKind::BayesianRidge,
+        ModelKind::DecisionTree,
+        ModelKind::XgBoost,
+        ModelKind::LightGbm,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| {
+                let mut model = AnyModel::default_for(k);
+                model.fit(black_box(&x), black_box(&y)).expect("fit");
+                model
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict_row, bench_fit);
+criterion_main!(benches);

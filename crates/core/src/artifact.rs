@@ -1,0 +1,151 @@
+//! Installation artefacts: the two files ADSALA saves at install time and
+//! loads at program boot (Figs. 2/3 of the paper).
+//!
+//! One JSON document holds the preprocessing configuration, the other the
+//! trained model; both are bundled with provenance (machine name, thread
+//! candidates) so a runtime handle can be reconstructed with nothing else.
+
+use std::fs;
+use std::path::Path;
+
+use adsala_ml::AnyModel;
+use serde::{Deserialize, Serialize};
+
+use crate::preprocess::PreprocessConfig;
+use crate::runtime::AdsalaGemm;
+use crate::AdsalaError;
+
+/// A complete, self-describing installation artefact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Artifact {
+    /// Schema version for forward compatibility.
+    pub version: u32,
+    /// Name of the machine the artefact was trained for.
+    pub machine: String,
+    /// Candidate thread counts the runtime sweeps.
+    pub candidates: Vec<u32>,
+    /// Preprocessing configuration ("config file" in Fig. 2).
+    pub config: PreprocessConfig,
+    /// Trained model ("trained model" in Fig. 2).
+    pub model: AnyModel,
+}
+
+impl Artifact {
+    /// Current schema version.
+    pub const VERSION: u32 = 1;
+
+    /// Bundle runtime state into an artefact.
+    pub fn from_parts(
+        machine: &str,
+        candidates: Vec<u32>,
+        config: PreprocessConfig,
+        model: AnyModel,
+    ) -> Self {
+        Self { version: Self::VERSION, machine: machine.to_string(), candidates, config, model }
+    }
+
+    /// Serialise to a JSON string.
+    pub fn to_json(&self) -> Result<String, AdsalaError> {
+        serde_json::to_string(self).map_err(|e| AdsalaError::Artifact(e.to_string()))
+    }
+
+    /// Deserialise from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self, AdsalaError> {
+        let artifact: Artifact =
+            serde_json::from_str(json).map_err(|e| AdsalaError::Artifact(e.to_string()))?;
+        if artifact.version != Self::VERSION {
+            return Err(AdsalaError::Artifact(format!(
+                "unsupported artifact version {}",
+                artifact.version
+            )));
+        }
+        if artifact.candidates.is_empty() {
+            return Err(AdsalaError::Artifact("artifact has no thread candidates".into()));
+        }
+        Ok(artifact)
+    }
+
+    /// Write the artefact to disk.
+    pub fn save(&self, path: &Path) -> Result<(), AdsalaError> {
+        fs::write(path, self.to_json()?).map_err(|e| AdsalaError::Artifact(e.to_string()))
+    }
+
+    /// Load an artefact from disk.
+    pub fn load(path: &Path) -> Result<Self, AdsalaError> {
+        let json = fs::read_to_string(path).map_err(|e| AdsalaError::Artifact(e.to_string()))?;
+        Self::from_json(&json)
+    }
+
+    /// Build the runtime handle (Fig. 3's "instantiation" step).
+    pub fn into_runtime(self) -> AdsalaGemm {
+        AdsalaGemm::new(self.config, self.model, self.candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gather::{GatherConfig, TrainingData};
+    use crate::preprocess::fit_preprocess;
+    use adsala_machine::{MachineModel, SimTimer};
+    use adsala_ml::tune::ModelSpec;
+    use adsala_ml::Regressor;
+
+    fn artifact() -> Artifact {
+        let timer = SimTimer::new(MachineModel::gadi());
+        let gc = GatherConfig { n_shapes: 50, reps: 2, ..GatherConfig::quick() };
+        let data = TrainingData::gather(&timer, &gc);
+        let fitted = fit_preprocess(&data).unwrap();
+        let mut model =
+            ModelSpec::DecisionTree { max_depth: 8, min_samples_leaf: 1 }.build(0);
+        model.fit(&fitted.dataset.x, &fitted.dataset.y).unwrap();
+        Artifact::from_parts("gadi-sim", data.ladder.counts, fitted.config, model)
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behaviour() {
+        let art = artifact();
+        let json = art.to_json().unwrap();
+        let back = Artifact::from_json(&json).unwrap();
+        let mut a = art.clone().into_runtime();
+        let mut b = back.into_runtime();
+        for (m, k, n) in [(64, 64, 64), (1000, 500, 1000), (64, 4096, 64)] {
+            assert_eq!(a.select_threads(m, k, n), b.select_threads(m, k, n));
+        }
+    }
+
+    #[test]
+    fn save_and_load_via_filesystem() {
+        let art = artifact();
+        let dir = std::env::temp_dir().join("adsala-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        art.save(&path).unwrap();
+        let back = Artifact::load(&path).unwrap();
+        assert_eq!(back.machine, "gadi-sim");
+        assert_eq!(back.candidates, art.candidates);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut art = artifact();
+        art.version = 99;
+        let json = serde_json::to_string(&art).unwrap();
+        assert!(Artifact::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let mut art = artifact();
+        art.candidates.clear();
+        let json = serde_json::to_string(&art).unwrap();
+        assert!(Artifact::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn garbage_json_rejected() {
+        assert!(Artifact::from_json("{not json").is_err());
+        assert!(Artifact::load(Path::new("/nonexistent/artifact.json")).is_err());
+    }
+}

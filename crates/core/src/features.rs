@@ -1,0 +1,109 @@
+//! The paper's Table II feature set.
+//!
+//! Two groups: Group 1 captures serial-runtime terms (matrix sizes, memory
+//! footprint, FLOP count), Group 2 the same terms divided by the thread
+//! count (parallel-runtime terms). Seventeen features in total; the
+//! correlation pruner later removes the redundant ones, exactly as §IV-C
+//! describes.
+
+/// Number of raw features before correlation pruning.
+pub const FEATURE_COUNT: usize = 17;
+
+/// Names of the raw features, in [`build_features`] order.
+pub fn feature_names() -> [&'static str; FEATURE_COUNT] {
+    [
+        // Group 1 — serial terms.
+        "m",
+        "k",
+        "n",
+        "n_threads",
+        "m*k",
+        "m*n",
+        "k*n",
+        "m*k*n",
+        "m*k+k*n+m*n",
+        // Group 2 — parallel terms.
+        "m/n_threads",
+        "k/n_threads",
+        "n/n_threads",
+        "m*k/n_threads",
+        "m*n/n_threads",
+        "k*n/n_threads",
+        "m*k*n/n_threads",
+        "(m*k+k*n+m*n)/n_threads",
+    ]
+}
+
+/// Build the raw feature vector for one `(m, k, n, n_threads)` input.
+pub fn build_features(m: u64, k: u64, n: u64, n_threads: u32) -> Vec<f64> {
+    let (mf, kf, nf) = (m as f64, k as f64, n as f64);
+    let t = f64::from(n_threads.max(1));
+    let mk = mf * kf;
+    let mn = mf * nf;
+    let kn = kf * nf;
+    let mkn = mf * kf * nf;
+    let mem = mk + kn + mn;
+    vec![
+        mf,
+        kf,
+        nf,
+        t,
+        mk,
+        mn,
+        kn,
+        mkn,
+        mem,
+        mf / t,
+        kf / t,
+        nf / t,
+        mk / t,
+        mn / t,
+        kn / t,
+        mkn / t,
+        mem / t,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_vector_agree_in_length() {
+        assert_eq!(feature_names().len(), FEATURE_COUNT);
+        assert_eq!(build_features(2, 3, 4, 5).len(), FEATURE_COUNT);
+    }
+
+    #[test]
+    fn known_values() {
+        let f = build_features(2, 3, 4, 2);
+        assert_eq!(f[0], 2.0); // m
+        assert_eq!(f[1], 3.0); // k
+        assert_eq!(f[2], 4.0); // n
+        assert_eq!(f[3], 2.0); // threads
+        assert_eq!(f[4], 6.0); // m*k
+        assert_eq!(f[5], 8.0); // m*n
+        assert_eq!(f[6], 12.0); // k*n
+        assert_eq!(f[7], 24.0); // m*k*n
+        assert_eq!(f[8], 26.0); // memory words
+        assert_eq!(f[9], 1.0); // m/t
+        assert_eq!(f[15], 12.0); // m*k*n/t
+        assert_eq!(f[16], 13.0); // mem/t
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let f = build_features(2, 3, 4, 0);
+        assert_eq!(f[3], 1.0);
+        assert_eq!(f[15], 24.0);
+    }
+
+    #[test]
+    fn all_features_finite_for_paper_domain_extremes() {
+        for &(m, k, n) in &[(1, 1, 1), (74_000, 1, 1), (74_000, 220, 74_000)] {
+            for &t in &[1u32, 256] {
+                assert!(build_features(m, k, n, t).iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Install-time data gathering (the left half of the paper's Fig. 2).
+//!
+//! Shapes come from a scrambled Halton sampler under a memory cap; each
+//! shape is timed at a ladder of thread counts, each configuration
+//! averaged over several repetitions. The paper runs different thread
+//! counts in different program executions to avoid perturbation — here
+//! that corresponds to independent noise streams per `(shape, threads)`.
+
+use adsala_machine::GemmTimer;
+use adsala_sampling::{DomainSampler, GemmShape, MemoryCap, Precision};
+use serde::{Deserialize, Serialize};
+
+/// One timed configuration: the atom of the training set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GemmRecord {
+    pub shape: GemmShape,
+    pub threads: u32,
+    /// Mean measured runtime in seconds.
+    pub runtime_s: f64,
+}
+
+/// The thread counts at which each shape is timed.
+///
+/// Timing all 256 counts on a Setonix-sized node is wasteful; a geometric
+/// ladder (plus the maximum) covers the response curve, and the regression
+/// model interpolates between rungs at runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadLadder {
+    pub counts: Vec<u32>,
+}
+
+impl ThreadLadder {
+    /// Geometric-ish ladder: 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96,
+    /// 128, 192, 256 — clipped to `max`, always including `max`.
+    pub fn geometric(max: u32) -> Self {
+        let base = [1u32, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256];
+        let mut counts: Vec<u32> = base.iter().copied().filter(|&c| c <= max).collect();
+        if counts.last() != Some(&max) {
+            counts.push(max);
+        }
+        Self { counts }
+    }
+
+    /// Every thread count from 1 to `max` (used by the exhaustive
+    /// optimal-thread histograms, Figs. 1/8/9).
+    pub fn full(max: u32) -> Self {
+        Self { counts: (1..=max).collect() }
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` if the ladder is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+/// Data-gathering configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatherConfig {
+    /// Number of GEMM shapes to sample (the paper uses 1763).
+    pub n_shapes: usize,
+    /// Memory cap for sampled shapes.
+    pub cap: MemoryCap,
+    /// Operand precision.
+    pub precision: Precision,
+    /// Repetitions per configuration (the paper times ten iterations).
+    pub reps: u32,
+    /// Thread ladder; `None` = geometric ladder up to the machine maximum.
+    pub ladder: Option<ThreadLadder>,
+    /// Per-dimension upper bound override (`None` = the paper's 74 000).
+    /// Used when the routine's own constraints shrink the sensible domain
+    /// (e.g. SYRK's `m×m` output).
+    pub max_dim: Option<u64>,
+    /// Halton scrambling / sampling seed.
+    pub seed: u64,
+}
+
+impl GatherConfig {
+    /// The paper's settings: 1763 shapes within 500 MB, ten repetitions.
+    pub fn paper() -> Self {
+        Self {
+            n_shapes: 1763,
+            cap: MemoryCap::paper_training(),
+            precision: Precision::F32,
+            reps: 10,
+            ladder: None,
+            max_dim: None,
+            seed: 0x2023_000A,
+        }
+    }
+
+    /// A smaller configuration for quick runs and tests.
+    pub fn quick() -> Self {
+        Self { n_shapes: 160, reps: 3, ..Self::paper() }
+    }
+}
+
+/// The gathered training set plus its provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingData {
+    pub records: Vec<GemmRecord>,
+    pub shapes: Vec<GemmShape>,
+    pub ladder: ThreadLadder,
+    pub machine: String,
+    pub max_threads: u32,
+}
+
+impl TrainingData {
+    /// Gather timings for `config` from `timer`.
+    pub fn gather<T: GemmTimer + ?Sized>(timer: &T, config: &GatherConfig) -> TrainingData {
+        let ladder = config
+            .ladder
+            .clone()
+            .unwrap_or_else(|| ThreadLadder::geometric(timer.max_threads()));
+        let mut sampler = DomainSampler::new(config.cap, config.precision, config.seed);
+        if let Some(max_dim) = config.max_dim {
+            sampler = sampler.with_dim_bounds(1, max_dim);
+        }
+        let shapes = sampler.sample(config.n_shapes);
+        let mut records = Vec::with_capacity(shapes.len() * ladder.len());
+        for &shape in &shapes {
+            for &threads in &ladder.counts {
+                records.push(GemmRecord {
+                    shape,
+                    threads,
+                    runtime_s: timer.time(shape, threads, config.reps),
+                });
+            }
+        }
+        TrainingData {
+            records,
+            shapes,
+            ladder,
+            machine: timer.name(),
+            max_threads: timer.max_threads(),
+        }
+    }
+
+    /// The measured-optimal thread count per shape (argmin over the
+    /// ladder) — the quantity histogrammed in the paper's Figs. 1 and 8.
+    pub fn optimal_threads(&self) -> Vec<(GemmShape, u32)> {
+        self.shapes
+            .iter()
+            .map(|&shape| {
+                let best = self
+                    .records
+                    .iter()
+                    .filter(|r| r.shape == shape)
+                    .min_by(|a, b| {
+                        a.runtime_s.partial_cmp(&b.runtime_s).expect("finite runtimes")
+                    })
+                    .expect("every shape has records");
+                (shape, best.threads)
+            })
+            .collect()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing was gathered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Histogram helper: counts of values in `bins` equal-width bins over
+/// `[0, max]`. Returns `(bin_upper_edges, counts)`.
+pub fn histogram(values: &[u32], max: u32, bins: usize) -> (Vec<u32>, Vec<usize>) {
+    let bins = bins.max(1);
+    let width = (max as f64 / bins as f64).max(1.0);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let b = ((v as f64 / width).floor() as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    let edges = (1..=bins).map(|b| (b as f64 * width).round() as u32).collect();
+    (edges, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsala_machine::{MachineModel, SimTimer};
+
+    fn quick_data() -> TrainingData {
+        let timer = SimTimer::new(MachineModel::gadi());
+        let config = GatherConfig { n_shapes: 30, reps: 2, ..GatherConfig::quick() };
+        TrainingData::gather(&timer, &config)
+    }
+
+    #[test]
+    fn ladder_respects_max_and_includes_it() {
+        let l = ThreadLadder::geometric(96);
+        assert_eq!(*l.counts.last().unwrap(), 96);
+        assert!(l.counts.iter().all(|&c| c >= 1 && c <= 96));
+        assert!(l.counts.windows(2).all(|w| w[0] < w[1]), "ladder not sorted");
+        let l = ThreadLadder::geometric(100);
+        assert_eq!(*l.counts.last().unwrap(), 100);
+    }
+
+    #[test]
+    fn full_ladder_is_exhaustive() {
+        let l = ThreadLadder::full(8);
+        assert_eq!(l.counts, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn gather_produces_expected_record_count() {
+        let data = quick_data();
+        assert_eq!(data.shapes.len(), 30);
+        assert_eq!(data.len(), 30 * data.ladder.len());
+        assert!(data.records.iter().all(|r| r.runtime_s > 0.0));
+        assert_eq!(data.max_threads, 96);
+    }
+
+    #[test]
+    fn gather_is_deterministic() {
+        let timer = SimTimer::new(MachineModel::gadi());
+        let config = GatherConfig { n_shapes: 10, reps: 2, ..GatherConfig::quick() };
+        let a = TrainingData::gather(&timer, &config);
+        let b = TrainingData::gather(&timer, &config);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn optimal_threads_one_entry_per_shape() {
+        let data = quick_data();
+        let opt = data.optimal_threads();
+        assert_eq!(opt.len(), data.shapes.len());
+        for (shape, best) in &opt {
+            // The reported best must not lose to any ladder rung.
+            let best_time = data
+                .records
+                .iter()
+                .find(|r| r.shape == *shape && r.threads == *best)
+                .unwrap()
+                .runtime_s;
+            for r in data.records.iter().filter(|r| r.shape == *shape) {
+                assert!(best_time <= r.runtime_s + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn small_shapes_rarely_prefer_max_threads() {
+        // The paper's Fig. 1 phenomenon must emerge from gathered data.
+        let timer = SimTimer::new(MachineModel::gadi());
+        let config = GatherConfig {
+            n_shapes: 60,
+            cap: MemoryCap::paper_small(),
+            reps: 2,
+            ..GatherConfig::quick()
+        };
+        let data = TrainingData::gather(&timer, &config);
+        let opt = data.optimal_threads();
+        let at_max = opt.iter().filter(|(_, p)| *p == 96).count();
+        assert!(
+            at_max * 3 < opt.len(),
+            "{at_max}/{} small shapes still prefer max threads",
+            opt.len()
+        );
+    }
+
+    #[test]
+    fn histogram_bins_cover_all_values() {
+        let values = vec![1, 5, 10, 48, 96, 96];
+        let (edges, counts) = histogram(&values, 96, 8);
+        assert_eq!(edges.len(), 8);
+        assert_eq!(counts.iter().sum::<usize>(), values.len());
+    }
+}

@@ -1,0 +1,80 @@
+//! ADSALA — Architecture and Data-Structure Aware Linear Algebra.
+//!
+//! The paper's contribution: a GEMM front-end that uses a regression model
+//! to pick, per call, the thread count minimising runtime. The library has
+//! the paper's two-phase life cycle:
+//!
+//! **Installation** ([`gather`] → [`preprocess`] → [`train`] → [`select`]):
+//! sample GEMM shapes quasi-randomly, time them at a ladder of thread
+//! counts on the target machine (simulated node or the real host), build
+//! the Table II feature set, run the Yeo-Johnson → standardise → LOF →
+//! correlation-prune chain, tune all candidate model families with
+//! cross-validation, and pick the family with the best *estimated speedup*
+//! `s = t_orig / (t_ADSALA + t_eval)`. The products are two artefacts
+//! ([`artifact`]): a preprocessing config and a trained model.
+//!
+//! **Runtime** ([`runtime`]): load the artefacts once, and for every GEMM
+//! call evaluate the model at each candidate thread count, run the GEMM
+//! with the argmin, and memoise the decision for repeated shapes.
+//!
+//! ```no_run
+//! use adsala::install::{InstallConfig, Installation};
+//! use adsala_machine::{MachineModel, SimTimer};
+//!
+//! let timer = SimTimer::new(MachineModel::gadi());
+//! let install = Installation::run(&timer, &InstallConfig::quick()).unwrap();
+//! let mut gemm = install.into_runtime();
+//! let decision = gemm.select_threads(64, 2048, 64);
+//! assert!(decision.threads >= 1);
+//! ```
+
+pub mod artifact;
+pub mod features;
+pub mod gather;
+pub mod install;
+pub mod preprocess;
+pub mod runtime;
+pub mod select;
+pub mod speedup;
+pub mod train;
+
+pub use artifact::Artifact;
+pub use features::{build_features, feature_names, FEATURE_COUNT};
+pub use gather::{GatherConfig, GemmRecord, ThreadLadder, TrainingData};
+pub use install::{InstallConfig, Installation};
+pub use preprocess::{
+    fit_preprocess, fit_preprocess_with, PreprocessConfig, PreprocessOptions, PreprocessReport,
+};
+pub use runtime::{AdsalaGemm, ThreadDecision};
+pub use select::{estimate_speedups, SpeedupEstimate};
+pub use speedup::SpeedupStats;
+pub use train::{train_all_families, ModelReport, TrainedCandidate};
+
+/// Errors from the installation or runtime pipelines.
+#[derive(Debug)]
+pub enum AdsalaError {
+    /// Underlying ML failure.
+    Ml(adsala_ml::MlError),
+    /// Not enough data survived gathering/filtering.
+    InsufficientData(String),
+    /// Artefact (de)serialisation failure.
+    Artifact(String),
+}
+
+impl std::fmt::Display for AdsalaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdsalaError::Ml(e) => write!(f, "ml error: {e}"),
+            AdsalaError::InsufficientData(s) => write!(f, "insufficient data: {s}"),
+            AdsalaError::Artifact(s) => write!(f, "artifact error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AdsalaError {}
+
+impl From<adsala_ml::MlError> for AdsalaError {
+    fn from(e: adsala_ml::MlError) -> Self {
+        AdsalaError::Ml(e)
+    }
+}

@@ -1,0 +1,254 @@
+//! The ADSALA runtime library (the paper's Fig. 3).
+//!
+//! [`AdsalaGemm`] is the C++-class analogue the paper describes: it loads
+//! the two installation artefacts once, then serves GEMM calls. For every
+//! call it evaluates the model at each candidate thread count, runs with
+//! the argmin, and **memoises the last decision** — "if the current GEMM
+//! matrix dimensions are the same as the previous, the software will read
+//! and apply the predictions from the responsible class attributes
+//! without re-evaluation" (§III-C). An optional full cache extends the
+//! memo to all previously seen shapes.
+
+use adsala_gemm::gemm::{gemm_with_stats, GemmCall};
+use adsala_gemm::GemmStats;
+use adsala_ml::{AnyModel, Regressor};
+use adsala_sampling::GemmShape;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::preprocess::PreprocessConfig;
+use crate::select::predict_threads;
+
+/// The outcome of a thread selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreadDecision {
+    /// The chosen thread count.
+    pub threads: u32,
+    /// Model-predicted runtime at that count (seconds).
+    pub predicted_runtime_s: f64,
+    /// Whether the decision came from the memo rather than a model sweep.
+    pub memoised: bool,
+}
+
+/// The runtime GEMM handle: artefacts + memoisation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdsalaGemm {
+    /// Preprocessing artefact (the "config file").
+    pub config: PreprocessConfig,
+    /// Trained-model artefact.
+    pub model: AnyModel,
+    /// Candidate thread counts swept per decision.
+    pub candidates: Vec<u32>,
+    /// Keep every shape's decision, not just the last one.
+    pub full_cache: bool,
+    last: Option<((u64, u64, u64), ThreadDecision)>,
+    cache: HashMap<(u64, u64, u64), ThreadDecision>,
+    /// Model sweeps performed (diagnostics; memo hits don't count).
+    pub evaluations: u64,
+}
+
+impl AdsalaGemm {
+    /// Assemble a runtime handle from installation artefacts.
+    pub fn new(config: PreprocessConfig, model: AnyModel, candidates: Vec<u32>) -> Self {
+        assert!(!candidates.is_empty(), "need at least one candidate thread count");
+        Self {
+            config,
+            model,
+            candidates,
+            full_cache: false,
+            last: None,
+            cache: HashMap::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// Enable the all-shapes decision cache.
+    pub fn with_full_cache(mut self) -> Self {
+        self.full_cache = true;
+        self
+    }
+
+    /// Pick the thread count for an `(m, k, n)` GEMM, memoising like the
+    /// paper's runtime workflow.
+    pub fn select_threads(&mut self, m: u64, k: u64, n: u64) -> ThreadDecision {
+        let key = (m, k, n);
+        if let Some((last_key, decision)) = self.last {
+            if last_key == key {
+                return ThreadDecision { memoised: true, ..decision };
+            }
+        }
+        if self.full_cache {
+            if let Some(&decision) = self.cache.get(&key) {
+                let hit = ThreadDecision { memoised: true, ..decision };
+                self.last = Some((key, decision));
+                return hit;
+            }
+        }
+        let shape = GemmShape::new(m, k, n);
+        let threads = predict_threads(&self.model, &self.config, &self.candidates, shape);
+        let pred_row = self.config.features_for(m, k, n, threads);
+        let predicted_runtime_s =
+            self.config.runtime_from_prediction(self.model.predict_row(&pred_row));
+        let decision = ThreadDecision { threads, predicted_runtime_s, memoised: false };
+        self.evaluations += 1;
+        self.last = Some((key, decision));
+        if self.full_cache {
+            self.cache.insert(key, decision);
+        }
+        decision
+    }
+
+    /// Forget all memoised decisions (e.g. after a machine change).
+    pub fn clear_memo(&mut self) {
+        self.last = None;
+        self.cache.clear();
+    }
+
+    /// Run a real single-precision GEMM on the host with the ML-selected
+    /// thread count (clamped to `host_max_threads`), returning the chosen
+    /// decision and the executed GEMM's statistics.
+    ///
+    /// Matrices are row-major with the given leading dimensions; computes
+    /// `C ← α·A·B + β·C`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sgemm_host(
+        &mut self,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f32,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        beta: f32,
+        c: &mut [f32],
+        ldc: usize,
+        host_max_threads: u32,
+    ) -> (ThreadDecision, GemmStats) {
+        let decision = self.select_threads(m as u64, k as u64, n as u64);
+        let threads = decision.threads.clamp(1, host_max_threads.max(1)) as usize;
+        let call = GemmCall::new(m, n, k, threads);
+        let stats = gemm_with_stats(&call, alpha, a, lda, b, ldb, beta, c, ldc);
+        (decision, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gather::{GatherConfig, TrainingData};
+    use crate::preprocess::fit_preprocess;
+    use adsala_machine::{MachineModel, SimTimer};
+    use adsala_ml::tune::ModelSpec;
+
+    fn handle() -> AdsalaGemm {
+        let timer = SimTimer::new(MachineModel::gadi());
+        let config = GatherConfig { n_shapes: 60, reps: 2, ..GatherConfig::quick() };
+        let data = TrainingData::gather(&timer, &config);
+        let fitted = fit_preprocess(&data).unwrap();
+        let mut model =
+            ModelSpec::XgBoost { n_rounds: 40, max_depth: 4, eta: 0.2, lambda: 1.0 }.build(0);
+        model.fit(&fitted.dataset.x, &fitted.dataset.y).unwrap();
+        AdsalaGemm::new(fitted.config, model, data.ladder.counts)
+    }
+
+    #[test]
+    fn decision_is_a_candidate() {
+        let mut g = handle();
+        let d = g.select_threads(256, 256, 256);
+        assert!(g.candidates.contains(&d.threads));
+        assert!(d.predicted_runtime_s > 0.0);
+        assert!(!d.memoised);
+    }
+
+    #[test]
+    fn repeated_shape_is_memoised() {
+        let mut g = handle();
+        let first = g.select_threads(128, 512, 128);
+        let second = g.select_threads(128, 512, 128);
+        assert!(!first.memoised);
+        assert!(second.memoised);
+        assert_eq!(first.threads, second.threads);
+        assert_eq!(g.evaluations, 1, "memo hit must not re-evaluate");
+    }
+
+    #[test]
+    fn different_shape_invalidates_last_memo() {
+        let mut g = handle();
+        g.select_threads(128, 512, 128);
+        let other = g.select_threads(64, 64, 64);
+        assert!(!other.memoised);
+        assert_eq!(g.evaluations, 2);
+        // Returning to the first shape without full cache re-evaluates.
+        let back = g.select_threads(128, 512, 128);
+        assert!(!back.memoised);
+        assert_eq!(g.evaluations, 3);
+    }
+
+    #[test]
+    fn full_cache_remembers_all_shapes() {
+        let mut g = handle().with_full_cache();
+        g.select_threads(128, 512, 128);
+        g.select_threads(64, 64, 64);
+        let back = g.select_threads(128, 512, 128);
+        assert!(back.memoised);
+        assert_eq!(g.evaluations, 2);
+    }
+
+    #[test]
+    fn clear_memo_forces_reevaluation() {
+        let mut g = handle();
+        g.select_threads(100, 100, 100);
+        g.clear_memo();
+        let d = g.select_threads(100, 100, 100);
+        assert!(!d.memoised);
+        assert_eq!(g.evaluations, 2);
+    }
+
+    #[test]
+    fn sgemm_host_computes_correct_product() {
+        let mut g = handle();
+        let m = 33;
+        let k = 17;
+        let n = 29;
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 * 0.5).collect();
+        let mut c = vec![0.0f32; m * n];
+        let (decision, stats) =
+            g.sgemm_host(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 4);
+        assert!(decision.threads >= 1);
+        assert!(stats.threads_used >= 1 && stats.threads_used <= 4);
+        // Verify against the naive oracle.
+        let mut c_ref = vec![0.0f32; m * n];
+        adsala_gemm::naive::naive_gemm(
+            adsala_gemm::Transpose::No,
+            adsala_gemm::Transpose::No,
+            m,
+            n,
+            k,
+            1.0f32,
+            &a,
+            k,
+            &b,
+            n,
+            0.0,
+            &mut c_ref,
+            n,
+        );
+        for (x, y) in c.iter().zip(&c_ref) {
+            assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_decisions() {
+        let mut g = handle();
+        let before = g.select_threads(512, 512, 512);
+        let json = serde_json::to_string(&g).unwrap();
+        let mut back: AdsalaGemm = serde_json::from_str(&json).unwrap();
+        back.clear_memo();
+        let after = back.select_threads(512, 512, 512);
+        assert_eq!(before.threads, after.threads);
+    }
+}

@@ -1,0 +1,166 @@
+//! Speedup-based model selection (§IV-D).
+//!
+//! Predictive accuracy alone does not pick the best model: a slow-to-
+//! evaluate model pays its evaluation time on every GEMM call. The paper
+//! scores each tuned candidate by the estimated speedup
+//!
+//! ```text
+//! s = t_original / (t_ADSALA + t_eval)
+//! ```
+//!
+//! averaged over the test GEMMs, where `t_original` uses the maximum
+//! thread count (the conventional default) and `t_ADSALA` uses the
+//! model-chosen count. The candidate with the highest estimated mean
+//! speedup wins.
+
+use adsala_machine::GemmTimer;
+use adsala_ml::{AnyModel, Regressor};
+use adsala_sampling::GemmShape;
+use serde::{Deserialize, Serialize};
+
+use crate::preprocess::PreprocessConfig;
+
+/// Speedup estimates for one model over a set of test shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupEstimate {
+    pub ideal_mean: f64,
+    pub ideal_aggregate: f64,
+    pub est_mean: f64,
+    pub est_aggregate: f64,
+}
+
+/// Predict the runtime-minimising thread count for one shape.
+pub fn predict_threads(
+    model: &AnyModel,
+    config: &PreprocessConfig,
+    candidates: &[u32],
+    shape: GemmShape,
+) -> u32 {
+    debug_assert!(!candidates.is_empty());
+    let mut best = candidates[0];
+    let mut best_pred = f64::INFINITY;
+    for &p in candidates {
+        let row = config.features_for(shape.m, shape.k, shape.n, p);
+        let pred = model.predict_row(&row);
+        if pred < best_pred {
+            best_pred = pred;
+            best = p;
+        }
+    }
+    best
+}
+
+/// Estimate ideal and evaluation-inclusive speedups of `model` over
+/// `shapes`, timing through `timer`.
+///
+/// `t_eval_s` is the measured per-call model evaluation time (seconds);
+/// `reps` is the timing repetition count per configuration.
+pub fn estimate_speedups<T: GemmTimer + ?Sized>(
+    model: &AnyModel,
+    config: &PreprocessConfig,
+    candidates: &[u32],
+    shapes: &[GemmShape],
+    timer: &T,
+    t_eval_s: f64,
+    reps: u32,
+) -> SpeedupEstimate {
+    let p_max = timer.max_threads();
+    let mut ideal_ratios = Vec::with_capacity(shapes.len());
+    let mut est_ratios = Vec::with_capacity(shapes.len());
+    let mut total_orig = 0.0;
+    let mut total_adsala = 0.0;
+    let mut total_adsala_eval = 0.0;
+    for &shape in shapes {
+        let t_orig = timer.time(shape, p_max, reps);
+        let chosen = predict_threads(model, config, candidates, shape);
+        let t_adsala = timer.time(shape, chosen, reps);
+        ideal_ratios.push(t_orig / t_adsala);
+        est_ratios.push(t_orig / (t_adsala + t_eval_s));
+        total_orig += t_orig;
+        total_adsala += t_adsala;
+        total_adsala_eval += t_adsala + t_eval_s;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    SpeedupEstimate {
+        ideal_mean: mean(&ideal_ratios),
+        ideal_aggregate: total_orig / total_adsala.max(f64::MIN_POSITIVE),
+        est_mean: mean(&est_ratios),
+        est_aggregate: total_orig / total_adsala_eval.max(f64::MIN_POSITIVE),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gather::{GatherConfig, TrainingData};
+    use crate::preprocess::fit_preprocess;
+    use adsala_machine::{MachineModel, SimTimer};
+    use adsala_ml::tune::ModelSpec;
+
+    fn setup() -> (SimTimer, PreprocessConfig, AnyModel, Vec<u32>) {
+        let timer = SimTimer::new(MachineModel::gadi());
+        let config = GatherConfig { n_shapes: 80, reps: 2, ..GatherConfig::quick() };
+        let data = TrainingData::gather(&timer, &config);
+        let fitted = fit_preprocess(&data).unwrap();
+        let spec = ModelSpec::XgBoost { n_rounds: 60, max_depth: 5, eta: 0.15, lambda: 1.0 };
+        let mut model = spec.build(0);
+        model.fit(&fitted.dataset.x, &fitted.dataset.y).unwrap();
+        let candidates = data.ladder.counts.clone();
+        (timer, fitted.config, model, candidates)
+    }
+
+    #[test]
+    fn predicted_threads_are_candidates() {
+        let (_, config, model, candidates) = setup();
+        for shape in [
+            GemmShape::new(64, 64, 64),
+            GemmShape::new(2000, 2000, 2000),
+            GemmShape::new(64, 4096, 64),
+        ] {
+            let p = predict_threads(&model, &config, &candidates, shape);
+            assert!(candidates.contains(&p));
+        }
+    }
+
+    #[test]
+    fn model_avoids_max_threads_for_tiny_gemm() {
+        let (_, config, model, candidates) = setup();
+        let p = predict_threads(&model, &config, &candidates, GemmShape::new(48, 48, 48));
+        assert!(p < 96, "model chose max threads for a tiny GEMM");
+    }
+
+    #[test]
+    fn speedup_estimate_beats_one_on_small_shapes() {
+        let (timer, config, model, candidates) = setup();
+        let shapes: Vec<GemmShape> = vec![
+            GemmShape::new(64, 64, 64),
+            GemmShape::new(128, 256, 128),
+            GemmShape::new(64, 2048, 64),
+            GemmShape::new(300, 300, 300),
+            GemmShape::new(64, 64, 4096),
+        ];
+        let est = estimate_speedups(&model, &config, &candidates, &shapes, &timer, 0.0, 2);
+        assert!(
+            est.ideal_mean > 1.2,
+            "ML thread selection should clearly beat max threads: {est:?}"
+        );
+        assert!(est.ideal_aggregate > 1.0, "{est:?}");
+    }
+
+    #[test]
+    fn eval_overhead_lowers_estimates() {
+        let (timer, config, model, candidates) = setup();
+        let shapes = vec![GemmShape::new(64, 64, 64), GemmShape::new(128, 128, 128)];
+        let no_overhead =
+            estimate_speedups(&model, &config, &candidates, &shapes, &timer, 0.0, 2);
+        let heavy =
+            estimate_speedups(&model, &config, &candidates, &shapes, &timer, 1.0, 2);
+        assert!(heavy.est_mean < no_overhead.est_mean);
+        // The baseline at max threads is itself tens of milliseconds for
+        // these shapes (contention), so only a very large eval overhead is
+        // guaranteed to push the estimate below break-even.
+        assert!(heavy.est_mean < 1.0, "1 s of eval overhead must sink tiny GEMMs");
+        // Ideal columns are oblivious to the overhead.
+        assert!((heavy.ideal_mean - no_overhead.ideal_mean).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! Speedup statistics and bucketing — the machinery behind the paper's
+//! Tables V/VI and Figs. 10-12.
+
+use serde::{Deserialize, Serialize};
+
+/// Distribution statistics of a set of speedups (one Table V/VI column).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupStats {
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub p25: f64,
+    pub p50: f64,
+    pub p75: f64,
+    pub max: f64,
+    pub count: usize,
+}
+
+impl SpeedupStats {
+    /// Compute stats from raw speedups.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn from_samples(samples: &[f64]) -> SpeedupStats {
+        assert!(!samples.is_empty(), "no speedup samples");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|&s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite speedups"));
+        SpeedupStats {
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            p25: percentile(&sorted, 0.25),
+            p50: percentile(&sorted, 0.50),
+            p75: percentile(&sorted, 0.75),
+            max: *sorted.last().expect("non-empty"),
+            count: samples.len(),
+        }
+    }
+}
+
+/// Linear-interpolated percentile of pre-sorted data.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (pos - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// A labelled memory bucket (Figs. 11/12 use 100 MB-wide buckets).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBucket {
+    pub label: String,
+    pub lo_bytes: u64,
+    pub hi_bytes: u64,
+}
+
+/// The paper's five buckets: 0-100 … 400-500 MB.
+pub fn paper_buckets() -> Vec<MemoryBucket> {
+    (0..5)
+        .map(|i| MemoryBucket {
+            label: format!("{}-{} MB", i * 100, (i + 1) * 100),
+            lo_bytes: i * 100_000_000,
+            hi_bytes: (i + 1) * 100_000_000,
+        })
+        .collect()
+}
+
+/// Mean of the values whose memory footprint falls in the bucket.
+pub fn bucket_mean(pairs: &[(u64, f64)], bucket: &MemoryBucket) -> Option<f64> {
+    let values: Vec<f64> = pairs
+        .iter()
+        .filter(|(bytes, _)| *bytes >= bucket.lo_bytes && *bytes < bucket.hi_bytes)
+        .map(|&(_, v)| v)
+        .collect();
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_sample() {
+        let s = SpeedupStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p25, 2.0);
+        assert_eq!(s.p75, 4.0);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.count, 5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(percentile(&sorted, 0.5), 5.0);
+        assert_eq!(percentile(&sorted, 0.25), 2.5);
+    }
+
+    #[test]
+    fn single_sample_stats() {
+        let s = SpeedupStats::from_samples(&[1.3]);
+        assert_eq!(s.mean, 1.3);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.p25, 1.3);
+        assert_eq!(s.max, 1.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no speedup samples")]
+    fn empty_samples_panic() {
+        SpeedupStats::from_samples(&[]);
+    }
+
+    #[test]
+    fn buckets_cover_0_to_500mb() {
+        let buckets = paper_buckets();
+        assert_eq!(buckets.len(), 5);
+        assert_eq!(buckets[0].lo_bytes, 0);
+        assert_eq!(buckets[4].hi_bytes, 500_000_000);
+        assert_eq!(buckets[1].label, "100-200 MB");
+    }
+
+    #[test]
+    fn bucket_mean_filters_by_footprint() {
+        let pairs = vec![(50_000_000u64, 2.0), (150_000_000, 4.0), (160_000_000, 6.0)];
+        let buckets = paper_buckets();
+        assert_eq!(bucket_mean(&pairs, &buckets[0]), Some(2.0));
+        assert_eq!(bucket_mean(&pairs, &buckets[1]), Some(5.0));
+        assert_eq!(bucket_mean(&pairs, &buckets[4]), None);
+    }
+}

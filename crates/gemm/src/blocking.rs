@@ -1,0 +1,108 @@
+//! Cache-blocking parameters for the packed GEMM loop nest.
+//!
+//! The GotoBLAS/BLIS decomposition walks `C` in `NC`-wide column panels
+//! (outer `jc` loop), `A·B` in `KC`-deep rank updates (`pc` loop) and `MC`-
+//! tall row panels (`ic` loop); inside, the packed micro-panels are `MR×KC`
+//! strips of `A` and `KC×NR` strips of `B`. `KC·NR` should live in L1,
+//! `MC·KC` in L2 and `KC·NC` in L3 — the defaults below are conservative
+//! values that behave well on current x86-64 parts without per-machine
+//! autotuning (which is exactly the layer of optimisation the paper leaves
+//! to the vendor library).
+
+/// Blocking parameters, in elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSizes {
+    /// Row-panel height of `A` (L2 resident): `MC`.
+    pub mc: usize,
+    /// Rank-update depth (L1/L2 resident): `KC`.
+    pub kc: usize,
+    /// Column-panel width of `B` (L3 resident): `NC`.
+    pub nc: usize,
+    /// Micro-kernel rows: `MR`.
+    pub mr: usize,
+    /// Micro-kernel columns: `NR`.
+    pub nr: usize,
+}
+
+impl BlockSizes {
+    /// Defaults for `f32` operands.
+    pub fn for_f32() -> Self {
+        Self { mc: 128, kc: 384, nc: 4096, mr: MR, nr: NR }
+    }
+
+    /// Defaults for `f64` operands.
+    pub fn for_f64() -> Self {
+        Self { mc: 96, kc: 256, nc: 4096, mr: MR, nr: NR }
+    }
+
+    /// Defaults by element size in bytes (4 → f32, otherwise f64).
+    pub fn for_element_bytes(bytes: usize) -> Self {
+        if bytes == 4 {
+            Self::for_f32()
+        } else {
+            Self::for_f64()
+        }
+    }
+
+    /// Clamp the cache blocks to the problem size so tiny problems do not
+    /// allocate oversized packing buffers.
+    pub fn clamped(mut self, m: usize, n: usize, k: usize) -> Self {
+        // Keep MR/NR multiples where possible so the micro-kernel still
+        // sees full tiles after clamping.
+        let round_up = |v: usize, q: usize| v.div_ceil(q.max(1)) * q.max(1);
+        self.mc = self.mc.min(round_up(m.max(1), self.mr));
+        self.nc = self.nc.min(round_up(n.max(1), self.nr));
+        self.kc = self.kc.min(k.max(1));
+        self
+    }
+
+    /// Validity check used by debug assertions and property tests.
+    pub fn is_valid(&self) -> bool {
+        self.mr > 0
+            && self.nr > 0
+            && self.kc > 0
+            && self.mc >= self.mr
+            && self.nc >= self.nr
+            && self.mc % self.mr == 0
+            && self.nc % self.nr == 0
+    }
+}
+
+/// Micro-kernel tile rows. 8×8 accumulators fit comfortably in 16 vector
+/// registers for f32 AVX2 and autovectorise cleanly for f64 too.
+pub const MR: usize = 8;
+/// Micro-kernel tile columns.
+pub const NR: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(BlockSizes::for_f32().is_valid());
+        assert!(BlockSizes::for_f64().is_valid());
+    }
+
+    #[test]
+    fn clamp_small_problem() {
+        let b = BlockSizes::for_f32().clamped(5, 7, 3);
+        assert!(b.is_valid());
+        assert!(b.mc >= 5 && b.mc <= 8);
+        assert!(b.nc >= 7 && b.nc <= 8);
+        assert_eq!(b.kc, 3);
+    }
+
+    #[test]
+    fn clamp_keeps_big_problem_defaults() {
+        let d = BlockSizes::for_f32();
+        let b = d.clamped(10_000, 10_000, 10_000);
+        assert_eq!(b, d);
+    }
+
+    #[test]
+    fn element_size_dispatch() {
+        assert_eq!(BlockSizes::for_element_bytes(4), BlockSizes::for_f32());
+        assert_eq!(BlockSizes::for_element_bytes(8), BlockSizes::for_f64());
+    }
+}

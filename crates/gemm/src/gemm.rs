@@ -1,0 +1,576 @@
+//! The blocked, packed, threaded GEMM driver.
+//!
+//! Entry points:
+//! * [`sgemm`] / [`dgemm`] — BLAS-style calls with a thread-count argument,
+//! * [`gemm_with_stats`] — same computation, returns the [`GemmStats`]
+//!   sync/copy/kernel breakdown.
+//!
+//! The requested thread count is a *maximum*: like vendor BLAS, tiny
+//! problems run on fewer threads (see [`ThreadGrid::choose`]). Each worker
+//! owns a disjoint tile of `C` and packs its own operand panels, so no
+//! locks are held during compute; the only synchronisation is spawn/join.
+
+use std::time::Instant;
+
+use crate::blocking::BlockSizes;
+use crate::microkernel::{accumulate, merge_into_raw};
+use crate::pack::{pack_a, pack_b, MatView};
+use crate::pool::ThreadPool;
+use crate::stats::{GemmStats, StatsCollector, ThreadLocalStats};
+use crate::threading::{SendMutPtr, ThreadGrid};
+use crate::{Element, Transpose};
+
+/// A fully described GEMM invocation (shape, flags, threading).
+#[derive(Debug, Clone, Copy)]
+pub struct GemmCall {
+    pub trans_a: Transpose,
+    pub trans_b: Transpose,
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    /// Maximum worker threads (≥ 1).
+    pub threads: usize,
+    /// Cache blocking override; `None` picks per-precision defaults.
+    pub blocks: Option<BlockSizes>,
+}
+
+impl GemmCall {
+    /// Untransposed call with default blocking.
+    pub fn new(m: usize, n: usize, k: usize, threads: usize) -> Self {
+        Self {
+            trans_a: Transpose::No,
+            trans_b: Transpose::No,
+            m,
+            n,
+            k,
+            threads: threads.max(1),
+            blocks: None,
+        }
+    }
+}
+
+/// `C ← α·op(A)·op(B) + β·C`, returning the execution breakdown.
+///
+/// Matrices are row-major; `lda`/`ldb` are the row strides of the *stored*
+/// operands, `ldc` the row stride of `C`.
+///
+/// # Panics
+/// Panics if a buffer is too small for its described shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_stats<T: Element>(
+    call: &GemmCall,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) -> GemmStats {
+    let (m, n, k) = (call.m, call.n, call.k);
+    assert!(ldc >= n.max(1), "ldc too small");
+    if m > 0 && n > 0 {
+        assert!(c.len() >= (m - 1) * ldc + n, "C buffer too small");
+    }
+
+    // Build logical m×k / k×n views; transposition is a stride swap.
+    let a_view = match call.trans_a {
+        Transpose::No => MatView::row_major(a, m, k, lda),
+        Transpose::Yes => MatView::row_major(a, k, m, lda).t(),
+    };
+    let b_view = match call.trans_b {
+        Transpose::No => MatView::row_major(b, k, n, ldb),
+        Transpose::Yes => MatView::row_major(b, n, k, ldb).t(),
+    };
+
+    let start = Instant::now();
+    if m == 0 || n == 0 {
+        return GemmStats { threads_used: 0, grid_rows: 0, grid_cols: 0, ..Default::default() };
+    }
+
+    let blocks = call.blocks.unwrap_or_else(|| BlockSizes::for_element_bytes(T::BYTES));
+    debug_assert!(blocks.is_valid(), "invalid block sizes {blocks:?}");
+    let blocks = blocks.clamped(m, n, k);
+    let grid = ThreadGrid::choose(call.threads, m, n, blocks.mr, blocks.nr);
+
+    let collector = StatsCollector::default();
+    if grid.count() == 1 {
+        let mut local = ThreadLocalStats::default();
+        // SAFETY: single worker owns the whole of C.
+        unsafe {
+            subproblem(
+                &a_view, &b_view, c.as_mut_ptr(), ldc, m, n, k, alpha, beta, &blocks, &mut local,
+            );
+        }
+        collector.absorb(&local);
+    } else {
+        let c_ptr = SendMutPtr(c.as_mut_ptr());
+        crossbeam::scope(|scope| {
+            for r in 0..grid.rows {
+                for col in 0..grid.cols {
+                    let (r0, r1) = grid.row_range(r, m);
+                    let (c0, c1) = grid.col_range(col, n);
+                    let a_sub = a_view.sub(r0, 0, r1 - r0, k);
+                    let b_sub = b_view.sub(0, c0, k, c1 - c0);
+                    let collector = &collector;
+                    scope.spawn(move |_| {
+                        let mut local = ThreadLocalStats::default();
+                        let ptr = c_ptr; // move the Send wrapper, not the raw ptr
+                        // SAFETY: tile (r0..r1) × (c0..c1) is disjoint from
+                        // every other worker's tile (ThreadGrid ranges
+                        // partition rows and columns), and `c` outlives the
+                        // scope.
+                        unsafe {
+                            subproblem(
+                                &a_sub,
+                                &b_sub,
+                                ptr.0.add(r0 * ldc + c0),
+                                ldc,
+                                r1 - r0,
+                                c1 - c0,
+                                k,
+                                alpha,
+                                beta,
+                                &blocks,
+                                &mut local,
+                            );
+                        }
+                        collector.absorb(&local);
+                    });
+                }
+            }
+        })
+        .expect("GEMM worker panicked");
+    }
+
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    collector.finish(grid.count(), grid.rows, grid.cols, wall_ns)
+}
+
+/// One worker's blocked GEMM over its `ms×ns` tile of `C`.
+///
+/// # Safety
+/// `c` must point at the tile origin; the `ms` rows of `ns` elements spaced
+/// `ldc` apart must be valid for read/write and not concurrently accessed.
+#[allow(clippy::too_many_arguments)]
+unsafe fn subproblem<T: Element>(
+    a: &MatView<'_, T>,
+    b: &MatView<'_, T>,
+    c: *mut T,
+    ldc: usize,
+    ms: usize,
+    ns: usize,
+    k: usize,
+    alpha: T,
+    beta: T,
+    blocks: &BlockSizes,
+    stats: &mut ThreadLocalStats,
+) {
+    let BlockSizes { mc, kc, nc, mr, nr } = *blocks;
+
+    if k == 0 {
+        // Pure C ← β·C scaling; no packing, no kernels.
+        for i in 0..ms {
+            let row = std::slice::from_raw_parts_mut(c.add(i * ldc), ns);
+            for v in row {
+                *v = beta.mul_add_e(*v, T::ZERO);
+            }
+        }
+        return;
+    }
+
+    let mut a_buf = vec![T::ZERO; mc.div_ceil(mr) * mr * kc];
+    let mut b_buf = vec![T::ZERO; kc * nc.div_ceil(nr) * nr];
+
+    let mut jc = 0;
+    while jc < ns {
+        let ncur = (ns - jc).min(nc);
+        let mut pc = 0;
+        while pc < k {
+            let kcur = (k - pc).min(kc);
+            // First rank update of a tile applies the caller's β; later
+            // updates accumulate.
+            let beta_eff = if pc == 0 { beta } else { T::ONE };
+
+            let t0 = Instant::now();
+            let b_block = b.sub(pc, jc, kcur, ncur);
+            stats.b_packed_bytes += pack_b(&b_block, nr, &mut b_buf);
+            stats.pack_ns += t0.elapsed().as_nanos() as u64;
+
+            let mut ic = 0;
+            while ic < ms {
+                let mcur = (ms - ic).min(mc);
+                let t0 = Instant::now();
+                let a_block = a.sub(ic, pc, mcur, kcur);
+                stats.a_packed_bytes += pack_a(&a_block, mr, &mut a_buf);
+                stats.pack_ns += t0.elapsed().as_nanos() as u64;
+
+                let t0 = Instant::now();
+                let m_strips = mcur.div_ceil(mr);
+                let n_strips = ncur.div_ceil(nr);
+                for jr in 0..n_strips {
+                    let j0 = jr * nr;
+                    let live_n = (ncur - j0).min(nr);
+                    let b_panel = &b_buf[jr * nr * kcur..(jr + 1) * nr * kcur];
+                    for ir in 0..m_strips {
+                        let i0 = ir * mr;
+                        let live_m = (mcur - i0).min(mr);
+                        let a_panel = &a_buf[ir * mr * kcur..(ir + 1) * mr * kcur];
+                        let acc = accumulate(kcur, a_panel, b_panel);
+                        // SAFETY: tile origin stays inside this worker's
+                        // C region by construction of the loop bounds.
+                        merge_into_raw(
+                            &acc,
+                            c.add((ic + i0) * ldc + jc + j0),
+                            ldc,
+                            live_m,
+                            live_n,
+                            alpha,
+                            beta_eff,
+                        );
+                        stats.kernel_calls += 1;
+                    }
+                }
+                stats.kernel_ns += t0.elapsed().as_nanos() as u64;
+                ic += mcur;
+            }
+            pc += kcur;
+        }
+        jc += ncur;
+    }
+}
+
+/// Like [`gemm_with_stats`], but running the workers on a persistent
+/// [`ThreadPool`] instead of spawning OS threads per call — the spawn
+/// overhead matters for exactly the small GEMMs the paper targets (see
+/// the `gemm/pool_vs_spawn` criterion bench).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_stats_pooled<T: Element>(
+    pool: &ThreadPool,
+    call: &GemmCall,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) -> GemmStats {
+    let (m, n, k) = (call.m, call.n, call.k);
+    assert!(ldc >= n.max(1), "ldc too small");
+    if m > 0 && n > 0 {
+        assert!(c.len() >= (m - 1) * ldc + n, "C buffer too small");
+    }
+    let a_view = match call.trans_a {
+        Transpose::No => MatView::row_major(a, m, k, lda),
+        Transpose::Yes => MatView::row_major(a, k, m, lda).t(),
+    };
+    let b_view = match call.trans_b {
+        Transpose::No => MatView::row_major(b, k, n, ldb),
+        Transpose::Yes => MatView::row_major(b, n, k, ldb).t(),
+    };
+    let start = Instant::now();
+    if m == 0 || n == 0 {
+        return GemmStats { threads_used: 0, grid_rows: 0, grid_cols: 0, ..Default::default() };
+    }
+    let blocks = call.blocks.unwrap_or_else(|| BlockSizes::for_element_bytes(T::BYTES));
+    let blocks = blocks.clamped(m, n, k);
+    let grid = ThreadGrid::choose(call.threads, m, n, blocks.mr, blocks.nr);
+
+    let collector = StatsCollector::default();
+    if grid.count() == 1 {
+        let mut local = ThreadLocalStats::default();
+        // SAFETY: single worker owns the whole of C.
+        unsafe {
+            subproblem(
+                &a_view, &b_view, c.as_mut_ptr(), ldc, m, n, k, alpha, beta, &blocks, &mut local,
+            );
+        }
+        collector.absorb(&local);
+    } else {
+        let c_ptr = SendMutPtr(c.as_mut_ptr());
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+            Vec::with_capacity(grid.count());
+        for r in 0..grid.rows {
+            for col in 0..grid.cols {
+                let (r0, r1) = grid.row_range(r, m);
+                let (c0, c1) = grid.col_range(col, n);
+                let a_sub = a_view.sub(r0, 0, r1 - r0, k);
+                let b_sub = b_view.sub(0, c0, k, c1 - c0);
+                let collector = &collector;
+                let blocks = &blocks;
+                tasks.push(Box::new(move || {
+                    let mut local = ThreadLocalStats::default();
+                    let ptr = c_ptr;
+                    // SAFETY: identical disjoint-tile argument as the
+                    // scoped driver; the pool's scope_execute blocks until
+                    // every task completes, keeping the borrows alive.
+                    unsafe {
+                        subproblem(
+                            &a_sub,
+                            &b_sub,
+                            ptr.0.add(r0 * ldc + c0),
+                            ldc,
+                            r1 - r0,
+                            c1 - c0,
+                            k,
+                            alpha,
+                            beta,
+                            blocks,
+                            &mut local,
+                        );
+                    }
+                    collector.absorb(&local);
+                }));
+            }
+        }
+        pool.scope_execute(tasks);
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    collector.finish(grid.count(), grid.rows, grid.cols, wall_ns)
+}
+
+/// Single-precision GEMM: `C ← α·op(A)·op(B) + β·C` on `threads` threads.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm(
+    trans_a: Transpose,
+    trans_b: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+    threads: usize,
+) {
+    let call = GemmCall { trans_a, trans_b, m, n, k, threads: threads.max(1), blocks: None };
+    gemm_with_stats(&call, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+/// Double-precision GEMM: `C ← α·op(A)·op(B) + β·C` on `threads` threads.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm(
+    trans_a: Transpose,
+    trans_b: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+    threads: usize,
+) {
+    let call = GemmCall { trans_a, trans_b, m, n, k, threads: threads.max(1), blocks: None };
+    gemm_with_stats(&call, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_gemm;
+
+    fn fill(n: usize, seed: u64) -> Vec<f64> {
+        // Cheap deterministic pseudo-random fill (xorshift).
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s % 2000) as f64 - 1000.0) / 250.0
+            })
+            .collect()
+    }
+
+    fn assert_close(actual: &[f64], expected: &[f64], tol: f64) {
+        assert_eq!(actual.len(), expected.len());
+        for (i, (a, e)) in actual.iter().zip(expected).enumerate() {
+            assert!(
+                (a - e).abs() <= tol * (1.0 + e.abs()),
+                "mismatch at {i}: {a} vs {e}"
+            );
+        }
+    }
+
+    fn check_against_naive(
+        m: usize,
+        n: usize,
+        k: usize,
+        threads: usize,
+        ta: Transpose,
+        tb: Transpose,
+        alpha: f64,
+        beta: f64,
+    ) {
+        let (ar, ac) = if ta.is_transposed() { (k, m) } else { (m, k) };
+        let (br, bc) = if tb.is_transposed() { (n, k) } else { (k, n) };
+        let a = fill(ar * ac.max(1), 1);
+        let b = fill(br * bc.max(1), 2);
+        let mut c = fill(m * n.max(1), 3);
+        let mut c_ref = c.clone();
+
+        let call = GemmCall { trans_a: ta, trans_b: tb, m, n, k, threads, blocks: None };
+        gemm_with_stats(&call, alpha, &a, ac.max(1), &b, bc.max(1), beta, &mut c, n.max(1));
+        naive_gemm(ta, tb, m, n, k, alpha, &a, ac.max(1), &b, bc.max(1), beta, &mut c_ref, n.max(1));
+        assert_close(&c, &c_ref, 1e-10);
+    }
+
+    #[test]
+    fn serial_matches_naive_square() {
+        check_against_naive(64, 64, 64, 1, Transpose::No, Transpose::No, 1.0, 0.0);
+    }
+
+    #[test]
+    fn serial_matches_naive_odd_sizes() {
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (9, 130, 33), (257, 5, 129), (8, 8, 1)] {
+            check_against_naive(m, n, k, 1, Transpose::No, Transpose::No, 1.0, 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_naive() {
+        for &threads in &[2, 3, 4, 7, 8] {
+            check_against_naive(150, 170, 90, threads, Transpose::No, Transpose::No, 1.0, 0.0);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_paths() {
+        check_against_naive(40, 30, 20, 4, Transpose::No, Transpose::No, 2.5, 0.0);
+        check_against_naive(40, 30, 20, 4, Transpose::No, Transpose::No, 1.0, 1.0);
+        check_against_naive(40, 30, 20, 4, Transpose::No, Transpose::No, -0.5, 0.25);
+    }
+
+    #[test]
+    fn transposed_operands() {
+        check_against_naive(33, 44, 55, 3, Transpose::Yes, Transpose::No, 1.0, 0.5);
+        check_against_naive(33, 44, 55, 3, Transpose::No, Transpose::Yes, 1.0, 0.5);
+        check_against_naive(33, 44, 55, 3, Transpose::Yes, Transpose::Yes, 2.0, 0.0);
+    }
+
+    #[test]
+    fn multiple_kc_blocks_accumulate_correctly() {
+        // k much larger than KC forces the β_eff = 1 accumulation path.
+        check_against_naive(16, 16, 1200, 2, Transpose::No, Transpose::No, 1.0, 2.0);
+    }
+
+    #[test]
+    fn k_zero_scales_c_by_beta() {
+        let mut c = vec![3.0f64; 12];
+        let call = GemmCall::new(3, 4, 0, 2);
+        gemm_with_stats(&call, 1.0, &[], 1, &[], 4, 0.5, &mut c, 4);
+        assert!(c.iter().all(|&v| v == 1.5));
+    }
+
+    #[test]
+    fn stats_report_threads_and_work() {
+        let m = 256;
+        let n = 256;
+        let k = 64;
+        let a = fill(m * k, 4);
+        let b = fill(k * n, 5);
+        let mut c = vec![0.0f64; m * n];
+        let call = GemmCall::new(m, n, k, 4);
+        let stats = gemm_with_stats(&call, 1.0, &a, k, &b, n, 0.0, &mut c, n);
+        assert_eq!(stats.threads_used, 4);
+        assert_eq!(stats.grid_rows * stats.grid_cols, 4);
+        assert!(stats.kernel_calls > 0);
+        // Every element of A and B must be packed at least once.
+        assert!(stats.a_packed_bytes >= (m * k * 8) as u64);
+        assert!(stats.b_packed_bytes >= (k * n * 8) as u64);
+        assert!(stats.wall_ns > 0);
+    }
+
+    #[test]
+    fn more_threads_pack_more_b_panels() {
+        // With a row-split grid each row group packs its own copy of B —
+        // the duplicated-copy effect the paper's Table VII exposes.
+        let m = 512;
+        let n = 64;
+        let k = 256;
+        let a = fill(m * k, 6);
+        let b = fill(k * n, 7);
+        let run = |threads: usize| {
+            let mut c = vec![0.0f64; m * n];
+            let call = GemmCall::new(m, n, k, threads);
+            gemm_with_stats(&call, 1.0, &a, k, &b, n, 0.0, &mut c, n)
+        };
+        let s1 = run(1);
+        let s8 = run(8);
+        assert!(
+            s8.b_packed_bytes > s1.b_packed_bytes,
+            "expected duplicated B packing: {} vs {}",
+            s8.b_packed_bytes,
+            s1.b_packed_bytes
+        );
+    }
+
+    #[test]
+    fn f32_path_matches_naive() {
+        let m = 37;
+        let n = 29;
+        let k = 41;
+        let a: Vec<f32> = fill(m * k, 8).iter().map(|&v| v as f32).collect();
+        let b: Vec<f32> = fill(k * n, 9).iter().map(|&v| v as f32).collect();
+        let mut c = vec![0.0f32; m * n];
+        let mut c_ref = c.clone();
+        sgemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 3);
+        naive_gemm(Transpose::No, Transpose::No, m, n, k, 1.0f32, &a, k, &b, n, 0.0, &mut c_ref, n);
+        for (x, y) in c.iter().zip(&c_ref) {
+            assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn requesting_absurd_threads_is_safe() {
+        check_against_naive(16, 16, 16, 1000, Transpose::No, Transpose::No, 1.0, 0.0);
+    }
+
+    #[test]
+    fn pooled_driver_matches_scoped_driver() {
+        let pool = crate::pool::ThreadPool::new(4);
+        for &(m, n, k, threads) in
+            &[(64usize, 64usize, 64usize, 4usize), (150, 90, 130, 8), (33, 7, 129, 3)]
+        {
+            let a = fill(m * k, 21);
+            let b = fill(k * n, 22);
+            let mut c1 = fill(m * n, 23);
+            let mut c2 = c1.clone();
+            let call = GemmCall::new(m, n, k, threads);
+            let s1 = gemm_with_stats(&call, 1.5, &a, k, &b, n, 0.5, &mut c1, n);
+            let s2 = gemm_with_stats_pooled(&pool, &call, 1.5, &a, k, &b, n, 0.5, &mut c2, n);
+            assert_eq!(c1, c2, "pooled result differs at {m}x{n}x{k}");
+            assert_eq!(s1.kernel_calls, s2.kernel_calls);
+            assert_eq!(s1.packed_bytes(), s2.packed_bytes());
+            assert_eq!(s1.threads_used, s2.threads_used);
+        }
+    }
+
+    #[test]
+    fn pooled_driver_reusable_across_calls() {
+        let pool = crate::pool::ThreadPool::new(2);
+        let m = 48;
+        let a = fill(m * m, 24);
+        let b = fill(m * m, 25);
+        let call = GemmCall::new(m, m, m, 4);
+        let mut first = vec![0.0f64; m * m];
+        gemm_with_stats_pooled(&pool, &call, 1.0, &a, m, &b, m, 0.0, &mut first, m);
+        for _ in 0..5 {
+            let mut c = vec![0.0f64; m * m];
+            gemm_with_stats_pooled(&pool, &call, 1.0, &a, m, &b, m, 0.0, &mut c, m);
+            assert_eq!(c, first);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Register-blocked micro-kernel — where every FLOP happens.
+//!
+//! The kernel multiplies one packed `MR×kc` micro-panel of `A` by one packed
+//! `kc×NR` micro-panel of `B`, accumulating into an `MR×NR` register tile,
+//! and finally merges the tile into `C` as `C ← α·tile + β_eff·C`.
+//!
+//! The accumulator is a fixed-size 2-D array so LLVM keeps it entirely in
+//! vector registers and unrolls the `MR×NR` update; the packed operands are
+//! read with unit stride. Edge tiles (fewer than `MR` rows or `NR` columns
+//! live in `C`) run the same arithmetic — the packed panels are zero padded
+//! — and only the write-back is masked.
+
+use crate::blocking::{MR, NR};
+use crate::Element;
+
+/// Multiply one micro-panel pair and merge into `C`.
+///
+/// * `kc` — depth of the rank update,
+/// * `a_panel` — `kc·MR` packed values (column-major strips from
+///   [`crate::pack::pack_a`]),
+/// * `b_panel` — `kc·NR` packed values (row-major strips from
+///   [`crate::pack::pack_b`]),
+/// * `c` / `ldc` — destination tile origin and its row stride,
+/// * `live_m` / `live_n` — live rows/columns of `C` (≤ `MR`/`NR`),
+/// * `alpha`, `beta` — merge coefficients; `beta` is the *effective* β
+///   (the caller passes the user β on the first rank update of a tile and
+///   `1` afterwards).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn microkernel<T: Element>(
+    kc: usize,
+    a_panel: &[T],
+    b_panel: &[T],
+    c: &mut [T],
+    ldc: usize,
+    live_m: usize,
+    live_n: usize,
+    alpha: T,
+    beta: T,
+) {
+    if live_m > 0 {
+        assert!(c.len() >= (live_m - 1) * ldc + live_n, "C tile out of bounds");
+    }
+    let acc = accumulate(kc, a_panel, b_panel);
+    // SAFETY: the assert above guarantees every `i·ldc + j` written by the
+    // merge (i < live_m, j < live_n) is inside `c`.
+    unsafe { merge_into_raw(&acc, c.as_mut_ptr(), ldc, live_m, live_n, alpha, beta) }
+}
+
+/// Compute the `MR×NR` accumulator tile for one packed micro-panel pair.
+#[inline(always)]
+pub fn accumulate<T: Element>(kc: usize, a_panel: &[T], b_panel: &[T]) -> [[T; NR]; MR] {
+    debug_assert!(a_panel.len() >= kc * MR);
+    debug_assert!(b_panel.len() >= kc * NR);
+    let mut acc = [[T::ZERO; NR]; MR];
+    // Hot loop: one rank-1 update of the register tile per step of `l`.
+    for l in 0..kc {
+        let a_col = &a_panel[l * MR..l * MR + MR];
+        let b_row = &b_panel[l * NR..l * NR + NR];
+        for i in 0..MR {
+            let ai = a_col[i];
+            for j in 0..NR {
+                acc[i][j] = ai.mul_add_e(b_row[j], acc[i][j]);
+            }
+        }
+    }
+    acc
+}
+
+/// Merge an accumulator tile into `C` through a raw pointer:
+/// `C ← α·acc + β·C` on the `live_m × live_n` live region.
+///
+/// # Safety
+/// `c` must point at the `(0,0)` element of a tile whose `live_m` rows of
+/// `live_n` elements, spaced `ldc` apart, are valid for reads and writes,
+/// and no other thread may access those elements concurrently.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub unsafe fn merge_into_raw<T: Element>(
+    acc: &[[T; NR]; MR],
+    c: *mut T,
+    ldc: usize,
+    live_m: usize,
+    live_n: usize,
+    alpha: T,
+    beta: T,
+) {
+    debug_assert!(live_m <= MR && live_n <= NR);
+    if live_m == MR && live_n == NR {
+        // Full-tile write-back, no masking. Row slices are constructed one
+        // at a time, so no aliasing `&mut` ever coexists.
+        for (i, acc_row) in acc.iter().enumerate() {
+            let row = std::slice::from_raw_parts_mut(c.add(i * ldc), NR);
+            for j in 0..NR {
+                row[j] = alpha.mul_add_e(acc_row[j], beta.mul_add_e(row[j], T::ZERO));
+            }
+        }
+    } else {
+        for (i, acc_row) in acc.iter().enumerate().take(live_m) {
+            let row = std::slice::from_raw_parts_mut(c.add(i * ldc), live_n);
+            for (j, out) in row.iter_mut().enumerate() {
+                *out = alpha.mul_add_e(acc_row[j], beta.mul_add_e(*out, T::ZERO));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pack a dense row-major `MR x kc` A-block and `kc x NR` B-block the
+    /// way the real pack routines would (single full strip each).
+    fn pack_dense(a: &[f64], b: &[f64], kc: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut ap = vec![0.0; kc * MR];
+        for l in 0..kc {
+            for i in 0..MR {
+                ap[l * MR + i] = a[i * kc + l];
+            }
+        }
+        let mut bp = vec![0.0; kc * NR];
+        for l in 0..kc {
+            bp[l * NR..l * NR + NR].copy_from_slice(&b[l * NR..l * NR + NR]);
+        }
+        (ap, bp)
+    }
+
+    fn reference(a: &[f64], b: &[f64], kc: usize) -> Vec<f64> {
+        let mut c = vec![0.0; MR * NR];
+        for i in 0..MR {
+            for j in 0..NR {
+                for l in 0..kc {
+                    c[i * NR + j] += a[i * kc + l] * b[l * NR + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn full_tile_matches_reference() {
+        let kc = 17;
+        let a: Vec<f64> = (0..MR * kc).map(|i| (i % 13) as f64 - 6.0).collect();
+        let b: Vec<f64> = (0..kc * NR).map(|i| (i % 7) as f64 * 0.5).collect();
+        let (ap, bp) = pack_dense(&a, &b, kc);
+        let mut c = vec![0.0; MR * NR];
+        microkernel(kc, &ap, &bp, &mut c, NR, MR, NR, 1.0, 0.0);
+        assert_eq!(c, reference(&a, &b, kc));
+    }
+
+    #[test]
+    fn alpha_beta_merge() {
+        let kc = 3;
+        let a = vec![1.0; MR * kc];
+        let b = vec![1.0; kc * NR];
+        let (ap, bp) = pack_dense(&a, &b, kc);
+        let mut c = vec![2.0; MR * NR];
+        microkernel(kc, &ap, &bp, &mut c, NR, MR, NR, 0.5, 3.0);
+        // 0.5 * (kc) + 3.0 * 2.0 = 1.5 + 6.0
+        assert!(c.iter().all(|&v| (v - 7.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn masked_writeback_preserves_dead_lanes() {
+        let kc = 2;
+        let a = vec![1.0; MR * kc];
+        let b = vec![1.0; kc * NR];
+        let (ap, bp) = pack_dense(&a, &b, kc);
+        let mut c = vec![-9.0; MR * NR];
+        microkernel(kc, &ap, &bp, &mut c, NR, 2, 3, 1.0, 0.0);
+        for i in 0..MR {
+            for j in 0..NR {
+                let v = c[i * NR + j];
+                if i < 2 && j < 3 {
+                    assert_eq!(v, kc as f64);
+                } else {
+                    assert_eq!(v, -9.0, "dead lane ({i},{j}) overwritten");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_kc_only_applies_beta() {
+        let ap: Vec<f64> = vec![];
+        let bp: Vec<f64> = vec![];
+        let mut c = vec![4.0; MR * NR];
+        microkernel(0, &ap, &bp, &mut c, NR, MR, NR, 1.0, 0.25);
+        assert!(c.iter().all(|&v| v == 1.0));
+    }
+}

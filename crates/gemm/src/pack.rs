@@ -1,0 +1,270 @@
+//! Operand packing — the "data copy" component of GEMM wall-time.
+//!
+//! Before any floating-point work, blocks of `A` and `B` are copied into
+//! thread-local buffers laid out so the micro-kernel reads them with unit
+//! stride:
+//!
+//! * `A` blocks (`mc×kc`) become a sequence of `MR`-row *micro-panels*,
+//!   each stored column-by-column (`kc` steps of `MR` contiguous values),
+//! * `B` blocks (`kc×nc`) become a sequence of `NR`-column micro-panels,
+//!   each stored row-by-row (`kc` steps of `NR` contiguous values).
+//!
+//! Ragged edges are zero-padded to the full `MR`/`NR` width, which lets the
+//! micro-kernel run unconditionally on full tiles; the zero columns simply
+//! contribute nothing. This padding is also a real cost: vendor libraries
+//! pay it too, and it is one reason many threads on a tiny matrix spend
+//! almost all their time copying (paper §VI-D, Table VII).
+
+use crate::Element;
+
+/// A read-only strided view of a dense matrix.
+///
+/// `at(i, j) = data[offset + i·rs + j·cs]`. Logical transposition is a
+/// stride swap, so the pack routines handle `Transpose::Yes` for free.
+#[derive(Clone, Copy)]
+pub struct MatView<'a, T> {
+    data: &'a [T],
+    offset: usize,
+    rs: usize,
+    cs: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a, T: Element> MatView<'a, T> {
+    /// View of a stored row-major `rows×cols` matrix with row stride `ld`.
+    pub fn row_major(data: &'a [T], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= cols.max(1), "leading dimension too small");
+        if rows > 0 && cols > 0 {
+            assert!(
+                data.len() >= (rows - 1) * ld + cols,
+                "buffer too small for {rows}x{cols} view with ld {ld}"
+            );
+        }
+        Self { data, offset: 0, rs: ld, cs: 1, rows, cols }
+    }
+
+    /// The transposed view (no data movement).
+    pub fn t(self) -> Self {
+        Self {
+            data: self.data,
+            offset: self.offset,
+            rs: self.cs,
+            cs: self.rs,
+            rows: self.cols,
+            cols: self.rows,
+        }
+    }
+
+    /// Sub-view of `height×width` starting at `(r, c)`.
+    pub fn sub(self, r: usize, c: usize, height: usize, width: usize) -> Self {
+        debug_assert!(r + height <= self.rows && c + width <= self.cols);
+        Self {
+            data: self.data,
+            offset: self.offset + r * self.rs + c * self.cs,
+            rs: self.rs,
+            cs: self.cs,
+            rows: height,
+            cols: width,
+        }
+    }
+
+    /// Number of rows in the view.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns in the view.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> T {
+        self.data[self.offset + i * self.rs + j * self.cs]
+    }
+}
+
+/// Pack an `A` block into `MR`-row micro-panels.
+///
+/// `buf` must hold at least `ceil(rows/MR)·MR·cols` elements. Returns the
+/// number of *bytes* written (padding included) for copy accounting.
+pub fn pack_a<T: Element>(block: &MatView<'_, T>, mr: usize, buf: &mut [T]) -> u64 {
+    let rows = block.rows();
+    let cols = block.cols();
+    let strips = rows.div_ceil(mr.max(1));
+    let needed = strips * mr * cols;
+    assert!(buf.len() >= needed, "pack_a buffer too small");
+    let mut idx = 0;
+    for strip in 0..strips {
+        let r0 = strip * mr;
+        let live = (rows - r0).min(mr);
+        for l in 0..cols {
+            // Full-tile fast path avoids the branch in the hot loop.
+            if live == mr {
+                for i in 0..mr {
+                    buf[idx] = block.at(r0 + i, l);
+                    idx += 1;
+                }
+            } else {
+                for i in 0..live {
+                    buf[idx] = block.at(r0 + i, l);
+                    idx += 1;
+                }
+                for _ in live..mr {
+                    buf[idx] = T::ZERO;
+                    idx += 1;
+                }
+            }
+        }
+    }
+    (needed * T::BYTES) as u64
+}
+
+/// Pack a `B` block into `NR`-column micro-panels.
+///
+/// `buf` must hold at least `kc·ceil(cols/NR)·NR` elements. Returns the
+/// number of bytes written (padding included).
+pub fn pack_b<T: Element>(block: &MatView<'_, T>, nr: usize, buf: &mut [T]) -> u64 {
+    let kc = block.rows();
+    let cols = block.cols();
+    let strips = cols.div_ceil(nr.max(1));
+    let needed = strips * nr * kc;
+    assert!(buf.len() >= needed, "pack_b buffer too small");
+    let mut idx = 0;
+    for strip in 0..strips {
+        let c0 = strip * nr;
+        let live = (cols - c0).min(nr);
+        for l in 0..kc {
+            if live == nr {
+                for j in 0..nr {
+                    buf[idx] = block.at(l, c0 + j);
+                    idx += 1;
+                }
+            } else {
+                for j in 0..live {
+                    buf[idx] = block.at(l, c0 + j);
+                    idx += 1;
+                }
+                for _ in live..nr {
+                    buf[idx] = T::ZERO;
+                    idx += 1;
+                }
+            }
+        }
+    }
+    (needed * T::BYTES) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn view_indexing_row_major() {
+        let d = seq(12);
+        let v = MatView::row_major(&d, 3, 4, 4);
+        assert_eq!(v.at(0, 0), 0.0);
+        assert_eq!(v.at(1, 2), 6.0);
+        assert_eq!(v.at(2, 3), 11.0);
+    }
+
+    #[test]
+    fn transposed_view_swaps_axes() {
+        let d = seq(12);
+        let v = MatView::row_major(&d, 3, 4, 4).t();
+        assert_eq!(v.rows(), 4);
+        assert_eq!(v.cols(), 3);
+        assert_eq!(v.at(2, 1), 6.0); // original (1,2)
+    }
+
+    #[test]
+    fn subview_offsets() {
+        let d = seq(20);
+        let v = MatView::row_major(&d, 4, 5, 5).sub(1, 2, 2, 3);
+        assert_eq!(v.at(0, 0), 7.0);
+        assert_eq!(v.at(1, 2), 14.0);
+    }
+
+    #[test]
+    fn pack_a_exact_tiles() {
+        // 4x3 block with MR = 2: strips [(rows 0-1), (rows 2-3)],
+        // each stored column-major.
+        let d = seq(12);
+        let v = MatView::row_major(&d, 4, 3, 3);
+        let mut buf = vec![-1.0; 12];
+        let bytes = pack_a(&v, 2, &mut buf);
+        assert_eq!(bytes, 12 * 8);
+        assert_eq!(
+            buf,
+            vec![
+                0.0, 3.0, 1.0, 4.0, 2.0, 5.0, // strip 0: cols of rows 0..2
+                6.0, 9.0, 7.0, 10.0, 8.0, 11.0, // strip 1: rows 2..4
+            ]
+        );
+    }
+
+    #[test]
+    fn pack_a_pads_ragged_strip_with_zeros() {
+        // 3 rows, MR = 2 -> second strip has one live row + one zero row.
+        let d = seq(6);
+        let v = MatView::row_major(&d, 3, 2, 2);
+        let mut buf = vec![-1.0; 8];
+        pack_a(&v, 2, &mut buf);
+        assert_eq!(buf, vec![0.0, 2.0, 1.0, 3.0, 4.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_b_exact_tiles() {
+        // 2x4 block with NR = 2: strips of 2 columns, stored row-major.
+        let d = seq(8);
+        let v = MatView::row_major(&d, 2, 4, 4);
+        let mut buf = vec![-1.0; 8];
+        let bytes = pack_b(&v, 2, &mut buf);
+        assert_eq!(bytes, 8 * 8);
+        assert_eq!(buf, vec![0.0, 1.0, 4.0, 5.0, 2.0, 3.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn pack_b_pads_ragged_strip_with_zeros() {
+        let d = seq(6); // 2x3
+        let v = MatView::row_major(&d, 2, 3, 3);
+        let mut buf = vec![-1.0; 8];
+        pack_b(&v, 2, &mut buf);
+        assert_eq!(buf, vec![0.0, 1.0, 3.0, 4.0, 2.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_transposed_equals_pack_of_transpose() {
+        // Packing op(A) = Aᵀ through a stride-swapped view must equal
+        // packing a materialised transpose.
+        let d = seq(12); // stored 3x4
+        let vt = MatView::row_major(&d, 3, 4, 4).t(); // logical 4x3
+        let mut materialised = vec![0.0; 12];
+        for i in 0..4 {
+            for j in 0..3 {
+                materialised[i * 3 + j] = d[j * 4 + i];
+            }
+        }
+        let vm = MatView::row_major(&materialised, 4, 3, 3);
+        let mut b1 = vec![0.0; 12];
+        let mut b2 = vec![0.0; 12];
+        pack_a(&vt, 2, &mut b1);
+        pack_a(&vm, 2, &mut b2);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn pack_bytes_account_padding() {
+        let d = seq(3); // 3x1 with MR=4: one strip, 4 slots per column
+        let v = MatView::row_major(&d, 3, 1, 1);
+        let mut buf = vec![0.0f64; 4];
+        let bytes = pack_a(&v, 4, &mut buf);
+        assert_eq!(bytes, 4 * 8, "padding rows must be counted as copy cost");
+    }
+}

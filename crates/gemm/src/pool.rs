@@ -1,0 +1,246 @@
+//! A persistent worker pool with scoped execution.
+//!
+//! `crossbeam::scope` spawns fresh OS threads on every GEMM call — tens of
+//! microseconds of overhead, which is material for exactly the small
+//! matrices the paper targets. [`ThreadPool`] keeps workers parked on a
+//! channel and offers [`ThreadPool::scope_execute`]: run a batch of
+//! *borrowing* closures and block until all of them finish.
+//!
+//! Soundness of the lifetime erasure: the closures may borrow from the
+//! caller's stack (`'env`), and are transmuted to `'static` to cross the
+//! channel. This is sound because `scope_execute` does not return until
+//! the completion latch has counted every job down — the borrowed data
+//! outlives every access. A panicking job still counts down (the latch
+//! decrement lives in a drop guard) and the panic is re-raised on the
+//! caller's thread after the batch drains, so no work is silently lost.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counts outstanding jobs; `wait` blocks until zero.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: Mutex<Option<String>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panicked: Mutex::new(None),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn record_panic(&self, msg: String) {
+        let mut p = self.panicked.lock();
+        if p.is_none() {
+            *p = Some(msg);
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock();
+        while *remaining > 0 {
+            self.done.wait(&mut remaining);
+        }
+    }
+}
+
+/// Decrements the latch even if the job panics.
+struct CountGuard<'a>(&'a Latch);
+
+impl Drop for CountGuard<'_> {
+    fn drop(&mut self) {
+        self.0.count_down();
+    }
+}
+
+/// A fixed-size pool of parked worker threads.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `workers` parked threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("adsala-gemm-{i}"))
+                    .spawn(move || {
+                        // Runs until the sender is dropped.
+                        while let Ok(job) = receiver.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { sender: Some(sender), workers: handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Execute a batch of borrowing closures on the pool, blocking until
+    /// every one has finished. Panics from jobs are re-raised here.
+    pub fn scope_execute<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let latch = Arc::new(Latch::new(tasks.len()));
+        let sender = self.sender.as_ref().expect("pool alive");
+        for task in tasks {
+            let latch = Arc::clone(&latch);
+            // SAFETY: `wait()` below blocks until the latch reaches zero,
+            // i.e. until this closure (and its borrows of 'env data) has
+            // completed — so the 'env lifetime outlives every use.
+            let task: Box<dyn FnOnce() + Send + 'static> =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(task) };
+            let job: Job = Box::new(move || {
+                let _guard = CountGuard(&latch);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".into());
+                    latch.record_panic(msg);
+                }
+            });
+            sender.send(job).expect("pool workers alive");
+        }
+        latch.wait();
+        let panicked = latch.panicked.lock().take();
+        if let Some(msg) = panicked {
+            panic!("pool job panicked: {msg}");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain and exit.
+        self.sender.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..100)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.scope_execute(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn jobs_can_borrow_stack_data() {
+        let pool = ThreadPool::new(3);
+        let mut results = vec![0usize; 8];
+        {
+            let chunks: Vec<&mut usize> = results.iter_mut().collect();
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                .into_iter()
+                .enumerate()
+                .map(|(i, slot)| {
+                    Box::new(move || {
+                        *slot = i * i;
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.scope_execute(tasks);
+        }
+        assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn batches_are_reusable() {
+        let pool = ThreadPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..10 {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..5)
+                .map(|_| {
+                    Box::new(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.scope_execute(tasks);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn panic_in_job_propagates_after_batch_completes() {
+        let pool = ThreadPool::new(2);
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+                Box::new(|| {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }),
+                Box::new(|| panic!("boom")),
+                Box::new(|| {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }),
+            ];
+            pool.scope_execute(tasks);
+        }));
+        assert!(result.is_err(), "panic was swallowed");
+        assert_eq!(completed.load(Ordering::Relaxed), 2, "other jobs must still run");
+        // The pool survives a panicked batch.
+        let counter = AtomicUsize::new(0);
+        pool.scope_execute(vec![Box::new(|| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        })]);
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pool = ThreadPool::new(1);
+        pool.scope_execute(Vec::new());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-call execution statistics: the host-side analogue of the paper's
+//! VTune breakdown (Table VII).
+//!
+//! Every [`crate::gemm_with_stats`] call reports how much time went into
+//! the three wall-time components the paper identifies — synchronisation,
+//! data copies (packing), kernel calls — plus volume counters that the
+//! machine-model crate validates its analytic cost terms against.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregated statistics for one GEMM call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GemmStats {
+    /// Threads that actually ran (≤ requested; tiny problems use fewer).
+    pub threads_used: usize,
+    /// Thread-grid rows (partition of `C`'s row dimension).
+    pub grid_rows: usize,
+    /// Thread-grid columns (partition of `C`'s column dimension).
+    pub grid_cols: usize,
+    /// Bytes written while packing `A` micro-panels (padding included),
+    /// summed over threads.
+    pub a_packed_bytes: u64,
+    /// Bytes written while packing `B` micro-panels, summed over threads.
+    pub b_packed_bytes: u64,
+    /// Micro-kernel invocations, summed over threads.
+    pub kernel_calls: u64,
+    /// Nanoseconds spent packing, summed over threads.
+    pub pack_ns: u64,
+    /// Nanoseconds spent inside micro-kernels, summed over threads.
+    pub kernel_ns: u64,
+    /// Nanoseconds of spawn/join overhead observed by the caller: wall
+    /// time minus the slowest thread's busy time.
+    pub sync_ns: u64,
+    /// End-to-end wall time of the call in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl GemmStats {
+    /// Total packed bytes (`A` + `B`).
+    pub fn packed_bytes(&self) -> u64 {
+        self.a_packed_bytes + self.b_packed_bytes
+    }
+
+    /// Fraction of summed thread time spent copying (0 if nothing ran).
+    pub fn copy_fraction(&self) -> f64 {
+        let busy = self.pack_ns + self.kernel_ns;
+        if busy == 0 {
+            0.0
+        } else {
+            self.pack_ns as f64 / busy as f64
+        }
+    }
+}
+
+/// Thread-safe accumulator the parallel driver aggregates into.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    pub a_packed_bytes: AtomicU64,
+    pub b_packed_bytes: AtomicU64,
+    pub kernel_calls: AtomicU64,
+    pub pack_ns: AtomicU64,
+    pub kernel_ns: AtomicU64,
+    /// Maximum per-thread busy time, for deriving sync overhead.
+    pub max_busy_ns: AtomicU64,
+}
+
+impl StatsCollector {
+    /// Fold one thread's local counters in.
+    pub fn absorb(&self, local: &ThreadLocalStats) {
+        self.a_packed_bytes.fetch_add(local.a_packed_bytes, Ordering::Relaxed);
+        self.b_packed_bytes.fetch_add(local.b_packed_bytes, Ordering::Relaxed);
+        self.kernel_calls.fetch_add(local.kernel_calls, Ordering::Relaxed);
+        self.pack_ns.fetch_add(local.pack_ns, Ordering::Relaxed);
+        self.kernel_ns.fetch_add(local.kernel_ns, Ordering::Relaxed);
+        self.max_busy_ns.fetch_max(local.pack_ns + local.kernel_ns, Ordering::Relaxed);
+    }
+
+    /// Finalise into a [`GemmStats`] snapshot.
+    pub fn finish(
+        &self,
+        threads_used: usize,
+        grid_rows: usize,
+        grid_cols: usize,
+        wall_ns: u64,
+    ) -> GemmStats {
+        let max_busy = self.max_busy_ns.load(Ordering::Relaxed);
+        GemmStats {
+            threads_used,
+            grid_rows,
+            grid_cols,
+            a_packed_bytes: self.a_packed_bytes.load(Ordering::Relaxed),
+            b_packed_bytes: self.b_packed_bytes.load(Ordering::Relaxed),
+            kernel_calls: self.kernel_calls.load(Ordering::Relaxed),
+            pack_ns: self.pack_ns.load(Ordering::Relaxed),
+            kernel_ns: self.kernel_ns.load(Ordering::Relaxed),
+            sync_ns: wall_ns.saturating_sub(max_busy),
+            wall_ns,
+        }
+    }
+}
+
+/// Per-thread counters, folded into the shared collector once at the end so
+/// the hot loops never touch an atomic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ThreadLocalStats {
+    pub a_packed_bytes: u64,
+    pub b_packed_bytes: u64,
+    pub kernel_calls: u64,
+    pub pack_ns: u64,
+    pub kernel_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_and_finish_sum_counters() {
+        let c = StatsCollector::default();
+        c.absorb(&ThreadLocalStats {
+            a_packed_bytes: 10,
+            b_packed_bytes: 20,
+            kernel_calls: 3,
+            pack_ns: 100,
+            kernel_ns: 200,
+        });
+        c.absorb(&ThreadLocalStats {
+            a_packed_bytes: 1,
+            b_packed_bytes: 2,
+            kernel_calls: 4,
+            pack_ns: 50,
+            kernel_ns: 75,
+        });
+        let s = c.finish(2, 2, 1, 1000);
+        assert_eq!(s.a_packed_bytes, 11);
+        assert_eq!(s.b_packed_bytes, 22);
+        assert_eq!(s.packed_bytes(), 33);
+        assert_eq!(s.kernel_calls, 7);
+        assert_eq!(s.pack_ns, 150);
+        assert_eq!(s.kernel_ns, 275);
+        // Slowest thread was busy 300 ns of the 1000 ns wall.
+        assert_eq!(s.sync_ns, 700);
+    }
+
+    #[test]
+    fn copy_fraction_bounds() {
+        let mut s = GemmStats::default();
+        assert_eq!(s.copy_fraction(), 0.0);
+        s.pack_ns = 300;
+        s.kernel_ns = 100;
+        assert!((s.copy_fraction() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,176 @@
+//! Thread-level parallelisation: 2-D partitioning of `C` across a grid of
+//! worker threads.
+//!
+//! Like BLIS, the requested thread count `p` is factored into a `pr×pc`
+//! grid; thread `(r, c)` owns the `C` tile at row group `r`, column group
+//! `c` and runs the full blocked GEMM on its sub-problem with its own
+//! packing buffers. Tiles are pairwise disjoint, so threads never write the
+//! same `C` element — but the tiles interleave in memory (same rows,
+//! different column ranges), which `split_at_mut` cannot express; the
+//! driver therefore hands out a raw-pointer wrapper with the disjointness
+//! argument documented at the single `unsafe` site.
+//!
+//! The grid choice mirrors the vendor heuristics the paper treats as a
+//! black box: among the factor pairs of `p`, pick the one whose tile aspect
+//! ratio best matches the `C` aspect ratio (minimising packed-panel traffic
+//! per FLOP), subject to every thread owning at least one `MR×NR` tile —
+//! threads that would own nothing are dropped, so tiny problems use fewer
+//! threads than requested, exactly like MKL/BLIS do.
+
+/// A `rows × cols` grid of worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadGrid {
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl ThreadGrid {
+    /// Total threads in the grid.
+    pub fn count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Choose a grid for `threads` workers on an `m×n` output with
+    /// micro-tile `mr×nr`.
+    ///
+    /// Guarantees: `rows·cols ≤ threads`, `rows ≤ ceil(m/mr)`,
+    /// `cols ≤ ceil(n/nr)`, and the returned grid is non-empty whenever
+    /// `m, n ≥ 1`.
+    pub fn choose(threads: usize, m: usize, n: usize, mr: usize, nr: usize) -> Self {
+        let threads = threads.max(1);
+        let max_rows = m.div_ceil(mr).max(1);
+        let max_cols = n.div_ceil(nr).max(1);
+        let usable = threads.min(max_rows * max_cols);
+
+        let mut best = ThreadGrid { rows: 1, cols: 1 };
+        let mut best_score = f64::INFINITY;
+        // Consider all factor pairs of every candidate count ≤ usable; a
+        // slightly smaller grid with a better aspect often beats an exact
+        // factorisation of a prime thread count.
+        for count in (1..=usable).rev() {
+            for rows in 1..=count {
+                if count % rows != 0 {
+                    continue;
+                }
+                let cols = count / rows;
+                if rows > max_rows || cols > max_cols {
+                    continue;
+                }
+                // Tile aspect mismatch: want (m/rows) / (n/cols) ≈ 1.
+                let tile_aspect = (m as f64 / rows as f64) / (n as f64 / cols as f64);
+                let aspect_penalty = if tile_aspect >= 1.0 { tile_aspect } else { 1.0 / tile_aspect };
+                // Strongly prefer using more threads; tie-break on aspect.
+                let score = (usable - count) as f64 * 1e6 + aspect_penalty;
+                if score < best_score {
+                    best_score = score;
+                    best = ThreadGrid { rows, cols };
+                }
+            }
+            if best_score < 1e6 {
+                // A full-count grid was found; no smaller count can win.
+                break;
+            }
+        }
+        best
+    }
+
+    /// Row range `[start, end)` of `C` owned by grid row `r`, splitting `m`
+    /// as evenly as possible (first `m % rows` groups get one extra row).
+    pub fn row_range(&self, r: usize, m: usize) -> (usize, usize) {
+        split_range(r, self.rows, m)
+    }
+
+    /// Column range owned by grid column `c`.
+    pub fn col_range(&self, c: usize, n: usize) -> (usize, usize) {
+        split_range(c, self.cols, n)
+    }
+}
+
+/// Even split of `len` items into `parts` contiguous ranges.
+fn split_range(idx: usize, parts: usize, len: usize) -> (usize, usize) {
+    debug_assert!(idx < parts);
+    let base = len / parts;
+    let extra = len % parts;
+    let start = idx * base + idx.min(extra);
+    let size = base + usize::from(idx < extra);
+    (start, start + size)
+}
+
+/// Send-able raw pointer to the shared `C` buffer.
+///
+/// Safety contract: each thread only writes the `C` elements inside its own
+/// grid tile, and tiles are pairwise disjoint by construction of
+/// [`ThreadGrid::row_range`]/[`ThreadGrid::col_range`].
+#[derive(Clone, Copy)]
+pub struct SendMutPtr<T>(pub *mut T);
+
+// SAFETY: the pointer is only dereferenced inside disjoint tile ranges; see
+// the type-level contract above. The pointee type is Send.
+unsafe impl<T: Send> Send for SendMutPtr<T> {}
+unsafe impl<T: Send> Sync for SendMutPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_range_covers_everything_exactly_once() {
+        for parts in 1..10 {
+            for len in 0..50 {
+                let mut covered = vec![false; len];
+                for p in 0..parts {
+                    let (s, e) = split_range(p, parts, len);
+                    for item in covered.iter_mut().take(e).skip(s) {
+                        assert!(!*item, "overlap at parts={parts} len={len}");
+                        *item = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "gap at parts={parts} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_uses_all_threads_when_possible() {
+        let g = ThreadGrid::choose(8, 1024, 1024, 8, 8);
+        assert_eq!(g.count(), 8);
+    }
+
+    #[test]
+    fn grid_prefers_balanced_tiles() {
+        // Square output, 4 threads -> 2x2 beats 4x1.
+        let g = ThreadGrid::choose(4, 512, 512, 8, 8);
+        assert_eq!(g, ThreadGrid { rows: 2, cols: 2 });
+        // Wide output -> columns split.
+        let g = ThreadGrid::choose(4, 64, 4096, 8, 8);
+        assert_eq!(g, ThreadGrid { rows: 1, cols: 4 });
+        // Tall output -> rows split.
+        let g = ThreadGrid::choose(4, 4096, 64, 8, 8);
+        assert_eq!(g, ThreadGrid { rows: 4, cols: 1 });
+    }
+
+    #[test]
+    fn grid_caps_threads_on_tiny_output() {
+        // 8x8 output with 8x8 tiles: a single tile; only one thread useful.
+        let g = ThreadGrid::choose(16, 8, 8, 8, 8);
+        assert_eq!(g.count(), 1);
+        // 16x8: two row tiles available.
+        let g = ThreadGrid::choose(16, 16, 8, 8, 8);
+        assert!(g.count() <= 2);
+    }
+
+    #[test]
+    fn prime_thread_counts_still_usable() {
+        let g = ThreadGrid::choose(7, 1024, 1024, 8, 8);
+        // 7 = 7x1 or 1x7 on a square matrix is badly unbalanced, but it
+        // must still use all 7 threads (count before aspect).
+        assert_eq!(g.count(), 7);
+    }
+
+    #[test]
+    fn zero_sized_output() {
+        let g = ThreadGrid::choose(4, 0, 0, 8, 8);
+        assert_eq!(g.count(), 1);
+        assert_eq!(g.row_range(0, 0), (0, 0));
+    }
+}

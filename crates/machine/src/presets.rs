@@ -1,0 +1,89 @@
+//! The two node models of the paper's §V-A.
+
+use crate::topology::NodeTopology;
+
+/// A Setonix compute node (Pawsey): 2× AMD EPYC 7763 "Milan", 64 Zen 3
+/// cores per socket at 2.55 GHz base, SMT-2 (256 hardware threads), eight
+/// 8-core CCXs with 32 MB L3 each per socket, NPS4 (8 NUMA domains per
+/// node), 8 DDR4-3200 channels per socket.
+pub fn setonix() -> NodeTopology {
+    NodeTopology {
+        name: "setonix".into(),
+        sockets: 2,
+        cores_per_socket: 64,
+        smt: 2,
+        l3_groups_per_socket: 8,
+        l3_bytes_per_group: 32 * 1024 * 1024,
+        numa_per_socket: 4,
+        channels_per_socket: 8,
+        bw_per_channel: 25.6e9,
+        // Zen 3 sustains near-base under AVX2 FMA; mild all-core reduction.
+        freq_allcore_hz: 2.45e9,
+        freq_boost_hz: 3.5e9,
+        boost_decay_cores: 12.0,
+        simd_lanes_f32: 8, // AVX2: 256-bit
+        fma_units: 2,
+    }
+}
+
+/// A Gadi "normal" compute node (NCI): 2× Intel Xeon Platinum 8274
+/// "Cascade Lake", 24 cores per socket at 3.2 GHz nominal, HT-2 (96
+/// hardware threads), one shared 35.75 MB L3 per socket, sub-NUMA
+/// clustering giving 2 NUMA domains per socket, 6 DDR4-2933 channels per
+/// socket. AVX-512 executes at substantially reduced licence frequencies
+/// when many cores are active.
+pub fn gadi() -> NodeTopology {
+    NodeTopology {
+        name: "gadi".into(),
+        sockets: 2,
+        cores_per_socket: 24,
+        smt: 2,
+        l3_groups_per_socket: 1,
+        l3_bytes_per_group: 35_750_000,
+        numa_per_socket: 2,
+        channels_per_socket: 6,
+        bw_per_channel: 23.4e9,
+        // AVX-512 licence: ~2.2 GHz all-core, up to ~3.8 GHz few-core.
+        freq_allcore_hz: 2.2e9,
+        freq_boost_hz: 3.8e9,
+        boost_decay_cores: 6.0,
+        simd_lanes_f32: 16, // AVX-512
+        fma_units: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setonix_peaks_are_plausible() {
+        let s = setonix();
+        // Node peak f32 ≈ 128 cores × 8 lanes × 2 FMA × 2 × 2.45 GHz ≈ 10 TF.
+        let peak = s.total_cores() as f64 * s.core_peak_flops(s.freq_allcore_hz);
+        assert!((8e12..12e12).contains(&peak), "peak {peak:.3e}");
+        // Node memory bandwidth ≈ 410 GB/s.
+        let bw = s.socket_bw() * s.sockets as f64;
+        assert!((3.5e11..4.5e11).contains(&bw), "bw {bw:.3e}");
+    }
+
+    #[test]
+    fn gadi_peaks_are_plausible() {
+        let g = gadi();
+        // Node peak f32 ≈ 48 × 16 × 2 × 2 × 2.2 GHz ≈ 6.8 TF.
+        let peak = g.total_cores() as f64 * g.core_peak_flops(g.freq_allcore_hz);
+        assert!((5e12..8e12).contains(&peak), "peak {peak:.3e}");
+        let bw = g.socket_bw() * g.sockets as f64;
+        assert!((2.3e11..3.3e11).contains(&bw), "bw {bw:.3e}");
+    }
+
+    #[test]
+    fn gadi_boost_ratio_exceeds_setonix() {
+        // Cascade Lake's AVX-512 licence swing is larger than Zen 3's.
+        let s = setonix();
+        let g = gadi();
+        assert!(
+            g.freq_boost_hz / g.freq_allcore_hz > s.freq_boost_hz / s.freq_allcore_hz
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! The timing interface the ADSALA installation workflow consumes.
+//!
+//! `GemmTimer` answers "run a GEMM of this shape on `t` threads and tell
+//! me how long it took" — the only thing the paper's data-gathering stage
+//! needs from a machine. Two implementations:
+//!
+//! * [`SimTimer`] — queries the analytic [`MachineModel`] (the paper-scale
+//!   experiments: 96–256 thread nodes we do not physically have);
+//! * [`HostTimer`] — runs the real blocked GEMM from `adsala-gemm` on the
+//!   host CPU and measures wall time, demonstrating that the entire
+//!   pipeline also works against genuine hardware.
+
+use std::time::Instant;
+
+use adsala_gemm::gemm::{gemm_with_stats, GemmCall};
+use adsala_sampling::GemmShape;
+
+use crate::cost::MachineModel;
+
+/// Source of GEMM timings for a machine with a thread-count knob.
+pub trait GemmTimer {
+    /// Mean wall time (seconds) of `reps` runs of `shape` on `threads`.
+    fn time(&self, shape: GemmShape, threads: u32, reps: u32) -> f64;
+
+    /// The machine's maximum thread count (the paper's baseline setting).
+    fn max_threads(&self) -> u32;
+
+    /// Short machine identifier for reports.
+    fn name(&self) -> String;
+}
+
+/// Timer backed by the analytic machine model.
+#[derive(Debug, Clone)]
+pub struct SimTimer {
+    pub model: MachineModel,
+}
+
+impl SimTimer {
+    /// Wrap a machine model.
+    pub fn new(model: MachineModel) -> Self {
+        Self { model }
+    }
+}
+
+impl GemmTimer for SimTimer {
+    fn time(&self, shape: GemmShape, threads: u32, reps: u32) -> f64 {
+        self.model.measure_avg(shape, threads, reps)
+    }
+
+    fn max_threads(&self) -> u32 {
+        self.model.max_threads()
+    }
+
+    fn name(&self) -> String {
+        format!("{} (simulated)", self.model.topology.name)
+    }
+}
+
+/// Timer that runs the real `adsala-gemm` SGEMM on the host.
+///
+/// Operand buffers are reused across repetitions (like the paper's loop of
+/// ten same-size GEMMs) and filled with a cheap deterministic pattern.
+#[derive(Debug, Clone)]
+pub struct HostTimer {
+    /// Upper bound on threads (defaults to available host parallelism).
+    pub max_threads: u32,
+}
+
+impl Default for HostTimer {
+    fn default() -> Self {
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1);
+        Self { max_threads: available }
+    }
+}
+
+impl HostTimer {
+    /// Timer with an explicit thread cap.
+    pub fn with_max_threads(max_threads: u32) -> Self {
+        Self { max_threads: max_threads.max(1) }
+    }
+}
+
+impl GemmTimer for HostTimer {
+    fn time(&self, shape: GemmShape, threads: u32, reps: u32) -> f64 {
+        let m = shape.m as usize;
+        let k = shape.k as usize;
+        let n = shape.n as usize;
+        let fill = |len: usize, seed: u32| -> Vec<f32> {
+            (0..len)
+                .map(|i| ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32
+                    / 500.0
+                    - 1.0)
+                .collect()
+        };
+        let a = fill(m * k, 1);
+        let b = fill(k * n, 2);
+        let mut c = vec![0.0f32; m * n];
+        let call = GemmCall::new(m, n, k, threads.clamp(1, self.max_threads) as usize);
+
+        // One warm-up run (first-touch, page faults) excluded from timing,
+        // mirroring standard benchmark practice.
+        gemm_with_stats(&call, 1.0, &a, k.max(1), &b, n.max(1), 0.0, &mut c, n.max(1));
+        let reps = reps.max(1);
+        let start = Instant::now();
+        for _ in 0..reps {
+            gemm_with_stats(&call, 1.0, &a, k.max(1), &b, n.max(1), 0.0, &mut c, n.max(1));
+        }
+        start.elapsed().as_secs_f64() / reps as f64
+    }
+
+    fn max_threads(&self) -> u32 {
+        self.max_threads
+    }
+
+    fn name(&self) -> String {
+        format!("host ({} threads)", self.max_threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_timer_matches_model() {
+        let model = MachineModel::setonix();
+        let timer = SimTimer::new(model.clone());
+        let shape = GemmShape::new(500, 500, 500);
+        assert_eq!(timer.time(shape, 32, 10), model.measure_avg(shape, 32, 10));
+        assert_eq!(timer.max_threads(), 256);
+        assert!(timer.name().contains("setonix"));
+    }
+
+    #[test]
+    fn host_timer_times_real_gemm() {
+        let timer = HostTimer::with_max_threads(2);
+        let t = timer.time(GemmShape::new(64, 64, 64), 1, 2);
+        assert!(t > 0.0 && t < 1.0, "implausible host timing {t}");
+    }
+
+    #[test]
+    fn host_timer_larger_problems_take_longer() {
+        let timer = HostTimer::with_max_threads(1);
+        let small = timer.time(GemmShape::new(32, 32, 32), 1, 2);
+        let big = timer.time(GemmShape::new(256, 256, 256), 1, 2);
+        assert!(big > small, "256³ ({big}) not slower than 32³ ({small})");
+    }
+
+    #[test]
+    fn host_timer_clamps_threads() {
+        let timer = HostTimer::with_max_threads(2);
+        // Requesting 64 threads must not panic or hang.
+        let t = timer.time(GemmShape::new(128, 128, 128), 64, 1);
+        assert!(t > 0.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Node topology description and thread placement.
+//!
+//! Placement follows OpenMP affinity semantics (§V-B-4 of the paper):
+//!
+//! * **core-based** (`OMP_PLACES=cores`) — one thread per physical core
+//!   first, spreading across sockets round-robin; SMT siblings are used
+//!   only once every core already has a thread.
+//! * **thread-based** (`OMP_PLACES=threads`) — hardware threads filled in
+//!   enumeration order, so both hyper-threads of a core are occupied
+//!   before the next core, and the second socket only fills after the
+//!   first is saturated.
+//!
+//! The paper measures core-based affinity to be faster whenever the thread
+//! count is below half the maximum — because it engages more L3 groups,
+//! memory channels and (on two-socket spreads) both sockets' bandwidth —
+//! and that is precisely what the derived [`Placement`] feeds into the
+//! cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of one compute node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeTopology {
+    /// Human-readable name (e.g. `"setonix"`).
+    pub name: String,
+    /// CPU sockets.
+    pub sockets: u32,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Hardware threads per core (2 with hyper-threading/SMT, 1 without).
+    pub smt: u32,
+    /// L3 cache groups per socket (Zen 3 CCXs: 8; Cascade Lake: 1).
+    pub l3_groups_per_socket: u32,
+    /// Bytes of L3 per group.
+    pub l3_bytes_per_group: u64,
+    /// NUMA domains per socket (NPS4 on Setonix, SNC-2 on Gadi).
+    pub numa_per_socket: u32,
+    /// Memory channels per socket.
+    pub channels_per_socket: u32,
+    /// Sustained bytes/s per memory channel.
+    pub bw_per_channel: f64,
+    /// Frequency with all cores active under the heaviest vector ISA (Hz).
+    pub freq_allcore_hz: f64,
+    /// Peak boost frequency with few cores active (Hz).
+    pub freq_boost_hz: f64,
+    /// How fast boost decays with active cores (e-folding core count).
+    pub boost_decay_cores: f64,
+    /// f32 SIMD lanes per FMA unit (AVX2: 8, AVX-512: 16).
+    pub simd_lanes_f32: u32,
+    /// FMA units per core.
+    pub fma_units: u32,
+}
+
+impl NodeTopology {
+    /// Total physical cores on the node.
+    pub fn total_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total hardware threads (the "maximum number of threads" baseline
+    /// configuration of the paper uses all of these).
+    pub fn total_threads(&self) -> u32 {
+        self.total_cores() * self.smt
+    }
+
+    /// Sustained memory bandwidth of one socket (bytes/s).
+    pub fn socket_bw(&self) -> f64 {
+        self.channels_per_socket as f64 * self.bw_per_channel
+    }
+
+    /// Peak f32 FLOP/s of one core at frequency `f`:
+    /// `lanes · fma_units · 2 flops/FMA · f`.
+    pub fn core_peak_flops(&self, freq_hz: f64) -> f64 {
+        self.simd_lanes_f32 as f64 * self.fma_units as f64 * 2.0 * freq_hz
+    }
+
+    /// A copy of this topology with hyper-threading disabled.
+    pub fn without_smt(&self) -> NodeTopology {
+        NodeTopology { smt: 1, name: format!("{}-noht", self.name), ..self.clone() }
+    }
+
+    /// Clock frequency when `cores_active` cores run vector code:
+    /// exponential decay from boost towards the all-core floor.
+    pub fn freq_at(&self, cores_active: u32) -> f64 {
+        let lo = self.freq_allcore_hz;
+        let hi = self.freq_boost_hz;
+        let x = (cores_active.max(1) - 1) as f64 / self.boost_decay_cores;
+        lo + (hi - lo) * (-x).exp()
+    }
+}
+
+/// Thread affinity policy (the paper's `OMP_PLACES` comparison, Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Affinity {
+    /// `OMP_PLACES=cores`: spread across cores (and sockets) first.
+    CoreBased,
+    /// `OMP_PLACES=threads`: pack SMT siblings, fill socket 0 first.
+    ThreadBased,
+}
+
+/// Where `p` threads actually land on the node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Threads placed (≤ total hardware threads).
+    pub threads: u32,
+    /// Distinct physical cores hosting at least one thread.
+    pub cores_used: u32,
+    /// Sockets hosting at least one thread.
+    pub sockets_used: u32,
+    /// L3 groups hosting at least one thread.
+    pub l3_groups_used: u32,
+    /// NUMA domains spanned.
+    pub numa_used: u32,
+    /// Mean threads per used core (1.0 = no SMT sharing, 2.0 = all shared).
+    pub smt_occupancy: f64,
+}
+
+impl Placement {
+    /// Compute the placement of `p` threads under an affinity policy.
+    ///
+    /// Requests beyond the hardware thread count are clamped, mirroring
+    /// how OpenMP runtimes behave.
+    pub fn place(topo: &NodeTopology, p: u32, affinity: Affinity) -> Placement {
+        let p = p.clamp(1, topo.total_threads());
+        let total_cores = topo.total_cores();
+        let (cores_used, sockets_used) = match affinity {
+            Affinity::CoreBased => {
+                let cores = p.min(total_cores);
+                // Round-robin across sockets: both sockets in play as soon
+                // as there are two threads.
+                let sockets = p.min(topo.sockets);
+                (cores, sockets)
+            }
+            Affinity::ThreadBased => {
+                let cores = p.div_ceil(topo.smt);
+                let sockets = cores.div_ceil(topo.cores_per_socket).min(topo.sockets);
+                (cores, sockets)
+            }
+        };
+        // Threads spread evenly over the used sockets' L3 groups / NUMA
+        // domains in proportion to cores used per socket.
+        let cores_per_used_socket = cores_used.div_ceil(sockets_used);
+        let groups_per_l3 = topo.cores_per_socket.div_ceil(topo.l3_groups_per_socket);
+        let l3_per_socket = cores_per_used_socket.div_ceil(groups_per_l3).min(topo.l3_groups_per_socket);
+        let cores_per_numa = topo.cores_per_socket.div_ceil(topo.numa_per_socket);
+        let numa_per_socket = cores_per_used_socket.div_ceil(cores_per_numa).min(topo.numa_per_socket);
+        Placement {
+            threads: p,
+            cores_used,
+            sockets_used,
+            l3_groups_used: l3_per_socket * sockets_used,
+            numa_used: numa_per_socket * sockets_used,
+            smt_occupancy: p as f64 / cores_used as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{gadi, setonix};
+
+    #[test]
+    fn preset_totals_match_paper() {
+        let s = setonix();
+        assert_eq!(s.total_cores(), 128);
+        assert_eq!(s.total_threads(), 256);
+        assert_eq!(s.numa_per_socket * s.sockets, 8);
+        let g = gadi();
+        assert_eq!(g.total_cores(), 48);
+        assert_eq!(g.total_threads(), 96);
+        assert_eq!(g.numa_per_socket * g.sockets, 4);
+    }
+
+    #[test]
+    fn core_based_spreads_thread_based_packs() {
+        let g = gadi();
+        let core = Placement::place(&g, 8, Affinity::CoreBased);
+        assert_eq!(core.cores_used, 8);
+        assert_eq!(core.sockets_used, 2);
+        assert!((core.smt_occupancy - 1.0).abs() < 1e-12);
+
+        let thread = Placement::place(&g, 8, Affinity::ThreadBased);
+        assert_eq!(thread.cores_used, 4);
+        assert_eq!(thread.sockets_used, 1);
+        assert!((thread.smt_occupancy - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn placements_converge_at_max_threads() {
+        for topo in [setonix(), gadi()] {
+            let p = topo.total_threads();
+            let a = Placement::place(&topo, p, Affinity::CoreBased);
+            let b = Placement::place(&topo, p, Affinity::ThreadBased);
+            assert_eq!(a.cores_used, b.cores_used);
+            assert_eq!(a.sockets_used, b.sockets_used);
+            assert_eq!(a.smt_occupancy, b.smt_occupancy);
+        }
+    }
+
+    #[test]
+    fn core_based_only_shares_cores_beyond_core_count() {
+        let g = gadi();
+        let below = Placement::place(&g, 48, Affinity::CoreBased);
+        assert!((below.smt_occupancy - 1.0).abs() < 1e-12);
+        let above = Placement::place(&g, 72, Affinity::CoreBased);
+        assert_eq!(above.cores_used, 48);
+        assert!((above.smt_occupancy - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requests_beyond_hardware_clamp() {
+        let g = gadi();
+        let p = Placement::place(&g, 10_000, Affinity::CoreBased);
+        assert_eq!(p.threads, 96);
+    }
+
+    #[test]
+    fn l3_and_numa_scale_with_spread() {
+        let s = setonix();
+        let small = Placement::place(&s, 8, Affinity::ThreadBased);
+        let large = Placement::place(&s, 128, Affinity::ThreadBased);
+        assert!(small.l3_groups_used < large.l3_groups_used);
+        assert!(small.numa_used <= large.numa_used);
+        // 8 packed threads on Zen3 = 4 cores = one CCX.
+        assert_eq!(small.l3_groups_used, 1);
+    }
+
+    #[test]
+    fn frequency_decays_with_active_cores() {
+        let g = gadi();
+        let f1 = g.freq_at(1);
+        let f48 = g.freq_at(48);
+        assert!(f1 > f48);
+        assert!((f48 - g.freq_allcore_hz) / g.freq_allcore_hz < 0.1);
+        assert!(f1 <= g.freq_boost_hz);
+    }
+
+    #[test]
+    fn smt_off_halves_threads() {
+        let s = setonix().without_smt();
+        assert_eq!(s.total_threads(), 128);
+        let p = Placement::place(&s, 256, Affinity::CoreBased);
+        assert_eq!(p.threads, 128);
+        assert!((p.smt_occupancy - 1.0).abs() < 1e-12);
+    }
+}

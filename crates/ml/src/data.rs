@@ -1,0 +1,395 @@
+//! Dense matrices, labelled datasets, and the splitting utilities the
+//! paper's workflow relies on (stratified train/test split, k-fold CV).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::MlError;
+
+/// Dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Self { data, rows, cols }
+    }
+
+    /// Build from row slices (all must share a length).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Self { data, rows: rows.len(), cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(i, j)`.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable element at `(i, j)`.
+    #[inline(always)]
+    pub fn get_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+
+    /// Set element at `(i, j)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Row `i` as a slice.
+    #[inline(always)]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over rows.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Column `j` copied into a vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Underlying flat buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// New matrix keeping only the given rows, in order.
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(idx.len() * self.cols);
+        for &i in idx {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix { data, rows: idx.len(), cols: self.cols }
+    }
+
+    /// New matrix keeping only the given columns, in order.
+    pub fn select_cols(&self, idx: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(self.rows * idx.len());
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for &j in idx {
+                data.push(row[j]);
+            }
+        }
+        Matrix { data, rows: self.rows, cols: idx.len() }
+    }
+
+    /// Mean of each column.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        for row in self.row_iter() {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        let n = self.rows.max(1) as f64;
+        for m in &mut means {
+            *m /= n;
+        }
+        means
+    }
+
+    /// Population standard deviation of each column.
+    pub fn col_stds(&self) -> Vec<f64> {
+        let means = self.col_means();
+        let mut vars = vec![0.0; self.cols];
+        for row in self.row_iter() {
+            for ((v, &x), &m) in vars.iter_mut().zip(row).zip(&means) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let n = self.rows.max(1) as f64;
+        vars.iter().map(|v| (v / n).sqrt()).collect()
+    }
+
+    /// `true` if every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// A feature matrix with its regression labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    pub x: Matrix,
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Pair a matrix with labels.
+    ///
+    /// # Errors
+    /// Fails if the label length does not match the row count.
+    pub fn new(x: Matrix, y: Vec<f64>) -> Result<Self, MlError> {
+        if x.rows() != y.len() {
+            return Err(MlError::BadShape(format!(
+                "{} rows but {} labels",
+                x.rows(),
+                y.len()
+            )));
+        }
+        Ok(Self { x, y })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Subset by row indices.
+    pub fn select(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(idx),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+}
+
+/// Assign each sample to one of `bins` label-quantile strata.
+///
+/// Sorting by label and slicing into equal-count bins gives strata that
+/// cover the label distribution, which is what the paper's stratified
+/// sampling preserves across train/test/validation splits.
+pub fn label_strata(y: &[f64], bins: usize) -> Vec<usize> {
+    let bins = bins.max(1);
+    let mut order: Vec<usize> = (0..y.len()).collect();
+    order.sort_by(|&a, &b| y[a].partial_cmp(&y[b]).expect("labels must be finite"));
+    let mut strata = vec![0usize; y.len()];
+    for (pos, &i) in order.iter().enumerate() {
+        strata[i] = pos * bins / y.len().max(1);
+    }
+    strata
+}
+
+/// Stratified train/test split on label quantiles.
+///
+/// Returns `(train_indices, test_indices)`; `test_fraction` of each stratum
+/// (rounded) lands in the test set. Deterministic for a given seed.
+pub fn stratified_split(
+    y: &[f64],
+    test_fraction: f64,
+    bins: usize,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&test_fraction), "test fraction in [0, 1)");
+    let strata = label_strata(y, bins);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for s in 0..bins.max(1) {
+        let mut members: Vec<usize> = (0..y.len()).filter(|&i| strata[i] == s).collect();
+        members.shuffle(&mut rng);
+        let n_test = (members.len() as f64 * test_fraction).round() as usize;
+        test.extend_from_slice(&members[..n_test]);
+        train.extend_from_slice(&members[n_test..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+/// K-fold cross-validation index generator with label stratification.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    pub folds: usize,
+    pub seed: u64,
+    pub strata_bins: usize,
+}
+
+impl KFold {
+    /// Stratified k-fold with the given number of label bins.
+    pub fn new(folds: usize, seed: u64) -> Self {
+        Self { folds: folds.max(2), seed, strata_bins: 10 }
+    }
+
+    /// Yield `(train, validation)` index pairs, one per fold.
+    pub fn split(&self, y: &[f64]) -> Vec<(Vec<usize>, Vec<usize>)> {
+        let n = y.len();
+        let strata = label_strata(y, self.strata_bins);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Distribute each stratum's members round-robin over folds.
+        let mut fold_of = vec![0usize; n];
+        for s in 0..self.strata_bins {
+            let mut members: Vec<usize> = (0..n).filter(|&i| strata[i] == s).collect();
+            members.shuffle(&mut rng);
+            for (pos, &i) in members.iter().enumerate() {
+                fold_of[i] = pos % self.folds;
+            }
+        }
+        (0..self.folds)
+            .map(|f| {
+                let val: Vec<usize> = (0..n).filter(|&i| fold_of[i] == f).collect();
+                let train: Vec<usize> = (0..n).filter(|&i| fold_of[i] != f).collect();
+                (train, val)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset(n: usize) -> Dataset {
+        let x = Matrix::from_rows(
+            &(0..n).map(|i| vec![i as f64, (i * i) as f64]).collect::<Vec<_>>(),
+        );
+        let y: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn matrix_roundtrip_and_access() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn matrix_select_rows_and_cols() {
+        let m = Matrix::from_vec(3, 3, (1..=9).map(|v| v as f64).collect());
+        let r = m.select_rows(&[2, 0]);
+        assert_eq!(r.row(0), &[7.0, 8.0, 9.0]);
+        assert_eq!(r.row(1), &[1.0, 2.0, 3.0]);
+        let c = m.select_cols(&[1]);
+        assert_eq!(c.cols(), 1);
+        assert_eq!(c.col(0), vec![2.0, 5.0, 8.0]);
+    }
+
+    #[test]
+    fn col_stats() {
+        let m = Matrix::from_vec(2, 2, vec![0.0, 10.0, 2.0, 10.0]);
+        assert_eq!(m.col_means(), vec![1.0, 10.0]);
+        let stds = m.col_stds();
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        assert_eq!(stds[1], 0.0);
+    }
+
+    #[test]
+    fn dataset_shape_mismatch_rejected() {
+        let x = Matrix::zeros(3, 2);
+        assert!(Dataset::new(x, vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn strata_are_balanced_quantiles() {
+        let y: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = label_strata(&y, 4);
+        // First quarter of labels in stratum 0, last quarter in stratum 3.
+        assert_eq!(s[0], 0);
+        assert_eq!(s[99], 3);
+        for b in 0..4 {
+            assert_eq!(s.iter().filter(|&&x| x == b).count(), 25);
+        }
+    }
+
+    #[test]
+    fn stratified_split_fraction_and_disjointness() {
+        let ds = toy_dataset(200);
+        let (train, test) = stratified_split(&ds.y, 0.3, 10, 7);
+        assert_eq!(train.len() + test.len(), 200);
+        assert!((test.len() as i64 - 60).abs() <= 5, "test size {}", test.len());
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 200, "overlap between train and test");
+    }
+
+    #[test]
+    fn stratified_split_preserves_label_distribution() {
+        let y: Vec<f64> = (0..1000).map(|i| (i as f64).powi(2)).collect();
+        let (train, test) = stratified_split(&y, 0.3, 10, 3);
+        let mean = |idx: &[usize]| idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        let ratio = mean(&train) / mean(&test);
+        assert!((0.8..1.25).contains(&ratio), "train/test mean ratio {ratio}");
+    }
+
+    #[test]
+    fn stratified_split_deterministic() {
+        let ds = toy_dataset(100);
+        assert_eq!(
+            stratified_split(&ds.y, 0.25, 5, 11),
+            stratified_split(&ds.y, 0.25, 5, 11)
+        );
+    }
+
+    #[test]
+    fn kfold_partitions_everything() {
+        let y: Vec<f64> = (0..97).map(|i| i as f64).collect();
+        let folds = KFold::new(5, 1).split(&y);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![false; 97];
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 97);
+            for &i in val {
+                assert!(!seen[i], "sample {i} in two validation folds");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn kfold_validation_sizes_balanced() {
+        let y: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        for (_, val) in KFold::new(5, 2).split(&y) {
+            assert!((val.len() as i64 - 20).abs() <= 5, "fold size {}", val.len());
+        }
+    }
+
+    #[test]
+    fn dataset_select_keeps_pairs_aligned() {
+        let ds = toy_dataset(10);
+        let sub = ds.select(&[1, 3, 5]);
+        assert_eq!(sub.y, vec![1.0, 3.0, 5.0]);
+        assert_eq!(sub.x.row(2), &[5.0, 25.0]);
+    }
+}

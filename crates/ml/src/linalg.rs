@@ -1,0 +1,219 @@
+//! Small dense linear-algebra helpers for the linear model family.
+//!
+//! Only what the models need: Gram matrices, Cholesky factorisation with a
+//! jitter fallback (normal-equation systems are symmetric positive
+//! semi-definite and occasionally rank-deficient), and triangular solves.
+
+use crate::data::Matrix;
+use crate::MlError;
+
+/// `XᵀX` of a design matrix (`cols × cols`, symmetric PSD).
+pub fn gram(x: &Matrix) -> Matrix {
+    let d = x.cols();
+    let mut g = Matrix::zeros(d, d);
+    for row in x.row_iter() {
+        for i in 0..d {
+            let xi = row[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for j in i..d {
+                *g.get_mut(i, j) += xi * row[j];
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..d {
+        for j in 0..i {
+            let v = g.get(j, i);
+            g.set(i, j, v);
+        }
+    }
+    g
+}
+
+/// `Xᵀy` of a design matrix and label vector.
+pub fn xty(x: &Matrix, y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.rows(), y.len(), "label length mismatch");
+    let d = x.cols();
+    let mut out = vec![0.0; d];
+    for (row, &yi) in x.row_iter().zip(y) {
+        if yi == 0.0 {
+            continue;
+        }
+        for (o, &xi) in out.iter_mut().zip(row) {
+            *o += xi * yi;
+        }
+    }
+    out
+}
+
+/// In-place lower Cholesky factorisation of a symmetric positive-definite
+/// matrix. Returns the lower factor `L` with `A = L·Lᵀ`.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, MlError> {
+    let n = a.rows();
+    if n != a.cols() {
+        return Err(MlError::BadShape("cholesky needs a square matrix".into()));
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for p in 0..j {
+                sum -= l.get(i, p) * l.get(j, p);
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(MlError::Numeric(format!(
+                        "non-positive pivot {sum} at {i}"
+                    )));
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solve `A·x = b` for symmetric positive semi-definite `A` via Cholesky,
+/// retrying with exponentially growing diagonal jitter when the matrix is
+/// (numerically) singular — the standard normal-equations safeguard.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MlError> {
+    let n = a.rows();
+    if b.len() != n {
+        return Err(MlError::BadShape("rhs length mismatch".into()));
+    }
+    let scale = (0..n).map(|i| a.get(i, i).abs()).fold(0.0f64, f64::max).max(1e-12);
+    let mut jitter = 0.0;
+    for attempt in 0..8 {
+        let mut aj = a.clone();
+        if jitter > 0.0 {
+            for i in 0..n {
+                *aj.get_mut(i, i) += jitter;
+            }
+        }
+        match cholesky(&aj) {
+            Ok(l) => {
+                // Forward substitution: L·z = b.
+                let mut z = vec![0.0; n];
+                for i in 0..n {
+                    let mut s = b[i];
+                    for j in 0..i {
+                        s -= l.get(i, j) * z[j];
+                    }
+                    z[i] = s / l.get(i, i);
+                }
+                // Back substitution: Lᵀ·x = z.
+                let mut x = vec![0.0; n];
+                for i in (0..n).rev() {
+                    let mut s = z[i];
+                    for j in i + 1..n {
+                        s -= l.get(j, i) * x[j];
+                    }
+                    x[i] = s / l.get(i, i);
+                }
+                if x.iter().all(|v| v.is_finite()) {
+                    return Ok(x);
+                }
+                return Err(MlError::Numeric("non-finite solution".into()));
+            }
+            Err(_) => {
+                jitter = if attempt == 0 { scale * 1e-10 } else { jitter * 100.0 };
+            }
+        }
+    }
+    Err(MlError::Numeric("cholesky failed even with jitter".into()))
+}
+
+/// Dense mat-vec: `A·v`.
+pub fn matvec(a: &Matrix, v: &[f64]) -> Vec<f64> {
+    assert_eq!(a.cols(), v.len(), "dimension mismatch");
+    a.row_iter()
+        .map(|row| row.iter().zip(v).map(|(&r, &x)| r * x).sum())
+        .collect()
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gram_is_xtx() {
+        let x = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = gram(&x);
+        assert_eq!(g.get(0, 0), 1.0 + 9.0 + 25.0);
+        assert_eq!(g.get(0, 1), 2.0 + 12.0 + 30.0);
+        assert_eq!(g.get(1, 0), g.get(0, 1));
+        assert_eq!(g.get(1, 1), 4.0 + 16.0 + 36.0);
+    }
+
+    #[test]
+    fn xty_matches_manual() {
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(xty(&x, &[10.0, 100.0]), vec![310.0, 420.0]);
+    }
+
+    #[test]
+    fn cholesky_of_identity() {
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        let l = cholesky(&a).unwrap();
+        assert_eq!(l, a);
+    }
+
+    #[test]
+    fn cholesky_known_factor() {
+        // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]]
+        let a = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let l = cholesky(&a).unwrap();
+        assert!((l.get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((l.get(1, 0) - 1.0).abs() < 1e-12);
+        assert!((l.get(1, 1) - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(l.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn solve_spd_recovers_solution() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let x = solve_spd(&a, &[10.0, 9.0]).unwrap();
+        // Verify A·x = b.
+        let b = matvec(&a, &x);
+        assert!((b[0] - 10.0).abs() < 1e-10);
+        assert!((b[1] - 9.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_spd_handles_singular_with_jitter() {
+        // Rank-1 matrix; exact solve impossible, jittered solve returns a
+        // finite least-squares-ish answer.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        let x = solve_spd(&a, &[2.0, 2.0]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+        let b = matvec(&a, &x);
+        assert!((b[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dot_and_matvec() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let a = Matrix::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0]);
+        assert_eq!(matvec(&a, &[5.0, 6.0, 7.0]), vec![5.0, 12.0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Regression metrics used in the paper's model comparison tables.
+
+/// Root mean squared error.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty input");
+    let mse = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty input");
+    pred.iter().zip(truth).map(|(&p, &t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Coefficient of determination `R²`.
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty input");
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_res: f64 = pred.iter().zip(truth).map(|(&p, &t)| (t - p) * (t - p)).sum();
+    let ss_tot: f64 = truth.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Normalised RMSE: RMSE divided by the RMSE of the constant mean
+/// predictor (equivalently `sqrt(1 − R²)` clipped at zero variance).
+///
+/// This matches the scaling in the paper's Tables III/IV, where a fully
+/// regularised ElasticNet — effectively the mean predictor — scores 1.00.
+pub fn normalised_rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    let baseline = {
+        let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+        let base: Vec<f64> = vec![mean; truth.len()];
+        rmse(&base, truth)
+    };
+    if baseline == 0.0 {
+        if rmse(pred, truth) == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        rmse(pred, truth) / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+        assert_eq!(normalised_rmse(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // Errors (1, -1): MSE = 1, RMSE = 1.
+        assert!((rmse(&[2.0, 1.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        assert!((mae(&[2.0, 0.0], &[0.0, 1.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        let pred = [2.5; 4];
+        assert!(r2(&pred, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalised_rmse_of_mean_predictor_is_one() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        let pred = [2.5; 4];
+        assert!((normalised_rmse(&pred, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalised_rmse_interoperates_with_r2() {
+        let truth = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let pred = [0.1, 1.2, 1.8, 3.3, 3.9];
+        let nr = normalised_rmse(&pred, &truth);
+        let r = r2(&pred, &truth);
+        assert!((nr * nr - (1.0 - r)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,299 @@
+//! k-nearest-neighbours regression over a k-d tree.
+//!
+//! Non-parametric: prediction is the (optionally inverse-distance-weighted)
+//! mean of the `k` nearest training labels. The k-d tree gives
+//! `O(log n)`-ish queries on low-dimensional data; every query is verified
+//! against brute force in the tests. The paper's Table I notes kNN's slow
+//! evaluation relative to parametric models — visible here too, since each
+//! prediction must traverse the tree instead of a handful of coefficients.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::Matrix;
+use crate::models::Regressor;
+use crate::MlError;
+
+/// Flat k-d tree node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KdNode {
+    /// Index into the point set of the point stored at this node.
+    point: u32,
+    /// Split axis.
+    axis: u8,
+    /// Children (`u32::MAX` = none).
+    left: u32,
+    right: u32,
+}
+
+const NONE: u32 = u32::MAX;
+
+/// A k-d tree over owned points.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct KdTree {
+    points: Vec<Vec<f64>>,
+    nodes: Vec<KdNode>,
+    root: u32,
+}
+
+impl KdTree {
+    /// Build from a point set (median split, cycling axes).
+    pub fn build(points: Vec<Vec<f64>>) -> Self {
+        let mut tree = KdTree { points, nodes: Vec::new(), root: NONE };
+        if tree.points.is_empty() {
+            return tree;
+        }
+        let dim = tree.points[0].len().max(1);
+        let mut idx: Vec<u32> = (0..tree.points.len() as u32).collect();
+        tree.root = tree.build_node(&mut idx, 0, dim);
+        tree
+    }
+
+    fn build_node(&mut self, idx: &mut [u32], depth: usize, dim: usize) -> u32 {
+        if idx.is_empty() {
+            return NONE;
+        }
+        let axis = depth % dim;
+        idx.sort_by(|&a, &b| {
+            self.points[a as usize][axis]
+                .partial_cmp(&self.points[b as usize][axis])
+                .expect("finite coordinates")
+        });
+        let mid = idx.len() / 2;
+        let point = idx[mid];
+        let me = self.nodes.len() as u32;
+        self.nodes.push(KdNode { point, axis: axis as u8, left: NONE, right: NONE });
+        // Split the index slice; recursion updates child links afterwards.
+        let (left_slice, rest) = idx.split_at_mut(mid);
+        let right_slice = &mut rest[1..];
+        let left = self.build_node(left_slice, depth + 1, dim);
+        let right = self.build_node(right_slice, depth + 1, dim);
+        self.nodes[me as usize].left = left;
+        self.nodes[me as usize].right = right;
+        me
+    }
+
+    /// Indices and distances of the `k` nearest points to `query`,
+    /// ordered nearest-first.
+    pub fn nearest(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        if self.points.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        // Bounded max-heap as a sorted vec (k is small).
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        self.search(self.root, query, k, &mut best);
+        best.into_iter().map(|(d2, i)| (i, d2.sqrt())).collect()
+    }
+
+    fn search(&self, node: u32, query: &[f64], k: usize, best: &mut Vec<(f64, usize)>) {
+        if node == NONE {
+            return;
+        }
+        let n = &self.nodes[node as usize];
+        let p = &self.points[n.point as usize];
+        let d2: f64 = p.iter().zip(query).map(|(&a, &b)| (a - b) * (a - b)).sum();
+        // Insert into the bounded sorted list.
+        let pos = best.partition_point(|&(bd, _)| bd < d2);
+        if pos < k {
+            best.insert(pos, (d2, n.point as usize));
+            best.truncate(k);
+        }
+        let axis = n.axis as usize;
+        let delta = query[axis] - p[axis];
+        let (near, far) = if delta <= 0.0 { (n.left, n.right) } else { (n.right, n.left) };
+        self.search(near, query, k, best);
+        // Prune the far branch unless the splitting plane is closer than
+        // the current k-th best.
+        let kth = best.last().map_or(f64::INFINITY, |&(d, _)| d);
+        if best.len() < k || delta * delta < kth {
+            self.search(far, query, k, best);
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// kNN regression model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnRegressor {
+    /// Neighbourhood size.
+    pub k: usize,
+    /// Inverse-distance weighting instead of a plain mean.
+    pub weighted: bool,
+    tree: KdTree,
+    labels: Vec<f64>,
+}
+
+impl Default for KnnRegressor {
+    fn default() -> Self {
+        Self { k: 5, weighted: false, tree: KdTree::default(), labels: Vec::new() }
+    }
+}
+
+impl KnnRegressor {
+    /// Model with an explicit `k`.
+    pub fn new(k: usize, weighted: bool) -> Self {
+        Self { k: k.max(1), weighted, ..Self::default() }
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(MlError::BadShape("empty training data".into()));
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::BadShape("label length mismatch".into()));
+        }
+        let points: Vec<Vec<f64>> = x.row_iter().map(|r| r.to_vec()).collect();
+        self.tree = KdTree::build(points);
+        self.labels = y.to_vec();
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        debug_assert!(!self.labels.is_empty(), "predict before fit");
+        let nn = self.tree.nearest(row, self.k.min(self.labels.len()));
+        if nn.is_empty() {
+            return 0.0;
+        }
+        if self.weighted {
+            // Exact hit short-circuits to that label.
+            if let Some(&(i, d)) = nn.iter().find(|&&(_, d)| d == 0.0) {
+                let _ = d;
+                return self.labels[i];
+            }
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for &(i, d) in &nn {
+                let w = 1.0 / d;
+                num += w * self.labels[i];
+                den += w;
+            }
+            num / den
+        } else {
+            nn.iter().map(|&(i, _)| self.labels[i]).sum::<f64>() / nn.len() as f64
+        }
+    }
+
+    fn is_fitted(&self) -> bool {
+        !self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+            .collect()
+    }
+
+    fn brute_nearest(points: &[Vec<f64>], q: &[f64], k: usize) -> Vec<usize> {
+        let mut d: Vec<(f64, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                (p.iter().zip(q).map(|(&a, &b)| (a - b) * (a - b)).sum::<f64>(), i)
+            })
+            .collect();
+        d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        d.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    #[test]
+    fn kdtree_matches_brute_force() {
+        let points = random_points(300, 3, 60);
+        let tree = KdTree::build(points.clone());
+        let queries = random_points(40, 3, 61);
+        for q in &queries {
+            let got: Vec<usize> = tree.nearest(q, 5).into_iter().map(|(i, _)| i).collect();
+            let want = brute_nearest(&points, q, 5);
+            assert_eq!(got, want, "kd-tree disagreed with brute force at {q:?}");
+        }
+    }
+
+    #[test]
+    fn kdtree_distances_sorted_and_correct() {
+        let points = random_points(100, 2, 62);
+        let tree = KdTree::build(points.clone());
+        let nn = tree.nearest(&[0.0, 0.0], 10);
+        for w in nn.windows(2) {
+            assert!(w[0].1 <= w[1].1, "distances unsorted");
+        }
+        for &(i, d) in &nn {
+            let true_d: f64 = points[i].iter().map(|&v| v * v).sum::<f64>().sqrt();
+            assert!((d - true_d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kdtree_k_larger_than_points() {
+        let tree = KdTree::build(random_points(3, 2, 63));
+        assert_eq!(tree.nearest(&[0.0, 0.0], 10).len(), 3);
+    }
+
+    #[test]
+    fn knn_interpolates_smooth_function() {
+        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 20.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0).collect();
+        let mut m = KnnRegressor::new(3, false);
+        m.fit(&Matrix::from_rows(&rows), &y).unwrap();
+        let p = m.predict_row(&[5.025]);
+        assert!((p - 10.05).abs() < 0.2, "prediction {p}");
+    }
+
+    #[test]
+    fn weighted_knn_exact_hit_returns_label() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| (i * i) as f64).collect();
+        let mut m = KnnRegressor::new(3, true);
+        m.fit(&Matrix::from_rows(&rows), &y).unwrap();
+        assert_eq!(m.predict_row(&[4.0]), 16.0);
+    }
+
+    #[test]
+    fn weighted_beats_unweighted_near_training_points() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut plain = KnnRegressor::new(5, false);
+        plain.fit(&x, &y).unwrap();
+        let mut weighted = KnnRegressor::new(5, true);
+        weighted.fit(&x, &y).unwrap();
+        // Query very near a training point: weighting should pull the
+        // prediction towards that point's label.
+        let q = [50.01];
+        let we = (weighted.predict_row(&q) - 50.01).abs();
+        let pe = (plain.predict_row(&q) - 50.01).abs();
+        assert!(we < pe, "weighted {we} vs plain {pe}");
+    }
+
+    #[test]
+    fn k_one_is_nearest_label() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64 * 3.0).collect();
+        let mut m = KnnRegressor::new(1, false);
+        m.fit(&Matrix::from_rows(&rows), &y).unwrap();
+        assert_eq!(m.predict_row(&[7.4]), 21.0);
+    }
+
+    #[test]
+    fn empty_fit_rejected() {
+        let mut m = KnnRegressor::default();
+        assert!(m.fit(&Matrix::zeros(0, 2), &[]).is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! Regression models: the paper's Table I candidates.
+//!
+//! | Family | Models |
+//! |---|---|
+//! | Linear | [`LinearRegression`], [`ElasticNet`], [`BayesianRidge`] |
+//! | Tree   | [`DecisionTree`], [`RandomForest`], [`AdaBoostR2`], [`GradientBoosting`] (XGBoost-style), [`HistGradientBoosting`] (LightGBM-style) |
+//! | Other  | [`SvrRegressor`], [`KnnRegressor`] |
+//!
+//! All models implement [`Regressor`] and are wrapped by [`AnyModel`] for
+//! uniform storage, serde round-tripping (the trained model is an ADSALA
+//! install-time artefact) and dispatch inside the tuning/selection code.
+
+pub mod adaboost;
+pub mod bayes_ridge;
+pub mod elastic_net;
+pub mod forest;
+pub mod gbt;
+pub mod hist_gbt;
+pub mod knn;
+pub mod linear;
+pub mod svr;
+pub mod tree;
+
+pub use adaboost::AdaBoostR2;
+pub use bayes_ridge::BayesianRidge;
+pub use elastic_net::ElasticNet;
+pub use forest::RandomForest;
+pub use gbt::GradientBoosting;
+pub use hist_gbt::HistGradientBoosting;
+pub use knn::KnnRegressor;
+pub use linear::LinearRegression;
+pub use svr::SvrRegressor;
+pub use tree::DecisionTree;
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::Matrix;
+use crate::MlError;
+
+/// Common interface of every regression model.
+pub trait Regressor {
+    /// Fit on a feature matrix and labels.
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError>;
+
+    /// Predict one sample. Panics or returns garbage if not fitted — use
+    /// [`Regressor::is_fitted`] when unsure.
+    fn predict_row(&self, row: &[f64]) -> f64;
+
+    /// Predict every row of a matrix.
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        x.row_iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Whether `fit` has completed successfully.
+    fn is_fitted(&self) -> bool;
+}
+
+/// Identifier for each model family, in the display order of the paper's
+/// Tables III/IV (the two screened-out families last).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    LinearRegression,
+    ElasticNet,
+    BayesianRidge,
+    DecisionTree,
+    RandomForest,
+    AdaBoost,
+    XgBoost,
+    LightGbm,
+    Svr,
+    Knn,
+}
+
+impl ModelKind {
+    /// The eight families compared in Tables III/IV.
+    pub fn table_candidates() -> [ModelKind; 8] {
+        [
+            ModelKind::LinearRegression,
+            ModelKind::ElasticNet,
+            ModelKind::BayesianRidge,
+            ModelKind::DecisionTree,
+            ModelKind::RandomForest,
+            ModelKind::AdaBoost,
+            ModelKind::XgBoost,
+            ModelKind::LightGbm,
+        ]
+    }
+
+    /// All ten implemented families.
+    pub fn all() -> [ModelKind; 10] {
+        [
+            ModelKind::LinearRegression,
+            ModelKind::ElasticNet,
+            ModelKind::BayesianRidge,
+            ModelKind::DecisionTree,
+            ModelKind::RandomForest,
+            ModelKind::AdaBoost,
+            ModelKind::XgBoost,
+            ModelKind::LightGbm,
+            ModelKind::Svr,
+            ModelKind::Knn,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::LinearRegression => "Linear Regression",
+            ModelKind::ElasticNet => "ElasticNet",
+            ModelKind::BayesianRidge => "Bayes Regression",
+            ModelKind::DecisionTree => "Decision Tree",
+            ModelKind::RandomForest => "Random Forest",
+            ModelKind::AdaBoost => "AdaBoost",
+            ModelKind::XgBoost => "XGBoost",
+            ModelKind::LightGbm => "LightGBM",
+            ModelKind::Svr => "SVM Regressor",
+            ModelKind::Knn => "KNN Regressor",
+        }
+    }
+}
+
+/// A model of any family, with uniform fit/predict and serde support.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AnyModel {
+    LinearRegression(LinearRegression),
+    ElasticNet(ElasticNet),
+    BayesianRidge(BayesianRidge),
+    DecisionTree(DecisionTree),
+    RandomForest(RandomForest),
+    AdaBoost(AdaBoostR2),
+    XgBoost(GradientBoosting),
+    LightGbm(HistGradientBoosting),
+    Svr(SvrRegressor),
+    Knn(KnnRegressor),
+}
+
+impl AnyModel {
+    /// A model of the given family with library-default hyper-parameters.
+    pub fn default_for(kind: ModelKind) -> AnyModel {
+        match kind {
+            ModelKind::LinearRegression => AnyModel::LinearRegression(LinearRegression::new()),
+            ModelKind::ElasticNet => AnyModel::ElasticNet(ElasticNet::default()),
+            ModelKind::BayesianRidge => AnyModel::BayesianRidge(BayesianRidge::default()),
+            ModelKind::DecisionTree => AnyModel::DecisionTree(DecisionTree::default()),
+            ModelKind::RandomForest => AnyModel::RandomForest(RandomForest::default()),
+            ModelKind::AdaBoost => AnyModel::AdaBoost(AdaBoostR2::default()),
+            ModelKind::XgBoost => AnyModel::XgBoost(GradientBoosting::default()),
+            ModelKind::LightGbm => AnyModel::LightGbm(HistGradientBoosting::default()),
+            ModelKind::Svr => AnyModel::Svr(SvrRegressor::default()),
+            ModelKind::Knn => AnyModel::Knn(KnnRegressor::default()),
+        }
+    }
+
+    /// Which family this model belongs to.
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            AnyModel::LinearRegression(_) => ModelKind::LinearRegression,
+            AnyModel::ElasticNet(_) => ModelKind::ElasticNet,
+            AnyModel::BayesianRidge(_) => ModelKind::BayesianRidge,
+            AnyModel::DecisionTree(_) => ModelKind::DecisionTree,
+            AnyModel::RandomForest(_) => ModelKind::RandomForest,
+            AnyModel::AdaBoost(_) => ModelKind::AdaBoost,
+            AnyModel::XgBoost(_) => ModelKind::XgBoost,
+            AnyModel::LightGbm(_) => ModelKind::LightGbm,
+            AnyModel::Svr(_) => ModelKind::Svr,
+            AnyModel::Knn(_) => ModelKind::Knn,
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:expr, $inner:ident => $body:expr) => {
+        match $self {
+            AnyModel::LinearRegression($inner) => $body,
+            AnyModel::ElasticNet($inner) => $body,
+            AnyModel::BayesianRidge($inner) => $body,
+            AnyModel::DecisionTree($inner) => $body,
+            AnyModel::RandomForest($inner) => $body,
+            AnyModel::AdaBoost($inner) => $body,
+            AnyModel::XgBoost($inner) => $body,
+            AnyModel::LightGbm($inner) => $body,
+            AnyModel::Svr($inner) => $body,
+            AnyModel::Knn($inner) => $body,
+        }
+    };
+}
+
+impl Regressor for AnyModel {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        dispatch!(self, m => m.fit(x, y))
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        dispatch!(self, m => m.predict_row(row))
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        dispatch!(self, m => m.predict(x))
+    }
+
+    fn is_fitted(&self) -> bool {
+        dispatch!(self, m => m.is_fitted())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// Deterministic nonlinear regression problem:
+    /// `y = x0² + 2·sin(x1·3) + 0.5·x2 + noise`.
+    pub fn nonlinear_dataset(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                vec![
+                    rng.gen_range(-2.0..2.0),
+                    rng.gen_range(-2.0..2.0),
+                    rng.gen_range(-2.0..2.0),
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                r[0] * r[0] + 2.0 * (r[1] * 3.0).sin() + 0.5 * r[2]
+                    + rng.gen_range(-0.05..0.05)
+            })
+            .collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    /// Deterministic linear problem: `y = 3·x0 − 2·x1 + 1 + noise`.
+    pub fn linear_dataset(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| 3.0 * r[0] - 2.0 * r[1] + 1.0 + rng.gen_range(-0.01..0.01))
+            .collect();
+        (Matrix::from_rows(&rows), y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_models_report_their_kind() {
+        for kind in ModelKind::all() {
+            let m = AnyModel::default_for(kind);
+            assert_eq!(m.kind(), kind);
+            assert!(!m.is_fitted());
+        }
+    }
+
+    #[test]
+    fn table_candidates_order_matches_paper() {
+        let names: Vec<&str> = ModelKind::table_candidates().iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Linear Regression",
+                "ElasticNet",
+                "Bayes Regression",
+                "Decision Tree",
+                "Random Forest",
+                "AdaBoost",
+                "XGBoost",
+                "LightGBM"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_model_fits_and_predicts() {
+        let (x, y) = test_support::nonlinear_dataset(120, 0);
+        for kind in ModelKind::all() {
+            let mut m = AnyModel::default_for(kind);
+            m.fit(&x, &y).unwrap_or_else(|e| panic!("{kind:?} failed to fit: {e}"));
+            assert!(m.is_fitted(), "{kind:?} not fitted after fit");
+            let preds = m.predict(&x);
+            assert_eq!(preds.len(), y.len());
+            assert!(
+                preds.iter().all(|p| p.is_finite()),
+                "{kind:?} produced non-finite predictions"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let (x, y) = test_support::nonlinear_dataset(100, 1);
+        for kind in ModelKind::all() {
+            let mut m = AnyModel::default_for(kind);
+            m.fit(&x, &y).unwrap();
+            let json = serde_json::to_string(&m).unwrap();
+            let back: AnyModel = serde_json::from_str(&json).unwrap();
+            let p1 = m.predict(&x);
+            let p2 = back.predict(&x);
+            assert_eq!(p1, p2, "{kind:?} predictions changed after serde roundtrip");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! ε-insensitive Support Vector Regression with an RBF kernel.
+//!
+//! Solves the SVR dual in the single-variable form `β = α − α*`:
+//!
+//! ```text
+//! min_β  ½·βᵀK̃β − βᵀy + ε·‖β‖₁   s.t. |βᵢ| ≤ C
+//! ```
+//!
+//! where `K̃ = K + 1` absorbs the bias into the kernel (the standard
+//! "penalised bias" trick used by liblinear-style solvers), which removes
+//! the `Σβ = 0` coupling constraint and makes exact coordinate descent
+//! possible: each update is a soft-threshold followed by a clip to the box.
+//! Rows with non-zero β are the support vectors; only those are kept for
+//! prediction.
+//!
+//! The paper's Table I screens SVR out (strong in high dimensions, which
+//! the GEMM feature set is not), but it is implemented for completeness
+//! and for the Table I characterisation tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::Matrix;
+use crate::models::Regressor;
+use crate::MlError;
+
+/// SVR model and hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SvrRegressor {
+    /// Box constraint `C` (regularisation inverse).
+    pub c: f64,
+    /// Width of the ε-insensitive tube.
+    pub epsilon: f64,
+    /// RBF kernel coefficient `γ` in `exp(−γ·‖a−b‖²)`.
+    pub gamma: f64,
+    /// Maximum coordinate-descent sweeps.
+    pub max_iter: usize,
+    /// Convergence tolerance on the largest β change per sweep.
+    pub tol: f64,
+    /// Support vectors (rows with non-zero dual coefficient).
+    pub support_x: Vec<Vec<f64>>,
+    /// Dual coefficients of the support vectors.
+    pub support_beta: Vec<f64>,
+    fitted: bool,
+}
+
+impl Default for SvrRegressor {
+    fn default() -> Self {
+        Self {
+            c: 10.0,
+            epsilon: 0.05,
+            gamma: 0.5,
+            max_iter: 300,
+            tol: 1e-5,
+            support_x: Vec::new(),
+            support_beta: Vec::new(),
+            fitted: false,
+        }
+    }
+}
+
+impl SvrRegressor {
+    /// Model with explicit hyper-parameters.
+    pub fn new(c: f64, epsilon: f64, gamma: f64) -> Self {
+        Self { c, epsilon, gamma, ..Self::default() }
+    }
+
+    /// Number of support vectors retained after fitting.
+    pub fn n_support(&self) -> usize {
+        self.support_beta.len()
+    }
+
+    #[inline]
+    fn rbf(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
+        (-self.gamma * d2).exp()
+    }
+}
+
+fn soft_threshold(z: f64, gamma: f64) -> f64 {
+    if z > gamma {
+        z - gamma
+    } else if z < -gamma {
+        z + gamma
+    } else {
+        0.0
+    }
+}
+
+impl Regressor for SvrRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(MlError::BadShape("empty training data".into()));
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::BadShape("label length mismatch".into()));
+        }
+        if self.c <= 0.0 || self.epsilon < 0.0 || self.gamma <= 0.0 {
+            return Err(MlError::BadShape("C > 0, ε ≥ 0, γ > 0 required".into()));
+        }
+        let n = x.rows();
+
+        // Bias-absorbed kernel matrix K̃ = K + 1.
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            k[i * n + i] = 1.0 + 1.0; // rbf(x, x) = 1
+            for j in i + 1..n {
+                let v = self.rbf(x.row(i), x.row(j)) + 1.0;
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+        }
+
+        let mut beta = vec![0.0f64; n];
+        // f = K̃·β, maintained incrementally.
+        let mut f = vec![0.0f64; n];
+        for _ in 0..self.max_iter {
+            let mut max_delta = 0.0f64;
+            for i in 0..n {
+                let kii = k[i * n + i];
+                // Partial gradient excluding the i-th term.
+                let qi = f[i] - kii * beta[i] - y[i];
+                let new_beta = (soft_threshold(-qi, self.epsilon) / kii).clamp(-self.c, self.c);
+                let delta = new_beta - beta[i];
+                if delta != 0.0 {
+                    let row = &k[i * n..(i + 1) * n];
+                    for (fv, &kv) in f.iter_mut().zip(row) {
+                        *fv += delta * kv;
+                    }
+                    beta[i] = new_beta;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+
+        self.support_x.clear();
+        self.support_beta.clear();
+        for (i, &b) in beta.iter().enumerate() {
+            if b.abs() > 1e-10 {
+                self.support_x.push(x.row(i).to_vec());
+                self.support_beta.push(b);
+            }
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        debug_assert!(self.fitted, "predict before fit");
+        // K̃(s, x) = K(s, x) + 1, so the absorbed bias is Σβ (constant).
+        self.support_x
+            .iter()
+            .zip(&self.support_beta)
+            .map(|(sx, &b)| b * (self.rbf(sx, row) + 1.0))
+            .sum()
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    fn sine_dataset(n: usize) -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64 * 6.0 - 3.0])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0].sin()).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn fits_smooth_nonlinear_function() {
+        let (x, y) = sine_dataset(120);
+        let mut m = SvrRegressor::new(10.0, 0.01, 1.0);
+        m.fit(&x, &y).unwrap();
+        let score = r2(&m.predict(&x), &y);
+        assert!(score > 0.98, "r2 {score}");
+    }
+
+    #[test]
+    fn epsilon_tube_controls_sparsity() {
+        let (x, y) = sine_dataset(100);
+        let fit_sv = |eps: f64| {
+            let mut m = SvrRegressor::new(10.0, eps, 1.0);
+            m.fit(&x, &y).unwrap();
+            m.n_support()
+        };
+        let tight = fit_sv(0.001);
+        let loose = fit_sv(0.2);
+        assert!(
+            loose < tight,
+            "wider tube should give fewer support vectors: {loose} vs {tight}"
+        );
+    }
+
+    #[test]
+    fn predictions_stay_within_tube_for_separable_data() {
+        let (x, y) = sine_dataset(80);
+        let eps = 0.05;
+        let mut m = SvrRegressor::new(100.0, eps, 2.0);
+        m.fit(&x, &y).unwrap();
+        for (row, &target) in x.row_iter().zip(&y) {
+            let p = m.predict_row(row);
+            assert!(
+                (p - target).abs() < eps * 4.0,
+                "residual {} far outside tube",
+                (p - target).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn dual_coefficients_respect_box() {
+        let (x, y) = sine_dataset(60);
+        let c = 0.5;
+        let mut m = SvrRegressor::new(c, 0.01, 1.0);
+        m.fit(&x, &y).unwrap();
+        assert!(m.support_beta.iter().all(|&b| b.abs() <= c + 1e-9));
+    }
+
+    #[test]
+    fn constant_labels_predict_constant() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 10.0]).collect();
+        let y = vec![2.5; 30];
+        let mut m = SvrRegressor::new(10.0, 0.01, 0.5);
+        m.fit(&Matrix::from_rows(&rows), &y).unwrap();
+        let p = m.predict_row(&[1.5]);
+        assert!((p - 2.5).abs() < 0.1, "prediction {p}");
+    }
+
+    #[test]
+    fn invalid_hyperparams_rejected() {
+        let (x, y) = sine_dataset(20);
+        assert!(SvrRegressor::new(-1.0, 0.1, 1.0).fit(&x, &y).is_err());
+        assert!(SvrRegressor::new(1.0, 0.1, 0.0).fit(&x, &y).is_err());
+    }
+}

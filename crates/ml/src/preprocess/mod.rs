@@ -1,0 +1,21 @@
+//! Data preprocessing: the transform chain of the paper's §II-C/§IV-C.
+//!
+//! Order matters and follows the paper exactly:
+//!
+//! 1. [`yeo_johnson`] — per-feature power transform with MLE-estimated λ,
+//!    remapping the skewed GEMM feature distributions to near-Gaussian,
+//! 2. [`scaler`] — standardisation to zero mean / unit variance,
+//! 3. [`lof`] — Local Outlier Factor removal (density-based, so it must
+//!    run *after* scaling puts all features on a comparable scale),
+//! 4. [`correlation`] — drop one of each feature pair correlated above
+//!    80 %, removing the feature with the larger total correlation.
+
+pub mod correlation;
+pub mod lof;
+pub mod scaler;
+pub mod yeo_johnson;
+
+pub use correlation::CorrelationPruner;
+pub use lof::LocalOutlierFactor;
+pub use scaler::StandardScaler;
+pub use yeo_johnson::YeoJohnson;

@@ -1,0 +1,174 @@
+//! Standardisation to zero mean and unit variance.
+//!
+//! Applied after the Yeo-Johnson transform so every feature is on a
+//! comparable scale — a precondition both for the density-based LOF outlier
+//! step and for the regularised linear models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::Matrix;
+use crate::MlError;
+
+/// Fitted per-feature standardiser.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    pub means: Vec<f64>,
+    /// Stored standard deviations; zero-variance features keep `std = 1`
+    /// so they pass through unchanged rather than dividing by zero.
+    pub stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit means and standard deviations from `x`.
+    pub fn fit(x: &Matrix) -> Result<Self, MlError> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(MlError::BadShape("empty matrix".into()));
+        }
+        let means = x.col_means();
+        let stds = x
+            .col_stds()
+            .into_iter()
+            .map(|s| if s > 0.0 { s } else { 1.0 })
+            .collect();
+        Ok(Self { means, stds })
+    }
+
+    /// Standardise a matrix.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix, MlError> {
+        if x.cols() != self.means.len() {
+            return Err(MlError::BadShape("feature count mismatch".into()));
+        }
+        let mut out = x.clone();
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                out.set(i, j, (x.get(i, j) - self.means[j]) / self.stds[j]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Standardise one row in place (runtime hot path).
+    pub fn transform_row(&self, row: &mut [f64]) {
+        debug_assert_eq!(row.len(), self.means.len());
+        for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Undo the standardisation.
+    pub fn inverse_transform(&self, x: &Matrix) -> Result<Matrix, MlError> {
+        if x.cols() != self.means.len() {
+            return Err(MlError::BadShape("feature count mismatch".into()));
+        }
+        let mut out = x.clone();
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                out.set(i, j, x.get(i, j) * self.stds[j] + self.means[j]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Standardiser for the label vector (the paper regresses runtime, whose
+/// scale spans orders of magnitude; models train on the standardised label
+/// and predictions are mapped back).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelScaler {
+    pub mean: f64,
+    pub std: f64,
+}
+
+impl LabelScaler {
+    /// Fit from labels.
+    pub fn fit(y: &[f64]) -> Result<Self, MlError> {
+        if y.is_empty() {
+            return Err(MlError::BadShape("empty labels".into()));
+        }
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let var = y.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / y.len() as f64;
+        let std = if var > 0.0 { var.sqrt() } else { 1.0 };
+        Ok(Self { mean, std })
+    }
+
+    /// Standardise labels.
+    pub fn transform(&self, y: &[f64]) -> Vec<f64> {
+        y.iter().map(|&v| (v - self.mean) / self.std).collect()
+    }
+
+    /// Map one standardised prediction back to the original scale.
+    #[inline]
+    pub fn inverse_one(&self, t: f64) -> f64 {
+        t * self.std + self.mean
+    }
+
+    /// Map standardised predictions back to the original scale.
+    pub fn inverse(&self, t: &[f64]) -> Vec<f64> {
+        t.iter().map(|&v| self.inverse_one(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_gives_zero_mean_unit_std() {
+        let x = Matrix::from_vec(4, 2, vec![1.0, 100.0, 2.0, 200.0, 3.0, 300.0, 4.0, 400.0]);
+        let s = StandardScaler::fit(&x).unwrap();
+        let t = s.transform(&x).unwrap();
+        for m in t.col_means() {
+            assert!(m.abs() < 1e-12);
+        }
+        for sd in t.col_stds() {
+            assert!((sd - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let x = Matrix::from_vec(3, 2, vec![1.0, -5.0, 2.0, 0.0, 4.0, 5.0]);
+        let s = StandardScaler::fit(&x).unwrap();
+        let back = s.inverse_transform(&s.transform(&x).unwrap()).unwrap();
+        for (a, b) in back.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_passes_through() {
+        let x = Matrix::from_vec(3, 1, vec![7.0; 3]);
+        let s = StandardScaler::fit(&x).unwrap();
+        let t = s.transform(&x).unwrap();
+        assert!(t.col(0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn row_path_matches_matrix_path() {
+        let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 7.0, 11.0, 13.0]);
+        let s = StandardScaler::fit(&x).unwrap();
+        let t = s.transform(&x).unwrap();
+        let mut row = x.row(1).to_vec();
+        s.transform_row(&mut row);
+        assert_eq!(row, t.row(1));
+    }
+
+    #[test]
+    fn label_scaler_roundtrip() {
+        let y = vec![0.001, 0.01, 0.1, 1.0, 10.0];
+        let s = LabelScaler::fit(&y).unwrap();
+        let t = s.transform(&y);
+        let mean: f64 = t.iter().sum::<f64>() / t.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        for (a, b) in s.inverse(&t).iter().zip(&y) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!((s.inverse_one(t[2]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(StandardScaler::fit(&Matrix::zeros(0, 3)).is_err());
+        assert!(LabelScaler::fit(&[]).is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! GEMM problem-domain sampling.
+//!
+//! Maps unit-cube quasi-random points to `(m, k, n)` dimension triples whose
+//! aggregate matrix footprint `es · (m·k + k·n + m·n)` stays below a memory
+//! cap (`es` = element size in bytes). The paper samples "matrices of all
+//! shapes and sizes within the memory limits, including slim/square and
+//! big/small matrices", and plots its sampling domain on square-root-scaled
+//! axes reaching ≈ 74 000 — so the unit coordinate is mapped through a
+//! square law, which makes small dimensions dense while still reaching very
+//! slim/tall extremes. Points that exceed the cap are rejected and the
+//! sequence advances, preserving the low-discrepancy structure of the
+//! retained set within the admissible region.
+
+use crate::halton::ScrambledHalton;
+use serde::{Deserialize, Serialize};
+
+/// Floating-point precision of the GEMM operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 4-byte elements (SGEMM).
+    F32,
+    /// 8-byte elements (DGEMM).
+    F64,
+}
+
+impl Precision {
+    /// Element size in bytes.
+    pub fn element_bytes(self) -> u64 {
+        match self {
+            Precision::F32 => 4,
+            Precision::F64 => 8,
+        }
+    }
+}
+
+/// A GEMM problem instance: `C (m×n) ← A (m×k) · B (k×n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmShape {
+    pub m: u64,
+    pub k: u64,
+    pub n: u64,
+}
+
+impl GemmShape {
+    pub fn new(m: u64, k: u64, n: u64) -> Self {
+        Self { m, k, n }
+    }
+
+    /// Aggregate operand footprint in bytes: `es · (m·k + k·n + m·n)`.
+    pub fn memory_bytes(&self, precision: Precision) -> u64 {
+        precision.element_bytes() * (self.m * self.k + self.k * self.n + self.m * self.n)
+    }
+
+    /// Floating-point operations performed: `2·m·k·n` (multiply + add).
+    pub fn flops(&self) -> u64 {
+        2 * self.m * self.k * self.n
+    }
+
+    /// Smallest of the three dimensions.
+    pub fn min_dim(&self) -> u64 {
+        self.m.min(self.k).min(self.n)
+    }
+
+    /// Largest of the three dimensions.
+    pub fn max_dim(&self) -> u64 {
+        self.m.max(self.k).max(self.n)
+    }
+
+    /// Aspect ratio max/min — 1.0 for a perfect cube, large for slim shapes.
+    pub fn aspect(&self) -> f64 {
+        self.max_dim() as f64 / self.min_dim() as f64
+    }
+}
+
+/// Memory cap for sampled problems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryCap {
+    pub bytes: u64,
+}
+
+impl MemoryCap {
+    pub fn from_mb(mb: u64) -> Self {
+        Self { bytes: mb * 1_000_000 }
+    }
+
+    /// The paper's training cap: 500 MB.
+    pub fn paper_training() -> Self {
+        Self::from_mb(500)
+    }
+
+    /// The paper's headline evaluation band: 100 MB.
+    pub fn paper_small() -> Self {
+        Self::from_mb(100)
+    }
+}
+
+/// Samples GEMM shapes from a scrambled Halton sequence under a memory cap.
+#[derive(Debug, Clone)]
+pub struct DomainSampler {
+    sequence: ScrambledHalton,
+    cap: MemoryCap,
+    precision: Precision,
+    max_dim: u64,
+    min_dim: u64,
+    rejected: u64,
+}
+
+impl DomainSampler {
+    /// The paper's sampling-domain corner: axes in Figs. 9/10 reach 74 000.
+    pub const PAPER_MAX_DIM: u64 = 74_000;
+
+    /// Create a sampler with the paper's defaults (bases 2/3/4, dims in
+    /// `[1, 74 000]`, square-law radial mapping).
+    pub fn new(cap: MemoryCap, precision: Precision, seed: u64) -> Self {
+        Self {
+            sequence: ScrambledHalton::paper_default(seed),
+            cap,
+            precision,
+            max_dim: Self::PAPER_MAX_DIM,
+            min_dim: 1,
+            rejected: 0,
+        }
+    }
+
+    /// Override the per-dimension bounds (used by tests and ablations).
+    pub fn with_dim_bounds(mut self, min_dim: u64, max_dim: u64) -> Self {
+        assert!(min_dim >= 1 && max_dim > min_dim, "invalid dimension bounds");
+        self.min_dim = min_dim;
+        self.max_dim = max_dim;
+        self
+    }
+
+    /// Number of candidate points rejected for exceeding the cap so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    fn map_coord(&self, u: f64) -> u64 {
+        // Square-law mapping: matches the paper's sqrt-scaled domain axes
+        // and concentrates samples at small dimensions, where the
+        // interesting thread-count behaviour lives.
+        let span = (self.max_dim - self.min_dim) as f64;
+        let d = self.min_dim as f64 + u * u * span;
+        d.round().max(self.min_dim as f64) as u64
+    }
+
+    /// Draw the next admissible shape, advancing past rejected points.
+    pub fn next_shape(&mut self) -> GemmShape {
+        loop {
+            let p = self.sequence.next_point();
+            let shape = GemmShape::new(
+                self.map_coord(p[0]),
+                self.map_coord(p[1]),
+                self.map_coord(p[2]),
+            );
+            if shape.memory_bytes(self.precision) <= self.cap.bytes {
+                return shape;
+            }
+            self.rejected += 1;
+        }
+    }
+
+    /// Draw `count` admissible shapes.
+    pub fn sample(&mut self, count: usize) -> Vec<GemmShape> {
+        (0..count).map(|_| self.next_shape()).collect()
+    }
+}
+
+/// The pre-designed evaluation grids of the paper's Figs. 13/14.
+///
+/// Six sweep families (rows of the figure), each at four fixed values
+/// (columns): the swept dimensions run over `{128, 256, 512, 1024, 2048,
+/// 4096}` and the fixed dimensions over `{32, 64, 128, 256}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredesignedGrid {
+    /// Row 1: sweep `n = k`, fix `m`.
+    SweepNkFixM,
+    /// Row 2: sweep `m = n`, fix `k`.
+    SweepMnFixK,
+    /// Row 3: sweep `m = k`, fix `n`.
+    SweepMkFixN,
+    /// Row 4: sweep `m`, fix `k = n` (two small dims).
+    SweepMFixKn,
+    /// Row 5: sweep `k`, fix `m = n` (two small dims).
+    SweepKFixMn,
+    /// Row 6: sweep `n`, fix `m = k` (two small dims).
+    SweepNFixMk,
+}
+
+impl PredesignedGrid {
+    /// The swept-dimension values used in the paper.
+    pub const SWEPT: [u64; 6] = [128, 256, 512, 1024, 2048, 4096];
+    /// The fixed-dimension values used in the paper.
+    pub const FIXED: [u64; 4] = [32, 64, 128, 256];
+
+    /// All six rows in figure order.
+    pub fn all() -> [PredesignedGrid; 6] {
+        [
+            PredesignedGrid::SweepNkFixM,
+            PredesignedGrid::SweepMnFixK,
+            PredesignedGrid::SweepMkFixN,
+            PredesignedGrid::SweepMFixKn,
+            PredesignedGrid::SweepKFixMn,
+            PredesignedGrid::SweepNFixMk,
+        ]
+    }
+
+    /// Human-readable row label matching the figure (e.g. `n,k (m=64)`).
+    pub fn label(self, fixed: u64) -> String {
+        match self {
+            PredesignedGrid::SweepNkFixM => format!("n,k (m={fixed})"),
+            PredesignedGrid::SweepMnFixK => format!("m,n (k={fixed})"),
+            PredesignedGrid::SweepMkFixN => format!("m,k (n={fixed})"),
+            PredesignedGrid::SweepMFixKn => format!("m (k,n={fixed})"),
+            PredesignedGrid::SweepKFixMn => format!("k (m,n={fixed})"),
+            PredesignedGrid::SweepNFixMk => format!("n (m,k={fixed})"),
+        }
+    }
+
+    /// Shape for one `(swept, fixed)` cell of this row.
+    pub fn shape(self, swept: u64, fixed: u64) -> GemmShape {
+        match self {
+            PredesignedGrid::SweepNkFixM => GemmShape::new(fixed, swept, swept),
+            PredesignedGrid::SweepMnFixK => GemmShape::new(swept, fixed, swept),
+            PredesignedGrid::SweepMkFixN => GemmShape::new(swept, swept, fixed),
+            PredesignedGrid::SweepMFixKn => GemmShape::new(swept, fixed, fixed),
+            PredesignedGrid::SweepKFixMn => GemmShape::new(fixed, swept, fixed),
+            PredesignedGrid::SweepNFixMk => GemmShape::new(fixed, fixed, swept),
+        }
+    }
+
+    /// The full sweep for one fixed value: six shapes in `SWEPT` order.
+    pub fn sweep(self, fixed: u64) -> Vec<GemmShape> {
+        Self::SWEPT.iter().map(|&s| self.shape(s, fixed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_formula_matches_paper() {
+        // SGEMM: 4(mk + kn + mn) bytes; DGEMM: 8(mk + kn + mn).
+        let s = GemmShape::new(10, 20, 30);
+        assert_eq!(s.memory_bytes(Precision::F32), 4 * (200 + 600 + 300));
+        assert_eq!(s.memory_bytes(Precision::F64), 8 * (200 + 600 + 300));
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(GemmShape::new(2, 3, 4).flops(), 48);
+    }
+
+    #[test]
+    fn sampler_respects_cap() {
+        let cap = MemoryCap::from_mb(100);
+        let mut s = DomainSampler::new(cap, Precision::F32, 1);
+        for shape in s.sample(500) {
+            assert!(
+                shape.memory_bytes(Precision::F32) <= cap.bytes,
+                "{shape:?} exceeds cap"
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_respects_dim_bounds() {
+        let mut s = DomainSampler::new(MemoryCap::from_mb(500), Precision::F32, 2)
+            .with_dim_bounds(8, 4096);
+        for shape in s.sample(300) {
+            assert!(shape.min_dim() >= 8);
+            assert!(shape.max_dim() <= 4096);
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let mut a = DomainSampler::new(MemoryCap::paper_training(), Precision::F32, 9);
+        let mut b = DomainSampler::new(MemoryCap::paper_training(), Precision::F32, 9);
+        assert_eq!(a.sample(200), b.sample(200));
+    }
+
+    #[test]
+    fn sampler_covers_slim_and_square_shapes() {
+        let mut s = DomainSampler::new(MemoryCap::paper_training(), Precision::F32, 4);
+        let shapes = s.sample(1000);
+        let squarish = shapes.iter().filter(|s| s.aspect() < 4.0).count();
+        let slim = shapes.iter().filter(|s| s.aspect() > 64.0).count();
+        assert!(squarish > 20, "only {squarish} squarish shapes sampled");
+        assert!(slim > 20, "only {slim} slim shapes sampled");
+    }
+
+    #[test]
+    fn sampler_reaches_small_and_large_footprints() {
+        let cap = MemoryCap::paper_training();
+        let mut s = DomainSampler::new(cap, Precision::F32, 5);
+        let shapes = s.sample(1763); // the paper's dataset size
+        let small = shapes
+            .iter()
+            .filter(|s| s.memory_bytes(Precision::F32) <= MemoryCap::paper_small().bytes)
+            .count();
+        let large = shapes
+            .iter()
+            .filter(|s| s.memory_bytes(Precision::F32) > cap.bytes / 2)
+            .count();
+        assert!(small > 400, "only {small} samples in the 0-100 MB band");
+        assert!(large > 30, "only {large} samples in the upper half band");
+    }
+
+    #[test]
+    fn predesigned_rows_match_paper_labels() {
+        assert_eq!(PredesignedGrid::SweepNkFixM.label(64), "n,k (m=64)");
+        assert_eq!(PredesignedGrid::SweepKFixMn.label(32), "k (m,n=32)");
+    }
+
+    #[test]
+    fn predesigned_shapes_place_dims_correctly() {
+        let s = PredesignedGrid::SweepNkFixM.shape(2048, 64);
+        assert_eq!((s.m, s.k, s.n), (64, 2048, 2048));
+        let s = PredesignedGrid::SweepMFixKn.shape(4096, 32);
+        assert_eq!((s.m, s.k, s.n), (4096, 32, 32));
+        let s = PredesignedGrid::SweepNFixMk.shape(4096, 64);
+        assert_eq!((s.m, s.k, s.n), (64, 64, 4096));
+    }
+
+    #[test]
+    fn predesigned_full_grid_has_144_cells() {
+        let mut count = 0;
+        for row in PredesignedGrid::all() {
+            for fixed in PredesignedGrid::FIXED {
+                count += row.sweep(fixed).len();
+            }
+        }
+        assert_eq!(count, 6 * 4 * 6);
+    }
+}

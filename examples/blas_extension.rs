@@ -1,0 +1,63 @@
+//! The paper's future work, realised: ML-driven thread selection for
+//! BLAS routines beyond GEMM (SYRK and GEMV).
+//!
+//! Each routine maps its dimensions into the GEMM feature space
+//! (SYRK `(m,k)` ↦ `GemmShape{m,k,m}`, GEMV `(m,n)` ↦ `GemmShape{m,n,1}`),
+//! so the *unchanged* ADSALA installation pipeline trains a per-routine
+//! thread selector.
+//!
+//! ```sh
+//! cargo run --release --example blas_extension
+//! ```
+
+use adsala::install::{InstallConfig, Installation};
+use adsala_machine::{BlasOp, GemmTimer, MachineModel, OpTimer};
+use adsala_sampling::GemmShape;
+
+fn main() {
+    let base = MachineModel::setonix();
+    for op in [BlasOp::Syrk, BlasOp::Gemv] {
+        let timer = OpTimer::new(base.clone(), op);
+        println!("=== {} ===", timer.name());
+        let install = Installation::run(&timer, &InstallConfig::quick()).expect("install");
+        println!("selected model family: {:?}", install.selected);
+        let mut runtime = install.into_runtime();
+        let p_max = timer.max_threads();
+
+        // Probe shapes, given in each routine's own dimension convention
+        // and mapped to the GEMM feature space as at training time.
+        let probes: Vec<(String, GemmShape)> = match op {
+            BlasOp::Syrk => [(2000u64, 2000u64), (4000, 200), (200, 4000), (500, 500)]
+                .iter()
+                .map(|&(m, k)| (format!("SYRK m={m} k={k}"), GemmShape::new(m, k, m)))
+                .collect(),
+            BlasOp::Gemv => [(8000u64, 8000u64), (30_000, 500), (500, 30_000), (1000, 1000)]
+                .iter()
+                .map(|&(m, n)| (format!("GEMV m={m} n={n}"), GemmShape::new(m, n, 1)))
+                .collect(),
+            BlasOp::Gemm => unreachable!(),
+        };
+
+        println!(
+            "{:<22} {:>8} {:>14} {:>14} {:>9}",
+            "routine", "threads", "t(max) us", "t(ML) us", "speedup"
+        );
+        for (label, shape) in probes {
+            let d = runtime.select_threads(shape.m, shape.k, shape.n);
+            let t_max = timer.time(shape, p_max, 5);
+            let t_ml = timer.time(shape, d.threads, 5);
+            println!(
+                "{:<22} {:>8} {:>14.1} {:>14.1} {:>8.2}x",
+                label,
+                d.threads,
+                t_max * 1e6,
+                t_ml * 1e6,
+                t_max / t_ml
+            );
+        }
+        println!();
+    }
+    println!("note how GEMV selections cluster at the bandwidth knee (tens of threads),");
+    println!("while SYRK behaves like GEMM — per-routine response curves are exactly why");
+    println!("the paper proposes per-routine models.");
+}

@@ -1,0 +1,83 @@
+//! Explore the simulated HPC node models: wall-time decomposition across
+//! thread counts, affinity policies, and the shapes behind the paper's
+//! headline observations.
+//!
+//! ```sh
+//! cargo run --release --example machine_explorer [setonix|gadi]
+//! ```
+
+use adsala_machine::{Affinity, MachineModel, Placement};
+use adsala_sampling::GemmShape;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "gadi".into());
+    let model = match which.as_str() {
+        "setonix" => MachineModel::setonix(),
+        _ => MachineModel::gadi(),
+    };
+    let topo = &model.topology;
+    println!("=== {} ===", topo.name);
+    println!(
+        "{} sockets x {} cores x SMT-{} = {} hardware threads",
+        topo.sockets,
+        topo.cores_per_socket,
+        topo.smt,
+        topo.total_threads()
+    );
+    println!(
+        "{} NUMA domains, {:.0} GB/s per socket, {:.1} TFLOP/s f32 node peak\n",
+        topo.numa_per_socket * topo.sockets,
+        topo.socket_bw() / 1e9,
+        topo.total_cores() as f64 * topo.core_peak_flops(topo.freq_allcore_hz) / 1e12
+    );
+
+    // Wall-time anatomy across thread counts for three contrasting shapes.
+    for (label, shape) in [
+        ("large square 4000^3", GemmShape::new(4000, 4000, 4000)),
+        ("small square 256^3", GemmShape::new(256, 256, 256)),
+        ("skewed 64x2048x64", GemmShape::new(64, 2048, 64)),
+    ] {
+        println!("--- {label} ---");
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>12} {:>10}",
+            "threads", "total (ms)", "kernel (ms)", "copy (ms)", "sync (ms)", "GFLOPS"
+        );
+        let mut p = 1;
+        while p <= model.max_threads() {
+            let c = model.expected(shape, p);
+            println!(
+                "{:>8} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>10.1}",
+                p,
+                c.total() * 1e3,
+                c.kernel_s * 1e3,
+                c.copy_s * 1e3,
+                (c.sync_s + c.spawn_s) * 1e3,
+                shape.flops() as f64 / c.total() / 1e9
+            );
+            p *= 2;
+        }
+        let opt = model.optimal_threads(shape);
+        println!(
+            "optimal: {} threads ({:.3} ms)\n",
+            opt,
+            model.expected(shape, opt).total() * 1e3
+        );
+    }
+
+    // Where do threads land under each affinity policy?
+    println!("--- thread placement ---");
+    println!(
+        "{:>8} {:>22} {:>22}",
+        "threads", "core-based", "thread-based"
+    );
+    let mut p = 2;
+    while p <= model.max_threads() {
+        let a = Placement::place(topo, p, Affinity::CoreBased);
+        let b = Placement::place(topo, p, Affinity::ThreadBased);
+        let fmt = |pl: Placement| {
+            format!("{}c/{}s occ {:.2}", pl.cores_used, pl.sockets_used, pl.smt_occupancy)
+        };
+        println!("{:>8} {:>22} {:>22}", p, fmt(a), fmt(b));
+        p *= 4;
+    }
+}

@@ -1,0 +1,23 @@
+//! Workspace umbrella crate for the ADSALA reproduction.
+//!
+//! Re-exports the public API of every crate in the workspace so the
+//! examples (`examples/`) and cross-crate integration tests (`tests/`)
+//! have a single import root. Library users should depend on the
+//! individual crates (`adsala`, `adsala-gemm`, …) directly.
+
+pub use adsala;
+pub use adsala_gemm;
+pub use adsala_machine;
+pub use adsala_ml;
+pub use adsala_sampling;
+
+/// Workspace version, shared by every crate.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

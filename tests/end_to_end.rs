@@ -1,0 +1,111 @@
+//! Cross-crate integration: the full paper workflow from sampling to
+//! runtime decisions, on both simulated machines.
+
+use adsala_repro::adsala::install::{InstallConfig, Installation};
+use adsala_repro::adsala::Artifact;
+use adsala_repro::adsala_machine::{GemmTimer, MachineModel, SimTimer};
+use adsala_repro::adsala_ml::ModelKind;
+use adsala_repro::adsala_sampling::GemmShape;
+
+fn quick_install(model: MachineModel) -> (SimTimer, Installation) {
+    let timer = SimTimer::new(model);
+    let install = Installation::run(&timer, &InstallConfig::quick()).expect("install");
+    (timer, install)
+}
+
+#[test]
+fn gadi_pipeline_selects_boosting_and_speeds_up() {
+    let (timer, install) = quick_install(MachineModel::gadi());
+    assert_eq!(install.selected, ModelKind::XgBoost);
+
+    let mut runtime = install.into_runtime();
+    // Fresh shapes never seen in training.
+    let shapes = [
+        GemmShape::new(100, 3000, 100),
+        GemmShape::new(48, 48, 48),
+        GemmShape::new(900, 900, 900),
+        GemmShape::new(64, 64, 2000),
+        GemmShape::new(500, 100, 4000),
+    ];
+    let p_max = timer.max_threads();
+    let mut t_orig = 0.0;
+    let mut t_ml = 0.0;
+    for s in shapes {
+        let d = runtime.select_threads(s.m, s.k, s.n);
+        t_orig += timer.time(s, p_max, 5);
+        t_ml += timer.time(s, d.threads, 5);
+    }
+    let aggregate_speedup = t_orig / t_ml;
+    assert!(
+        aggregate_speedup > 1.2,
+        "ADSALA should beat the max-thread default: {aggregate_speedup:.2}x"
+    );
+}
+
+#[test]
+fn setonix_pipeline_end_to_end() {
+    let (timer, install) = quick_install(MachineModel::setonix());
+    assert_eq!(install.max_threads, 256);
+    let mut runtime = install.into_runtime();
+    let small = runtime.select_threads(64, 64, 64);
+    assert!(
+        small.threads < 128,
+        "tiny GEMM got {} threads on a 256-thread node",
+        small.threads
+    );
+    let large = runtime.select_threads(4000, 4000, 4000);
+    assert!(
+        large.threads >= 64,
+        "large square GEMM got only {} threads",
+        large.threads
+    );
+    let _ = timer; // timer participates via the install above
+}
+
+#[test]
+fn artifact_file_roundtrip_preserves_runtime_behaviour() {
+    let (_, install) = quick_install(MachineModel::gadi());
+    let artifact = install.to_artifact();
+    let dir = std::env::temp_dir().join("adsala-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("artifact.json");
+    artifact.save(&path).expect("save");
+    let restored = Artifact::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    let mut a = artifact.into_runtime();
+    let mut b = restored.into_runtime();
+    for (m, k, n) in [(64, 2048, 64), (128, 128, 128), (2000, 500, 300)] {
+        assert_eq!(
+            a.select_threads(m, k, n).threads,
+            b.select_threads(m, k, n).threads,
+            "decision changed after disk roundtrip for {m}x{k}x{n}"
+        );
+    }
+}
+
+#[test]
+fn memoisation_counts_evaluations_once_per_shape_change() {
+    let (_, install) = quick_install(MachineModel::gadi());
+    let mut runtime = install.into_runtime();
+    for _ in 0..10 {
+        runtime.select_threads(64, 3000, 64);
+    }
+    assert_eq!(runtime.evaluations, 1);
+    runtime.select_threads(65, 3000, 64);
+    assert_eq!(runtime.evaluations, 2);
+}
+
+#[test]
+fn install_reports_have_finite_sane_metrics() {
+    let (_, install) = quick_install(MachineModel::gadi());
+    for r in &install.reports {
+        assert!(r.test_nrmse.is_finite() && r.test_nrmse >= 0.0, "{r:?}");
+        assert!(r.eval_time_us > 0.0, "{r:?}");
+        assert!(r.ideal_mean_speedup > 0.0, "{r:?}");
+        assert!(
+            r.est_mean_speedup <= r.ideal_mean_speedup + 1e-9,
+            "eval overhead cannot raise the speedup: {r:?}"
+        );
+    }
+}

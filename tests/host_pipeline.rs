@@ -1,0 +1,107 @@
+//! End-to-end against real hardware: the same installation pipeline that
+//! runs on the simulated nodes, driven by `HostTimer` — which times the
+//! actual blocked GEMM from `adsala-gemm` on this machine's cores.
+//!
+//! Kept deliberately tiny (small shapes, few reps) so it stays in CI
+//! territory; the point is that nothing in the pipeline is
+//! simulator-specific.
+
+use adsala_repro::adsala::gather::{GatherConfig, ThreadLadder};
+use adsala_repro::adsala::install::{InstallConfig, Installation};
+use adsala_repro::adsala_machine::{GemmTimer, HostTimer};
+use adsala_repro::adsala_ml::tune::ModelSpec;
+use adsala_repro::adsala_ml::ModelKind;
+use adsala_repro::adsala_sampling::MemoryCap;
+
+fn tiny_host_config(max_threads: u32) -> InstallConfig {
+    let mut cfg = InstallConfig::quick();
+    cfg.gather = GatherConfig {
+        n_shapes: 40,
+        cap: MemoryCap::from_mb(2),
+        reps: 1,
+        ladder: Some(ThreadLadder::geometric(max_threads)),
+        max_dim: Some(384),
+        ..GatherConfig::quick()
+    };
+    cfg.families = vec![ModelKind::DecisionTree];
+    cfg.grids = vec![(
+        ModelKind::DecisionTree,
+        vec![ModelSpec::DecisionTree { max_depth: 10, min_samples_leaf: 2 }],
+    )];
+    cfg.folds = 3;
+    cfg.speedup_reps = 1;
+    cfg.max_speedup_shapes = 10;
+    cfg
+}
+
+#[test]
+fn pipeline_trains_against_real_host_gemm() {
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(2)
+        .min(8);
+    let timer = HostTimer::with_max_threads(host_threads);
+    let cfg = tiny_host_config(host_threads);
+    let install = Installation::run(&timer, &cfg).expect("host install");
+
+    assert_eq!(install.max_threads, host_threads);
+    assert!(install.machine.contains("host"));
+    let report = &install.reports[0];
+    assert!(
+        report.test_nrmse < 1.0,
+        "model no better than the mean predictor on real timings: {}",
+        report.test_nrmse
+    );
+
+    // The runtime handle must produce usable decisions and execute a
+    // correct GEMM with them.
+    let mut gemm = install.into_runtime();
+    let d = gemm.select_threads(96, 96, 96);
+    assert!((1..=host_threads).contains(&d.threads));
+
+    let (m, k, n) = (48usize, 32usize, 40usize);
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 11) as f32 - 5.0).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 * 0.25).collect();
+    let mut c = vec![0.0f32; m * n];
+    let (_, stats) = gemm.sgemm_host(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, host_threads);
+    assert!(stats.kernel_calls > 0);
+
+    let mut c_ref = vec![0.0f32; m * n];
+    adsala_repro::adsala_gemm::naive::naive_gemm(
+        adsala_repro::adsala_gemm::Transpose::No,
+        adsala_repro::adsala_gemm::Transpose::No,
+        m,
+        n,
+        k,
+        1.0f32,
+        &a,
+        k,
+        &b,
+        n,
+        0.0,
+        &mut c_ref,
+        n,
+    );
+    for (x, y) in c.iter().zip(&c_ref) {
+        assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+    }
+}
+
+#[test]
+fn host_timer_thread_scaling_is_sane() {
+    // On any multi-core host, a 384³ GEMM on 2 threads should not be
+    // slower than ~1.6x the single-thread time (generous bound to stay
+    // robust on loaded CI machines).
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < 2 {
+        return;
+    }
+    let timer = HostTimer::with_max_threads(2);
+    let shape = adsala_repro::adsala_sampling::GemmShape::new(384, 384, 384);
+    let t1 = timer.time(shape, 1, 3);
+    let t2 = timer.time(shape, 2, 3);
+    assert!(
+        t2 < t1 * 1.6,
+        "2-thread GEMM implausibly slow: {t2}s vs {t1}s serial"
+    );
+}
