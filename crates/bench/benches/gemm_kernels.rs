@@ -26,9 +26,7 @@ fn bench_blocked_vs_naive(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("blocked_1t", d), &d, |bench, &d| {
             let mut out = vec![0.0f32; d * d];
             let call = GemmCall::new(d, d, d, 1);
-            bench.iter(|| {
-                gemm_with_stats(&call, 1.0, &a, d, &b, d, 0.0, black_box(&mut out), d)
-            });
+            bench.iter(|| gemm_with_stats(&call, 1.0, &a, d, &b, d, 0.0, black_box(&mut out), d));
         });
         group.bench_with_input(BenchmarkId::new("naive", d), &d, |bench, &d| {
             let mut out = vec![0.0f32; d * d];
@@ -68,9 +66,7 @@ fn bench_thread_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bench, &t| {
             let mut out = vec![0.0f32; d * d];
             let call = GemmCall::new(d, d, d, t);
-            bench.iter(|| {
-                gemm_with_stats(&call, 1.0, &a, d, &b, d, 0.0, black_box(&mut out), d)
-            });
+            bench.iter(|| gemm_with_stats(&call, 1.0, &a, d, &b, d, 0.0, black_box(&mut out), d));
         });
     }
     group.finish();

@@ -16,13 +16,10 @@ use std::hint::black_box;
 
 fn dataset(n: usize) -> (Matrix, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(42);
-    let rows: Vec<Vec<f64>> = (0..n)
-        .map(|_| (0..10).map(|_| rng.gen_range(-2.0..2.0)).collect())
-        .collect();
-    let y: Vec<f64> = rows
-        .iter()
-        .map(|r| r[0] * r[0] + (r[1] * 3.0).sin() + 0.3 * r[2] * r[3])
-        .collect();
+    let rows: Vec<Vec<f64>> =
+        (0..n).map(|_| (0..10).map(|_| rng.gen_range(-2.0..2.0)).collect()).collect();
+    let y: Vec<f64> =
+        rows.iter().map(|r| r[0] * r[0] + (r[1] * 3.0).sin() + 0.3 * r[2] * r[3]).collect();
     (Matrix::from_rows(&rows), y)
 }
 

@@ -10,9 +10,7 @@ use std::hint::black_box;
 
 fn trained_runtime() -> AdsalaGemm {
     let timer = SimTimer::new(MachineModel::gadi());
-    Installation::run(&timer, &InstallConfig::quick())
-        .expect("quick install")
-        .into_runtime()
+    Installation::run(&timer, &InstallConfig::quick()).expect("quick install").into_runtime()
 }
 
 fn bench_selection(c: &mut Criterion) {
@@ -36,8 +34,7 @@ fn bench_selection(c: &mut Criterion) {
 
     let mut cached = trained_runtime().with_full_cache();
     // Pre-warm a working set of shapes.
-    let shapes: Vec<(u64, u64, u64)> =
-        (0..32).map(|i| (64 + i * 8, 256, 64 + i * 4)).collect();
+    let shapes: Vec<(u64, u64, u64)> = (0..32).map(|i| (64 + i * 8, 256, 64 + i * 4)).collect();
     for &(m, k, n) in &shapes {
         cached.select_threads(m, k, n);
     }

@@ -25,15 +25,14 @@
 //! Results are printed to stdout and written as CSV under `results/`.
 //! Trained installations are cached in `results/install_*.json`.
 
-
 use std::time::Instant;
 
 use adsala::gather::{histogram, GatherConfig, ThreadLadder, TrainingData};
 use adsala::install::{InstallConfig, Installation};
 use adsala::preprocess::{fit_preprocess_with, PreprocessOptions};
 
-use adsala::speedup::{bucket_mean, paper_buckets, SpeedupStats};
 use adsala::feature_names;
+use adsala::speedup::{bucket_mean, paper_buckets, SpeedupStats};
 use adsala_bench::{
     grid_means, mean_runtime, render_grid, render_histogram, results_dir, sim_timer, sqrt_edges,
     write_csv, Machine, SavedInstall,
@@ -113,7 +112,10 @@ fn fig1() {
     let shapes = sample_shapes(MemoryCap::paper_small(), 500, 0xF1);
     let optimal: Vec<u32> = shapes.iter().map(|&s| model.optimal_threads(s)).collect();
     let (edges, counts) = histogram(&optimal, model.max_threads(), 16);
-    println!("{}", render_histogram("optimal thread count (96 = all hardware threads)", &edges, &counts));
+    println!(
+        "{}",
+        render_histogram("optimal thread count (96 = all hardware threads)", &edges, &counts)
+    );
     let below_half = optimal.iter().filter(|&&p| p < 48).count();
     println!(
         "{} of {} shapes ({:.0}%) are fastest below half the maximum thread count",
@@ -140,16 +142,12 @@ fn fig4() {
     let cfg = GatherConfig { n_shapes: 250, reps: 3, ..GatherConfig::paper() };
     let data = TrainingData::gather(&timer, &cfg);
     let fitted = fit_preprocess_with(&data, PreprocessOptions::default()).expect("preprocess");
-    println!(
-        "{:<26} {:>10} {:>12} {:>12}",
-        "feature", "lambda", "skew before", "skew after"
-    );
+    println!("{:<26} {:>10} {:>12} {:>12}", "feature", "lambda", "skew before", "skew after");
     let names = feature_names();
     let mut rows = Vec::new();
     for (i, name) in names.iter().enumerate() {
         let lambda = fitted.config.yeo_johnson.lambdas[i];
-        let (before, after) =
-            (fitted.report.skew_before[i], fitted.report.skew_after[i]);
+        let (before, after) = (fitted.report.skew_before[i], fitted.report.skew_after[i]);
         println!("{name:<26} {lambda:>10.3} {before:>12.3} {after:>12.3}");
         rows.push(format!("{name},{lambda:.6},{before:.6},{after:.6}"));
     }
@@ -159,7 +157,8 @@ fn fig4() {
         mean_abs(&fitted.report.skew_before),
         mean_abs(&fitted.report.skew_after)
     );
-    let path = write_csv("fig4_yeo_johnson_skewness.csv", "feature,lambda,skew_before,skew_after", &rows);
+    let path =
+        write_csv("fig4_yeo_johnson_skewness.csv", "feature,lambda,skew_before,skew_after", &rows);
     println!("[csv] {}", path.display());
 }
 
@@ -174,7 +173,10 @@ fn fig7() {
         let max = machine.model(true).max_threads();
         let ladder = ThreadLadder::geometric(max);
         println!("\n{} (max {} threads)", machine.name(), max);
-        println!("{:>8} {:>16} {:>16} {:>8}", "threads", "core-based (s)", "thread-based (s)", "ratio");
+        println!(
+            "{:>8} {:>16} {:>16} {:>8}",
+            "threads", "core-based (s)", "thread-based (s)", "ratio"
+        );
         let core = sim_timer(machine, true, Affinity::CoreBased);
         let thread = sim_timer(machine, true, Affinity::ThreadBased);
         let mut rows = Vec::new();
@@ -206,7 +208,10 @@ fn fig8() {
         .collect();
     let optimal: Vec<u32> = shapes.iter().map(|&s| model.optimal_threads(s)).collect();
     let (edges, counts) = histogram(&optimal, model.max_threads(), 16);
-    println!("{}", render_histogram("optimal thread count (256 = all hardware threads)", &edges, &counts));
+    println!(
+        "{}",
+        render_histogram("optimal thread count (256 = all hardware threads)", &edges, &counts)
+    );
     let below_half = optimal.iter().filter(|&&p| p < 128).count();
     println!(
         "{} of {} constrained shapes ({:.0}%) are fastest below half the maximum",
@@ -236,12 +241,21 @@ fn fig9() {
         let edges = sqrt_edges(adsala_sampling::DomainSampler::PAPER_MAX_DIM, 6);
         println!("\n=== {} (max {} threads) ===", machine.name(), model.max_threads());
         for (rl, cl, proj) in [
-            ("m", "k", Box::new(|s: &GemmShape| (s.m, s.k)) as Box<dyn Fn(&GemmShape) -> (u64, u64)>),
+            (
+                "m",
+                "k",
+                Box::new(|s: &GemmShape| (s.m, s.k)) as Box<dyn Fn(&GemmShape) -> (u64, u64)>,
+            ),
             ("m", "n", Box::new(|s: &GemmShape| (s.m, s.n))),
             ("k", "n", Box::new(|s: &GemmShape| (s.k, s.n))),
         ] {
-            let triples: Vec<(u64, u64, f64)> =
-                data.iter().map(|(s, p)| { let (a, b) = proj(s); (a, b, *p as f64) }).collect();
+            let triples: Vec<(u64, u64, f64)> = data
+                .iter()
+                .map(|(s, p)| {
+                    let (a, b) = proj(s);
+                    (a, b, *p as f64)
+                })
+                .collect();
             let cells = grid_means(&triples, &edges);
             println!("{}", render_grid("mean optimal thread count", rl, cl, &cells, &edges));
         }
@@ -294,7 +308,11 @@ fn model_table(machine: Machine) {
     }
     println!("\nselected model: {}", saved.selected);
     write_csv(
-        &format!("{}_models_{}.csv", if machine == Machine::Setonix { "table3" } else { "table4" }, machine.name()),
+        &format!(
+            "{}_models_{}.csv",
+            if machine == Machine::Setonix { "table3" } else { "table4" },
+            machine.name()
+        ),
         "model,nrmse,ideal_mean,ideal_aggregate,eval_us,est_mean,est_aggregate",
         &rows,
     );
@@ -371,7 +389,8 @@ fn speedup_table(ht: bool) {
             ));
         }
     }
-    let stat_rows: [(&str, fn(&SpeedupStats) -> f64); 7] = [
+    type StatRow = (&'static str, fn(&SpeedupStats) -> f64);
+    let stat_rows: [StatRow; 7] = [
         ("Mean Speedup", |s| s.mean),
         ("Standard Deviation", |s| s.std_dev),
         ("Min Speedup", |s| s.min),
@@ -404,7 +423,11 @@ fn fig10() {
         let edges = sqrt_edges(adsala_sampling::DomainSampler::PAPER_MAX_DIM, 6);
         println!("\n=== {} ===", machine.name());
         for (rl, cl, proj) in [
-            ("m", "k", Box::new(|s: &GemmShape| (s.m, s.k)) as Box<dyn Fn(&GemmShape) -> (u64, u64)>),
+            (
+                "m",
+                "k",
+                Box::new(|s: &GemmShape| (s.m, s.k)) as Box<dyn Fn(&GemmShape) -> (u64, u64)>,
+            ),
             ("m", "n", Box::new(|s: &GemmShape| (s.m, s.n))),
             ("k", "n", Box::new(|s: &GemmShape| (s.k, s.n))),
         ] {
@@ -565,11 +588,7 @@ fn table7() {
             ));
         }
     }
-    write_csv(
-        "table7_profile_gadi.csv",
-        "m,k,n,mode,threads,total_s,sync_s,kernel_s",
-        &rows,
-    );
+    write_csv("table7_profile_gadi.csv", "m,k,n,mode,threads,total_s,sync_s,kernel_s", &rows);
     println!("\n(the copy component dominates the no-ML rows, as in the paper)");
 }
 
@@ -590,12 +609,7 @@ fn learning_curve() {
         let shapes: std::collections::HashSet<GemmShape> =
             data.shapes.iter().take(n_shapes).copied().collect();
         let subset = TrainingData {
-            records: data
-                .records
-                .iter()
-                .filter(|r| shapes.contains(&r.shape))
-                .copied()
-                .collect(),
+            records: data.records.iter().filter(|r| shapes.contains(&r.shape)).copied().collect(),
             shapes: data.shapes.iter().take(n_shapes).copied().collect(),
             ladder: data.ladder.clone(),
             machine: data.machine.clone(),
@@ -616,8 +630,7 @@ fn learning_curve() {
         }
         .build(0);
         model.fit(&train.x, &train.y).expect("fit");
-        let train_nrmse =
-            adsala_ml::metrics::normalised_rmse(&model.predict(&train.x), &train.y);
+        let train_nrmse = adsala_ml::metrics::normalised_rmse(&model.predict(&train.x), &train.y);
         let val_nrmse = adsala_ml::metrics::normalised_rmse(&model.predict(&val.x), &val.y);
         println!("{n_shapes:>10} {train_nrmse:>12.4} {val_nrmse:>16.4}");
         rows.push(format!("{n_shapes},{train_nrmse:.6},{val_nrmse:.6}"));
@@ -708,7 +721,10 @@ fn ops_extension() {
 
 fn ablation(name: &str) {
     match name {
-        "yj" => ablation_preprocess("yj", PreprocessOptions { yeo_johnson: false, ..Default::default() }),
+        "yj" => ablation_preprocess(
+            "yj",
+            PreprocessOptions { yeo_johnson: false, ..Default::default() },
+        ),
         "lof" => ablation_preprocess("lof", PreprocessOptions { lof: false, ..Default::default() }),
         "corr" => ablation_preprocess(
             "corr",
@@ -756,10 +772,7 @@ fn ablation_preprocess(name: &str, opts: PreprocessOptions) {
     let (ablated_nrmse, ablated_feats) = score(opts);
     println!("full chain   : NRMSE {full_nrmse:.4} ({full_feats} features)");
     println!("without {name:<4} : NRMSE {ablated_nrmse:.4} ({ablated_feats} features)");
-    println!(
-        "delta        : {:+.1}%",
-        100.0 * (ablated_nrmse - full_nrmse) / full_nrmse
-    );
+    println!("delta        : {:+.1}%", 100.0 * (ablated_nrmse - full_nrmse) / full_nrmse);
 }
 
 /// Compare scrambled-Halton sampling against i.i.d. uniform sampling of
@@ -832,10 +845,7 @@ fn ablation_halton() {
         .build(0);
         model.fit(&train.x, &train.y).expect("fit");
         let nrmse = adsala_ml::metrics::normalised_rmse(&model.predict(&test.x), &test.y);
-        let small = shapes
-            .iter()
-            .filter(|s| s.memory_bytes(Precision::F32) < 100_000_000)
-            .count();
+        let small = shapes.iter().filter(|s| s.memory_bytes(Precision::F32) < 100_000_000).count();
         println!(
             "{label:<8}: NRMSE {nrmse:.4}, {small}/{} shapes in the 0-100 MB band",
             shapes.len()

@@ -120,8 +120,8 @@ impl SavedInstall {
             "[harness] running installation on {} (ht={ht}) — this trains all model families",
             timer.name()
         );
-        let install = Installation::run(&timer, &InstallConfig::harness())
-            .expect("installation failed");
+        let install =
+            Installation::run(&timer, &InstallConfig::harness()).expect("installation failed");
         let saved = SavedInstall {
             machine: install.machine.clone(),
             max_threads: install.max_threads,
@@ -203,10 +203,7 @@ pub fn sqrt_bin(v: u64, edges: &[u64]) -> usize {
 }
 
 /// Accumulate (row, col, value) triples into a mean-per-cell grid.
-pub fn grid_means(
-    triples: &[(u64, u64, f64)],
-    edges: &[u64],
-) -> Vec<Vec<Option<f64>>> {
+pub fn grid_means(triples: &[(u64, u64, f64)], edges: &[u64]) -> Vec<Vec<Option<f64>>> {
     let n = edges.len();
     let mut sum = vec![vec![0.0f64; n]; n];
     let mut count = vec![vec![0usize; n]; n];
@@ -218,13 +215,7 @@ pub fn grid_means(
     (0..n)
         .map(|r| {
             (0..n)
-                .map(|c| {
-                    if count[r][c] > 0 {
-                        Some(sum[r][c] / count[r][c] as f64)
-                    } else {
-                        None
-                    }
-                })
+                .map(|c| if count[r][c] > 0 { Some(sum[r][c] / count[r][c] as f64) } else { None })
                 .collect()
         })
         .collect()

@@ -96,8 +96,7 @@ mod tests {
         let gc = GatherConfig { n_shapes: 50, reps: 2, ..GatherConfig::quick() };
         let data = TrainingData::gather(&timer, &gc);
         let fitted = fit_preprocess(&data).unwrap();
-        let mut model =
-            ModelSpec::DecisionTree { max_depth: 8, min_samples_leaf: 1 }.build(0);
+        let mut model = ModelSpec::DecisionTree { max_depth: 8, min_samples_leaf: 1 }.build(0);
         model.fit(&fitted.dataset.x, &fitted.dataset.y).unwrap();
         Artifact::from_parts("gadi-sim", data.ladder.counts, fitted.config, model)
     }

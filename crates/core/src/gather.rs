@@ -112,10 +112,8 @@ pub struct TrainingData {
 impl TrainingData {
     /// Gather timings for `config` from `timer`.
     pub fn gather<T: GemmTimer + ?Sized>(timer: &T, config: &GatherConfig) -> TrainingData {
-        let ladder = config
-            .ladder
-            .clone()
-            .unwrap_or_else(|| ThreadLadder::geometric(timer.max_threads()));
+        let ladder =
+            config.ladder.clone().unwrap_or_else(|| ThreadLadder::geometric(timer.max_threads()));
         let mut sampler = DomainSampler::new(config.cap, config.precision, config.seed);
         if let Some(max_dim) = config.max_dim {
             sampler = sampler.with_dim_bounds(1, max_dim);
@@ -150,9 +148,7 @@ impl TrainingData {
                     .records
                     .iter()
                     .filter(|r| r.shape == shape)
-                    .min_by(|a, b| {
-                        a.runtime_s.partial_cmp(&b.runtime_s).expect("finite runtimes")
-                    })
+                    .min_by(|a, b| a.runtime_s.partial_cmp(&b.runtime_s).expect("finite runtimes"))
                     .expect("every shape has records");
                 (shape, best.threads)
             })
@@ -199,7 +195,7 @@ mod tests {
     fn ladder_respects_max_and_includes_it() {
         let l = ThreadLadder::geometric(96);
         assert_eq!(*l.counts.last().unwrap(), 96);
-        assert!(l.counts.iter().all(|&c| c >= 1 && c <= 96));
+        assert!(l.counts.iter().all(|c| (1..=96).contains(c)));
         assert!(l.counts.windows(2).all(|w| w[0] < w[1]), "ladder not sorted");
         let l = ThreadLadder::geometric(100);
         assert_eq!(*l.counts.last().unwrap(), 100);

@@ -86,24 +86,12 @@ impl InstallConfig {
             grids: vec![
                 (
                     ModelKind::RandomForest,
-                    vec![ModelSpec::RandomForest {
-                        n_trees: 80,
-                        max_depth: 12,
-                        max_features: 0.7,
-                    }],
+                    vec![ModelSpec::RandomForest { n_trees: 80, max_depth: 12, max_features: 0.7 }],
                 ),
-                (
-                    ModelKind::AdaBoost,
-                    vec![ModelSpec::AdaBoost { n_rounds: 40, max_depth: 6 }],
-                ),
+                (ModelKind::AdaBoost, vec![ModelSpec::AdaBoost { n_rounds: 40, max_depth: 6 }]),
                 (
                     ModelKind::XgBoost,
-                    vec![ModelSpec::XgBoost {
-                        n_rounds: 150,
-                        max_depth: 6,
-                        eta: 0.1,
-                        lambda: 1.0,
-                    }],
+                    vec![ModelSpec::XgBoost { n_rounds: 150, max_depth: 6, eta: 0.1, lambda: 1.0 }],
                 ),
                 (
                     ModelKind::LightGbm,
@@ -159,9 +147,8 @@ impl Installation {
             .collect();
         let (train_shape_idx, test_shape_idx) =
             stratified_split(&log_mem, cfg.test_fraction, 10, cfg.seed);
-        let as_set = |idx: &[usize]| -> HashSet<GemmShape> {
-            idx.iter().map(|&i| data.shapes[i]).collect()
-        };
+        let as_set =
+            |idx: &[usize]| -> HashSet<GemmShape> { idx.iter().map(|&i| data.shapes[i]).collect() };
         let train_shapes = as_set(&train_shape_idx);
         let test_shapes_set = as_set(&test_shape_idx);
 
@@ -192,23 +179,17 @@ impl Installation {
         // a 16-rung sweep keeps the per-call evaluation in the tens of
         // microseconds — the regime of the paper's Tables III/IV `t_eval`.
         let candidates_runtime: Vec<u32> = data.ladder.counts.clone();
-        let tuned =
-            train_all_families(&cfg.families, &cfg.grids, &train_set, cfg.folds, cfg.seed)?;
+        let tuned = train_all_families(&cfg.families, &cfg.grids, &train_set, cfg.folds, cfg.seed)?;
 
         // 4. Score every family: NRMSE + measured eval time + estimated
         //    speedups over the held-out shapes.
-        let mut speedup_shapes: Vec<GemmShape> = test_shape_idx
-            .iter()
-            .map(|&i| data.shapes[i])
-            .collect();
+        let mut speedup_shapes: Vec<GemmShape> =
+            test_shape_idx.iter().map(|&i| data.shapes[i]).collect();
         if cfg.max_speedup_shapes > 0 && speedup_shapes.len() > cfg.max_speedup_shapes {
             speedup_shapes.truncate(cfg.max_speedup_shapes);
         }
-        let probes: Vec<(u64, u64, u64)> = speedup_shapes
-            .iter()
-            .take(4)
-            .map(|s| (s.m, s.k, s.n))
-            .collect();
+        let probes: Vec<(u64, u64, u64)> =
+            speedup_shapes.iter().take(4).map(|s| (s.m, s.k, s.n)).collect();
 
         let mut reports = Vec::with_capacity(tuned.len());
         for cand in &tuned {
@@ -240,18 +221,12 @@ impl Installation {
         let best = reports
             .iter()
             .max_by(|a, b| {
-                a.est_mean_speedup
-                    .partial_cmp(&b.est_mean_speedup)
-                    .expect("finite speedups")
+                a.est_mean_speedup.partial_cmp(&b.est_mean_speedup).expect("finite speedups")
             })
             .expect("at least one family");
         let selected = best.kind;
-        let winning_spec = tuned
-            .iter()
-            .find(|c| c.kind == selected)
-            .expect("winner was tuned")
-            .spec
-            .clone();
+        let winning_spec =
+            tuned.iter().find(|c| c.kind == selected).expect("winner was tuned").spec.clone();
         let mut model = winning_spec.build(cfg.seed);
         model.fit(&fitted.dataset.x, &fitted.dataset.y)?;
 
@@ -302,11 +277,7 @@ mod tests {
 
         // The tree-boosting family must beat plain linear regression on
         // this nonlinear response surface.
-        let lin = install
-            .reports
-            .iter()
-            .find(|r| r.kind == ModelKind::LinearRegression)
-            .unwrap();
+        let lin = install.reports.iter().find(|r| r.kind == ModelKind::LinearRegression).unwrap();
         let xgb = install.reports.iter().find(|r| r.kind == ModelKind::XgBoost).unwrap();
         assert!(
             xgb.test_nrmse < lin.test_nrmse,

@@ -19,8 +19,8 @@
 //! `(m, k, n, p)` into a model-ready row.
 
 use adsala_ml::data::{Dataset, Matrix};
-use adsala_ml::preprocess::{CorrelationPruner, LocalOutlierFactor, StandardScaler, YeoJohnson};
 use adsala_ml::preprocess::scaler::LabelScaler;
+use adsala_ml::preprocess::{CorrelationPruner, LocalOutlierFactor, StandardScaler, YeoJohnson};
 use serde::{Deserialize, Serialize};
 
 use crate::features::build_features;
@@ -117,8 +117,7 @@ pub fn fit_preprocess_with(
         .map(|r| build_features(r.shape.m, r.shape.k, r.shape.n, r.threads))
         .collect();
     let x_raw = Matrix::from_rows(&rows);
-    let log_runtime: Vec<f64> =
-        data.records.iter().map(|r| r.runtime_s.max(1e-12).ln()).collect();
+    let log_runtime: Vec<f64> = data.records.iter().map(|r| r.runtime_s.max(1e-12).ln()).collect();
 
     // 2. Yeo-Johnson (identity when ablated: λ = 1 for every feature).
     let yj = if opts.yeo_johnson {
@@ -127,10 +126,12 @@ pub fn fit_preprocess_with(
         YeoJohnson { lambdas: vec![1.0; x_raw.cols()] }
     };
     let x_yj = yj.transform(&x_raw)?;
-    let skew_before: Vec<f64> =
-        (0..x_raw.cols()).map(|j| adsala_ml::preprocess::yeo_johnson::skewness(&x_raw.col(j))).collect();
-    let skew_after: Vec<f64> =
-        (0..x_yj.cols()).map(|j| adsala_ml::preprocess::yeo_johnson::skewness(&x_yj.col(j))).collect();
+    let skew_before: Vec<f64> = (0..x_raw.cols())
+        .map(|j| adsala_ml::preprocess::yeo_johnson::skewness(&x_raw.col(j)))
+        .collect();
+    let skew_after: Vec<f64> = (0..x_yj.cols())
+        .map(|j| adsala_ml::preprocess::yeo_johnson::skewness(&x_yj.col(j)))
+        .collect();
 
     // 3. Standardise.
     let scaler = StandardScaler::fit(&x_yj)?;
@@ -197,9 +198,12 @@ mod tests {
         assert_eq!(f.dataset.x.cols(), f.config.pruner.kept.len());
         assert!(f.dataset.x.all_finite());
         assert!(f.report.rows_after_lof <= f.report.rows_in);
-        assert!(f.report.rows_after_lof as f64 >= 0.8 * f.report.rows_in as f64,
+        assert!(
+            f.report.rows_after_lof as f64 >= 0.8 * f.report.rows_in as f64,
             "LOF removed more than 20% of rows: {} of {}",
-            f.report.rows_in - f.report.rows_after_lof, f.report.rows_in);
+            f.report.rows_in - f.report.rows_after_lof,
+            f.report.rows_in
+        );
     }
 
     #[test]
@@ -207,10 +211,7 @@ mod tests {
         // m*k+k*n+m*n correlates > 0.8 with its constituents in this
         // domain; at least a few of the 17 raw features must go.
         let f = fitted();
-        assert!(
-            f.report.features_kept.len() < f.report.features_in,
-            "no features pruned"
-        );
+        assert!(f.report.features_kept.len() < f.report.features_in, "no features pruned");
         assert!(f.report.features_kept.len() >= 3, "pruning too aggressive");
     }
 
@@ -218,15 +219,10 @@ mod tests {
     fn yeo_johnson_reduces_mean_skewness() {
         // Fig. 4: the transform must de-skew the feature set overall.
         let f = fitted();
-        let mean_abs = |v: &[f64]| {
-            v.iter().map(|s| s.abs()).sum::<f64>() / v.len() as f64
-        };
+        let mean_abs = |v: &[f64]| v.iter().map(|s| s.abs()).sum::<f64>() / v.len() as f64;
         let before = mean_abs(&f.report.skew_before);
         let after = mean_abs(&f.report.skew_after);
-        assert!(
-            after < before * 0.5,
-            "skewness barely improved: {before:.2} -> {after:.2}"
-        );
+        assert!(after < before * 0.5, "skewness barely improved: {before:.2} -> {after:.2}");
     }
 
     #[test]

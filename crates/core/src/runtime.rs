@@ -215,8 +215,7 @@ mod tests {
         let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
         let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 * 0.5).collect();
         let mut c = vec![0.0f32; m * n];
-        let (decision, stats) =
-            g.sgemm_host(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 4);
+        let (decision, stats) = g.sgemm_host(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 4);
         assert!(decision.threads >= 1);
         assert!(stats.threads_used >= 1 && stats.threads_used <= 4);
         // Verify against the naive oracle.

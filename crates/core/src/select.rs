@@ -151,10 +151,8 @@ mod tests {
     fn eval_overhead_lowers_estimates() {
         let (timer, config, model, candidates) = setup();
         let shapes = vec![GemmShape::new(64, 64, 64), GemmShape::new(128, 128, 128)];
-        let no_overhead =
-            estimate_speedups(&model, &config, &candidates, &shapes, &timer, 0.0, 2);
-        let heavy =
-            estimate_speedups(&model, &config, &candidates, &shapes, &timer, 1.0, 2);
+        let no_overhead = estimate_speedups(&model, &config, &candidates, &shapes, &timer, 0.0, 2);
+        let heavy = estimate_speedups(&model, &config, &candidates, &shapes, &timer, 1.0, 2);
         assert!(heavy.est_mean < no_overhead.est_mean);
         // The baseline at max threads is itself tens of milliseconds for
         // these shapes (contention), so only a very large eval overhead is

@@ -127,9 +127,8 @@ mod tests {
 
     fn toy_dataset(n: usize) -> Dataset {
         let mut rng = StdRng::seed_from_u64(80);
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]).collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0] * r[0] - r[1]).collect();
         Dataset::new(Matrix::from_rows(&rows), y).unwrap()
     }

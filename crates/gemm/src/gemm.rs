@@ -100,7 +100,17 @@ pub fn gemm_with_stats<T: Element>(
         // SAFETY: single worker owns the whole of C.
         unsafe {
             subproblem(
-                &a_view, &b_view, c.as_mut_ptr(), ldc, m, n, k, alpha, beta, &blocks, &mut local,
+                &a_view,
+                &b_view,
+                c.as_mut_ptr(),
+                ldc,
+                m,
+                n,
+                k,
+                alpha,
+                beta,
+                &blocks,
+                &mut local,
             );
         }
         collector.absorb(&local);
@@ -116,7 +126,8 @@ pub fn gemm_with_stats<T: Element>(
                     let collector = &collector;
                     scope.spawn(move |_| {
                         let mut local = ThreadLocalStats::default();
-                        let ptr = c_ptr; // move the Send wrapper, not the raw ptr
+                        // Move the Send wrapper, not the raw ptr.
+                        let ptr = c_ptr;
                         // SAFETY: tile (r0..r1) × (c0..c1) is disjoint from
                         // every other worker's tile (ThreadGrid ranges
                         // partition rows and columns), and `c` outlives the
@@ -285,14 +296,23 @@ pub fn gemm_with_stats_pooled<T: Element>(
         // SAFETY: single worker owns the whole of C.
         unsafe {
             subproblem(
-                &a_view, &b_view, c.as_mut_ptr(), ldc, m, n, k, alpha, beta, &blocks, &mut local,
+                &a_view,
+                &b_view,
+                c.as_mut_ptr(),
+                ldc,
+                m,
+                n,
+                k,
+                alpha,
+                beta,
+                &blocks,
+                &mut local,
             );
         }
         collector.absorb(&local);
     } else {
         let c_ptr = SendMutPtr(c.as_mut_ptr());
-        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
-            Vec::with_capacity(grid.count());
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(grid.count());
         for r in 0..grid.rows {
             for col in 0..grid.cols {
                 let (r0, r1) = grid.row_range(r, m);
@@ -397,13 +417,11 @@ mod tests {
     fn assert_close(actual: &[f64], expected: &[f64], tol: f64) {
         assert_eq!(actual.len(), expected.len());
         for (i, (a, e)) in actual.iter().zip(expected).enumerate() {
-            assert!(
-                (a - e).abs() <= tol * (1.0 + e.abs()),
-                "mismatch at {i}: {a} vs {e}"
-            );
+            assert!((a - e).abs() <= tol * (1.0 + e.abs()), "mismatch at {i}: {a} vs {e}");
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the BLAS-style call
     fn check_against_naive(
         m: usize,
         n: usize,
@@ -423,7 +441,21 @@ mod tests {
 
         let call = GemmCall { trans_a: ta, trans_b: tb, m, n, k, threads, blocks: None };
         gemm_with_stats(&call, alpha, &a, ac.max(1), &b, bc.max(1), beta, &mut c, n.max(1));
-        naive_gemm(ta, tb, m, n, k, alpha, &a, ac.max(1), &b, bc.max(1), beta, &mut c_ref, n.max(1));
+        naive_gemm(
+            ta,
+            tb,
+            m,
+            n,
+            k,
+            alpha,
+            &a,
+            ac.max(1),
+            &b,
+            bc.max(1),
+            beta,
+            &mut c_ref,
+            n.max(1),
+        );
         assert_close(&c, &c_ref, 1e-10);
     }
 

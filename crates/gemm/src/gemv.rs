@@ -17,6 +17,7 @@ use std::time::Instant;
 ///
 /// Returns execution statistics (no packing, so only kernel counters are
 /// populated; `kernel_calls` counts row-block dot products).
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub fn gemv_with_stats<T: Element>(
     m: usize,
     n: usize,
@@ -105,6 +106,7 @@ fn row_range<T: Element>(
 }
 
 /// Reference GEMV for tests.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub fn naive_gemv<T: Element>(
     m: usize,
     n: usize,

@@ -127,21 +127,7 @@ mod tests {
         let a = [1.0f32, 0.0, 0.0, 1.0];
         let b = [1.0f32, 2.0, 3.0, 4.0];
         let mut c = [10.0f32, 10.0, 10.0, 10.0];
-        naive_gemm(
-            Transpose::No,
-            Transpose::No,
-            2,
-            2,
-            2,
-            2.0,
-            &a,
-            2,
-            &b,
-            2,
-            0.5,
-            &mut c,
-            2,
-        );
+        naive_gemm(Transpose::No, Transpose::No, 2, 2, 2, 2.0, &a, 2, &b, 2, 0.5, &mut c, 2);
         // 2*A*B + 0.5*C = 2*B + 5
         assert_eq!(c, [7.0, 9.0, 11.0, 13.0]);
     }
@@ -152,21 +138,7 @@ mod tests {
         let a = [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]; // [[1,2,3],[4,5,6]]
         let b = [1.0f64, 0.0, 0.0, 1.0]; // 2x2 identity
         let mut c = vec![0.0f64; 6];
-        naive_gemm(
-            Transpose::Yes,
-            Transpose::No,
-            3,
-            2,
-            2,
-            1.0,
-            &a,
-            3,
-            &b,
-            2,
-            0.0,
-            &mut c,
-            2,
-        );
+        naive_gemm(Transpose::Yes, Transpose::No, 3, 2, 2, 1.0, &a, 3, &b, 2, 0.0, &mut c, 2);
         // Aᵀ = [[1,4],[2,5],[3,6]]
         assert_eq!(c, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
     }
@@ -176,21 +148,7 @@ mod tests {
         let a = [1.0f64, 0.0, 0.0, 1.0];
         let b = [1.0f64, 2.0, 3.0, 4.0]; // stored 2x2
         let mut c = vec![0.0f64; 4];
-        naive_gemm(
-            Transpose::No,
-            Transpose::Yes,
-            2,
-            2,
-            2,
-            1.0,
-            &a,
-            2,
-            &b,
-            2,
-            0.0,
-            &mut c,
-            2,
-        );
+        naive_gemm(Transpose::No, Transpose::Yes, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2);
         // Bᵀ = [[1,3],[2,4]]
         assert_eq!(c, vec![1.0, 3.0, 2.0, 4.0]);
     }
@@ -201,21 +159,7 @@ mod tests {
         let a: [f64; 0] = [];
         let b: [f64; 0] = [];
         let mut c = [2.0f64, 4.0];
-        naive_gemm(
-            Transpose::No,
-            Transpose::No,
-            1,
-            2,
-            0,
-            1.0,
-            &a,
-            1,
-            &b,
-            2,
-            0.5,
-            &mut c,
-            2,
-        );
+        naive_gemm(Transpose::No, Transpose::No, 1, 2, 0, 1.0, &a, 1, &b, 2, 0.5, &mut c, 2);
         assert_eq!(c, [1.0, 2.0]);
     }
 
@@ -226,21 +170,7 @@ mod tests {
         let a = [1.0f64, 1.0]; // 2x1
         let b = [3.0f64]; // 1x1
         let mut c = [0.0f64, 99.0, 0.0, 99.0];
-        naive_gemm(
-            Transpose::No,
-            Transpose::No,
-            2,
-            1,
-            1,
-            1.0,
-            &a,
-            1,
-            &b,
-            1,
-            0.0,
-            &mut c,
-            2,
-        );
+        naive_gemm(Transpose::No, Transpose::No, 2, 1, 1, 1.0, &a, 1, &b, 1, 0.0, &mut c, 2);
         assert_eq!(c, [3.0, 99.0, 3.0, 99.0]);
     }
 }

@@ -31,11 +31,7 @@ struct Latch {
 
 impl Latch {
     fn new(count: usize) -> Self {
-        Self {
-            remaining: Mutex::new(count),
-            done: Condvar::new(),
-            panicked: Mutex::new(None),
-        }
+        Self { remaining: Mutex::new(count), done: Condvar::new(), panicked: Mutex::new(None) }
     }
 
     fn count_down(&self) {

@@ -27,6 +27,7 @@ use std::time::Instant;
 ///
 /// # Panics
 /// Panics if a buffer is too small for its described shape.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub fn syrk_with_stats<T: Element>(
     m: usize,
     k: usize,
@@ -57,7 +58,18 @@ pub fn syrk_with_stats<T: Element>(
         let mut local = ThreadLocalStats::default();
         // SAFETY: single worker owns all of C.
         unsafe {
-            band_subproblem(&a_view, c.as_mut_ptr(), ldc, 0, m, k, alpha, beta, &blocks, &mut local);
+            band_subproblem(
+                &a_view,
+                c.as_mut_ptr(),
+                ldc,
+                0,
+                m,
+                k,
+                alpha,
+                beta,
+                &blocks,
+                &mut local,
+            );
         }
         collector.absorb(&local);
     } else {
@@ -65,7 +77,6 @@ pub fn syrk_with_stats<T: Element>(
         crossbeam::scope(|scope| {
             for b in 0..n_bands {
                 let (r0, r1) = (bands[b], bands[b + 1]);
-                let a_view = a_view;
                 let collector = &collector;
                 scope.spawn(move |_| {
                     let mut local = ThreadLocalStats::default();
@@ -191,11 +202,10 @@ unsafe fn band_subproblem<T: Element>(
                             if max_col == 0 {
                                 continue;
                             }
-                            let row =
-                                std::slice::from_raw_parts_mut(c.add(gi * ldc + j0), max_col);
+                            let row = std::slice::from_raw_parts_mut(c.add(gi * ldc + j0), max_col);
                             for (dj, out) in row.iter_mut().enumerate() {
-                                *out = alpha
-                                    .mul_add_e(acc_row[dj], beta_eff.mul_add_e(*out, T::ZERO));
+                                *out =
+                                    alpha.mul_add_e(acc_row[dj], beta_eff.mul_add_e(*out, T::ZERO));
                             }
                         }
                         stats.kernel_calls += 1;
@@ -211,6 +221,7 @@ unsafe fn band_subproblem<T: Element>(
 }
 
 /// Reference SYRK for the tests: naive lower-triangle update.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub fn naive_syrk<T: Element>(
     m: usize,
     k: usize,

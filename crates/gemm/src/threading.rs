@@ -58,7 +58,8 @@ impl ThreadGrid {
                 }
                 // Tile aspect mismatch: want (m/rows) / (n/cols) ≈ 1.
                 let tile_aspect = (m as f64 / rows as f64) / (n as f64 / cols as f64);
-                let aspect_penalty = if tile_aspect >= 1.0 { tile_aspect } else { 1.0 / tile_aspect };
+                let aspect_penalty =
+                    if tile_aspect >= 1.0 { tile_aspect } else { 1.0 / tile_aspect };
                 // Strongly prefer using more threads; tie-break on aspect.
                 let score = (usable - count) as f64 * 1e6 + aspect_penalty;
                 if score < best_score {

@@ -141,8 +141,8 @@ impl MachineModel {
         // Aggregate copy bandwidth: sockets in play, NUMA-interleave
         // inefficiency, and a per-thread streaming ceiling.
         let interleave_eff = 1.0 / (1.0 + 0.15 * (place.sockets_used - 1) as f64);
-        let bw = (topo.socket_bw() * place.sockets_used as f64 * interleave_eff)
-            .min(p as f64 * 12e9);
+        let bw =
+            (topo.socket_bw() * place.sockets_used as f64 * interleave_eff).min(p as f64 * 12e9);
         let copy_bw_s = copy_bytes / bw;
 
         // Contention floor: allocator locks / page faults / coherence
@@ -163,9 +163,9 @@ impl MachineModel {
 
         // ---- kernel -------------------------------------------------------
         let freq = topo.freq_at(place.cores_used);
-        let smt_factor = 1.0 + (params.smt_gain - 1.0) * (place.smt_occupancy - 1.0).clamp(0.0, 1.0);
-        let capacity =
-            place.cores_used as f64 * topo.core_peak_flops(freq) * smt_factor;
+        let smt_factor =
+            1.0 + (params.smt_gain - 1.0) * (place.smt_occupancy - 1.0).clamp(0.0, 1.0);
+        let capacity = place.cores_used as f64 * topo.core_peak_flops(freq) * smt_factor;
         // Fringe efficiency: ragged edges waste vector lanes; short k
         // never amortises the pipeline ramp.
         let eff_m = tile_m as f64 / (tile_m.div_ceil(params.mr) * params.mr) as f64;
@@ -178,8 +178,8 @@ impl MachineModel {
         // block. SMT siblings hide memory latency, extracting more of the
         // socket bandwidth (this is why a small cluster of memory-bound
         // shapes *does* prefer the full hardware-thread count, Fig. 9a).
-        let smt_mem = 1.0 + (params.smt_mem_gain - 1.0)
-            * (place.smt_occupancy - 1.0).clamp(0.0, 1.0);
+        let smt_mem =
+            1.0 + (params.smt_mem_gain - 1.0) * (place.smt_occupancy - 1.0).clamp(0.0, 1.0);
         let c_traffic = 2.0 * es * (m * n) as f64 * kblocks;
         let mem_time = c_traffic / (bw * smt_mem);
         // Micro-kernel call overhead, parallel across threads.
@@ -377,8 +377,7 @@ mod tests {
                 base.topology.name
             );
             let p_max = base.max_threads();
-            let ratio = core.expected(shape, p_max).total()
-                / thread.expected(shape, p_max).total();
+            let ratio = core.expected(shape, p_max).total() / thread.expected(shape, p_max).total();
             assert!(
                 (0.95..1.05).contains(&ratio),
                 "{}: affinities did not converge at max threads: {ratio}",
@@ -408,10 +407,7 @@ mod tests {
         let avg = model.measure_avg(sq(500), 24, 400);
         // Spikes lift the mean slightly above the noise-free expectation
         // (E[spike] = 1 + prob·scale ≈ 1.03).
-        assert!(
-            (0.95..1.15).contains(&(avg / expected)),
-            "avg {avg} vs expected {expected}"
-        );
+        assert!((0.95..1.15).contains(&(avg / expected)), "avg {avg} vs expected {expected}");
     }
 
     #[test]
@@ -420,10 +416,7 @@ mod tests {
         // believable fractions of node peak.
         let model = MachineModel::setonix();
         let g = model.gflops(sq(4000), 128);
-        assert!(
-            (200.0..8000.0).contains(&g),
-            "Setonix large-GEMM GFLOPS {g} implausible"
-        );
+        assert!((200.0..8000.0).contains(&g), "Setonix large-GEMM GFLOPS {g} implausible");
         let model = MachineModel::gadi();
         let g = model.gflops(sq(4000), 48);
         assert!((50.0..5000.0).contains(&g), "Gadi large-GEMM GFLOPS {g} implausible");
@@ -436,15 +429,9 @@ mod tests {
         assert_eq!(off.max_threads(), 128);
         // At or below the physical core count the machines are identical
         // (SMT only matters once cores are shared)...
-        assert_eq!(
-            on.expected(sq(1000), 128).total(),
-            off.expected(sq(1000), 128).total()
-        );
+        assert_eq!(on.expected(sq(1000), 128).total(), off.expected(sq(1000), 128).total());
         // ...beyond it, the SMT-off machine clamps to 128 threads while
         // the SMT-on machine actually shares cores.
-        assert_ne!(
-            on.expected(sq(1000), 256).total(),
-            off.expected(sq(1000), 256).total()
-        );
+        assert_ne!(on.expected(sq(1000), 256).total(), off.expected(sq(1000), 256).total());
     }
 }

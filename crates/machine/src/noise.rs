@@ -91,10 +91,8 @@ mod tests {
     fn lognormal_factor_near_mean_one() {
         let n = 20_000;
         let sigma = 0.08;
-        let mean: f64 = (0..n)
-            .map(|i| lognormal_factor(combine(&[i, 99]), sigma))
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 =
+            (0..n).map(|i| lognormal_factor(combine(&[i, 99]), sigma)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
     }
 
@@ -113,9 +111,7 @@ mod tests {
     #[test]
     fn spikes_occur_at_roughly_the_requested_rate() {
         let n = 50_000;
-        let spiked = (0..n)
-            .filter(|&i| spike_factor(combine(&[i, 7]), 0.03, 1.0) > 1.0)
-            .count();
+        let spiked = (0..n).filter(|&i| spike_factor(combine(&[i, 7]), 0.03, 1.0) > 1.0).count();
         let rate = spiked as f64 / n as f64;
         assert!((0.02..0.04).contains(&rate), "spike rate {rate}");
     }

@@ -151,9 +151,7 @@ impl GemmTimer for OpTimer {
             // GEMV reads (m, n) from the mapped GemmShape{m, k=n, n=1}.
             BlasOp::Gemv => (shape.m, shape.k),
         };
-        (0..reps)
-            .map(|r| self.model.measure_op(self.op, d1, d2, threads, r))
-            .sum::<f64>()
+        (0..reps).map(|r| self.model.measure_op(self.op, d1, d2, threads, r)).sum::<f64>()
             / reps as f64
     }
 
@@ -197,10 +195,7 @@ mod tests {
         assert!(t8 < t1 * 0.5, "no scaling at all: {t1} -> {t8}");
         // The knee sits where per-thread streaming meets socket bandwidth
         // (~22 threads here): past it, extra threads gain nothing.
-        assert!(
-            t96 > t32 * 0.8,
-            "GEMV kept scaling past the bandwidth knee: t32={t32} t96={t96}"
-        );
+        assert!(t96 > t32 * 0.8, "GEMV kept scaling past the bandwidth knee: t32={t32} t96={t96}");
     }
 
     #[test]

@@ -82,8 +82,6 @@ mod tests {
         // Cascade Lake's AVX-512 licence swing is larger than Zen 3's.
         let s = setonix();
         let g = gadi();
-        assert!(
-            g.freq_boost_hz / g.freq_allcore_hz > s.freq_boost_hz / s.freq_allcore_hz
-        );
+        assert!(g.freq_boost_hz / g.freq_allcore_hz > s.freq_boost_hz / s.freq_allcore_hz);
     }
 }

@@ -68,9 +68,7 @@ pub struct HostTimer {
 
 impl Default for HostTimer {
     fn default() -> Self {
-        let available = std::thread::available_parallelism()
-            .map(|n| n.get() as u32)
-            .unwrap_or(1);
+        let available = std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(1);
         Self { max_threads: available }
     }
 }
@@ -89,9 +87,10 @@ impl GemmTimer for HostTimer {
         let n = shape.n as usize;
         let fill = |len: usize, seed: u32| -> Vec<f32> {
             (0..len)
-                .map(|i| ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32
-                    / 500.0
-                    - 1.0)
+                .map(|i| {
+                    ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32 / 500.0
+                        - 1.0
+                })
                 .collect()
         };
         let a = fill(m * k, 1);

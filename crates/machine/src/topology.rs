@@ -141,9 +141,11 @@ impl Placement {
         // domains in proportion to cores used per socket.
         let cores_per_used_socket = cores_used.div_ceil(sockets_used);
         let groups_per_l3 = topo.cores_per_socket.div_ceil(topo.l3_groups_per_socket);
-        let l3_per_socket = cores_per_used_socket.div_ceil(groups_per_l3).min(topo.l3_groups_per_socket);
+        let l3_per_socket =
+            cores_per_used_socket.div_ceil(groups_per_l3).min(topo.l3_groups_per_socket);
         let cores_per_numa = topo.cores_per_socket.div_ceil(topo.numa_per_socket);
-        let numa_per_socket = cores_per_used_socket.div_ceil(cores_per_numa).min(topo.numa_per_socket);
+        let numa_per_socket =
+            cores_per_used_socket.div_ceil(cores_per_numa).min(topo.numa_per_socket);
         Placement {
             threads: p,
             cores_used,

@@ -164,11 +164,7 @@ impl Dataset {
     /// Fails if the label length does not match the row count.
     pub fn new(x: Matrix, y: Vec<f64>) -> Result<Self, MlError> {
         if x.rows() != y.len() {
-            return Err(MlError::BadShape(format!(
-                "{} rows but {} labels",
-                x.rows(),
-                y.len()
-            )));
+            return Err(MlError::BadShape(format!("{} rows but {} labels", x.rows(), y.len())));
         }
         Ok(Self { x, y })
     }
@@ -185,10 +181,7 @@ impl Dataset {
 
     /// Subset by row indices.
     pub fn select(&self, idx: &[usize]) -> Dataset {
-        Dataset {
-            x: self.x.select_rows(idx),
-            y: idx.iter().map(|&i| self.y[i]).collect(),
-        }
+        Dataset { x: self.x.select_rows(idx), y: idx.iter().map(|&i| self.y[i]).collect() }
     }
 }
 
@@ -278,9 +271,8 @@ mod tests {
     use super::*;
 
     fn toy_dataset(n: usize) -> Dataset {
-        let x = Matrix::from_rows(
-            &(0..n).map(|i| vec![i as f64, (i * i) as f64]).collect::<Vec<_>>(),
-        );
+        let x =
+            Matrix::from_rows(&(0..n).map(|i| vec![i as f64, (i * i) as f64]).collect::<Vec<_>>());
         let y: Vec<f64> = (0..n).map(|i| i as f64).collect();
         Dataset::new(x, y).unwrap()
     }
@@ -355,10 +347,7 @@ mod tests {
     #[test]
     fn stratified_split_deterministic() {
         let ds = toy_dataset(100);
-        assert_eq!(
-            stratified_split(&ds.y, 0.25, 5, 11),
-            stratified_split(&ds.y, 0.25, 5, 11)
-        );
+        assert_eq!(stratified_split(&ds.y, 0.25, 5, 11), stratified_split(&ds.y, 0.25, 5, 11));
     }
 
     #[test]
@@ -366,7 +355,7 @@ mod tests {
         let y: Vec<f64> = (0..97).map(|i| i as f64).collect();
         let folds = KFold::new(5, 1).split(&y);
         assert_eq!(folds.len(), 5);
-        let mut seen = vec![false; 97];
+        let mut seen = [false; 97];
         for (train, val) in &folds {
             assert_eq!(train.len() + val.len(), 97);
             for &i in val {

@@ -17,8 +17,8 @@ pub fn gram(x: &Matrix) -> Matrix {
             if xi == 0.0 {
                 continue;
             }
-            for j in i..d {
-                *g.get_mut(i, j) += xi * row[j];
+            for (j, &xj) in row.iter().enumerate().skip(i) {
+                *g.get_mut(i, j) += xi * xj;
             }
         }
     }
@@ -64,9 +64,7 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, MlError> {
             }
             if i == j {
                 if sum <= 0.0 || !sum.is_finite() {
-                    return Err(MlError::Numeric(format!(
-                        "non-positive pivot {sum} at {i}"
-                    )));
+                    return Err(MlError::Numeric(format!("non-positive pivot {sum} at {i}")));
                 }
                 l.set(i, j, sum.sqrt());
             } else {
@@ -100,8 +98,8 @@ pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MlError> {
                 let mut z = vec![0.0; n];
                 for i in 0..n {
                     let mut s = b[i];
-                    for j in 0..i {
-                        s -= l.get(i, j) * z[j];
+                    for (j, &zj) in z.iter().enumerate().take(i) {
+                        s -= l.get(i, j) * zj;
                     }
                     z[i] = s / l.get(i, i);
                 }
@@ -109,8 +107,8 @@ pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MlError> {
                 let mut x = vec![0.0; n];
                 for i in (0..n).rev() {
                     let mut s = z[i];
-                    for j in i + 1..n {
-                        s -= l.get(j, i) * x[j];
+                    for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                        s -= l.get(j, i) * xj;
                     }
                     x[i] = s / l.get(i, i);
                 }
@@ -130,9 +128,7 @@ pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MlError> {
 /// Dense mat-vec: `A·v`.
 pub fn matvec(a: &Matrix, v: &[f64]) -> Vec<f64> {
     assert_eq!(a.cols(), v.len(), "dimension mismatch");
-    a.row_iter()
-        .map(|row| row.iter().zip(v).map(|(&r, &x)| r * x).sum())
-        .collect()
+    a.row_iter().map(|row| row.iter().zip(v).map(|(&r, &x)| r * x).sum()).collect()
 }
 
 /// Dot product.

@@ -7,12 +7,8 @@
 pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len(), "length mismatch");
     assert!(!pred.is_empty(), "empty input");
-    let mse = pred
-        .iter()
-        .zip(truth)
-        .map(|(&p, &t)| (p - t) * (p - t))
-        .sum::<f64>()
-        / pred.len() as f64;
+    let mse =
+        pred.iter().zip(truth).map(|(&p, &t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64;
     mse.sqrt()
 }
 

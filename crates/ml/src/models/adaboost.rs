@@ -41,7 +41,7 @@ impl Default for AdaBoostR2 {
 
 /// Weighted median of `(value, weight)` pairs: smallest value whose
 /// cumulative weight reaches half the total.
-fn weighted_median(pairs: &mut Vec<(f64, f64)>) -> f64 {
+fn weighted_median(pairs: &mut [(f64, f64)]) -> f64 {
     debug_assert!(!pairs.is_empty());
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite predictions"));
     let total: f64 = pairs.iter().map(|p| p.1).sum();
@@ -93,9 +93,8 @@ impl Regressor for AdaBoostR2 {
             tree.fit_on(x, y, &sample)?;
 
             // Linear loss normalised by the largest error.
-            let errors: Vec<f64> = (0..n)
-                .map(|i| (tree.predict_row(x.row(i)) - y[i]).abs())
-                .collect();
+            let errors: Vec<f64> =
+                (0..n).map(|i| (tree.predict_row(x.row(i)) - y[i]).abs()).collect();
             let max_err = errors.iter().cloned().fold(0.0f64, f64::max);
             if max_err == 0.0 {
                 // Perfect stage: give it a large weight and stop.
@@ -103,12 +102,9 @@ impl Regressor for AdaBoostR2 {
                 self.stage_weights.push(10.0);
                 break;
             }
-            let avg_loss: f64 = errors
-                .iter()
-                .zip(&weights)
-                .map(|(&e, &w)| (e / max_err) * w)
-                .sum::<f64>()
-                / weights.iter().sum::<f64>();
+            let avg_loss: f64 =
+                errors.iter().zip(&weights).map(|(&e, &w)| (e / max_err) * w).sum::<f64>()
+                    / weights.iter().sum::<f64>();
             if avg_loss >= 0.5 {
                 // Weak learner no better than chance: stop (keep at least
                 // one stage so the model is usable).
@@ -178,10 +174,7 @@ mod tests {
         boosted.fit(&x, &y).unwrap();
         let weak_rmse = rmse(&weak.predict(&xt), &yt);
         let boosted_rmse = rmse(&boosted.predict(&xt), &yt);
-        assert!(
-            boosted_rmse < weak_rmse,
-            "boosting did not help: {boosted_rmse} vs {weak_rmse}"
-        );
+        assert!(boosted_rmse < weak_rmse, "boosting did not help: {boosted_rmse} vs {weak_rmse}");
     }
 
     #[test]

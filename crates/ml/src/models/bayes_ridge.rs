@@ -102,11 +102,7 @@ impl Regressor for BayesianRidge {
             alpha = gamma / w_norm_sq.max(1e-12);
             beta = (nf - gamma).max(1.0) / resid.max(1e-12);
 
-            let delta = w_new
-                .iter()
-                .zip(&w)
-                .map(|(&a, &b)| (a - b).abs())
-                .fold(0.0f64, f64::max);
+            let delta = w_new.iter().zip(&w).map(|(&a, &b)| (a - b).abs()).fold(0.0f64, f64::max);
             w = w_new;
             if delta < self.tol {
                 break;
@@ -153,8 +149,7 @@ mod tests {
         use rand::Rng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(8);
-        let rows: Vec<Vec<f64>> =
-            (0..300).map(|_| vec![rng.gen_range(-3.0..3.0)]).collect();
+        let rows: Vec<Vec<f64>> = (0..300).map(|_| vec![rng.gen_range(-3.0..3.0)]).collect();
         // Noise std 0.5 -> precision β ≈ 1/0.25 = 4.
         let y: Vec<f64> = rows
             .iter()
@@ -162,11 +157,7 @@ mod tests {
             .collect();
         let mut m = BayesianRidge::default();
         m.fit(&Matrix::from_rows(&rows), &y).unwrap();
-        assert!(
-            (1.0..16.0).contains(&m.beta),
-            "noise precision {} far from expected ≈4",
-            m.beta
-        );
+        assert!((1.0..16.0).contains(&m.beta), "noise precision {} far from expected ≈4", m.beta);
     }
 
     #[test]

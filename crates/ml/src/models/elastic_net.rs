@@ -91,9 +91,8 @@ impl Regressor for ElasticNet {
         let yc: Vec<f64> = y.iter().map(|&v| v - y_mean).collect();
 
         // Per-feature squared norms (constant across sweeps).
-        let col_sq: Vec<f64> = (0..d)
-            .map(|j| (0..n).map(|i| xc.get(i, j) * xc.get(i, j)).sum::<f64>() / nf)
-            .collect();
+        let col_sq: Vec<f64> =
+            (0..d).map(|j| (0..n).map(|i| xc.get(i, j) * xc.get(i, j)).sum::<f64>() / nf).collect();
 
         let l1 = self.alpha * self.l1_ratio;
         let l2 = self.alpha * (1.0 - self.l1_ratio);
@@ -110,15 +109,15 @@ impl Regressor for ElasticNet {
                 let wj = w[j];
                 // ρ_j = (1/n)·Σ x_ij·(r_i + x_ij·w_j)
                 let mut rho = 0.0;
-                for i in 0..n {
-                    rho += xc.get(i, j) * resid[i];
+                for (i, &r) in resid.iter().enumerate() {
+                    rho += xc.get(i, j) * r;
                 }
                 rho = rho / nf + col_sq[j] * wj;
                 let new_wj = soft_threshold(rho, l1) / (col_sq[j] + l2);
                 let delta = new_wj - wj;
                 if delta != 0.0 {
-                    for i in 0..n {
-                        resid[i] -= delta * xc.get(i, j);
+                    for (i, r) in resid.iter_mut().enumerate() {
+                        *r -= delta * xc.get(i, j);
                     }
                     w[j] = new_wj;
                     max_delta = max_delta.max(delta.abs());
@@ -186,9 +185,8 @@ mod tests {
         use rand::Rng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(4);
-        let rows: Vec<Vec<f64>> = (0..150)
-            .map(|_| (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..150).map(|_| (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
         let y: Vec<f64> = rows.iter().map(|r| 5.0 * r[0]).collect();
         let mut m = ElasticNet::new(0.1, 1.0);
         m.fit(&Matrix::from_rows(&rows), &y).unwrap();

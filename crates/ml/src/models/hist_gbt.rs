@@ -134,9 +134,8 @@ impl HistGradientBoosting {
     ) -> Option<(f64, usize, usize, f64)> {
         let h_sum = rows.len() as f64;
         let parent_obj = g_sum * g_sum / (h_sum + self.lambda);
-        let d = binned.len();
         let mut best: Option<(f64, usize, usize, f64)> = None;
-        for f in 0..d {
+        for (f, col) in binned.iter().enumerate() {
             let n_bins = mapper.n_bins(f);
             if n_bins < 2 {
                 continue;
@@ -144,7 +143,6 @@ impl HistGradientBoosting {
             // Histogram of gradient sums and counts per bin.
             let mut hist_g = vec![0.0f64; n_bins];
             let mut hist_n = vec![0u32; n_bins];
-            let col = &binned[f];
             for &r in rows {
                 let b = col[r] as usize;
                 hist_g[b] += g[r];
@@ -163,16 +161,14 @@ impl HistGradientBoosting {
                 if nr == 0 {
                     break;
                 }
-                if (nl as usize) < self.min_data_in_leaf || (nr as usize) < self.min_data_in_leaf
-                {
+                if (nl as usize) < self.min_data_in_leaf || (nr as usize) < self.min_data_in_leaf {
                     continue;
                 }
                 let gr = g_sum - gl;
                 let hl = nl as f64;
                 let hr = nr as f64;
                 let gain = 0.5
-                    * (gl * gl / (hl + self.lambda) + gr * gr / (hr + self.lambda)
-                        - parent_obj);
+                    * (gl * gl / (hl + self.lambda) + gr * gr / (hr + self.lambda) - parent_obj);
                 if gain > best.map_or(1e-12, |(b, _, _, _)| b) {
                     best = Some((gain, f, b, mapper.edges[f][b]));
                 }
@@ -181,13 +177,7 @@ impl HistGradientBoosting {
         best
     }
 
-    fn grow_tree(
-        &self,
-        binned: &[Vec<u16>],
-        mapper: &BinMapper,
-        g: &[f64],
-        n: usize,
-    ) -> Vec<Node> {
+    fn grow_tree(&self, binned: &[Vec<u16>], mapper: &BinMapper, g: &[f64], n: usize) -> Vec<Node> {
         let mut nodes = Vec::new();
         let all_rows: Vec<usize> = (0..n).collect();
         let g_sum: f64 = g.iter().sum();
@@ -224,10 +214,8 @@ impl HistGradientBoosting {
             let leaf = leaves.swap_remove(pos);
             let (_, feature, _bin, threshold) = leaf.best.expect("selected leaf has a split");
 
-            let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = leaf
-                .rows
-                .iter()
-                .partition(|&&r| (binned[feature][r] as usize) <= _bin);
+            let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+                leaf.rows.iter().partition(|&&r| (binned[feature][r] as usize) <= _bin);
             debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
 
             let gl: f64 = left_rows.iter().map(|&r| g[r]).sum();
@@ -324,8 +312,7 @@ impl Regressor for HistGradientBoosting {
 
     fn predict_row(&self, row: &[f64]) -> f64 {
         debug_assert!(!self.trees.is_empty(), "predict before fit");
-        self.base_score
-            + self.trees.iter().map(|t| Self::predict_tree(t, row)).sum::<f64>()
+        self.base_score + self.trees.iter().map(|t| Self::predict_tree(t, row)).sum::<f64>()
     }
 
     fn is_fitted(&self) -> bool {

@@ -197,18 +197,14 @@ mod tests {
 
     fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
-            .collect()
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect()).collect()
     }
 
     fn brute_nearest(points: &[Vec<f64>], q: &[f64], k: usize) -> Vec<usize> {
         let mut d: Vec<(f64, usize)> = points
             .iter()
             .enumerate()
-            .map(|(i, p)| {
-                (p.iter().zip(q).map(|(&a, &b)| (a - b) * (a - b)).sum::<f64>(), i)
-            })
+            .map(|(i, p)| (p.iter().zip(q).map(|(&a, &b)| (a - b) * (a - b)).sum::<f64>(), i))
             .collect();
         d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         d.into_iter().take(k).map(|(_, i)| i).collect()

@@ -216,18 +216,13 @@ pub(crate) mod test_support {
         let mut rng = StdRng::seed_from_u64(seed);
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|_| {
-                vec![
-                    rng.gen_range(-2.0..2.0),
-                    rng.gen_range(-2.0..2.0),
-                    rng.gen_range(-2.0..2.0),
-                ]
+                vec![rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)]
             })
             .collect();
         let y: Vec<f64> = rows
             .iter()
             .map(|r| {
-                r[0] * r[0] + 2.0 * (r[1] * 3.0).sin() + 0.5 * r[2]
-                    + rng.gen_range(-0.05..0.05)
+                r[0] * r[0] + 2.0 * (r[1] * 3.0).sin() + 0.5 * r[2] + rng.gen_range(-0.05..0.05)
             })
             .collect();
         (Matrix::from_rows(&rows), y)
@@ -236,9 +231,8 @@ pub(crate) mod test_support {
     /// Deterministic linear problem: `y = 3·x0 − 2·x1 + 1 + noise`.
     pub fn linear_dataset(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)]).collect();
         let y: Vec<f64> = rows
             .iter()
             .map(|r| 3.0 * r[0] - 2.0 * r[1] + 1.0 + rng.gen_range(-0.01..0.01))

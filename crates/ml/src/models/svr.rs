@@ -168,9 +168,7 @@ mod tests {
     use crate::metrics::r2;
 
     fn sine_dataset(n: usize) -> (Matrix, Vec<f64>) {
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![i as f64 / n as f64 * 6.0 - 3.0])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64 * 6.0 - 3.0]).collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0].sin()).collect();
         (Matrix::from_rows(&rows), y)
     }
@@ -194,10 +192,7 @@ mod tests {
         };
         let tight = fit_sv(0.001);
         let loose = fit_sv(0.2);
-        assert!(
-            loose < tight,
-            "wider tube should give fewer support vectors: {loose} vs {tight}"
-        );
+        assert!(loose < tight, "wider tube should give fewer support vectors: {loose} vs {tight}");
     }
 
     #[test]

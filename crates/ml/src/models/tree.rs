@@ -6,9 +6,9 @@
 //! scans split points accumulating left/right label sums — `O(d·n·log n)`
 //! per node, plenty for the paper's ~10³-sample datasets.
 //!
-//! The same builder powers [`crate::models::RandomForest`] (bootstrap rows
-//! + per-split feature subsampling) and [`crate::models::AdaBoostR2`]
-//! (weighted resampling).
+//! The same builder powers [`crate::models::RandomForest`] (bootstrap
+//! rows plus per-split feature subsampling) and
+//! [`crate::models::AdaBoostR2`] (weighted resampling).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -360,11 +360,7 @@ mod tests {
     fn feature_subsampling_is_deterministic_per_seed() {
         let (x, y) = nonlinear_dataset(150, 14);
         let fit = |seed: u64| {
-            let mut t = DecisionTree {
-                max_features: Some(0.5),
-                seed,
-                ..DecisionTree::default()
-            };
+            let mut t = DecisionTree { max_features: Some(0.5), seed, ..DecisionTree::default() };
             t.fit(&x, &y).unwrap();
             t.predict(&x)
         };

@@ -70,10 +70,7 @@ impl CorrelationPruner {
                     if !alive[i] {
                         return 0.0;
                     }
-                    (0..d)
-                        .filter(|&j| j != i && alive[j])
-                        .map(|j| corr.get(i, j).abs())
-                        .sum()
+                    (0..d).filter(|&j| j != i && alive[j]).map(|j| corr.get(i, j).abs()).sum()
                 })
                 .collect();
             // Worst offending pair among alive features.
@@ -82,8 +79,8 @@ impl CorrelationPruner {
                 if !alive[i] {
                     continue;
                 }
-                for j in i + 1..d {
-                    if !alive[j] {
+                for (j, &alive_j) in alive.iter().enumerate().skip(i + 1) {
+                    if !alive_j {
                         continue;
                     }
                     let c = corr.get(i, j).abs();
@@ -142,8 +139,7 @@ mod tests {
             8,
             2,
             vec![
-                1.0, 1.0, 2.0, -1.0, 3.0, 1.0, 4.0, -1.0, 5.0, 1.0, 6.0, -1.0, 7.0, 1.0, 8.0,
-                -1.0,
+                1.0, 1.0, 2.0, -1.0, 3.0, 1.0, 4.0, -1.0, 5.0, 1.0, 6.0, -1.0, 7.0, 1.0, 8.0, -1.0,
             ],
         );
         let c = correlation_matrix(&x);
@@ -212,9 +208,8 @@ mod tests {
 
     #[test]
     fn uncorrelated_features_all_kept() {
-        let rows: Vec<Vec<f64>> = (0..30)
-            .map(|i| vec![i as f64, if i % 2 == 0 { 1.0 } else { -1.0 }])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..30).map(|i| vec![i as f64, if i % 2 == 0 { 1.0 } else { -1.0 }]).collect();
         let x = Matrix::from_rows(&rows);
         let p = CorrelationPruner::fit(&x, 0.8).unwrap();
         assert_eq!(p.kept, vec![0, 1]);

@@ -41,10 +41,7 @@ impl LocalOutlierFactor {
     pub fn scores(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
         let n = x.rows();
         if n <= self.k {
-            return Err(MlError::BadShape(format!(
-                "need more than k={} samples, got {n}",
-                self.k
-            )));
+            return Err(MlError::BadShape(format!("need more than k={} samples, got {n}", self.k)));
         }
 
         // Pairwise distances; only k smallest per row are kept.
@@ -55,11 +52,7 @@ impl LocalOutlierFactor {
                 .filter(|&j| j != i)
                 .map(|j| {
                     let rj = x.row(j);
-                    let d2: f64 = ri
-                        .iter()
-                        .zip(rj)
-                        .map(|(&a, &b)| (a - b) * (a - b))
-                        .sum();
+                    let d2: f64 = ri.iter().zip(rj).map(|(&a, &b)| (a - b) * (a - b)).sum();
                     (d2.sqrt(), j)
                 })
                 .collect();
@@ -91,8 +84,7 @@ impl LocalOutlierFactor {
             .iter()
             .enumerate()
             .map(|(i, nb)| {
-                let mean_nb: f64 =
-                    nb.iter().map(|&(_, j)| lrd[j]).sum::<f64>() / nb.len() as f64;
+                let mean_nb: f64 = nb.iter().map(|&(_, j)| lrd[j]).sum::<f64>() / nb.len() as f64;
                 mean_nb / lrd[i]
             })
             .collect())

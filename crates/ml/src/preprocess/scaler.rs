@@ -25,11 +25,7 @@ impl StandardScaler {
             return Err(MlError::BadShape("empty matrix".into()));
         }
         let means = x.col_means();
-        let stds = x
-            .col_stds()
-            .into_iter()
-            .map(|s| if s > 0.0 { s } else { 1.0 })
-            .collect();
+        let stds = x.col_stds().into_iter().map(|s| if s > 0.0 { s } else { 1.0 }).collect();
         Ok(Self { means, stds })
     }
 

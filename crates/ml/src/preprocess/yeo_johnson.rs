@@ -255,11 +255,7 @@ mod tests {
         let xs: Vec<f64> = (0..400).map(|i| ((i % 21) as f64 - 10.0) / 3.0).collect();
         let x = Matrix::from_rows(&xs.iter().map(|&v| vec![v]).collect::<Vec<_>>());
         let yj = YeoJohnson::fit(&x).unwrap();
-        assert!(
-            (yj.lambdas[0] - 1.0).abs() < 0.35,
-            "expected λ≈1, got {}",
-            yj.lambdas[0]
-        );
+        assert!((yj.lambdas[0] - 1.0).abs() < 0.35, "expected λ≈1, got {}", yj.lambdas[0]);
     }
 
     #[test]

@@ -141,9 +141,7 @@ impl ModelSpec {
             ModelKind::AdaBoost => [30, 60]
                 .iter()
                 .flat_map(|&n_rounds| {
-                    [4, 6]
-                        .iter()
-                        .map(move |&max_depth| ModelSpec::AdaBoost { n_rounds, max_depth })
+                    [4, 6].iter().map(move |&max_depth| ModelSpec::AdaBoost { n_rounds, max_depth })
                 })
                 .collect(),
             ModelKind::XgBoost => [100, 200]
@@ -170,11 +168,7 @@ impl ModelSpec {
             ModelKind::Svr => [1.0, 10.0]
                 .iter()
                 .flat_map(|&c| {
-                    [0.1, 0.5].iter().map(move |&gamma| ModelSpec::Svr {
-                        c,
-                        epsilon: 0.05,
-                        gamma,
-                    })
+                    [0.1, 0.5].iter().map(move |&gamma| ModelSpec::Svr { c, epsilon: 0.05, gamma })
                 })
                 .collect(),
             ModelKind::Knn => [3, 5, 9]
@@ -248,10 +242,7 @@ impl GridSearch {
             .expect("non-empty grid");
         let mut model = best_spec.build(self.seed);
         model.fit(&data.x, &data.y)?;
-        Ok((
-            TuneResult { spec: best_spec, cv_rmse: best_score, trials },
-            model,
-        ))
+        Ok((TuneResult { spec: best_spec, cv_rmse: best_score, trials }, model))
     }
 
     /// Tune the default grid of one family.
@@ -315,11 +306,8 @@ mod tests {
         ];
         let (result, model) = GridSearch::default().tune(&grid, &data).unwrap();
         assert_eq!(result.trials.len(), 2);
-        let best_trial = result
-            .trials
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap();
+        let best_trial =
+            result.trials.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
         assert_eq!(result.spec, best_trial.0);
         assert!(model.is_fitted());
     }

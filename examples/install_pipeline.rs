@@ -7,10 +7,10 @@
 //! cargo run --release --example install_pipeline
 //! ```
 
+use adsala::feature_names;
 use adsala::gather::{GatherConfig, TrainingData};
 use adsala::install::{InstallConfig, Installation};
 use adsala::preprocess::fit_preprocess;
-use adsala::feature_names;
 use adsala_machine::{GemmTimer, MachineModel, SimTimer};
 use adsala_sampling::Precision;
 
@@ -33,11 +33,7 @@ fn main() {
         data.ladder.len(),
         data.max_threads
     );
-    let small = data
-        .shapes
-        .iter()
-        .filter(|s| s.memory_bytes(Precision::F32) < 100_000_000)
-        .count();
+    let small = data.shapes.iter().filter(|s| s.memory_bytes(Precision::F32) < 100_000_000).count();
     println!("  -> {small} of {} shapes sit in the 0-100 MB band", data.shapes.len());
     let optimal = data.optimal_threads();
     let sub_half = optimal.iter().filter(|(_, p)| *p < data.max_threads / 2).count();
@@ -53,12 +49,7 @@ fn main() {
         "  -> {} rows in, {} after LOF outlier removal",
         fitted.report.rows_in, fitted.report.rows_after_lof
     );
-    let kept: Vec<&str> = fitted
-        .report
-        .features_kept
-        .iter()
-        .map(|&i| feature_names()[i])
-        .collect();
+    let kept: Vec<&str> = fitted.report.features_kept.iter().map(|&i| feature_names()[i]).collect();
     println!(
         "  -> {} of {} features survive correlation pruning: {:?}",
         kept.len(),

@@ -57,19 +57,12 @@ fn main() {
             p *= 2;
         }
         let opt = model.optimal_threads(shape);
-        println!(
-            "optimal: {} threads ({:.3} ms)\n",
-            opt,
-            model.expected(shape, opt).total() * 1e3
-        );
+        println!("optimal: {} threads ({:.3} ms)\n", opt, model.expected(shape, opt).total() * 1e3);
     }
 
     // Where do threads land under each affinity policy?
     println!("--- thread placement ---");
-    println!(
-        "{:>8} {:>22} {:>22}",
-        "threads", "core-based", "thread-based"
-    );
+    println!("{:>8} {:>22} {:>22}", "threads", "core-based", "thread-based");
     let mut p = 2;
     while p <= model.max_threads() {
         let a = Placement::place(topo, p, Affinity::CoreBased);

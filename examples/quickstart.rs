@@ -58,8 +58,7 @@ fn main() {
     let a = vec![1.0f32; m * k];
     let b = vec![0.5f32; k * n];
     let mut c = vec![0.0f32; m * n];
-    let (decision, stats) =
-        gemm.sgemm_host(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, host_cores);
+    let (decision, stats) = gemm.sgemm_host(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, host_cores);
     println!(
         "host SGEMM {m}x{k}x{n}: ML chose {} threads, ran on {} ({} kernel calls, {:.2} MB packed)",
         decision.threads,

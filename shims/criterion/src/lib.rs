@@ -1,0 +1,217 @@
+//! Offline stand-in for `criterion`, used because crates.io is unreachable
+//! in this build environment.
+//!
+//! Implements the group/bench API surface the workspace's benches use and
+//! measures with plain wall-clock timing: a short warm-up, then batches
+//! until a fixed time budget (scaled down by `sample_size`) is spent.
+//! There is no statistical analysis or HTML report — results print as
+//! one line per benchmark, with throughput rates when configured.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use hint::black_box;
+
+/// Throughput basis for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { repr: format!("{function_name}/{parameter}") }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { repr: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.repr)
+    }
+}
+
+/// Benchmark driver handed to bench closures; call [`Bencher::iter`].
+pub struct Bencher {
+    budget: Duration,
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly and record the mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call (also triggers lazy setup).
+        hint::black_box(routine());
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let mut batch: u64 = 1;
+        while elapsed < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+            // Grow batches so cheap routines are not timer-bound.
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.measured = Some((elapsed, iters));
+    }
+}
+
+/// Top-level harness handle; create groups with
+/// [`Criterion::benchmark_group`].
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: Duration::from_millis(120) }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), budget: self.budget, throughput: None }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let budget = self.budget;
+        run_one("", budget, None, id, f);
+    }
+}
+
+/// A named group of benchmarks sharing throughput configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the throughput basis for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Scale the per-benchmark time budget (criterion's sample count
+    /// maps onto wall-clock budget here; smaller = faster).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let n = n.max(10) as u32;
+        self.budget = Duration::from_millis(u64::from(n.min(100)) * 2);
+        self
+    }
+
+    /// Benchmark a closure under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_one(&self.name, self.budget, self.throughput, id, f);
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, self.budget, self.throughput, id, |b| f(b, input));
+    }
+
+    /// Close the group (prints nothing extra; parity with criterion).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    id: impl Display,
+    mut f: F,
+) {
+    let mut bencher = Bencher { budget, measured: None };
+    f(&mut bencher);
+    let full_name = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    match bencher.measured {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:.3} Melem/s", n as f64 / per_iter / 1e6)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  {:.3} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+                }
+                None => String::new(),
+            };
+            println!("{full_name:<48} time: {}{rate}", format_time(per_iter));
+        }
+        _ => println!("{full_name:<48} (no measurement: Bencher::iter not called)"),
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each collected group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; this shim ignores
+            // every CLI argument.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion { budget: Duration::from_millis(5) };
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

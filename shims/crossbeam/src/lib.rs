@@ -1,0 +1,165 @@
+//! Offline stand-in for `crossbeam`, used because crates.io is unreachable
+//! in this build environment.
+//!
+//! * [`scope`] wraps `std::thread::scope` behind crossbeam's
+//!   `Result`-returning API (child panics surface as `Err`, not a direct
+//!   unwind through the caller).
+//! * [`channel::unbounded`] is an MPMC channel built from `std::sync::mpsc`
+//!   with a mutex-shared receiver — the textbook worker-pool construction.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle passed to the [`scope`] closure; spawns borrowing threads.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. Mirrors crossbeam by handing the closure a
+    /// scope reference (commonly ignored as `|_|`). The join handle is
+    /// managed by the scope itself, so none is returned.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || {
+            f(&scope);
+        });
+    }
+}
+
+/// Create a scope for spawning threads that borrow from the caller's stack.
+/// All spawned threads are joined before this returns; a panicking child
+/// turns into `Err(payload)` like crossbeam's version.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(Scope { inner: s }))))
+}
+
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex};
+
+    /// Receiving failed: every sender was dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Sending failed: every receiver was dropped. Carries the message back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Producer half; clone freely across threads.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Consumer half; clone freely across threads (competing consumers).
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: Arc::new(Mutex::new(rx)) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let mut data = vec![0u32; 4];
+        let chunks: Vec<&mut u32> = data.iter_mut().collect();
+        super::scope(|s| {
+            for (i, slot) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| *slot = i as u32 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_reports_child_panic_as_err() {
+        let result = super::scope(|s| {
+            s.spawn(|_| panic!("child failure"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn channel_fans_out_to_competing_consumers() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let done = &done;
+                s.spawn(move || {
+                    while rx.recv().is_ok() {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for i in 0..30 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 30);
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline stand-in for `parking_lot`, used because crates.io is
+//! unreachable in this build environment.
+//!
+//! Wraps `std::sync` primitives behind parking_lot's poison-free API:
+//! `lock()` returns the guard directly, and `Condvar::wait` takes the
+//! guard by `&mut`. Poisoned std locks are recovered with `into_inner`
+//! rather than propagated, matching parking_lot's no-poisoning semantics.
+
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// A mutex whose `lock` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T> {
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    /// Acquire the lock, recovering (not propagating) poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard { inner: self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner) }
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A condition variable matching parking_lot's `&mut guard` wait API.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    /// Atomically release the lock and block until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // std's wait consumes and returns the guard; parking_lot's mutates
+        // it in place. Bridge the two by moving the guard out and back.
+        //
+        // SAFETY: `guard` is exclusively borrowed and the moved-out value
+        // is overwritten via `ptr::write` before anyone can observe the
+        // hole. std's `Condvar::wait` can still unwind (e.g. if a condvar
+        // is paired with two different mutexes); unwinding past the hole
+        // would double-drop the guard, so an abort guard turns that into
+        // a process abort instead of UB. Poisoning is recovered, not
+        // propagated.
+        struct AbortOnUnwind;
+        impl Drop for AbortOnUnwind {
+            fn drop(&mut self) {
+                std::process::abort();
+            }
+        }
+        unsafe {
+            let taken = std::ptr::read(&guard.inner);
+            let bomb = AbortOnUnwind;
+            let reacquired = self.inner.wait(taken).unwrap_or_else(sync::PoisonError::into_inner);
+            std::mem::forget(bomb);
+            std::ptr::write(&mut guard.inner, reacquired);
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Condvar, Mutex};
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_guards_mutation() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let state = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let waiter = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*state;
+                let mut count = lock.lock();
+                while *count < 3 {
+                    cv.wait(&mut count);
+                }
+                *count
+            })
+        };
+        let (lock, cv) = &*state;
+        for _ in 0..3 {
+            *lock.lock() += 1;
+            cv.notify_all();
+        }
+        assert_eq!(waiter.join().unwrap(), 3);
+    }
+}

@@ -1,0 +1,398 @@
+//! Offline stand-in for `serde`, used because crates.io is unreachable in
+//! this build environment.
+//!
+//! Real serde is a zero-cost visitor framework; this shim is a small
+//! value-tree model: `Serialize` lowers to a [`Value`], `Deserialize`
+//! lifts from one. `serde_json` (also shimmed) renders/parses that tree.
+//! The API surface is exactly what the workspace needs — derive macros,
+//! the two traits, and impls for the std types that appear in artefacts.
+//!
+//! Deliberate divergences from real serde, acceptable because every
+//! producer and consumer lives in this workspace:
+//! * maps serialize as `[[key, value], ...]` pairs (tuple keys are legal),
+//! * non-finite floats serialize as `null` and deserialize back as NaN.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing tree of data — the interchange format between the
+/// `Serialize` and `Deserialize` traits and the `serde_json` shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization error (also reused by deserialization helpers).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lower `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Derive-internal helper: look up a struct field and deserialize it.
+pub fn __get_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v {
+        Value::Map(entries) => match entries.iter().find(|(k, _)| k == name) {
+            Some((_, field)) => T::from_value(field),
+            None => Err(Error::custom(format!("missing field `{name}`"))),
+        },
+        other => Err(Error::custom(format!("expected map with field `{name}`, got {other:?}"))),
+    }
+}
+
+// ------------------------------------------------------------- primitives
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide = match v {
+                    Value::I64(i) => *i,
+                    Value::U64(u) => i64::try_from(*u)
+                        .map_err(|_| Error::custom("unsigned value overflows"))?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide = match v {
+                    Value::U64(u) => *u,
+                    Value::I64(i) => u64::try_from(*i)
+                        .map_err(|_| Error::custom("negative value for unsigned"))?,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let f = f64::from(*self);
+                if f.is_finite() { Value::F64(f) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::I64(i) => Ok(*i as $t),
+                    Value::U64(u) => Ok(*u as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::custom(format!(
+                        "expected float, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$($idx),+].len();
+                match v {
+                    Value::Seq(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected {LEN}-tuple sequence, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Total order over values, used to give map serialization a stable,
+/// platform-independent entry order.
+fn cmp_value(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => 2,
+            Value::Str(_) => 3,
+            Value::Seq(_) => 4,
+            Value::Map(_) => 5,
+        }
+    }
+    fn as_f64(v: &Value) -> f64 {
+        match v {
+            Value::I64(i) => *i as f64,
+            Value::U64(u) => *u as f64,
+            Value::F64(f) => *f,
+            _ => 0.0,
+        }
+    }
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Seq(x), Value::Seq(y)) => {
+            for (u, v) in x.iter().zip(y.iter()) {
+                let ord = cmp_value(u, v);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Map(x), Value::Map(y)) => {
+            for ((ku, u), (kv, v)) in x.iter().zip(y.iter()) {
+                let ord = ku.cmp(kv).then_with(|| cmp_value(u, v));
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ if rank(a) == 2 && rank(b) == 2 => {
+            as_f64(a).partial_cmp(&as_f64(b)).unwrap_or(Ordering::Equal)
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut pairs: Vec<Value> =
+        entries.map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()])).collect();
+    pairs.sort_by(cmp_value);
+    Value::Seq(pairs)
+}
+
+fn map_from_value<K, V, M>(v: &Value) -> Result<M, Error>
+where
+    K: Deserialize,
+    V: Deserialize,
+    M: FromIterator<(K, V)>,
+{
+    match v {
+        Value::Seq(items) => items
+            .iter()
+            .map(|entry| match entry {
+                Value::Seq(kv) if kv.len() == 2 => {
+                    Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                }
+                other => Err(Error::custom(format!("expected [key, value] pair, got {other:?}"))),
+            })
+            .collect(),
+        other => Err(Error::custom(format!("expected map entry sequence, got {other:?}"))),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        map_from_value(v)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        map_from_value(v)
+    }
+}

@@ -1,0 +1,311 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! crates.io is unreachable in this environment, so the workspace ships a
+//! minimal `serde` shim and this companion derive. It parses the input item
+//! with the bare `proc_macro` API (no `syn`/`quote`) and emits impls of the
+//! shim's value-based `Serialize`/`Deserialize` traits.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//! * structs with named fields,
+//! * enums whose variants are unit, newtype (one unnamed field), or
+//!   struct-like (named fields).
+//!
+//! Generic parameters, tuple structs, and `#[serde(...)]` attributes are
+//! rejected with a compile-time panic so misuse is loud, not silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<(String, VariantKind)> },
+}
+
+/// Derives the serde shim's `Serialize` (a `to_value` method).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { fields, .. } => serialize_struct_body(fields),
+        Item::Enum { name, variants } => serialize_enum_body(name, variants),
+    };
+    let name = item_name(&item);
+    let code = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    code.parse().expect("derive(Serialize): generated code must parse")
+}
+
+/// Derives the serde shim's `Deserialize` (a `from_value` constructor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct_body(name, fields),
+        Item::Enum { name, variants } => deserialize_enum_body(name, variants),
+    };
+    let name = item_name(&item);
+    let code = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    );
+    code.parse().expect("derive(Deserialize): generated code must parse")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, got {other:?}"),
+    };
+
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("derive on `{name}`: generic parameters are not supported by the serde shim")
+        }
+        other => panic!(
+            "derive on `{name}`: expected a braced body (tuple/unit structs unsupported), \
+             got {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct { name, fields: parse_named_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_variants(body) },
+        other => panic!("derive: expected `struct` or `enum`, got `{other}`"),
+    }
+}
+
+/// Split a brace-group body on commas that sit outside `<...>` nesting.
+/// (Commas inside parens/brackets/braces are hidden inside `Group`s, but
+/// generic-argument commas, e.g. `HashMap<K, V>`, share our token level.)
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Pull the leading identifier out of one field/variant chunk, skipping
+/// attributes and visibility.
+fn leading_ident(chunk: &[TokenTree]) -> (String, usize) {
+    let mut i = 0;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => return (id.to_string(), i + 1),
+            other => panic!("derive: expected an identifier, got {other:?}"),
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    split_top_level(body)
+        .into_iter()
+        .map(|chunk| {
+            let (name, next) = leading_ident(&chunk);
+            match chunk.get(next) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => name,
+                other => panic!(
+                    "derive: field `{name}` must be a named field (`name: Type`), got {other:?}"
+                ),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, VariantKind)> {
+    split_top_level(body)
+        .into_iter()
+        .map(|chunk| {
+            let (name, next) = leading_ident(&chunk);
+            let kind = match chunk.get(next) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let arity = split_top_level(g.stream()).len();
+                    if arity != 1 {
+                        panic!(
+                            "derive: tuple variant `{name}` has {arity} fields; the serde \
+                             shim only supports newtype (single-field) variants"
+                        );
+                    }
+                    VariantKind::Newtype
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(g.stream()))
+                }
+                other => panic!("derive: unexpected token after variant `{name}`: {other:?}"),
+            };
+            (name, kind)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn map_entries(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "__m.push((::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value({})));",
+                access(f)
+            )
+        })
+        .collect();
+    format!(
+        "{{ let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new(); {pushes} ::serde::Value::Map(__m) }}"
+    )
+}
+
+fn serialize_struct_body(fields: &[String]) -> String {
+    map_entries(fields, |f| format!("&self.{f}"))
+}
+
+fn serialize_enum_body(name: &str, variants: &[(String, VariantKind)]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|(v, kind)| match kind {
+            VariantKind::Unit => {
+                format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),")
+            }
+            VariantKind::Newtype => format!(
+                "{name}::{v}(__x) => ::serde::Value::Map(::std::vec![( \
+                 ::std::string::String::from(\"{v}\"), \
+                 ::serde::Serialize::to_value(__x))]),"
+            ),
+            VariantKind::Struct(fields) => {
+                let pat: String = fields.iter().map(|f| format!("{f},")).collect();
+                let inner = map_entries(fields, |f| f.to_string());
+                format!(
+                    "{name}::{v} {{ {pat} }} => ::serde::Value::Map(::std::vec![( \
+                     ::std::string::String::from(\"{v}\"), {inner})]),"
+                )
+            }
+        })
+        .collect();
+    format!("match self {{ {arms} }}")
+}
+
+fn deserialize_struct_body(name: &str, fields: &[String]) -> String {
+    let inits: String =
+        fields.iter().map(|f| format!("{f}: ::serde::__get_field(__v, \"{f}\")?,")).collect();
+    format!("::std::result::Result::Ok({name} {{ {inits} }})")
+}
+
+fn deserialize_enum_body(name: &str, variants: &[(String, VariantKind)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, k)| matches!(k, VariantKind::Unit))
+        .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|(v, kind)| match kind {
+            VariantKind::Unit => None,
+            VariantKind::Newtype => Some(format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}( \
+                 ::serde::Deserialize::from_value(__inner)?)),"
+            )),
+            VariantKind::Struct(fields) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__get_field(__inner, \"{f}\")?,"))
+                    .collect();
+                Some(format!("\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),"))
+            }
+        })
+        .collect();
+    format!(
+        "match __v {{\n\
+            ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                {unit_arms}\n\
+                __other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                    ::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+            }},\n\
+            ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                let (__tag, __inner) = &__entries[0];\n\
+                match __tag.as_str() {{\n\
+                    {tagged_arms}\n\
+                    __other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                        ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                }}\n\
+            }}\n\
+            __other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                ::std::format!(\"invalid value for enum {name}: {{__other:?}}\"))),\n\
+        }}"
+    )
+}

@@ -48,17 +48,9 @@ fn setonix_pipeline_end_to_end() {
     assert_eq!(install.max_threads, 256);
     let mut runtime = install.into_runtime();
     let small = runtime.select_threads(64, 64, 64);
-    assert!(
-        small.threads < 128,
-        "tiny GEMM got {} threads on a 256-thread node",
-        small.threads
-    );
+    assert!(small.threads < 128, "tiny GEMM got {} threads on a 256-thread node", small.threads);
     let large = runtime.select_threads(4000, 4000, 4000);
-    assert!(
-        large.threads >= 64,
-        "large square GEMM got only {} threads",
-        large.threads
-    );
+    assert!(large.threads >= 64, "large square GEMM got only {} threads", large.threads);
     let _ = timer; // timer participates via the install above
 }
 

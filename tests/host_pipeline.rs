@@ -14,12 +14,17 @@ use adsala_repro::adsala_ml::ModelKind;
 use adsala_repro::adsala_sampling::MemoryCap;
 
 fn tiny_host_config(max_threads: u32) -> InstallConfig {
+    let ladder = ThreadLadder::geometric(max_threads);
+    // The install pipeline needs ≥50 train + ≥10 test rows after the
+    // stratified split; rows = shapes × rungs, so scale the shape count
+    // for machines whose ladder is short (a 1-core host has one rung).
+    let n_shapes = 40usize.max(120usize.div_ceil(ladder.len()));
     let mut cfg = InstallConfig::quick();
     cfg.gather = GatherConfig {
-        n_shapes: 40,
+        n_shapes,
         cap: MemoryCap::from_mb(2),
         reps: 1,
-        ladder: Some(ThreadLadder::geometric(max_threads)),
+        ladder: Some(ladder),
         max_dim: Some(384),
         ..GatherConfig::quick()
     };
@@ -36,10 +41,8 @@ fn tiny_host_config(max_threads: u32) -> InstallConfig {
 
 #[test]
 fn pipeline_trains_against_real_host_gemm() {
-    let host_threads = std::thread::available_parallelism()
-        .map(|n| n.get() as u32)
-        .unwrap_or(2)
-        .min(8);
+    let host_threads =
+        std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(2).min(8);
     let timer = HostTimer::with_max_threads(host_threads);
     let cfg = tiny_host_config(host_threads);
     let install = Installation::run(&timer, &cfg).expect("host install");
@@ -100,8 +103,5 @@ fn host_timer_thread_scaling_is_sane() {
     let shape = adsala_repro::adsala_sampling::GemmShape::new(384, 384, 384);
     let t1 = timer.time(shape, 1, 3);
     let t2 = timer.time(shape, 2, 3);
-    assert!(
-        t2 < t1 * 1.6,
-        "2-thread GEMM implausibly slow: {t2}s vs {t1}s serial"
-    );
+    assert!(t2 < t1 * 1.6, "2-thread GEMM implausibly slow: {t2}s vs {t1}s serial");
 }

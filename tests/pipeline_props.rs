@@ -149,7 +149,7 @@ proptest! {
         // Four highly correlated copies of one signal.
         let rows: Vec<Vec<f64>> = base
             .iter()
-            .map(|&v| vec![v, v * 2.0, v + 1.0, v * -1.0])
+            .map(|&v| vec![v, v * 2.0, v + 1.0, -v])
             .collect();
         let x = Matrix::from_rows(&rows);
         let pruner = CorrelationPruner::fit(&x, 0.8).unwrap();
