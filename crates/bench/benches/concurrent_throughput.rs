@@ -1,0 +1,112 @@
+//! Criterion benches for the concurrent serving layer: shared-service
+//! decision throughput under client parallelism, and pooled `sgemm`
+//! dispatch vs the facade's single-client path.
+//!
+//! The interesting comparisons:
+//! * `select_shared_hot` vs the single-threaded `predictor` bench's memo
+//!   numbers — the price of the striped cache over the `&mut self` memo;
+//! * `clients/N` scaling — decision throughput as N client threads
+//!   hammer one service with overlapping shape streams;
+//! * `sgemm_service_pooled` — the end-to-end serving path (decision +
+//!   pooled execution), no per-call OS-thread spawn.
+
+use adsala::install::{InstallConfig, Installation};
+use adsala::{AdsalaService, ServiceConfig};
+use adsala_machine::{MachineModel, SimTimer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn trained_service(pool_workers: usize) -> AdsalaService {
+    let timer = SimTimer::new(MachineModel::gadi());
+    Installation::run(&timer, &InstallConfig::quick())
+        .expect("quick install")
+        .into_service_with(ServiceConfig { pool_workers, ..ServiceConfig::default() })
+}
+
+fn bench_shared_selection(c: &mut Criterion) {
+    let service = trained_service(2);
+    let mut group = c.benchmark_group("service");
+
+    group.bench_function("select_shared_hot", |b| {
+        service.select_threads(64, 2048, 64);
+        b.iter(|| black_box(service.select_threads(64, 2048, 64)))
+    });
+
+    // A ring of shapes larger than any single shard's fast path, all
+    // resident: the striped-map lookup cost.
+    let shapes: Vec<(u64, u64, u64)> = (0..64).map(|i| (64 + i * 4, 256, 64 + i * 2)).collect();
+    for &(m, k, n) in &shapes {
+        service.select_threads(m, k, n);
+    }
+    group.bench_function("select_shared_resident_ring", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % shapes.len();
+            let (m, k, n) = shapes[i];
+            black_box(service.select_threads(m, k, n))
+        })
+    });
+    group.finish();
+}
+
+fn bench_client_scaling(c: &mut Criterion) {
+    let service = trained_service(2);
+    let mut group = c.benchmark_group("service/clients");
+    group.sample_size(10);
+    let shapes: Vec<(u64, u64, u64)> = (0..32).map(|i| (32 + i * 8, 128, 32 + i * 4)).collect();
+    for &(m, k, n) in &shapes {
+        service.select_threads(m, k, n);
+    }
+    for &clients in &[1usize, 2, 4, 8] {
+        group.bench_function(format!("{clients}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for t in 0..clients {
+                        let service = &service;
+                        let shapes = &shapes;
+                        scope.spawn(move || {
+                            for i in 0..256usize {
+                                let (m, k, n) = shapes[(i + t * 5) % shapes.len()];
+                                black_box(service.select_threads(m, k, n));
+                            }
+                        });
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_service_sgemm(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+    let service = trained_service(threads);
+    let mut group = c.benchmark_group("service/sgemm");
+    group.sample_size(20);
+    let (m, k, n) = (128usize, 128usize, 128usize);
+    let a = vec![1.0f32; m * k];
+    let b_mat = vec![0.5f32; k * n];
+    let mut c_out = vec![0.0f32; m * n];
+    group.bench_function("sgemm_service_pooled_128", |bench| {
+        bench.iter(|| {
+            service.sgemm(
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                k,
+                &b_mat,
+                n,
+                0.0,
+                black_box(&mut c_out),
+                n,
+                threads as u32,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shared_selection, bench_client_scaling, bench_service_sgemm);
+criterion_main!(benches);

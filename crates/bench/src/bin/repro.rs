@@ -321,16 +321,27 @@ fn model_table(machine: Machine) {
 // ------------------------------------------------------- tables V / VI
 
 /// Per-shape speedup evaluation on a fresh 174-point Halton set: the
-/// machinery behind Tables V/VI and Figs. 10-12.
+/// machinery behind Tables V/VI and Figs. 10-12. Decisions are served
+/// through the shared `AdsalaService` layer, whose cache counters the
+/// table summaries report.
 struct SpeedupRun {
     /// (shape, bytes, chosen threads, t_orig, t_adsala_incl_eval)
     samples: Vec<(GemmShape, u64, u32, f64, f64)>,
+    /// Decision-cache counters after serving the whole set.
+    cache: adsala::CacheStats,
+    /// Model sweeps the service performed.
+    evaluations: u64,
 }
 
 fn speedup_run(machine: Machine, ht: bool) -> SpeedupRun {
     let saved = SavedInstall::cached(machine, ht);
     let timer = sim_timer(machine, ht, Affinity::CoreBased);
-    let mut runtime = saved.artifact.into_runtime();
+    // Decision serving only (no sgemm here): a 1-worker pool avoids
+    // spawning idle host-parallelism workers per run.
+    let service = adsala::AdsalaService::with_config(
+        saved.artifact.into_bundle().into_shared(),
+        adsala::ServiceConfig { pool_workers: 1, ..Default::default() },
+    );
     // The paper's evaluation-time overhead for the selected model.
     let eval_s = saved
         .reports
@@ -344,12 +355,12 @@ fn speedup_run(machine: Machine, ht: bool) -> SpeedupRun {
         .iter()
         .map(|&s| {
             let t_orig = timer.time(s, p_max, 10);
-            let d = runtime.select_threads(s.m, s.k, s.n);
+            let d = service.select_threads(s.m, s.k, s.n);
             let t_adsala = timer.time(s, d.threads, 10) + eval_s;
             (s, s.memory_bytes(Precision::F32), d.threads, t_orig, t_adsala)
         })
         .collect();
-    SpeedupRun { samples }
+    SpeedupRun { samples, cache: service.cache_stats(), evaluations: service.evaluations() }
 }
 
 fn speedup_table(ht: bool) {
@@ -361,8 +372,18 @@ fn speedup_table(ht: bool) {
     );
     let mut columns: Vec<(String, SpeedupStats)> = Vec::new();
     let mut csv_rows: Vec<String> = Vec::new();
+    let mut service_lines: Vec<String> = Vec::new();
     for machine in [Machine::Setonix, Machine::Gadi] {
         let run = speedup_run(machine, ht);
+        service_lines.push(format!(
+            "[service] {}: {} lookups ({} hits, {} misses, {} evictions), {} model sweeps",
+            machine.name(),
+            run.cache.lookups(),
+            run.cache.hits,
+            run.cache.misses,
+            run.cache.evictions,
+            run.evaluations
+        ));
         for cap in [500_000_000u64, 100_000_000] {
             let speedups: Vec<f64> = run
                 .samples
@@ -405,6 +426,10 @@ fn speedup_table(ht: bool) {
             print!(" {:>14.2}", f(stats));
         }
         println!();
+    }
+    println!();
+    for line in &service_lines {
+        println!("{line}");
     }
     write_csv(
         &format!("table{}_speedups.csv", if ht { 5 } else { 6 }),
@@ -853,11 +878,12 @@ fn ablation_halton() {
     }
 }
 
-/// Measure the memoisation benefit of the runtime workflow (§III-C).
+/// Measure the memoisation benefit of the runtime workflow (§III-C),
+/// for both the single-client facade and the shared concurrent service.
 fn ablation_memo() {
     banner("Ablation `memo` — repeated-shape decision latency (Gadi install)");
     let saved = SavedInstall::cached(Machine::Gadi, true);
-    let mut runtime = saved.artifact.into_runtime();
+    let mut runtime = saved.artifact.clone().into_runtime();
     let reps = 20_000u32;
     let t_cold = {
         let start = Instant::now();
@@ -882,6 +908,42 @@ fn ablation_memo() {
     println!("cold selection (alternating shapes): {:.2} us", t_cold * 1e6);
     println!("memoised selection (repeated shape): {:.3} us", t_memo * 1e6);
     println!("memoisation saves {:.0}x", t_cold / t_memo.max(1e-12));
+
+    // The same comparison through the shared service: striped-cache hits
+    // vs capacity-bounded misses on a fresh-shape stream.
+    // Decision serving only (no sgemm here): a 1-worker pool avoids
+    // spawning idle host-parallelism workers per run.
+    let service = adsala::AdsalaService::with_config(
+        saved.artifact.into_bundle().into_shared(),
+        adsala::ServiceConfig { pool_workers: 1, ..Default::default() },
+    );
+    let t_svc_cold = {
+        let start = Instant::now();
+        for i in 0..reps {
+            service.select_threads(64 + i as u64, 2048, 64);
+        }
+        start.elapsed().as_secs_f64() / reps as f64
+    };
+    let t_svc_hot = {
+        service.select_threads(64, 2048, 64);
+        let start = Instant::now();
+        for _ in 0..reps {
+            service.select_threads(64, 2048, 64);
+        }
+        start.elapsed().as_secs_f64() / reps as f64
+    };
+    let stats = service.cache_stats();
+    println!("service cold selection (fresh shapes):   {:.2} us", t_svc_cold * 1e6);
+    println!("service memoised selection (hot shape):  {:.3} us", t_svc_hot * 1e6);
+    println!(
+        "service cache: {} hits / {} misses, {} evictions, {}/{} entries, {} sweeps",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.entries,
+        stats.capacity,
+        service.evaluations()
+    );
 }
 
 /// Reproduce the paper's eval-overhead regime: with a Python-stack-like

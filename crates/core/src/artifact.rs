@@ -11,8 +11,10 @@ use std::path::Path;
 use adsala_ml::AnyModel;
 use serde::{Deserialize, Serialize};
 
+use crate::bundle::ArtifactBundle;
 use crate::preprocess::PreprocessConfig;
 use crate::runtime::AdsalaGemm;
+use crate::service::AdsalaService;
 use crate::AdsalaError;
 
 /// A complete, self-describing installation artefact.
@@ -76,9 +78,20 @@ impl Artifact {
         Self::from_json(&json)
     }
 
-    /// Build the runtime handle (Fig. 3's "instantiation" step).
+    /// Strip provenance, keeping the parts the serving stack needs.
+    pub fn into_bundle(self) -> ArtifactBundle {
+        ArtifactBundle::from_artifact(self)
+    }
+
+    /// Build the single-threaded runtime handle (Fig. 3's
+    /// "instantiation" step).
     pub fn into_runtime(self) -> AdsalaGemm {
-        AdsalaGemm::new(self.config, self.model, self.candidates)
+        AdsalaGemm::from_bundle(self.into_bundle())
+    }
+
+    /// Build the shared, concurrent serving handle.
+    pub fn into_service(self) -> AdsalaService {
+        AdsalaService::new(self.into_bundle().into_shared())
     }
 }
 

@@ -1,0 +1,174 @@
+//! The immutable runtime artefact bundle — layer 1 of the serving stack.
+//!
+//! [`ArtifactBundle`] is everything the runtime phase needs to make a
+//! thread decision: the fitted preprocessing configuration, the trained
+//! model, and the candidate thread ladder. It is deliberately immutable —
+//! no memo, no counters — so one bundle can sit behind an `Arc` and be
+//! read by any number of serving threads without synchronisation. The
+//! mutable concerns live in the layers above it: memoisation in
+//! [`crate::cache::DecisionCache`], execution and diagnostics in
+//! [`crate::service::AdsalaService`].
+//!
+//! A bundle round-trips through [`crate::artifact::Artifact`] (the
+//! on-disk JSON installation artefact), which adds provenance (machine
+//! name, schema version) on top of these three fields.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use adsala_ml::AnyModel;
+use adsala_sampling::GemmShape;
+use serde::{Deserialize, Serialize};
+
+use crate::artifact::Artifact;
+use crate::preprocess::PreprocessConfig;
+use crate::select::predict_threads_with_runtime;
+use crate::AdsalaError;
+
+/// The outcome of a thread selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreadDecision {
+    /// The chosen thread count.
+    pub threads: u32,
+    /// Model-predicted runtime at that count (seconds).
+    pub predicted_runtime_s: f64,
+    /// Whether the decision came from a memo rather than a model sweep.
+    pub memoised: bool,
+}
+
+/// The immutable installation artefacts, packaged for shared serving.
+///
+/// Cloning is cheap-ish (the model dominates); for concurrent use wrap it
+/// once via [`ArtifactBundle::into_shared`] and clone the `Arc` instead.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArtifactBundle {
+    /// Preprocessing artefact (the paper's "config file").
+    pub config: PreprocessConfig,
+    /// Trained-model artefact.
+    pub model: AnyModel,
+    /// Candidate thread counts swept per decision.
+    pub candidates: Vec<u32>,
+}
+
+impl ArtifactBundle {
+    /// Assemble a bundle from its parts.
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty — a runtime with nothing to sweep
+    /// cannot decide anything.
+    pub fn new(config: PreprocessConfig, model: AnyModel, candidates: Vec<u32>) -> Self {
+        assert!(!candidates.is_empty(), "need at least one candidate thread count");
+        Self { config, model, candidates }
+    }
+
+    /// Wrap into the shared handle the serving layer uses.
+    pub fn into_shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    /// Run one full model sweep over the candidate ladder for an
+    /// `(m, k, n)` GEMM. Pure: no memo is consulted or updated, so equal
+    /// inputs always produce equal decisions.
+    pub fn decide(&self, m: u64, k: u64, n: u64) -> ThreadDecision {
+        let shape = GemmShape::new(m, k, n);
+        let (threads, predicted_runtime_s) =
+            predict_threads_with_runtime(&self.model, &self.config, &self.candidates, shape);
+        ThreadDecision { threads, predicted_runtime_s, memoised: false }
+    }
+
+    /// Strip provenance off an on-disk artefact.
+    pub fn from_artifact(artifact: Artifact) -> Self {
+        Self::new(artifact.config, artifact.model, artifact.candidates)
+    }
+
+    /// Re-attach provenance, producing a saveable artefact.
+    pub fn to_artifact(&self, machine: &str) -> Artifact {
+        Artifact::from_parts(
+            machine,
+            self.candidates.clone(),
+            self.config.clone(),
+            self.model.clone(),
+        )
+    }
+
+    /// Save as a versioned installation artefact at `path`.
+    pub fn save(&self, machine: &str, path: &Path) -> Result<(), AdsalaError> {
+        self.to_artifact(machine).save(path)
+    }
+
+    /// Load a bundle back from a saved installation artefact.
+    pub fn load(path: &Path) -> Result<Self, AdsalaError> {
+        Ok(Self::from_artifact(Artifact::load(path)?))
+    }
+}
+
+/// Train a small, deterministic bundle on the simulated Gadi node — the
+/// shared fixture for this crate's unit tests and the workspace's
+/// integration/stress tests, so every layer exercises the same model.
+#[doc(hidden)]
+pub fn quick_test_bundle() -> ArtifactBundle {
+    use crate::gather::{GatherConfig, TrainingData};
+    use crate::preprocess::fit_preprocess;
+    use adsala_machine::{MachineModel, SimTimer};
+    use adsala_ml::tune::ModelSpec;
+    use adsala_ml::Regressor;
+
+    let timer = SimTimer::new(MachineModel::gadi());
+    let config = GatherConfig { n_shapes: 60, reps: 2, ..GatherConfig::quick() };
+    let data = TrainingData::gather(&timer, &config);
+    let fitted = fit_preprocess(&data).unwrap();
+    let mut model =
+        ModelSpec::XgBoost { n_rounds: 40, max_depth: 4, eta: 0.2, lambda: 1.0 }.build(0);
+    model.fit(&fitted.dataset.x, &fitted.dataset.y).unwrap();
+    ArtifactBundle::new(fitted.config, model, data.ladder.counts)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    pub(crate) use super::quick_test_bundle as quick_bundle;
+
+    #[test]
+    fn decide_is_pure_and_in_ladder() {
+        let bundle = quick_bundle();
+        let first = bundle.decide(256, 256, 256);
+        let again = bundle.decide(256, 256, 256);
+        assert_eq!(first, again, "an immutable bundle must be deterministic");
+        assert!(bundle.candidates.contains(&first.threads));
+        assert!(first.predicted_runtime_s > 0.0);
+        assert!(!first.memoised);
+    }
+
+    #[test]
+    fn artifact_roundtrip_preserves_decisions() {
+        let bundle = quick_bundle();
+        let art = bundle.to_artifact("gadi-sim");
+        assert_eq!(art.machine, "gadi-sim");
+        let back =
+            ArtifactBundle::from_artifact(Artifact::from_json(&art.to_json().unwrap()).unwrap());
+        for (m, k, n) in [(64, 64, 64), (1000, 500, 1000), (64, 4096, 64)] {
+            assert_eq!(bundle.decide(m, k, n), back.decide(m, k, n));
+        }
+    }
+
+    #[test]
+    fn save_load_via_filesystem() {
+        let bundle = quick_bundle();
+        let dir = std::env::temp_dir().join("adsala-bundle-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.json");
+        bundle.save("gadi-sim", &path).unwrap();
+        let back = ArtifactBundle::load(&path).unwrap();
+        assert_eq!(back.candidates, bundle.candidates);
+        assert_eq!(back.decide(128, 512, 128), bundle.decide(128, 512, 128));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_ladder_rejected() {
+        let bundle = quick_bundle();
+        ArtifactBundle::new(bundle.config, bundle.model, Vec::new());
+    }
+}

@@ -10,10 +10,12 @@ use adsala_ml::tune::ModelSpec;
 use adsala_ml::{AnyModel, ModelKind, Regressor};
 use adsala_sampling::GemmShape;
 
+use crate::bundle::ArtifactBundle;
 use crate::gather::{GatherConfig, TrainingData};
 use crate::preprocess::{fit_preprocess, PreprocessConfig, PreprocessReport};
 use crate::runtime::AdsalaGemm;
 use crate::select::estimate_speedups;
+use crate::service::AdsalaService;
 use crate::train::{measure_eval_time, test_nrmse, train_all_families, ModelReport};
 use crate::AdsalaError;
 
@@ -244,9 +246,26 @@ impl Installation {
         })
     }
 
-    /// Build the runtime handle from this installation.
+    /// Hand back the immutable artefact bundle — the input every serving
+    /// layer (facade or concurrent service) is built from.
+    pub fn into_bundle(self) -> ArtifactBundle {
+        ArtifactBundle::new(self.config, self.model, self.candidates)
+    }
+
+    /// Build the single-threaded runtime handle from this installation.
     pub fn into_runtime(self) -> AdsalaGemm {
-        AdsalaGemm::new(self.config, self.model, self.candidates)
+        AdsalaGemm::from_bundle(self.into_bundle())
+    }
+
+    /// Build the shared, concurrent serving handle from this
+    /// installation.
+    pub fn into_service(self) -> AdsalaService {
+        AdsalaService::new(self.into_bundle().into_shared())
+    }
+
+    /// Like [`Installation::into_service`] with explicit tunables.
+    pub fn into_service_with(self, cfg: crate::service::ServiceConfig) -> AdsalaService {
+        AdsalaService::with_config(self.into_bundle().into_shared(), cfg)
     }
 
     /// Bundle into a saveable artefact.

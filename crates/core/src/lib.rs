@@ -13,9 +13,22 @@
 //! `s = t_orig / (t_ADSALA + t_eval)`. The products are two artefacts
 //! ([`artifact`]): a preprocessing config and a trained model.
 //!
-//! **Runtime** ([`runtime`]): load the artefacts once, and for every GEMM
-//! call evaluate the model at each candidate thread count, run the GEMM
-//! with the argmin, and memoise the decision for repeated shapes.
+//! **Runtime**: load the artefacts once, and for every GEMM call evaluate
+//! the model at each candidate thread count, run the GEMM with the
+//! argmin, and memoise the decision for repeated shapes. The runtime is
+//! layered for concurrent serving:
+//!
+//! 1. [`bundle::ArtifactBundle`] — the immutable artefacts (config +
+//!    model + candidate ladder), shared behind an `Arc`;
+//! 2. [`cache::DecisionCache`] — a lock-striped, capacity-bounded memo
+//!    with per-shard last-shape fast paths and hit/miss/eviction
+//!    counters;
+//! 3. [`service::AdsalaService`] — the `Send + Sync` serving handle that
+//!    owns a persistent [`adsala_gemm::ThreadPool`] and answers `sgemm`
+//!    from any number of client threads;
+//!
+//! plus [`runtime::AdsalaGemm`], the paper-faithful single-threaded
+//! facade over the same bundle (`&mut self`, §III-C memo semantics).
 //!
 //! ```no_run
 //! use adsala::install::{InstallConfig, Installation};
@@ -23,30 +36,36 @@
 //!
 //! let timer = SimTimer::new(MachineModel::gadi());
 //! let install = Installation::run(&timer, &InstallConfig::quick()).unwrap();
-//! let mut gemm = install.into_runtime();
-//! let decision = gemm.select_threads(64, 2048, 64);
+//! let service = install.into_service(); // Send + Sync, share by reference
+//! let decision = service.select_threads(64, 2048, 64);
 //! assert!(decision.threads >= 1);
 //! ```
 
 pub mod artifact;
+pub mod bundle;
+pub mod cache;
 pub mod features;
 pub mod gather;
 pub mod install;
 pub mod preprocess;
 pub mod runtime;
 pub mod select;
+pub mod service;
 pub mod speedup;
 pub mod train;
 
 pub use artifact::Artifact;
+pub use bundle::{ArtifactBundle, ThreadDecision};
+pub use cache::{CacheStats, DecisionCache};
 pub use features::{build_features, feature_names, FEATURE_COUNT};
 pub use gather::{GatherConfig, GemmRecord, ThreadLadder, TrainingData};
 pub use install::{InstallConfig, Installation};
 pub use preprocess::{
     fit_preprocess, fit_preprocess_with, PreprocessConfig, PreprocessOptions, PreprocessReport,
 };
-pub use runtime::{AdsalaGemm, ThreadDecision};
-pub use select::{estimate_speedups, SpeedupEstimate};
+pub use runtime::AdsalaGemm;
+pub use select::{estimate_speedups, predict_threads_with_runtime, SpeedupEstimate};
+pub use service::{AdsalaService, ServiceConfig};
 pub use speedup::SpeedupStats;
 pub use train::{train_all_families, ModelReport, TrainedCandidate};
 

@@ -1,64 +1,64 @@
-//! The ADSALA runtime library (the paper's Fig. 3).
+//! The single-threaded ADSALA runtime facade (the paper's Fig. 3).
 //!
-//! [`AdsalaGemm`] is the C++-class analogue the paper describes: it loads
-//! the two installation artefacts once, then serves GEMM calls. For every
-//! call it evaluates the model at each candidate thread count, runs with
-//! the argmin, and **memoises the last decision** — "if the current GEMM
-//! matrix dimensions are the same as the previous, the software will read
-//! and apply the predictions from the responsible class attributes
-//! without re-evaluation" (§III-C). An optional full cache extends the
-//! memo to all previously seen shapes.
+//! [`AdsalaGemm`] keeps the C++-class shape the paper describes — load
+//! the installation artefacts once, then serve GEMM calls through a
+//! `&mut self` handle with §III-C memoisation — but it is now a thin
+//! facade over the layered serving stack:
+//!
+//! * [`crate::bundle::ArtifactBundle`] performs the model sweeps,
+//! * this facade keeps the single-client memo (last shape + optional
+//!   full cache) exactly as before,
+//! * execution goes through a lazily created persistent
+//!   [`adsala_gemm::ThreadPool`], the same pooled dispatch the concurrent
+//!   [`crate::service::AdsalaService`] uses — not spawn-per-call.
+//!
+//! Multi-client callers should use [`crate::service::AdsalaService`]
+//! (shared `&self`, lock-striped cache); this facade exists so
+//! single-threaded code, tests, and the repro binary keep their
+//! `&mut self` ergonomics.
 
-use adsala_gemm::gemm::{gemm_with_stats, GemmCall};
-use adsala_gemm::GemmStats;
-use adsala_ml::{AnyModel, Regressor};
-use adsala_sampling::GemmShape;
-use serde::{Deserialize, Serialize};
+use adsala_gemm::gemm::{gemm_with_stats_pooled, GemmCall};
+use adsala_gemm::{GemmStats, ThreadPool};
+use adsala_ml::AnyModel;
+use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::HashMap;
 
+use crate::bundle::ArtifactBundle;
 use crate::preprocess::PreprocessConfig;
-use crate::select::predict_threads;
+use crate::service::{AdsalaService, ServiceConfig};
 
-/// The outcome of a thread selection.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ThreadDecision {
-    /// The chosen thread count.
-    pub threads: u32,
-    /// Model-predicted runtime at that count (seconds).
-    pub predicted_runtime_s: f64,
-    /// Whether the decision came from the memo rather than a model sweep.
-    pub memoised: bool,
-}
+pub use crate::bundle::ThreadDecision;
 
-/// The runtime GEMM handle: artefacts + memoisation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// The single-threaded runtime GEMM handle: artefacts + memoisation.
+#[derive(Debug)]
 pub struct AdsalaGemm {
-    /// Preprocessing artefact (the "config file").
-    pub config: PreprocessConfig,
-    /// Trained-model artefact.
-    pub model: AnyModel,
-    /// Candidate thread counts swept per decision.
-    pub candidates: Vec<u32>,
+    bundle: ArtifactBundle,
     /// Keep every shape's decision, not just the last one.
     pub full_cache: bool,
     last: Option<((u64, u64, u64), ThreadDecision)>,
     cache: HashMap<(u64, u64, u64), ThreadDecision>,
     /// Model sweeps performed (diagnostics; memo hits don't count).
     pub evaluations: u64,
+    /// Created on the first `sgemm_host` call, then reused — the facade
+    /// pays the worker spawn once, like the service layer.
+    pool: Option<ThreadPool>,
 }
 
 impl AdsalaGemm {
     /// Assemble a runtime handle from installation artefacts.
     pub fn new(config: PreprocessConfig, model: AnyModel, candidates: Vec<u32>) -> Self {
-        assert!(!candidates.is_empty(), "need at least one candidate thread count");
+        Self::from_bundle(ArtifactBundle::new(config, model, candidates))
+    }
+
+    /// Wrap an artefact bundle in the single-threaded facade.
+    pub fn from_bundle(bundle: ArtifactBundle) -> Self {
         Self {
-            config,
-            model,
-            candidates,
+            bundle,
             full_cache: false,
             last: None,
             cache: HashMap::new(),
             evaluations: 0,
+            pool: None,
         }
     }
 
@@ -68,8 +68,41 @@ impl AdsalaGemm {
         self
     }
 
+    /// The immutable artefacts behind this handle.
+    pub fn bundle(&self) -> &ArtifactBundle {
+        &self.bundle
+    }
+
+    /// Preprocessing artefact (the "config file").
+    pub fn config(&self) -> &PreprocessConfig {
+        &self.bundle.config
+    }
+
+    /// Trained-model artefact.
+    pub fn model(&self) -> &AnyModel {
+        &self.bundle.model
+    }
+
+    /// Candidate thread counts swept per decision.
+    pub fn candidates(&self) -> &[u32] {
+        &self.bundle.candidates
+    }
+
+    /// Upgrade to the shared, concurrent serving layer, moving the
+    /// artefacts across (the single-client memo does not carry over).
+    pub fn into_service(self) -> AdsalaService {
+        AdsalaService::new(self.bundle.into_shared())
+    }
+
+    /// Like [`AdsalaGemm::into_service`] with explicit tunables.
+    pub fn into_service_with(self, cfg: ServiceConfig) -> AdsalaService {
+        AdsalaService::with_config(self.bundle.into_shared(), cfg)
+    }
+
     /// Pick the thread count for an `(m, k, n)` GEMM, memoising like the
-    /// paper's runtime workflow.
+    /// paper's runtime workflow: "if the current GEMM matrix dimensions
+    /// are the same as the previous, the software will read and apply the
+    /// predictions … without re-evaluation" (§III-C).
     pub fn select_threads(&mut self, m: u64, k: u64, n: u64) -> ThreadDecision {
         let key = (m, k, n);
         if let Some((last_key, decision)) = self.last {
@@ -84,12 +117,7 @@ impl AdsalaGemm {
                 return hit;
             }
         }
-        let shape = GemmShape::new(m, k, n);
-        let threads = predict_threads(&self.model, &self.config, &self.candidates, shape);
-        let pred_row = self.config.features_for(m, k, n, threads);
-        let predicted_runtime_s =
-            self.config.runtime_from_prediction(self.model.predict_row(&pred_row));
-        let decision = ThreadDecision { threads, predicted_runtime_s, memoised: false };
+        let decision = self.bundle.decide(m, k, n);
         self.evaluations += 1;
         self.last = Some((key, decision));
         if self.full_cache {
@@ -106,7 +134,8 @@ impl AdsalaGemm {
 
     /// Run a real single-precision GEMM on the host with the ML-selected
     /// thread count (clamped to `host_max_threads`), returning the chosen
-    /// decision and the executed GEMM's statistics.
+    /// decision and the executed GEMM's statistics. Executes on the
+    /// handle's persistent pool (created on first use).
     ///
     /// Matrices are row-major with the given leading dimensions; computes
     /// `C ← α·A·B + β·C`.
@@ -129,35 +158,51 @@ impl AdsalaGemm {
         let decision = self.select_threads(m as u64, k as u64, n as u64);
         let threads = decision.threads.clamp(1, host_max_threads.max(1)) as usize;
         let call = GemmCall::new(m, n, k, threads);
-        let stats = gemm_with_stats(&call, alpha, a, lda, b, ldb, beta, c, ldc);
+        let pool = self.pool.get_or_insert_with(ThreadPool::with_host_parallelism);
+        let stats = gemm_with_stats_pooled(pool, &call, alpha, a, lda, b, ldb, beta, c, ldc);
         (decision, stats)
+    }
+}
+
+// The thread pool is a host resource, not state: serialise only the
+// artefacts and the cache mode, and rebuild a cold handle on load. (The
+// serde shim's derive has no field-skip support, hence the manual impls.)
+impl Serialize for AdsalaGemm {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("bundle".into(), self.bundle.to_value()),
+            ("full_cache".into(), self.full_cache.to_value()),
+            ("evaluations".into(), self.evaluations.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for AdsalaGemm {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let bundle: ArtifactBundle = serde::__get_field(v, "bundle")?;
+        let full_cache: bool = serde::__get_field(v, "full_cache")?;
+        let evaluations: u64 = serde::__get_field(v, "evaluations")?;
+        let mut handle = Self::from_bundle(bundle);
+        handle.full_cache = full_cache;
+        handle.evaluations = evaluations;
+        Ok(handle)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gather::{GatherConfig, TrainingData};
-    use crate::preprocess::fit_preprocess;
-    use adsala_machine::{MachineModel, SimTimer};
-    use adsala_ml::tune::ModelSpec;
+    use crate::bundle::tests::quick_bundle;
 
     fn handle() -> AdsalaGemm {
-        let timer = SimTimer::new(MachineModel::gadi());
-        let config = GatherConfig { n_shapes: 60, reps: 2, ..GatherConfig::quick() };
-        let data = TrainingData::gather(&timer, &config);
-        let fitted = fit_preprocess(&data).unwrap();
-        let mut model =
-            ModelSpec::XgBoost { n_rounds: 40, max_depth: 4, eta: 0.2, lambda: 1.0 }.build(0);
-        model.fit(&fitted.dataset.x, &fitted.dataset.y).unwrap();
-        AdsalaGemm::new(fitted.config, model, data.ladder.counts)
+        AdsalaGemm::from_bundle(quick_bundle())
     }
 
     #[test]
     fn decision_is_a_candidate() {
         let mut g = handle();
         let d = g.select_threads(256, 256, 256);
-        assert!(g.candidates.contains(&d.threads));
+        assert!(g.candidates().contains(&d.threads));
         assert!(d.predicted_runtime_s > 0.0);
         assert!(!d.memoised);
     }
@@ -204,6 +249,18 @@ mod tests {
         let d = g.select_threads(100, 100, 100);
         assert!(!d.memoised);
         assert_eq!(g.evaluations, 2);
+    }
+
+    #[test]
+    fn facade_agrees_with_service_decisions() {
+        let mut g = handle();
+        let svc = AdsalaService::with_config(
+            g.bundle().clone().into_shared(),
+            ServiceConfig { pool_workers: 1, ..ServiceConfig::default() },
+        );
+        for (m, k, n) in [(64, 64, 64), (128, 512, 128), (64, 4096, 64)] {
+            assert_eq!(g.select_threads(m, k, n).threads, svc.select_threads(m, k, n).threads);
+        }
     }
 
     #[test]

@@ -29,13 +29,19 @@ pub struct SpeedupEstimate {
     pub est_aggregate: f64,
 }
 
-/// Predict the runtime-minimising thread count for one shape.
-pub fn predict_threads(
+/// Predict the runtime-minimising thread count for one shape, returning
+/// both the argmin and its predicted runtime in seconds.
+///
+/// The ladder sweep already evaluates the model at every candidate, so the
+/// winner's prediction comes for free — callers must not re-evaluate the
+/// model for the chosen row (that would double the per-call cost the
+/// paper's `t_eval` budget accounts for).
+pub fn predict_threads_with_runtime(
     model: &AnyModel,
     config: &PreprocessConfig,
     candidates: &[u32],
     shape: GemmShape,
-) -> u32 {
+) -> (u32, f64) {
     debug_assert!(!candidates.is_empty());
     let mut best = candidates[0];
     let mut best_pred = f64::INFINITY;
@@ -47,7 +53,17 @@ pub fn predict_threads(
             best = p;
         }
     }
-    best
+    (best, config.runtime_from_prediction(best_pred))
+}
+
+/// Predict the runtime-minimising thread count for one shape.
+pub fn predict_threads(
+    model: &AnyModel,
+    config: &PreprocessConfig,
+    candidates: &[u32],
+    shape: GemmShape,
+) -> u32 {
+    predict_threads_with_runtime(model, config, candidates, shape).0
 }
 
 /// Estimate ideal and evaluation-inclusive speedups of `model` over
@@ -119,6 +135,18 @@ mod tests {
         ] {
             let p = predict_threads(&model, &config, &candidates, shape);
             assert!(candidates.contains(&p));
+        }
+    }
+
+    #[test]
+    fn sweep_runtime_matches_argmin_reevaluation() {
+        let (_, config, model, candidates) = setup();
+        for shape in [GemmShape::new(128, 512, 128), GemmShape::new(2000, 64, 2000)] {
+            let (p, runtime_s) = predict_threads_with_runtime(&model, &config, &candidates, shape);
+            let row = config.features_for(shape.m, shape.k, shape.n, p);
+            let expected = config.runtime_from_prediction(model.predict_row(&row));
+            assert_eq!(runtime_s, expected, "sweep must reuse the argmin's prediction");
+            assert!(runtime_s > 0.0);
         }
     }
 

@@ -1,0 +1,241 @@
+//! The shared, concurrent ADSALA serving layer — layer 3 of the stack.
+//!
+//! [`AdsalaService`] is what the ROADMAP's "serve heavy traffic" goal
+//! needs and the paper's single-client C++ class is not: a `Send + Sync`
+//! handle that any number of client threads can call through a shared
+//! reference. It composes the two layers below it —
+//!
+//! * an `Arc`-shared immutable [`ArtifactBundle`] for model sweeps,
+//! * a lock-striped [`DecisionCache`] for memoisation —
+//!
+//! and owns one persistent [`ThreadPool`]. Every GEMM executes through
+//! [`adsala_gemm::gemm_with_stats_pooled`] on that pool, so the service
+//! path never pays the per-call OS-thread spawn/join the paper's profiler
+//! analysis (§VI-D) identifies as the dominant overhead for small shapes.
+//!
+//! Diagnostics are atomics: `evaluations` counts actual model sweeps
+//! (concurrent racing misses may sweep the same shape twice — both count),
+//! and [`AdsalaService::cache_stats`] snapshots the memo counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use adsala_gemm::gemm::{gemm_with_stats_pooled, GemmCall};
+use adsala_gemm::{GemmStats, ThreadPool};
+
+use crate::bundle::{ArtifactBundle, ThreadDecision};
+use crate::cache::{CacheStats, DecisionCache, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS};
+
+/// Tunables for [`AdsalaService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads in the persistent GEMM pool; 0 means one per
+    /// available hardware thread.
+    pub pool_workers: usize,
+    /// Lock stripes in the decision cache.
+    pub cache_shards: usize,
+    /// Maximum resident decisions across all stripes.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            pool_workers: 0,
+            cache_shards: DEFAULT_CACHE_SHARDS,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// A thread-safe ADSALA GEMM server: shared artefacts, striped memo,
+/// persistent execution pool.
+#[derive(Debug)]
+pub struct AdsalaService {
+    bundle: Arc<ArtifactBundle>,
+    cache: DecisionCache,
+    pool: ThreadPool,
+    /// Model sweeps performed (memo hits don't count).
+    evaluations: AtomicU64,
+}
+
+impl AdsalaService {
+    /// Build a service with default tunables.
+    pub fn new(bundle: Arc<ArtifactBundle>) -> Self {
+        Self::with_config(bundle, ServiceConfig::default())
+    }
+
+    /// Build a service with explicit pool/cache tunables.
+    pub fn with_config(bundle: Arc<ArtifactBundle>, cfg: ServiceConfig) -> Self {
+        let pool = if cfg.pool_workers == 0 {
+            ThreadPool::with_host_parallelism()
+        } else {
+            ThreadPool::new(cfg.pool_workers)
+        };
+        Self {
+            bundle,
+            cache: DecisionCache::new(cfg.cache_shards, cfg.cache_capacity),
+            pool,
+            evaluations: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared artefact bundle this service decides with.
+    pub fn bundle(&self) -> &Arc<ArtifactBundle> {
+        &self.bundle
+    }
+
+    /// Candidate thread counts swept per decision.
+    pub fn candidates(&self) -> &[u32] {
+        &self.bundle.candidates
+    }
+
+    /// Worker threads in the persistent execution pool.
+    pub fn pool_workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Pick the thread count for an `(m, k, n)` GEMM: memo first, model
+    /// sweep on a miss. Callable concurrently through `&self`; equal
+    /// shapes always yield equal `threads` because both the cache and the
+    /// bundle are deterministic.
+    pub fn select_threads(&self, m: u64, k: u64, n: u64) -> ThreadDecision {
+        let key = (m, k, n);
+        if let Some(decision) = self.cache.get(key) {
+            return decision;
+        }
+        let decision = self.bundle.decide(m, k, n);
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.cache.insert(key, decision);
+        decision
+    }
+
+    /// Run a single-precision GEMM with the ML-selected thread count
+    /// (clamped to `host_max_threads`), executing on the persistent pool.
+    ///
+    /// Matrices are row-major with the given leading dimensions; computes
+    /// `C ← α·A·B + β·C`. Returns the decision and the execution stats.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sgemm(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f32,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        beta: f32,
+        c: &mut [f32],
+        ldc: usize,
+        host_max_threads: u32,
+    ) -> (ThreadDecision, GemmStats) {
+        let decision = self.select_threads(m as u64, k as u64, n as u64);
+        let threads = decision.threads.clamp(1, host_max_threads.max(1)) as usize;
+        let call = GemmCall::new(m, n, k, threads);
+        let stats = gemm_with_stats_pooled(&self.pool, &call, alpha, a, lda, b, ldb, beta, c, ldc);
+        (decision, stats)
+    }
+
+    /// Model sweeps performed so far (accurate under concurrency).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the decision-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Forget all memoised decisions (e.g. after a machine change). The
+    /// counters and the evaluation count are preserved.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+}
+
+// The whole point of the service layer: shareable across client threads.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<AdsalaService>();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::tests::quick_bundle;
+
+    fn service() -> AdsalaService {
+        AdsalaService::with_config(
+            quick_bundle().into_shared(),
+            ServiceConfig { pool_workers: 4, ..ServiceConfig::default() },
+        )
+    }
+
+    #[test]
+    fn decisions_memoise_across_calls() {
+        let svc = service();
+        let first = svc.select_threads(128, 512, 128);
+        let second = svc.select_threads(128, 512, 128);
+        assert!(!first.memoised);
+        assert!(second.memoised);
+        assert_eq!(first.threads, second.threads);
+        assert_eq!(svc.evaluations(), 1, "memo hit must not re-sweep");
+        let stats = svc.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn sgemm_runs_on_pool_and_is_correct() {
+        let svc = service();
+        let (m, k, n) = (33usize, 17usize, 29usize);
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 * 0.5).collect();
+        let mut c = vec![0.0f32; m * n];
+        let (decision, stats) = svc.sgemm(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 4);
+        assert!(svc.candidates().contains(&decision.threads));
+        assert!(stats.threads_used >= 1 && stats.threads_used <= 4);
+        let mut c_ref = vec![0.0f32; m * n];
+        adsala_gemm::naive::naive_gemm(
+            adsala_gemm::Transpose::No,
+            adsala_gemm::Transpose::No,
+            m,
+            n,
+            k,
+            1.0f32,
+            &a,
+            k,
+            &b,
+            n,
+            0.0,
+            &mut c_ref,
+            n,
+        );
+        for (x, y) in c.iter().zip(&c_ref) {
+            assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn clear_cache_forces_reevaluation() {
+        let svc = service();
+        svc.select_threads(100, 100, 100);
+        svc.clear_cache();
+        let d = svc.select_threads(100, 100, 100);
+        assert!(!d.memoised);
+        assert_eq!(svc.evaluations(), 2);
+    }
+
+    #[test]
+    fn shared_bundle_feeds_many_services() {
+        let bundle = quick_bundle().into_shared();
+        let a = AdsalaService::with_config(
+            Arc::clone(&bundle),
+            ServiceConfig { pool_workers: 1, ..ServiceConfig::default() },
+        );
+        let b = AdsalaService::with_config(
+            bundle,
+            ServiceConfig { pool_workers: 1, ..ServiceConfig::default() },
+        );
+        assert_eq!(a.select_threads(64, 2048, 64).threads, b.select_threads(64, 2048, 64).threads);
+    }
+}

@@ -72,6 +72,12 @@ pub struct ThreadPool {
     workers: Vec<JoinHandle<()>>,
 }
 
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("workers", &self.workers.len()).finish()
+    }
+}
+
 impl ThreadPool {
     /// Spawn `workers` parked threads (at least one).
     pub fn new(workers: usize) -> Self {
@@ -92,6 +98,12 @@ impl ThreadPool {
             })
             .collect();
         Self { sender: Some(sender), workers: handles }
+    }
+
+    /// Spawn one parked worker per available hardware thread — the right
+    /// size for a pool that serves this host's GEMM traffic.
+    pub fn with_host_parallelism() -> Self {
+        Self::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
     }
 
     /// Number of worker threads.

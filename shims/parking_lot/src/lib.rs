@@ -45,6 +45,60 @@ impl<T> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// A reader-writer lock whose acquisition never returns a poison error.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock { inner: sync::RwLock::new(value) }
+    }
+
+    /// Acquire shared read access, recovering (not propagating) poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard { inner: self.inner.read().unwrap_or_else(sync::PoisonError::into_inner) }
+    }
+
+    /// Acquire exclusive write access, recovering poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(sync::PoisonError::into_inner) }
+    }
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
 /// A condition variable matching parking_lot's `&mut guard` wait API.
 #[derive(Debug, Default)]
 pub struct Condvar {
@@ -94,8 +148,20 @@ impl Condvar {
 
 #[cfg(test)]
 mod tests {
-    use super::{Condvar, Mutex};
+    use super::{Condvar, Mutex, RwLock};
     use std::sync::Arc;
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let l = RwLock::new(7usize);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 14);
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
+    }
 
     #[test]
     fn lock_guards_mutation() {

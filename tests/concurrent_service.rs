@@ -1,0 +1,148 @@
+//! Concurrency tests for the shared ADSALA serving layer: N client
+//! threads hammering one `AdsalaService` through `&self`, plus the
+//! pooled-vs-spawn execution equivalence the runtime path relies on.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use adsala::bundle::quick_test_bundle as quick_bundle;
+use adsala::{AdsalaService, ArtifactBundle, ServiceConfig, ThreadDecision};
+use adsala_gemm::gemm::{gemm_with_stats, GemmCall};
+
+type ShapeKey = (u64, u64, u64);
+
+#[test]
+fn service_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AdsalaService>();
+    assert_send_sync::<Arc<ArtifactBundle>>();
+}
+
+/// The tentpole stress test: overlapping shape streams from many clients,
+/// deterministic decisions, consistent counters, every decision inside
+/// the candidate ladder.
+#[test]
+fn concurrent_clients_get_deterministic_in_ladder_decisions() {
+    let bundle = quick_bundle().into_shared();
+    let service = AdsalaService::with_config(
+        Arc::clone(&bundle),
+        ServiceConfig { pool_workers: 4, cache_shards: 8, cache_capacity: 256 },
+    );
+    let n_clients = 8u64;
+    let calls_per_client = 200u64;
+
+    // Each client walks a different rotation of the same shape ring, so
+    // streams overlap heavily but interleave differently per thread.
+    let shapes: Vec<ShapeKey> =
+        (0..25u64).map(|i| (32 + 16 * (i % 5), 64 + 128 * (i % 7), 32 + 8 * (i % 11))).collect();
+
+    let per_client: Vec<Vec<(ShapeKey, ThreadDecision)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|client| {
+                let service = &service;
+                let shapes = &shapes;
+                scope.spawn(move || {
+                    let mut seen = Vec::new();
+                    for i in 0..calls_per_client {
+                        let idx = ((i + client * 7) % shapes.len() as u64) as usize;
+                        let (m, k, n) = shapes[idx];
+                        seen.push(((m, k, n), service.select_threads(m, k, n)));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    });
+
+    // Determinism: every thread that decided a shape got the same count,
+    // and that count is what a fresh sweep of the shared bundle yields.
+    let mut agreed: HashMap<ShapeKey, u32> = HashMap::new();
+    for decisions in &per_client {
+        for &((m, k, n), d) in decisions {
+            let expected =
+                *agreed.entry((m, k, n)).or_insert_with(|| bundle.decide(m, k, n).threads);
+            assert_eq!(d.threads, expected, "non-deterministic decision for {m}x{k}x{n}");
+            assert!(
+                bundle.candidates.contains(&d.threads),
+                "decision {} outside the candidate ladder",
+                d.threads
+            );
+            assert!(d.predicted_runtime_s > 0.0);
+        }
+    }
+
+    // Counter consistency: every select is exactly one cache lookup.
+    let stats = service.cache_stats();
+    let total_calls = n_clients * calls_per_client;
+    assert_eq!(stats.lookups(), total_calls, "hits + misses must equal calls: {stats:?}");
+    assert!(stats.hits > 0, "overlapping streams must produce memo hits");
+    // Sweeps happen only on misses (racing misses may both sweep).
+    assert!(service.evaluations() >= shapes.len() as u64);
+    assert!(service.evaluations() <= stats.misses, "{stats:?}");
+    assert!(stats.entries <= stats.capacity, "{stats:?}");
+}
+
+/// Adversarial shape streams cannot grow the memo past its bound.
+#[test]
+fn cache_stays_bounded_under_adversarial_stream() {
+    let service = AdsalaService::with_config(
+        quick_bundle().into_shared(),
+        ServiceConfig { pool_workers: 1, cache_shards: 4, cache_capacity: 32 },
+    );
+    std::thread::scope(|scope| {
+        for client in 0..4u64 {
+            let service = &service;
+            scope.spawn(move || {
+                for i in 0..500u64 {
+                    // Almost every key is fresh: a worst-case stream.
+                    let v = client * 1000 + i;
+                    service.select_threads(32 + v, 64 + v, 32 + (v % 97));
+                }
+            });
+        }
+    });
+    let stats = service.cache_stats();
+    assert!(stats.entries <= stats.capacity, "{stats:?}");
+    assert!(stats.evictions > 0, "an adversarial stream must trigger evictions: {stats:?}");
+    assert_eq!(stats.lookups(), 2000);
+}
+
+/// Concurrent `sgemm` calls through one shared service must all be
+/// correct, and the pooled execution path must produce bitwise-identical
+/// output to the spawn-per-call driver.
+#[test]
+fn concurrent_sgemm_matches_spawn_path_bitwise() {
+    let service = AdsalaService::with_config(
+        quick_bundle().into_shared(),
+        ServiceConfig { pool_workers: 4, ..ServiceConfig::default() },
+    );
+    let cases: Vec<(usize, usize, usize)> =
+        vec![(33, 17, 29), (64, 64, 64), (96, 40, 72), (20, 128, 24)];
+
+    std::thread::scope(|scope| {
+        for &(m, k, n) in &cases {
+            let service = &service;
+            scope.spawn(move || {
+                let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 - 6.0).collect();
+                let b: Vec<f32> = (0..k * n).map(|i| (i % 11) as f32 * 0.25).collect();
+                for _ in 0..3 {
+                    let mut c_pooled = vec![1.0f32; m * n];
+                    let (decision, stats) =
+                        service.sgemm(m, n, k, 1.5, &a, k, &b, n, 0.5, &mut c_pooled, n, 4);
+                    assert!(stats.threads_used >= 1);
+
+                    // Same thread request through the spawn-per-call driver.
+                    let threads = decision.threads.clamp(1, 4) as usize;
+                    let mut c_spawn = vec![1.0f32; m * n];
+                    let call = GemmCall::new(m, n, k, threads);
+                    gemm_with_stats(&call, 1.5, &a, k, &b, n, 0.5, &mut c_spawn, n);
+                    assert_eq!(
+                        c_pooled, c_spawn,
+                        "pooled and spawn paths diverged for {m}x{k}x{n}"
+                    );
+                }
+            });
+        }
+    });
+}
