@@ -89,7 +89,76 @@ fn bench_service_sgemm(c: &mut Criterion) {
     let mut c_out = vec![0.0f32; m * n];
     group.bench_function("sgemm_service_pooled_128", |bench| {
         bench.iter(|| {
-            service.sgemm(
+            service
+                .sgemm(
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    &a,
+                    k,
+                    &b_mat,
+                    n,
+                    0.0,
+                    black_box(&mut c_out),
+                    n,
+                    threads as u32,
+                )
+                .expect("well-formed sgemm")
+        })
+    });
+    group.finish();
+}
+
+/// The abstraction tax of the op-descriptor path: `service.run(GemmArgs)`
+/// (validate + memoised decision + dispatch) vs the direct
+/// `gemm_with_stats_pooled` call at a fixed thread count. The difference
+/// is the full per-call serving overhead the redesign added; it must stay
+/// in the noise next to the kernel time.
+fn bench_routine_dispatch(c: &mut Criterion) {
+    use adsala::prelude::*;
+    use adsala_gemm::gemm::{gemm_with_stats_pooled, GemmCall};
+    use adsala_gemm::ThreadPool;
+
+    let threads = 2usize;
+    let service = trained_service(threads);
+    let mut group = c.benchmark_group("service/routine_dispatch");
+    group.sample_size(20);
+    let (m, k, n) = (96usize, 96usize, 96usize);
+    let a = vec![1.0f32; m * k];
+    let b_mat = vec![0.5f32; k * n];
+    let mut c_out = vec![0.0f32; m * n];
+
+    // Baseline: the raw pooled kernel, no decision, no validation — at
+    // the *same* thread count the descriptor path will execute with, so
+    // the delta between the two benches is pure dispatch overhead.
+    let decided = service
+        .select_for(OpShape::gemm(Precision::F32, m as u64, k as u64, n as u64))
+        .threads
+        .clamp(1, threads as u32) as usize;
+    let pool = ThreadPool::new(threads);
+    let call = GemmCall::new(m, n, k, decided);
+    group.bench_function("direct_pooled_96", |bench| {
+        bench.iter(|| {
+            gemm_with_stats_pooled(
+                &pool,
+                &call,
+                1.0,
+                &a,
+                k,
+                &b_mat,
+                n,
+                0.0,
+                black_box(&mut c_out),
+                n,
+            )
+        })
+    });
+
+    // Descriptor path, hot memo: what a steady-state server pays.
+    group.bench_function("descriptor_gemm_96", |bench| {
+        bench.iter(|| {
+            let mut req: OpRequest<'_, f32> = GemmArgs::untransposed(
                 m,
                 n,
                 k,
@@ -101,12 +170,62 @@ fn bench_service_sgemm(c: &mut Criterion) {
                 0.0,
                 black_box(&mut c_out),
                 n,
-                threads as u32,
             )
+            .into();
+            service
+                .run_with(&mut req, RunOptions::with_host_cap(threads as u32))
+                .expect("well-formed request")
+        })
+    });
+
+    // Descriptor path for the other routines, hot memo.
+    let mut c_syrk = vec![0.0f32; m * m];
+    group.bench_function("descriptor_syrk_96", |bench| {
+        bench.iter(|| {
+            let mut req: OpRequest<'_, f32> = SyrkArgs {
+                m,
+                k,
+                alpha: 1.0,
+                a: &a,
+                lda: k,
+                beta: 0.0,
+                c: black_box(&mut c_syrk),
+                ldc: m,
+            }
+            .into();
+            service
+                .run_with(&mut req, RunOptions::with_host_cap(threads as u32))
+                .expect("well-formed request")
+        })
+    });
+    let x = vec![1.0f32; k];
+    let mut y = vec![0.0f32; m];
+    group.bench_function("descriptor_gemv_96", |bench| {
+        bench.iter(|| {
+            let mut req: OpRequest<'_, f32> = GemvArgs {
+                m,
+                n: k,
+                alpha: 1.0,
+                a: &a,
+                lda: k,
+                x: &x,
+                beta: 0.0,
+                y: black_box(&mut y),
+            }
+            .into();
+            service
+                .run_with(&mut req, RunOptions::with_host_cap(threads as u32))
+                .expect("well-formed request")
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_shared_selection, bench_client_scaling, bench_service_sgemm);
+criterion_group!(
+    benches,
+    bench_shared_selection,
+    bench_client_scaling,
+    bench_service_sgemm,
+    bench_routine_dispatch
+);
 criterion_main!(benches);

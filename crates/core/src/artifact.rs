@@ -1,13 +1,21 @@
-//! Installation artefacts: the two files ADSALA saves at install time and
+//! Installation artefacts: the files ADSALA saves at install time and
 //! loads at program boot (Figs. 2/3 of the paper).
 //!
-//! One JSON document holds the preprocessing configuration, the other the
-//! trained model; both are bundled with provenance (machine name, thread
+//! One JSON document holds the preprocessing configuration, another the
+//! trained models; both are bundled with provenance (machine name, thread
 //! candidates) so a runtime handle can be reconstructed with nothing else.
+//!
+//! **Schema v2** carries a per-routine [`ModelTable`] instead of v1's
+//! single GEMM model, so one artefact can hold dedicated SYRK/GEMV
+//! selectors next to the GEMM one. v1 documents still load: their model
+//! migrates into the table's GEMM slot, which every other routine falls
+//! back to (sound because each routine's shape maps into the same GEMM
+//! feature space — see [`adsala_gemm::OpShape::gemm_equivalent`]).
 
 use std::fs;
 use std::path::Path;
 
+use adsala_gemm::Routine;
 use adsala_ml::AnyModel;
 use serde::{Deserialize, Serialize};
 
@@ -17,10 +25,62 @@ use crate::runtime::AdsalaGemm;
 use crate::service::AdsalaService;
 use crate::AdsalaError;
 
-/// A complete, self-describing installation artefact.
+/// Trained models, one slot per routine.
+///
+/// The GEMM slot is mandatory (it is what the installation pipeline
+/// trains and what v1 artefacts migrate into); SYRK and GEMV slots are
+/// optional and fall back to the GEMM model, evaluated at the routine's
+/// GEMM-equivalent shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelTable {
+    /// The GEMM selector — also the fallback for every other routine.
+    pub gemm: AnyModel,
+    /// Dedicated SYRK selector, if one was trained.
+    pub syrk: Option<AnyModel>,
+    /// Dedicated GEMV selector, if one was trained.
+    pub gemv: Option<AnyModel>,
+}
+
+impl ModelTable {
+    /// A table holding only the GEMM model (the v1 layout).
+    pub fn gemm_only(model: AnyModel) -> Self {
+        Self { gemm: model, syrk: None, gemv: None }
+    }
+
+    /// Replace one routine's slot (builder-style).
+    pub fn with(mut self, routine: Routine, model: AnyModel) -> Self {
+        match routine {
+            Routine::Gemm => self.gemm = model,
+            Routine::Syrk => self.syrk = Some(model),
+            Routine::Gemv => self.gemv = Some(model),
+        }
+        self
+    }
+
+    /// The model serving `routine`: its dedicated slot, or the GEMM
+    /// fallback.
+    pub fn for_routine(&self, routine: Routine) -> &AnyModel {
+        match routine {
+            Routine::Gemm => &self.gemm,
+            Routine::Syrk => self.syrk.as_ref().unwrap_or(&self.gemm),
+            Routine::Gemv => self.gemv.as_ref().unwrap_or(&self.gemm),
+        }
+    }
+
+    /// Whether `routine` has its own trained model (vs the GEMM fallback).
+    pub fn has_dedicated(&self, routine: Routine) -> bool {
+        match routine {
+            Routine::Gemm => true,
+            Routine::Syrk => self.syrk.is_some(),
+            Routine::Gemv => self.gemv.is_some(),
+        }
+    }
+}
+
+/// A complete, self-describing installation artefact (schema v2).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Artifact {
-    /// Schema version for forward compatibility.
+    /// Schema version; [`Artifact::VERSION`] when written by this build.
     pub version: u32,
     /// Name of the machine the artefact was trained for.
     pub machine: String,
@@ -28,39 +88,84 @@ pub struct Artifact {
     pub candidates: Vec<u32>,
     /// Preprocessing configuration ("config file" in Fig. 2).
     pub config: PreprocessConfig,
-    /// Trained model ("trained model" in Fig. 2).
-    pub model: AnyModel,
+    /// Per-routine trained models ("trained model" in Fig. 2, per slot).
+    pub models: ModelTable,
+}
+
+/// The v1 on-disk layout: a single GEMM model under the `model` key.
+/// Kept only so [`Artifact::from_json`] can migrate old documents.
+#[derive(Deserialize)]
+struct ArtifactV1 {
+    machine: String,
+    candidates: Vec<u32>,
+    config: PreprocessConfig,
+    model: AnyModel,
+}
+
+/// Minimal probe to branch on the schema version before a full parse.
+#[derive(Deserialize)]
+struct VersionProbe {
+    version: u32,
 }
 
 impl Artifact {
     /// Current schema version.
-    pub const VERSION: u32 = 1;
+    pub const VERSION: u32 = 2;
+    /// The legacy single-model schema still accepted by `from_json`.
+    pub const V1: u32 = 1;
 
-    /// Bundle runtime state into an artefact.
+    /// Bundle runtime state into an artefact with only a GEMM model.
     pub fn from_parts(
         machine: &str,
         candidates: Vec<u32>,
         config: PreprocessConfig,
         model: AnyModel,
     ) -> Self {
-        Self { version: Self::VERSION, machine: machine.to_string(), candidates, config, model }
+        Self::from_table(machine, candidates, config, ModelTable::gemm_only(model))
     }
 
-    /// Serialise to a JSON string.
+    /// Bundle runtime state into an artefact with a full model table.
+    pub fn from_table(
+        machine: &str,
+        candidates: Vec<u32>,
+        config: PreprocessConfig,
+        models: ModelTable,
+    ) -> Self {
+        Self { version: Self::VERSION, machine: machine.to_string(), candidates, config, models }
+    }
+
+    /// Serialise to a JSON string (always the current schema).
     pub fn to_json(&self) -> Result<String, AdsalaError> {
         serde_json::to_string(self).map_err(|e| AdsalaError::Artifact(e.to_string()))
     }
 
-    /// Deserialise from a JSON string.
+    /// Deserialise from a JSON string, migrating v1 documents (their
+    /// single model lands in the table's GEMM slot). Versions this build
+    /// does not know return [`AdsalaError::Unsupported`].
     pub fn from_json(json: &str) -> Result<Self, AdsalaError> {
-        let artifact: Artifact =
-            serde_json::from_str(json).map_err(|e| AdsalaError::Artifact(e.to_string()))?;
-        if artifact.version != Self::VERSION {
-            return Err(AdsalaError::Artifact(format!(
-                "unsupported artifact version {}",
-                artifact.version
-            )));
-        }
+        let err = |e: serde_json::Error| AdsalaError::Artifact(e.to_string());
+        let probe: VersionProbe = serde_json::from_str(json).map_err(err)?;
+        let artifact = match probe.version {
+            Self::V1 => {
+                let ArtifactV1 { machine, candidates, config, model } =
+                    serde_json::from_str(json).map_err(err)?;
+                Artifact {
+                    version: Self::VERSION,
+                    machine,
+                    candidates,
+                    config,
+                    models: ModelTable::gemm_only(model),
+                }
+            }
+            Self::VERSION => serde_json::from_str::<Artifact>(json).map_err(err)?,
+            v => {
+                return Err(AdsalaError::Unsupported(format!(
+                    "artifact schema version {v}; this build reads v{} through v{}",
+                    Self::V1,
+                    Self::VERSION
+                )))
+            }
+        };
         if artifact.candidates.is_empty() {
             return Err(AdsalaError::Artifact("artifact has no thread candidates".into()));
         }
@@ -72,7 +177,7 @@ impl Artifact {
         fs::write(path, self.to_json()?).map_err(|e| AdsalaError::Artifact(e.to_string()))
     }
 
-    /// Load an artefact from disk.
+    /// Load an artefact from disk (v1 documents migrate transparently).
     pub fn load(path: &Path) -> Result<Self, AdsalaError> {
         let json = fs::read_to_string(path).map_err(|e| AdsalaError::Artifact(e.to_string()))?;
         Self::from_json(&json)
@@ -114,6 +219,16 @@ mod tests {
         Artifact::from_parts("gadi-sim", data.ladder.counts, fitted.config, model)
     }
 
+    /// Writer for the legacy layout, so migration is testable in-unit.
+    #[derive(Serialize)]
+    struct V1Writer {
+        version: u32,
+        machine: String,
+        candidates: Vec<u32>,
+        config: PreprocessConfig,
+        model: AnyModel,
+    }
+
     #[test]
     fn json_roundtrip_preserves_behaviour() {
         let art = artifact();
@@ -127,6 +242,38 @@ mod tests {
     }
 
     #[test]
+    fn v1_document_migrates_to_gemm_slot() {
+        let art = artifact();
+        let v1 = V1Writer {
+            version: Artifact::V1,
+            machine: art.machine.clone(),
+            candidates: art.candidates.clone(),
+            config: art.config.clone(),
+            model: art.models.gemm.clone(),
+        };
+        let json = serde_json::to_string(&v1).unwrap();
+        let migrated = Artifact::from_json(&json).unwrap();
+        assert_eq!(migrated.version, Artifact::VERSION);
+        assert!(!migrated.models.has_dedicated(adsala_gemm::Routine::Syrk));
+        let mut a = art.into_runtime();
+        let mut b = migrated.into_runtime();
+        for (m, k, n) in [(64, 64, 64), (1000, 500, 1000), (2000, 64, 2000)] {
+            assert_eq!(a.select_threads(m, k, n), b.select_threads(m, k, n));
+        }
+    }
+
+    #[test]
+    fn model_table_falls_back_to_gemm() {
+        let art = artifact();
+        let table = art.models;
+        assert!(table.has_dedicated(Routine::Gemm));
+        assert!(!table.has_dedicated(Routine::Gemv));
+        // Fallback resolves to the very same model object.
+        assert!(std::ptr::eq(table.for_routine(Routine::Gemv), &table.gemm));
+        assert!(std::ptr::eq(table.for_routine(Routine::Syrk), &table.gemm));
+    }
+
+    #[test]
     fn save_and_load_via_filesystem() {
         let art = artifact();
         let dir = std::env::temp_dir().join("adsala-artifact-test");
@@ -136,15 +283,19 @@ mod tests {
         let back = Artifact::load(&path).unwrap();
         assert_eq!(back.machine, "gadi-sim");
         assert_eq!(back.candidates, art.candidates);
+        assert_eq!(back.version, Artifact::VERSION);
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn wrong_version_rejected() {
+    fn unknown_version_is_unsupported() {
         let mut art = artifact();
         art.version = 99;
         let json = serde_json::to_string(&art).unwrap();
-        assert!(Artifact::from_json(&json).is_err());
+        match Artifact::from_json(&json) {
+            Err(AdsalaError::Unsupported(msg)) => assert!(msg.contains("99"), "{msg}"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,28 +1,34 @@
 //! The immutable runtime artefact bundle — layer 1 of the serving stack.
 //!
 //! [`ArtifactBundle`] is everything the runtime phase needs to make a
-//! thread decision: the fitted preprocessing configuration, the trained
-//! model, and the candidate thread ladder. It is deliberately immutable —
-//! no memo, no counters — so one bundle can sit behind an `Arc` and be
-//! read by any number of serving threads without synchronisation. The
-//! mutable concerns live in the layers above it: memoisation in
-//! [`crate::cache::DecisionCache`], execution and diagnostics in
-//! [`crate::service::AdsalaService`].
+//! thread decision: the fitted preprocessing configuration, the
+//! per-routine [`ModelTable`], and the candidate thread ladder. It is
+//! deliberately immutable — no memo, no counters — so one bundle can sit
+//! behind an `Arc` and be read by any number of serving threads without
+//! synchronisation. The mutable concerns live in the layers above it:
+//! memoisation in [`crate::cache::DecisionCache`], execution and
+//! diagnostics in [`crate::service::AdsalaService`].
+//!
+//! Decisions are routine- and precision-generic: [`ArtifactBundle::decide_op`]
+//! takes an [`OpShape`] (routine, precision, dimensions), picks the
+//! routine's model (GEMM fallback), maps the dimensions into the §III-A
+//! GEMM feature space, and sweeps the ladder. The legacy
+//! [`ArtifactBundle::decide`] is the f32-GEMM special case.
 //!
 //! A bundle round-trips through [`crate::artifact::Artifact`] (the
-//! on-disk JSON installation artefact), which adds provenance (machine
-//! name, schema version) on top of these three fields.
+//! on-disk JSON installation artefact, schema v2), which adds provenance
+//! (machine name, schema version) on top of these three fields.
 
 use std::path::Path;
 use std::sync::Arc;
 
+use adsala_gemm::{OpShape, Precision, Routine};
 use adsala_ml::AnyModel;
-use adsala_sampling::GemmShape;
 use serde::{Deserialize, Serialize};
 
-use crate::artifact::Artifact;
+use crate::artifact::{Artifact, ModelTable};
 use crate::preprocess::PreprocessConfig;
-use crate::select::predict_threads_with_runtime;
+use crate::select::predict_threads_for_op;
 use crate::AdsalaError;
 
 /// The outcome of a thread selection.
@@ -38,27 +44,41 @@ pub struct ThreadDecision {
 
 /// The immutable installation artefacts, packaged for shared serving.
 ///
-/// Cloning is cheap-ish (the model dominates); for concurrent use wrap it
+/// Cloning is cheap-ish (the models dominate); for concurrent use wrap it
 /// once via [`ArtifactBundle::into_shared`] and clone the `Arc` instead.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ArtifactBundle {
     /// Preprocessing artefact (the paper's "config file").
     pub config: PreprocessConfig,
-    /// Trained-model artefact.
-    pub model: AnyModel,
+    /// Per-routine trained models (GEMM mandatory, rest fall back to it).
+    pub models: ModelTable,
     /// Candidate thread counts swept per decision.
     pub candidates: Vec<u32>,
 }
 
 impl ArtifactBundle {
-    /// Assemble a bundle from its parts.
+    /// Assemble a bundle from its parts with only a GEMM model.
     ///
     /// # Panics
     /// Panics if `candidates` is empty — a runtime with nothing to sweep
     /// cannot decide anything.
     pub fn new(config: PreprocessConfig, model: AnyModel, candidates: Vec<u32>) -> Self {
+        Self::with_models(config, ModelTable::gemm_only(model), candidates)
+    }
+
+    /// Assemble a bundle from its parts with a full model table.
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty.
+    pub fn with_models(config: PreprocessConfig, models: ModelTable, candidates: Vec<u32>) -> Self {
         assert!(!candidates.is_empty(), "need at least one candidate thread count");
-        Self { config, model, candidates }
+        Self { config, models, candidates }
+    }
+
+    /// Install a dedicated model for one routine (builder-style).
+    pub fn with_routine_model(mut self, routine: Routine, model: AnyModel) -> Self {
+        self.models = self.models.with(routine, model);
+        self
     }
 
     /// Wrap into the shared handle the serving layer uses.
@@ -66,28 +86,34 @@ impl ArtifactBundle {
         Arc::new(self)
     }
 
-    /// Run one full model sweep over the candidate ladder for an
-    /// `(m, k, n)` GEMM. Pure: no memo is consulted or updated, so equal
-    /// inputs always produce equal decisions.
-    pub fn decide(&self, m: u64, k: u64, n: u64) -> ThreadDecision {
-        let shape = GemmShape::new(m, k, n);
+    /// Run one full model sweep over the candidate ladder for any
+    /// operation. Pure: no memo is consulted or updated, so equal inputs
+    /// always produce equal decisions.
+    pub fn decide_op(&self, shape: OpShape) -> ThreadDecision {
+        let model = self.models.for_routine(shape.routine);
         let (threads, predicted_runtime_s) =
-            predict_threads_with_runtime(&self.model, &self.config, &self.candidates, shape);
+            predict_threads_for_op(model, &self.config, &self.candidates, shape);
         ThreadDecision { threads, predicted_runtime_s, memoised: false }
+    }
+
+    /// The f32-GEMM special case of [`ArtifactBundle::decide_op`], kept
+    /// for the paper-faithful `(m, k, n)` call sites.
+    pub fn decide(&self, m: u64, k: u64, n: u64) -> ThreadDecision {
+        self.decide_op(OpShape::gemm(Precision::F32, m, k, n))
     }
 
     /// Strip provenance off an on-disk artefact.
     pub fn from_artifact(artifact: Artifact) -> Self {
-        Self::new(artifact.config, artifact.model, artifact.candidates)
+        Self::with_models(artifact.config, artifact.models, artifact.candidates)
     }
 
     /// Re-attach provenance, producing a saveable artefact.
     pub fn to_artifact(&self, machine: &str) -> Artifact {
-        Artifact::from_parts(
+        Artifact::from_table(
             machine,
             self.candidates.clone(),
             self.config.clone(),
-            self.model.clone(),
+            self.models.clone(),
         )
     }
 
@@ -141,6 +167,54 @@ pub(crate) mod tests {
     }
 
     #[test]
+    fn decide_op_covers_every_routine() {
+        let bundle = quick_bundle();
+        for shape in [
+            OpShape::gemm(Precision::F32, 256, 256, 256),
+            OpShape::gemm(Precision::F64, 256, 256, 256),
+            OpShape::syrk(Precision::F64, 512, 64),
+            OpShape::gemv(Precision::F32, 4096, 512),
+        ] {
+            let d = bundle.decide_op(shape);
+            assert!(bundle.candidates.contains(&d.threads), "{shape:?}");
+            assert!(d.predicted_runtime_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn decide_matches_gemm_equivalent_decision() {
+        // Without dedicated models, a routine's decision equals the GEMM
+        // decision at its gemm-equivalent dimensions — bit for bit.
+        let bundle = quick_bundle();
+        let syrk = bundle.decide_op(OpShape::syrk(Precision::F32, 300, 40));
+        let gemm = bundle.decide(300, 40, 300);
+        assert_eq!(syrk, gemm);
+        let gemv = bundle.decide_op(OpShape::gemv(Precision::F32, 2000, 500));
+        assert_eq!(gemv, bundle.decide(2000, 500, 1));
+    }
+
+    #[test]
+    fn dedicated_routine_model_takes_precedence() {
+        use adsala_ml::tune::ModelSpec;
+        use adsala_ml::Regressor;
+
+        let base = quick_bundle();
+        // A deliberately different model for SYRK: a depth-2 stump fit on
+        // a trivial dataset will decide differently often enough.
+        let mut other = ModelSpec::DecisionTree { max_depth: 2, min_samples_leaf: 1 }.build(7);
+        let x = adsala_ml::data::Matrix::from_rows(&[
+            vec![0.0; base.config.pruner.kept.len()],
+            vec![1.0; base.config.pruner.kept.len()],
+        ]);
+        other.fit(&x, &[0.0, 1.0]).unwrap();
+        let bundle = base.with_routine_model(Routine::Syrk, other);
+        assert!(bundle.models.has_dedicated(Routine::Syrk));
+        // GEMM decisions are untouched.
+        let d = bundle.decide(256, 256, 256);
+        assert!(bundle.candidates.contains(&d.threads));
+    }
+
+    #[test]
     fn artifact_roundtrip_preserves_decisions() {
         let bundle = quick_bundle();
         let art = bundle.to_artifact("gadi-sim");
@@ -149,6 +223,11 @@ pub(crate) mod tests {
             ArtifactBundle::from_artifact(Artifact::from_json(&art.to_json().unwrap()).unwrap());
         for (m, k, n) in [(64, 64, 64), (1000, 500, 1000), (64, 4096, 64)] {
             assert_eq!(bundle.decide(m, k, n), back.decide(m, k, n));
+        }
+        for shape in
+            [OpShape::syrk(Precision::F64, 400, 80), OpShape::gemv(Precision::F32, 1000, 1000)]
+        {
+            assert_eq!(bundle.decide_op(shape), back.decide_op(shape));
         }
     }
 
@@ -169,6 +248,6 @@ pub(crate) mod tests {
     #[should_panic(expected = "at least one candidate")]
     fn empty_ladder_rejected() {
         let bundle = quick_bundle();
-        ArtifactBundle::new(bundle.config, bundle.model, Vec::new());
+        ArtifactBundle::with_models(bundle.config, bundle.models, Vec::new());
     }
 }

@@ -3,8 +3,9 @@
 //! The paper's runtime memoises one shape (§III-C) inside a single-client
 //! class; a shared service needs the same idea to survive many clients
 //! hammering it at once. [`DecisionCache`] stripes the memo across
-//! power-of-two [`RwLock`] shards keyed by a hash of `(m, k, n)`, so
-//! concurrent lookups of different shapes rarely contend. Each shard keeps
+//! power-of-two [`RwLock`] shards keyed by a hash of the full
+//! `(routine, precision, dims)` [`OpShape`], so concurrent lookups of
+//! different shapes rarely contend. Each shard keeps
 //! the paper's last-shape fast path (checked before the hash map, under
 //! the shared read lock) plus a bounded all-shapes map.
 //!
@@ -22,13 +23,17 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use adsala_gemm::OpShape;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 use crate::bundle::ThreadDecision;
 
-/// A GEMM shape key: `(m, k, n)`.
-pub type ShapeKey = (u64, u64, u64);
+/// A decision key: routine, precision, and the routine's logical
+/// dimensions. An f32 GEMM and an f64 GEMM of the same dimensions are
+/// distinct entries, as are a GEMM and the SYRK that maps onto the same
+/// feature-space point.
+pub type ShapeKey = OpShape;
 
 /// A point-in-time snapshot of the cache's counters and occupancy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -199,17 +204,22 @@ impl DecisionCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adsala_gemm::Precision;
 
     fn decision(threads: u32) -> ThreadDecision {
         ThreadDecision { threads, predicted_runtime_s: 1e-3, memoised: false }
     }
 
+    fn key(m: u64, k: u64, n: u64) -> ShapeKey {
+        OpShape::gemm(Precision::F32, m, k, n)
+    }
+
     #[test]
     fn get_after_insert_hits_and_is_memoised() {
         let cache = DecisionCache::new(4, 64);
-        assert!(cache.get((1, 2, 3)).is_none());
-        cache.insert((1, 2, 3), decision(8));
-        let hit = cache.get((1, 2, 3)).expect("resident");
+        assert!(cache.get(key(1, 2, 3)).is_none());
+        cache.insert(key(1, 2, 3), decision(8));
+        let hit = cache.get(key(1, 2, 3)).expect("resident");
         assert_eq!(hit.threads, 8);
         assert!(hit.memoised, "cache replay must be flagged memoised");
         let stats = cache.stats();
@@ -219,11 +229,25 @@ mod tests {
     }
 
     #[test]
+    fn routine_and_precision_are_part_of_the_key() {
+        let cache = DecisionCache::new(4, 64);
+        cache.insert(OpShape::gemm(Precision::F32, 8, 8, 8), decision(2));
+        cache.insert(OpShape::gemm(Precision::F64, 8, 8, 8), decision(4));
+        // SYRK(8,8) maps to the same feature point as GEMM(8,8,8) but is a
+        // distinct cache entry.
+        cache.insert(OpShape::syrk(Precision::F32, 8, 8), decision(6));
+        assert_eq!(cache.get(OpShape::gemm(Precision::F32, 8, 8, 8)).unwrap().threads, 2);
+        assert_eq!(cache.get(OpShape::gemm(Precision::F64, 8, 8, 8)).unwrap().threads, 4);
+        assert_eq!(cache.get(OpShape::syrk(Precision::F32, 8, 8)).unwrap().threads, 6);
+        assert!(cache.get(OpShape::gemv(Precision::F32, 8, 8)).is_none());
+    }
+
+    #[test]
     fn capacity_bound_evicts_instead_of_growing() {
         let cache = DecisionCache::new(2, 8);
         assert_eq!(cache.capacity(), 8);
         for i in 0..1000u64 {
-            cache.insert((i, i, i), decision(4));
+            cache.insert(key(i, i, i), decision(4));
         }
         let stats = cache.stats();
         assert!(stats.entries <= stats.capacity, "{stats:?}");
@@ -234,23 +258,23 @@ mod tests {
     #[test]
     fn last_shape_fast_path_survives_eviction_of_others() {
         let cache = DecisionCache::new(1, 1);
-        cache.insert((1, 1, 1), decision(2));
-        cache.insert((2, 2, 2), decision(4));
+        cache.insert(key(1, 1, 1), decision(2));
+        cache.insert(key(2, 2, 2), decision(4));
         // (1,1,1) was evicted by the 1-entry bound; (2,2,2) is `last`.
-        assert!(cache.get((1, 1, 1)).is_none());
-        assert_eq!(cache.get((2, 2, 2)).unwrap().threads, 4);
+        assert!(cache.get(key(1, 1, 1)).is_none());
+        assert_eq!(cache.get(key(2, 2, 2)).unwrap().threads, 4);
     }
 
     #[test]
     fn clear_preserves_counters() {
         let cache = DecisionCache::default();
-        cache.insert((1, 2, 3), decision(8));
-        cache.get((1, 2, 3));
+        cache.insert(key(1, 2, 3), decision(8));
+        cache.get(key(1, 2, 3));
         cache.clear();
         assert!(cache.is_empty());
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
-        assert!(cache.get((1, 2, 3)).is_none(), "cleared entries must miss");
+        assert!(cache.get(key(1, 2, 3)).is_none(), "cleared entries must miss");
     }
 
     #[test]
@@ -272,9 +296,9 @@ mod tests {
                 let cache = &cache;
                 scope.spawn(move || {
                     for i in 0..calls_per_thread {
-                        let key = (i % 37, t % 2, 7);
+                        let key = key(i % 37, t % 2, 7);
                         if cache.get(key).is_none() {
-                            cache.insert(key, decision((key.0 + 1) as u32));
+                            cache.insert(key, decision((key.dims[0] + 1) as u32));
                         }
                     }
                 });

@@ -5,6 +5,14 @@
 //! count (parallel-runtime terms). Seventeen features in total; the
 //! correlation pruner later removes the redundant ones, exactly as §IV-C
 //! describes.
+//!
+//! The feature space is defined over GEMM `(m, k, n)`; other routines
+//! enter it through their GEMM-equivalent dimensions (SYRK `(m, k)` as
+//! the `m×k · k×m` product it computes, GEMV `(m, n)` as `m×n · n×1`) via
+//! [`build_features_for_op`], so one trained model — or one per-routine
+//! model trained on that routine's timings — serves every routine.
+
+use adsala_gemm::OpShape;
 
 /// Number of raw features before correlation pruning.
 pub const FEATURE_COUNT: usize = 17;
@@ -64,9 +72,46 @@ pub fn build_features(m: u64, k: u64, n: u64, n_threads: u32) -> Vec<f64> {
     ]
 }
 
+/// Build the raw feature vector for any routine's shape: map the
+/// routine's own dimensions into the GEMM feature space
+/// ([`OpShape::gemm_equivalent`]), then build the Table II features.
+pub fn build_features_for_op(shape: &OpShape, n_threads: u32) -> Vec<f64> {
+    let (m, k, n) = shape.gemm_equivalent();
+    build_features(m, k, n, n_threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adsala_gemm::Precision;
+
+    #[test]
+    fn op_features_map_through_gemm_equivalents() {
+        // GEMM is the identity mapping.
+        assert_eq!(
+            build_features_for_op(&OpShape::gemm(Precision::F32, 2, 3, 4), 2),
+            build_features(2, 3, 4, 2)
+        );
+        // SYRK (m, k) lands on GEMM (m, k, m); GEMV (m, n) on (m, n, 1).
+        assert_eq!(
+            build_features_for_op(&OpShape::syrk(Precision::F64, 100, 30), 8),
+            build_features(100, 30, 100, 8)
+        );
+        assert_eq!(
+            build_features_for_op(&OpShape::gemv(Precision::F32, 500, 200), 4),
+            build_features(500, 200, 1, 4)
+        );
+    }
+
+    #[test]
+    fn precision_does_not_enter_the_feature_space() {
+        // Table II has no element-size term: precision segregates cache
+        // entries and model slots, not features.
+        assert_eq!(
+            build_features_for_op(&OpShape::gemm(Precision::F32, 7, 8, 9), 3),
+            build_features_for_op(&OpShape::gemm(Precision::F64, 7, 8, 9), 3)
+        );
+    }
 
     #[test]
     fn names_and_vector_agree_in_length() {

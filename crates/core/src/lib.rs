@@ -24,8 +24,9 @@
 //!    with per-shard last-shape fast paths and hit/miss/eviction
 //!    counters;
 //! 3. [`service::AdsalaService`] — the `Send + Sync` serving handle that
-//!    owns a persistent [`adsala_gemm::ThreadPool`] and answers `sgemm`
-//!    from any number of client threads;
+//!    owns a persistent [`adsala_gemm::ThreadPool`] and answers typed
+//!    [`OpRequest`]s — GEMM, SYRK, GEMV, in `f32` or `f64` — through one
+//!    `run` entry point, from any number of client threads;
 //!
 //! plus [`runtime::AdsalaGemm`], the paper-faithful single-threaded
 //! facade over the same bundle (`&mut self`, §III-C memo semantics).
@@ -54,20 +55,61 @@ pub mod service;
 pub mod speedup;
 pub mod train;
 
-pub use artifact::Artifact;
+pub use artifact::{Artifact, ModelTable};
 pub use bundle::{ArtifactBundle, ThreadDecision};
 pub use cache::{CacheStats, DecisionCache};
-pub use features::{build_features, feature_names, FEATURE_COUNT};
+pub use features::{build_features, build_features_for_op, feature_names, FEATURE_COUNT};
 pub use gather::{GatherConfig, GemmRecord, ThreadLadder, TrainingData};
 pub use install::{InstallConfig, Installation};
 pub use preprocess::{
     fit_preprocess, fit_preprocess_with, PreprocessConfig, PreprocessOptions, PreprocessReport,
 };
 pub use runtime::AdsalaGemm;
-pub use select::{estimate_speedups, predict_threads_with_runtime, SpeedupEstimate};
-pub use service::{AdsalaService, ServiceConfig};
+pub use select::{
+    estimate_speedups, predict_threads_for_op, predict_threads_with_runtime, SpeedupEstimate,
+};
+pub use service::{AdsalaService, RunOptions, ServiceConfig};
 pub use speedup::SpeedupStats;
 pub use train::{train_all_families, ModelReport, TrainedCandidate};
+
+// The operation vocabulary of the serving surface lives in the kernel
+// crate (descriptors borrow operand slices); re-export it so `adsala`
+// alone is enough to build and run requests.
+pub use adsala_gemm::dispatch::{
+    GemmArgs, GemvArgs, OpRequest, OpShape, OpStats, Precision, Routine, ShapeError, SyrkArgs,
+};
+
+/// Everything a serving-layer caller needs in one import: the request
+/// vocabulary, the service and facade handles, decisions, cache counters,
+/// and the error enum.
+///
+/// ```no_run
+/// use adsala::prelude::*;
+///
+/// # fn demo(service: &AdsalaService) -> Result<(), AdsalaError> {
+/// let a = vec![1.0f32; 64 * 32];
+/// let x = vec![1.0f32; 32];
+/// let mut y = vec![0.0f32; 64];
+/// let mut req: OpRequest<'_, f32> =
+///     GemvArgs { m: 64, n: 32, alpha: 1.0, a: &a, lda: 32, x: &x, beta: 0.0, y: &mut y }.into();
+/// let (decision, stats) = service.run(&mut req)?;
+/// assert_eq!(stats.routine, Routine::Gemv);
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use crate::artifact::{Artifact, ModelTable};
+    pub use crate::bundle::{ArtifactBundle, ThreadDecision};
+    pub use crate::cache::CacheStats;
+    pub use crate::install::{InstallConfig, Installation};
+    pub use crate::runtime::AdsalaGemm;
+    pub use crate::service::{AdsalaService, RunOptions, ServiceConfig};
+    pub use crate::AdsalaError;
+    pub use adsala_gemm::dispatch::{
+        GemmArgs, GemvArgs, OpRequest, OpShape, OpStats, Precision, Routine, ShapeError, SyrkArgs,
+    };
+    pub use adsala_gemm::Transpose;
+}
 
 /// Errors from the installation or runtime pipelines.
 #[derive(Debug)]
@@ -78,6 +120,12 @@ pub enum AdsalaError {
     InsufficientData(String),
     /// Artefact (de)serialisation failure.
     Artifact(String),
+    /// A request's operands were dimensionally inconsistent (slice too
+    /// short, leading dimension smaller than a row).
+    Shape(adsala_gemm::ShapeError),
+    /// The input is recognised but this build cannot serve it (e.g. an
+    /// artefact schema version newer than [`Artifact::VERSION`]).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for AdsalaError {
@@ -86,6 +134,8 @@ impl std::fmt::Display for AdsalaError {
             AdsalaError::Ml(e) => write!(f, "ml error: {e}"),
             AdsalaError::InsufficientData(s) => write!(f, "insufficient data: {s}"),
             AdsalaError::Artifact(s) => write!(f, "artifact error: {s}"),
+            AdsalaError::Shape(e) => write!(f, "{e}"),
+            AdsalaError::Unsupported(s) => write!(f, "unsupported: {s}"),
         }
     }
 }
@@ -95,5 +145,11 @@ impl std::error::Error for AdsalaError {}
 impl From<adsala_ml::MlError> for AdsalaError {
     fn from(e: adsala_ml::MlError) -> Self {
         AdsalaError::Ml(e)
+    }
+}
+
+impl From<adsala_gemm::ShapeError> for AdsalaError {
+    fn from(e: adsala_gemm::ShapeError) -> Self {
+        AdsalaError::Shape(e)
     }
 }

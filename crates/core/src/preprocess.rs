@@ -37,9 +37,19 @@ pub struct PreprocessConfig {
 }
 
 impl PreprocessConfig {
-    /// Model-ready feature row for one `(m, k, n, threads)` input.
+    /// Model-ready feature row for one `(m, k, n, threads)` GEMM input.
     pub fn features_for(&self, m: u64, k: u64, n: u64, threads: u32) -> Vec<f64> {
-        let mut row = build_features(m, k, n, threads);
+        self.transform_raw(build_features(m, k, n, threads))
+    }
+
+    /// Model-ready feature row for any routine's shape (the runtime hot
+    /// path of the generic dispatch layer): the routine's dimensions map
+    /// into the GEMM feature space, then go through the fitted chain.
+    pub fn features_for_op(&self, shape: &adsala_gemm::OpShape, threads: u32) -> Vec<f64> {
+        self.transform_raw(crate::features::build_features_for_op(shape, threads))
+    }
+
+    fn transform_raw(&self, mut row: Vec<f64>) -> Vec<f64> {
         self.yeo_johnson.transform_row(&mut row);
         self.scaler.transform_row(&mut row);
         self.pruner.transform_row(&row)

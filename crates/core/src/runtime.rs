@@ -1,13 +1,15 @@
 //! The single-threaded ADSALA runtime facade (the paper's Fig. 3).
 //!
 //! [`AdsalaGemm`] keeps the C++-class shape the paper describes — load
-//! the installation artefacts once, then serve GEMM calls through a
+//! the installation artefacts once, then serve calls through a
 //! `&mut self` handle with §III-C memoisation — but it is now a thin
 //! facade over the layered serving stack:
 //!
-//! * [`crate::bundle::ArtifactBundle`] performs the model sweeps,
+//! * [`crate::bundle::ArtifactBundle`] performs the model sweeps
+//!   (per-routine models with GEMM fallback),
 //! * this facade keeps the single-client memo (last shape + optional
-//!   full cache) exactly as before,
+//!   full cache), keyed by the full `(routine, precision, dims)`
+//!   [`OpShape`] so SYRK/GEMV/f64 traffic memoises too,
 //! * execution goes through a lazily created persistent
 //!   [`adsala_gemm::ThreadPool`], the same pooled dispatch the concurrent
 //!   [`crate::service::AdsalaService`] uses — not spawn-per-call.
@@ -17,29 +19,30 @@
 //! single-threaded code, tests, and the repro binary keep their
 //! `&mut self` ergonomics.
 
-use adsala_gemm::gemm::{gemm_with_stats_pooled, GemmCall};
-use adsala_gemm::{GemmStats, ThreadPool};
+use adsala_gemm::dispatch::{GemmArgs, OpRequest, OpShape, OpStats, Precision};
+use adsala_gemm::{Element, ThreadPool};
 use adsala_ml::AnyModel;
 use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::HashMap;
 
 use crate::bundle::ArtifactBundle;
 use crate::preprocess::PreprocessConfig;
-use crate::service::{AdsalaService, ServiceConfig};
+use crate::service::{AdsalaService, RunOptions, ServiceConfig};
+use crate::AdsalaError;
 
 pub use crate::bundle::ThreadDecision;
 
-/// The single-threaded runtime GEMM handle: artefacts + memoisation.
+/// The single-threaded runtime handle: artefacts + memoisation.
 #[derive(Debug)]
 pub struct AdsalaGemm {
     bundle: ArtifactBundle,
     /// Keep every shape's decision, not just the last one.
     pub full_cache: bool,
-    last: Option<((u64, u64, u64), ThreadDecision)>,
-    cache: HashMap<(u64, u64, u64), ThreadDecision>,
+    last: Option<(OpShape, ThreadDecision)>,
+    cache: HashMap<OpShape, ThreadDecision>,
     /// Model sweeps performed (diagnostics; memo hits don't count).
     pub evaluations: u64,
-    /// Created on the first `sgemm_host` call, then reused — the facade
+    /// Created on the first executing call, then reused — the facade
     /// pays the worker spawn once, like the service layer.
     pool: Option<ThreadPool>,
 }
@@ -78,9 +81,9 @@ impl AdsalaGemm {
         &self.bundle.config
     }
 
-    /// Trained-model artefact.
+    /// The GEMM model (the table's mandatory slot).
     pub fn model(&self) -> &AnyModel {
-        &self.bundle.model
+        &self.bundle.models.gemm
     }
 
     /// Candidate thread counts swept per decision.
@@ -99,31 +102,36 @@ impl AdsalaGemm {
         AdsalaService::with_config(self.bundle.into_shared(), cfg)
     }
 
-    /// Pick the thread count for an `(m, k, n)` GEMM, memoising like the
+    /// Pick the thread count for any operation, memoising like the
     /// paper's runtime workflow: "if the current GEMM matrix dimensions
     /// are the same as the previous, the software will read and apply the
-    /// predictions … without re-evaluation" (§III-C).
-    pub fn select_threads(&mut self, m: u64, k: u64, n: u64) -> ThreadDecision {
-        let key = (m, k, n);
+    /// predictions … without re-evaluation" (§III-C) — here generalised
+    /// to the full `(routine, precision, dims)` key.
+    pub fn select_for(&mut self, shape: OpShape) -> ThreadDecision {
         if let Some((last_key, decision)) = self.last {
-            if last_key == key {
+            if last_key == shape {
                 return ThreadDecision { memoised: true, ..decision };
             }
         }
         if self.full_cache {
-            if let Some(&decision) = self.cache.get(&key) {
+            if let Some(&decision) = self.cache.get(&shape) {
                 let hit = ThreadDecision { memoised: true, ..decision };
-                self.last = Some((key, decision));
+                self.last = Some((shape, decision));
                 return hit;
             }
         }
-        let decision = self.bundle.decide(m, k, n);
+        let decision = self.bundle.decide_op(shape);
         self.evaluations += 1;
-        self.last = Some((key, decision));
+        self.last = Some((shape, decision));
         if self.full_cache {
-            self.cache.insert(key, decision);
+            self.cache.insert(shape, decision);
         }
         decision
+    }
+
+    /// The f32-GEMM special case of [`AdsalaGemm::select_for`].
+    pub fn select_threads(&mut self, m: u64, k: u64, n: u64) -> ThreadDecision {
+        self.select_for(OpShape::gemm(Precision::F32, m, k, n))
     }
 
     /// Forget all memoised decisions (e.g. after a machine change).
@@ -132,14 +140,46 @@ impl AdsalaGemm {
         self.cache.clear();
     }
 
+    /// Serve one operation with default options: validate, decide
+    /// (memoised), execute on the handle's persistent pool.
+    pub fn run<T: Element>(
+        &mut self,
+        req: &mut OpRequest<'_, T>,
+    ) -> Result<(ThreadDecision, OpStats), AdsalaError> {
+        self.run_with(req, RunOptions::default())
+    }
+
+    /// Like [`AdsalaGemm::run`] with per-call options (host thread cap,
+    /// memo bypass).
+    pub fn run_with<T: Element>(
+        &mut self,
+        req: &mut OpRequest<'_, T>,
+        opts: RunOptions,
+    ) -> Result<(ThreadDecision, OpStats), AdsalaError> {
+        req.validate()?;
+        let shape = req.shape();
+        let decision = if opts.bypass_cache {
+            self.evaluations += 1;
+            self.bundle.decide_op(shape)
+        } else {
+            self.select_for(shape)
+        };
+        let threads = opts.effective_threads(&decision);
+        let pool = self.pool.get_or_insert_with(ThreadPool::with_host_parallelism);
+        // Already validated above; skip the descriptor's re-check.
+        let stats = req.execute_validated(pool, threads);
+        Ok((decision, stats))
+    }
+
     /// Run a real single-precision GEMM on the host with the ML-selected
-    /// thread count (clamped to `host_max_threads`), returning the chosen
-    /// decision and the executed GEMM's statistics. Executes on the
-    /// handle's persistent pool (created on first use).
+    /// thread count (clamped to `host_max_threads`; v1 semantics: 0
+    /// executes on one thread), returning the chosen
+    /// decision and the executed call's statistics. A thin wrapper over
+    /// [`AdsalaGemm::run_with`], kept so v1 callers migrate mechanically.
     ///
     /// Matrices are row-major with the given leading dimensions; computes
     /// `C ← α·A·B + β·C`.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // BLAS-style signature
     pub fn sgemm_host(
         &mut self,
         m: usize,
@@ -154,13 +194,10 @@ impl AdsalaGemm {
         c: &mut [f32],
         ldc: usize,
         host_max_threads: u32,
-    ) -> (ThreadDecision, GemmStats) {
-        let decision = self.select_threads(m as u64, k as u64, n as u64);
-        let threads = decision.threads.clamp(1, host_max_threads.max(1)) as usize;
-        let call = GemmCall::new(m, n, k, threads);
-        let pool = self.pool.get_or_insert_with(ThreadPool::with_host_parallelism);
-        let stats = gemm_with_stats_pooled(pool, &call, alpha, a, lda, b, ldb, beta, c, ldc);
-        (decision, stats)
+    ) -> Result<(ThreadDecision, OpStats), AdsalaError> {
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc).into();
+        self.run_with(&mut req, RunOptions::with_host_cap(host_max_threads.max(1)))
     }
 }
 
@@ -193,6 +230,7 @@ impl Deserialize for AdsalaGemm {
 mod tests {
     use super::*;
     use crate::bundle::tests::quick_bundle;
+    use adsala_gemm::dispatch::{Routine, SyrkArgs};
 
     fn handle() -> AdsalaGemm {
         AdsalaGemm::from_bundle(quick_bundle())
@@ -232,6 +270,21 @@ mod tests {
     }
 
     #[test]
+    fn routine_change_is_a_memo_miss_even_at_equal_feature_point() {
+        // SYRK (m, k) and GEMM (m, k, m) share a feature-space point but
+        // are distinct operations; §III-C memoisation must not cross them.
+        let mut g = handle();
+        let gemm = g.select_threads(300, 40, 300);
+        let syrk = g.select_for(OpShape::syrk(Precision::F32, 300, 40));
+        assert!(!syrk.memoised, "routines must not share memo slots");
+        assert_eq!(g.evaluations, 2);
+        // Without a dedicated SYRK model both sweeps see the same
+        // features, so the decision itself agrees bit for bit.
+        assert_eq!(gemm.threads, syrk.threads);
+        assert_eq!(gemm.predicted_runtime_s.to_bits(), syrk.predicted_runtime_s.to_bits());
+    }
+
+    #[test]
     fn full_cache_remembers_all_shapes() {
         let mut g = handle().with_full_cache();
         g.select_threads(128, 512, 128);
@@ -261,6 +314,8 @@ mod tests {
         for (m, k, n) in [(64, 64, 64), (128, 512, 128), (64, 4096, 64)] {
             assert_eq!(g.select_threads(m, k, n).threads, svc.select_threads(m, k, n).threads);
         }
+        let shape = OpShape::syrk(Precision::F64, 500, 100);
+        assert_eq!(g.select_for(shape).threads, svc.select_for(shape).threads);
     }
 
     #[test]
@@ -272,9 +327,10 @@ mod tests {
         let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
         let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 * 0.5).collect();
         let mut c = vec![0.0f32; m * n];
-        let (decision, stats) = g.sgemm_host(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 4);
+        let (decision, stats) =
+            g.sgemm_host(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 4).unwrap();
         assert!(decision.threads >= 1);
-        assert!(stats.threads_used >= 1 && stats.threads_used <= 4);
+        assert!(stats.exec.threads_used >= 1 && stats.exec.threads_used <= 4);
         // Verify against the naive oracle.
         let mut c_ref = vec![0.0f32; m * n];
         adsala_gemm::naive::naive_gemm(
@@ -294,6 +350,26 @@ mod tests {
         );
         for (x, y) in c.iter().zip(&c_ref) {
             assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn run_serves_syrk_and_reports_shape_errors() {
+        let mut g = handle();
+        let (m, k) = (20usize, 12usize);
+        let a: Vec<f64> = (0..m * k).map(|i| (i % 11) as f64 - 5.0).collect();
+        let mut c = vec![0.0f64; m * m];
+        let mut req: OpRequest<'_, f64> =
+            SyrkArgs { m, k, alpha: 1.0, a: &a, lda: k, beta: 0.0, c: &mut c, ldc: m }.into();
+        let (_, stats) = g.run(&mut req).unwrap();
+        assert_eq!(stats.routine, Routine::Syrk);
+
+        let mut short = vec![0.0f64; m]; // far too small for m×m
+        let mut bad: OpRequest<'_, f64> =
+            SyrkArgs { m, k, alpha: 1.0, a: &a, lda: k, beta: 0.0, c: &mut short, ldc: m }.into();
+        match g.run(&mut bad) {
+            Err(AdsalaError::Shape(e)) => assert_eq!(e.routine, Routine::Syrk),
+            other => panic!("expected shape error, got {other:?}"),
         }
     }
 

@@ -29,24 +29,24 @@ pub struct SpeedupEstimate {
     pub est_aggregate: f64,
 }
 
-/// Predict the runtime-minimising thread count for one shape, returning
-/// both the argmin and its predicted runtime in seconds.
+/// Predict the runtime-minimising thread count for any routine's shape,
+/// returning both the argmin and its predicted runtime in seconds.
 ///
 /// The ladder sweep already evaluates the model at every candidate, so the
 /// winner's prediction comes for free — callers must not re-evaluate the
 /// model for the chosen row (that would double the per-call cost the
 /// paper's `t_eval` budget accounts for).
-pub fn predict_threads_with_runtime(
+pub fn predict_threads_for_op(
     model: &AnyModel,
     config: &PreprocessConfig,
     candidates: &[u32],
-    shape: GemmShape,
+    shape: adsala_gemm::OpShape,
 ) -> (u32, f64) {
     debug_assert!(!candidates.is_empty());
     let mut best = candidates[0];
     let mut best_pred = f64::INFINITY;
     for &p in candidates {
-        let row = config.features_for(shape.m, shape.k, shape.n, p);
+        let row = config.features_for_op(&shape, p);
         let pred = model.predict_row(&row);
         if pred < best_pred {
             best_pred = pred;
@@ -54,6 +54,17 @@ pub fn predict_threads_with_runtime(
         }
     }
     (best, config.runtime_from_prediction(best_pred))
+}
+
+/// The GEMM special case of [`predict_threads_for_op`].
+pub fn predict_threads_with_runtime(
+    model: &AnyModel,
+    config: &PreprocessConfig,
+    candidates: &[u32],
+    shape: GemmShape,
+) -> (u32, f64) {
+    let op = adsala_gemm::OpShape::gemm(adsala_gemm::Precision::F32, shape.m, shape.k, shape.n);
+    predict_threads_for_op(model, config, candidates, op)
 }
 
 /// Predict the runtime-minimising thread count for one shape.

@@ -8,10 +8,18 @@
 //! * an `Arc`-shared immutable [`ArtifactBundle`] for model sweeps,
 //! * a lock-striped [`DecisionCache`] for memoisation —
 //!
-//! and owns one persistent [`ThreadPool`]. Every GEMM executes through
-//! [`adsala_gemm::gemm_with_stats_pooled`] on that pool, so the service
-//! path never pays the per-call OS-thread spawn/join the paper's profiler
-//! analysis (§VI-D) identifies as the dominant overhead for small shapes.
+//! and owns one persistent [`ThreadPool`]. Every request executes through
+//! the pooled kernel drivers on that pool, so the service path never pays
+//! the per-call OS-thread spawn/join the paper's profiler analysis
+//! (§VI-D) identifies as the dominant overhead for small shapes.
+//!
+//! The serving surface is routine- and precision-generic: build an
+//! [`OpRequest`] from a typed descriptor ([`adsala_gemm::GemmArgs`],
+//! [`adsala_gemm::SyrkArgs`], [`adsala_gemm::GemvArgs`] — `f32` or `f64`)
+//! and hand it to [`AdsalaService::run`]. One entry point validates,
+//! decides, and executes; `sgemm`/`dgemm` remain as thin wrappers over
+//! it. Malformed operands come back as [`crate::AdsalaError::Shape`]
+//! instead of killing a serving thread with a panic.
 //!
 //! Diagnostics are atomics: `evaluations` counts actual model sweeps
 //! (concurrent racing misses may sweep the same shape twice — both count),
@@ -20,11 +28,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use adsala_gemm::gemm::{gemm_with_stats_pooled, GemmCall};
-use adsala_gemm::{GemmStats, ThreadPool};
+use adsala_gemm::dispatch::{GemmArgs, OpRequest, OpShape, OpStats, Precision};
+use adsala_gemm::{Element, ThreadPool};
 
 use crate::bundle::{ArtifactBundle, ThreadDecision};
 use crate::cache::{CacheStats, DecisionCache, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS};
+use crate::AdsalaError;
 
 /// Tunables for [`AdsalaService`].
 #[derive(Debug, Clone, Copy)]
@@ -48,8 +57,35 @@ impl Default for ServiceConfig {
     }
 }
 
-/// A thread-safe ADSALA GEMM server: shared artefacts, striped memo,
-/// persistent execution pool.
+/// Per-call options for [`AdsalaService::run_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Upper bound on the executed thread count (the host's core budget
+    /// for this call); 0 means no cap beyond the model's choice.
+    pub host_max_threads: u32,
+    /// Skip the decision memo entirely: sweep the model fresh and do not
+    /// insert the result (useful for measurements and cache-poisoning
+    /// tests; the sweep still counts as an evaluation).
+    pub bypass_cache: bool,
+}
+
+impl RunOptions {
+    /// Cap the executed thread count at `max`.
+    pub fn with_host_cap(max: u32) -> Self {
+        Self { host_max_threads: max, ..Self::default() }
+    }
+
+    /// The thread count actually executed for `decision` under these
+    /// options: the model's choice clamped to the host cap (0 = no cap).
+    pub fn effective_threads(&self, decision: &ThreadDecision) -> usize {
+        let cap = if self.host_max_threads == 0 { u32::MAX } else { self.host_max_threads };
+        decision.threads.clamp(1, cap) as usize
+    }
+}
+
+/// A thread-safe ADSALA BLAS server: shared artefacts, striped memo,
+/// persistent execution pool, one `run` entry point for every routine
+/// and precision.
 #[derive(Debug)]
 pub struct AdsalaService {
     bundle: Arc<ArtifactBundle>,
@@ -95,27 +131,81 @@ impl AdsalaService {
         self.pool.workers()
     }
 
-    /// Pick the thread count for an `(m, k, n)` GEMM: memo first, model
-    /// sweep on a miss. Callable concurrently through `&self`; equal
-    /// shapes always yield equal `threads` because both the cache and the
-    /// bundle are deterministic.
-    pub fn select_threads(&self, m: u64, k: u64, n: u64) -> ThreadDecision {
-        let key = (m, k, n);
-        if let Some(decision) = self.cache.get(key) {
+    /// Pick the thread count for any operation: memo first, model sweep
+    /// on a miss. Callable concurrently through `&self`; equal shapes
+    /// always yield equal `threads` because both the cache and the bundle
+    /// are deterministic.
+    pub fn select_for(&self, shape: OpShape) -> ThreadDecision {
+        if let Some(decision) = self.cache.get(shape) {
             return decision;
         }
-        let decision = self.bundle.decide(m, k, n);
+        let decision = self.bundle.decide_op(shape);
         self.evaluations.fetch_add(1, Ordering::Relaxed);
-        self.cache.insert(key, decision);
+        self.cache.insert(shape, decision);
         decision
     }
 
-    /// Run a single-precision GEMM with the ML-selected thread count
-    /// (clamped to `host_max_threads`), executing on the persistent pool.
+    /// The f32-GEMM special case of [`AdsalaService::select_for`], kept
+    /// for the paper-faithful `(m, k, n)` call sites.
+    pub fn select_threads(&self, m: u64, k: u64, n: u64) -> ThreadDecision {
+        self.select_for(OpShape::gemm(Precision::F32, m, k, n))
+    }
+
+    /// Serve one operation with default options: validate the operands,
+    /// pick the thread count (memoised per `(routine, precision, shape)`),
+    /// and execute on the persistent pool.
     ///
-    /// Matrices are row-major with the given leading dimensions; computes
-    /// `C ← α·A·B + β·C`. Returns the decision and the execution stats.
-    #[allow(clippy::too_many_arguments)]
+    /// ```no_run
+    /// use adsala::prelude::*;
+    ///
+    /// # fn demo(service: &AdsalaService) -> Result<(), AdsalaError> {
+    /// let (m, n, k) = (64, 64, 256);
+    /// let a = vec![1.0f64; m * k];
+    /// let b = vec![0.5f64; k * n];
+    /// let mut c = vec![0.0f64; m * n];
+    /// let mut req: OpRequest<'_, f64> =
+    ///     GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+    /// let (decision, stats) = service.run(&mut req)?;
+    /// assert_eq!(stats.routine, Routine::Gemm);
+    /// assert!(decision.threads >= 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn run<T: Element>(
+        &self,
+        req: &mut OpRequest<'_, T>,
+    ) -> Result<(ThreadDecision, OpStats), AdsalaError> {
+        self.run_with(req, RunOptions::default())
+    }
+
+    /// Like [`AdsalaService::run`] with per-call options (host thread
+    /// cap, cache bypass).
+    pub fn run_with<T: Element>(
+        &self,
+        req: &mut OpRequest<'_, T>,
+        opts: RunOptions,
+    ) -> Result<(ThreadDecision, OpStats), AdsalaError> {
+        // Reject malformed operands before touching the memo or the pool.
+        req.validate()?;
+        let shape = req.shape();
+        let decision = if opts.bypass_cache {
+            let d = self.bundle.decide_op(shape);
+            self.evaluations.fetch_add(1, Ordering::Relaxed);
+            d
+        } else {
+            self.select_for(shape)
+        };
+        let threads = opts.effective_threads(&decision);
+        // Already validated above; skip the descriptor's re-check.
+        let stats = req.execute_validated(&self.pool, threads);
+        Ok((decision, stats))
+    }
+
+    /// Single-precision GEMM through [`AdsalaService::run_with`]:
+    /// `C ← α·A·B + β·C`, row-major, thread count ML-selected and clamped
+    /// to `host_max_threads` (v1 semantics: 0 executes on one thread).
+    /// Kept so v1 callers migrate mechanically.
+    #[allow(clippy::too_many_arguments)] // BLAS-style signature
     pub fn sgemm(
         &self,
         m: usize,
@@ -130,12 +220,33 @@ impl AdsalaService {
         c: &mut [f32],
         ldc: usize,
         host_max_threads: u32,
-    ) -> (ThreadDecision, GemmStats) {
-        let decision = self.select_threads(m as u64, k as u64, n as u64);
-        let threads = decision.threads.clamp(1, host_max_threads.max(1)) as usize;
-        let call = GemmCall::new(m, n, k, threads);
-        let stats = gemm_with_stats_pooled(&self.pool, &call, alpha, a, lda, b, ldb, beta, c, ldc);
-        (decision, stats)
+    ) -> Result<(ThreadDecision, OpStats), AdsalaError> {
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc).into();
+        self.run_with(&mut req, RunOptions::with_host_cap(host_max_threads.max(1)))
+    }
+
+    /// Double-precision GEMM through [`AdsalaService::run_with`] — the
+    /// `f64` twin of [`AdsalaService::sgemm`].
+    #[allow(clippy::too_many_arguments)] // BLAS-style signature
+    pub fn dgemm(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        a: &[f64],
+        lda: usize,
+        b: &[f64],
+        ldb: usize,
+        beta: f64,
+        c: &mut [f64],
+        ldc: usize,
+        host_max_threads: u32,
+    ) -> Result<(ThreadDecision, OpStats), AdsalaError> {
+        let mut req: OpRequest<'_, f64> =
+            GemmArgs::untransposed(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc).into();
+        self.run_with(&mut req, RunOptions::with_host_cap(host_max_threads.max(1)))
     }
 
     /// Model sweeps performed so far (accurate under concurrency).
@@ -163,6 +274,7 @@ const _: () = _assert_send_sync::<AdsalaService>();
 mod tests {
     use super::*;
     use crate::bundle::tests::quick_bundle;
+    use adsala_gemm::dispatch::{GemvArgs, Routine, SyrkArgs};
 
     fn service() -> AdsalaService {
         AdsalaService::with_config(
@@ -191,9 +303,11 @@ mod tests {
         let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
         let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 * 0.5).collect();
         let mut c = vec![0.0f32; m * n];
-        let (decision, stats) = svc.sgemm(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 4);
+        let (decision, stats) = svc.sgemm(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 4).unwrap();
         assert!(svc.candidates().contains(&decision.threads));
-        assert!(stats.threads_used >= 1 && stats.threads_used <= 4);
+        assert_eq!(stats.routine, Routine::Gemm);
+        assert_eq!(stats.precision, Precision::F32);
+        assert!(stats.exec.threads_used >= 1 && stats.exec.threads_used <= 4);
         let mut c_ref = vec![0.0f32; m * n];
         adsala_gemm::naive::naive_gemm(
             adsala_gemm::Transpose::No,
@@ -213,6 +327,98 @@ mod tests {
         for (x, y) in c.iter().zip(&c_ref) {
             assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
         }
+    }
+
+    #[test]
+    fn run_serves_every_routine_and_precision() {
+        let svc = service();
+        let (m, n, k) = (24usize, 20usize, 16usize);
+
+        let a64: Vec<f64> = (0..m * k).map(|i| (i % 9) as f64 - 4.0).collect();
+        let b64: Vec<f64> = (0..k * n).map(|i| (i % 5) as f64 * 0.5).collect();
+        let mut c64 = vec![0.0f64; m * n];
+        let mut req: OpRequest<'_, f64> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a64, k, &b64, n, 0.0, &mut c64, n).into();
+        let (_, stats) = svc.run(&mut req).unwrap();
+        assert_eq!((stats.routine, stats.precision), (Routine::Gemm, Precision::F64));
+
+        let mut csy = vec![0.0f64; m * m];
+        let mut req: OpRequest<'_, f64> =
+            SyrkArgs { m, k, alpha: 1.0, a: &a64, lda: k, beta: 0.0, c: &mut csy, ldc: m }.into();
+        let (d, stats) = svc.run(&mut req).unwrap();
+        assert_eq!(stats.routine, Routine::Syrk);
+        assert!(svc.candidates().contains(&d.threads));
+
+        let x32: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let a32: Vec<f32> = (0..m * n).map(|i| (i % 3) as f32).collect();
+        let mut y32 = vec![0.0f32; m];
+        let mut req: OpRequest<'_, f32> =
+            GemvArgs { m, n, alpha: 1.0, a: &a32, lda: n, x: &x32, beta: 0.0, y: &mut y32 }.into();
+        let (_, stats) = svc.run(&mut req).unwrap();
+        assert_eq!((stats.routine, stats.precision), (Routine::Gemv, Precision::F32));
+
+        // Three distinct (routine, precision, shape) keys were decided.
+        assert_eq!(svc.cache_stats().entries, 3);
+    }
+
+    #[test]
+    fn run_rejects_undersized_operands() {
+        let svc = service();
+        let a = vec![0.0f32; 5]; // needs 12 for 4x3
+        let b = vec![0.0f32; 6];
+        let mut c = vec![9.0f32; 8];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(4, 2, 3, 1.0, &a, 3, &b, 2, 0.0, &mut c, 2).into();
+        match svc.run(&mut req) {
+            Err(AdsalaError::Shape(e)) => assert_eq!(e.routine, Routine::Gemm),
+            other => panic!("expected shape error, got {other:?}"),
+        }
+        assert!(c.iter().all(|&v| v == 9.0), "output must be untouched");
+        assert_eq!(svc.cache_stats().lookups(), 0, "invalid requests must not touch the memo");
+    }
+
+    #[test]
+    fn bypass_cache_sweeps_fresh_without_inserting() {
+        let svc = service();
+        let (m, n, k) = (16usize, 16usize, 16usize);
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        let mut c = vec![0.0f32; m * n];
+        let opts = RunOptions { bypass_cache: true, ..RunOptions::default() };
+        for _ in 0..3 {
+            let mut req: OpRequest<'_, f32> =
+                GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+            svc.run_with(&mut req, opts).unwrap();
+        }
+        assert_eq!(svc.evaluations(), 3, "every bypassed call sweeps");
+        assert_eq!(svc.cache_stats().entries, 0, "bypass must not populate the memo");
+    }
+
+    #[test]
+    fn sgemm_zero_cap_keeps_v1_single_thread_semantics() {
+        // Pre-redesign, host_max_threads = 0 clamped execution to one
+        // thread; the compat wrappers must preserve that, while
+        // RunOptions itself treats 0 as "no cap".
+        let svc = service();
+        let (m, n, k) = (256usize, 256usize, 16usize);
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        let mut c = vec![0.0f32; m * n];
+        let (_, stats) = svc.sgemm(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 0).unwrap();
+        assert_eq!(stats.exec.threads_used, 1, "v1 callers passing 0 pinned serial execution");
+    }
+
+    #[test]
+    fn host_cap_clamps_executed_threads() {
+        let svc = service();
+        let (m, n, k) = (512usize, 512usize, 32usize);
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        let mut c = vec![0.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let (_, stats) = svc.run_with(&mut req, RunOptions::with_host_cap(2)).unwrap();
+        assert!(stats.exec.threads_used <= 2, "{stats:?}");
     }
 
     #[test]

@@ -74,6 +74,67 @@ pub fn gemv_with_stats<T: Element>(
     collector.finish(threads, threads, 1, wall_ns)
 }
 
+/// Like [`gemv_with_stats`], but running the row-range workers on a
+/// persistent [`crate::pool::ThreadPool`] instead of spawning OS threads
+/// per call — material for a bandwidth-bound kernel whose total runtime is
+/// itself tens of microseconds. Row partitioning and per-row arithmetic
+/// are identical, so results are bitwise-equal to the scoped driver.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
+pub fn gemv_with_stats_pooled<T: Element>(
+    pool: &crate::pool::ThreadPool,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    x: &[T],
+    beta: T,
+    y: &mut [T],
+    threads: usize,
+) -> GemmStats {
+    assert!(lda >= n.max(1), "lda too small");
+    if m > 0 && n > 0 {
+        assert!(a.len() >= (m - 1) * lda + n, "A buffer too small");
+    }
+    assert!(x.len() >= n, "x too short");
+    assert!(y.len() >= m, "y too short");
+
+    let start = Instant::now();
+    if m == 0 {
+        return GemmStats::default();
+    }
+    let threads = threads.max(1).min(m);
+
+    let collector = StatsCollector::default();
+    if threads == 1 {
+        let mut local = ThreadLocalStats::default();
+        row_range(a, lda, x, y.as_mut_ptr(), 0, m, n, alpha, beta, &mut local);
+        collector.absorb(&local);
+    } else {
+        let y_ptr = SendMutPtr(y.as_mut_ptr());
+        let base = m / threads;
+        let extra = m % threads;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(threads);
+        let mut r0 = 0;
+        for t in 0..threads {
+            let rows = base + usize::from(t < extra);
+            let r1 = r0 + rows;
+            let collector = &collector;
+            let start_row = r0;
+            tasks.push(Box::new(move || {
+                let mut local = ThreadLocalStats::default();
+                let ptr = y_ptr;
+                row_range(a, lda, x, ptr.0, start_row, r1, n, alpha, beta, &mut local);
+                collector.absorb(&local);
+            }));
+            r0 = r1;
+        }
+        pool.scope_execute(tasks);
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    collector.finish(threads, threads, 1, wall_ns)
+}
+
 /// Dot-product rows `[r0, r1)` into `y`. `y` may be a raw shared pointer;
 /// row ranges are disjoint across workers.
 #[allow(clippy::too_many_arguments)]
@@ -193,6 +254,22 @@ mod tests {
         let mut y = vec![2.0f64; 4];
         gemv_with_stats::<f64>(4, 0, 1.0, &[], 1, &[], 0.5, &mut y, 2);
         assert!(y.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn pooled_driver_matches_scoped_driver_bitwise() {
+        let pool = crate::pool::ThreadPool::new(4);
+        for &(m, n, threads) in &[(257usize, 129usize, 7usize), (64, 64, 2), (5, 100, 16)] {
+            let a = fill(m * n, 11);
+            let x = fill(n, 12);
+            let mut y1 = fill(m, 13);
+            let mut y2 = y1.clone();
+            let s1 = gemv_with_stats(m, n, 2.0, &a, n, &x, 0.25, &mut y1, threads);
+            let s2 = gemv_with_stats_pooled(&pool, m, n, 2.0, &a, n, &x, 0.25, &mut y2, threads);
+            assert_eq!(y1, y2, "pooled GEMV differs at m={m} n={n} t={threads}");
+            assert_eq!(s1.kernel_calls, s2.kernel_calls);
+            assert_eq!(s1.threads_used, s2.threads_used);
+        }
     }
 
     #[test]

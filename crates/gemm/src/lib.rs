@@ -24,6 +24,7 @@
 //! both orientations with the same code path, like vendor BLAS.
 
 pub mod blocking;
+pub mod dispatch;
 pub mod gemm;
 pub mod gemv;
 pub mod microkernel;
@@ -35,11 +36,14 @@ pub mod syrk;
 pub mod threading;
 
 pub use blocking::BlockSizes;
+pub use dispatch::{
+    GemmArgs, GemvArgs, OpRequest, OpShape, OpStats, Precision, Routine, ShapeError, SyrkArgs,
+};
 pub use gemm::{dgemm, gemm_with_stats, gemm_with_stats_pooled, sgemm, GemmCall};
-pub use gemv::gemv_with_stats;
+pub use gemv::{gemv_with_stats, gemv_with_stats_pooled};
 pub use pool::ThreadPool;
 pub use stats::GemmStats;
-pub use syrk::syrk_with_stats;
+pub use syrk::{syrk_with_stats, syrk_with_stats_pooled};
 pub use threading::ThreadGrid;
 
 /// Transposition flag for an input operand, mirroring the BLAS `TRANS*`
@@ -82,6 +86,8 @@ pub trait Element:
     fn mul_add_e(self, a: Self, b: Self) -> Self;
     /// Size in bytes (used for packing statistics).
     const BYTES: usize;
+    /// The precision tag the dispatch layer keys decisions on.
+    const PRECISION: dispatch::Precision;
 }
 
 impl Element for f32 {
@@ -94,6 +100,7 @@ impl Element for f32 {
         self * a + b
     }
     const BYTES: usize = 4;
+    const PRECISION: dispatch::Precision = dispatch::Precision::F32;
 }
 
 impl Element for f64 {
@@ -104,4 +111,5 @@ impl Element for f64 {
         self * a + b
     }
     const BYTES: usize = 8;
+    const PRECISION: dispatch::Precision = dispatch::Precision::F64;
 }

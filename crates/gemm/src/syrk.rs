@@ -99,6 +99,87 @@ pub fn syrk_with_stats<T: Element>(
     collector.finish(n_bands, n_bands, 1, wall_ns)
 }
 
+/// Like [`syrk_with_stats`], but running the band workers on a persistent
+/// [`crate::pool::ThreadPool`] instead of spawning OS threads per call —
+/// the dispatch layer's serving path. Band partitioning and per-band
+/// arithmetic are identical, so results are bitwise-equal to the scoped
+/// driver.
+///
+/// # Panics
+/// Panics if a buffer is too small for its described shape.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
+pub fn syrk_with_stats_pooled<T: Element>(
+    pool: &crate::pool::ThreadPool,
+    m: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+    threads: usize,
+) -> GemmStats {
+    assert!(ldc >= m.max(1), "ldc too small");
+    if m > 0 {
+        assert!(c.len() >= (m - 1) * ldc + m, "C buffer too small");
+    }
+    let a_view = MatView::row_major(a, m, k, lda);
+    let start = Instant::now();
+    if m == 0 {
+        return GemmStats::default();
+    }
+
+    let blocks = BlockSizes::for_element_bytes(T::BYTES).clamped(m, m, k.max(1));
+    let bands = band_edges(m, threads.max(1), blocks.mr);
+    let n_bands = bands.len() - 1;
+
+    let collector = StatsCollector::default();
+    if n_bands == 1 {
+        let mut local = ThreadLocalStats::default();
+        // SAFETY: single worker owns all of C.
+        unsafe {
+            band_subproblem(
+                &a_view,
+                c.as_mut_ptr(),
+                ldc,
+                0,
+                m,
+                k,
+                alpha,
+                beta,
+                &blocks,
+                &mut local,
+            );
+        }
+        collector.absorb(&local);
+    } else {
+        let c_ptr = SendMutPtr(c.as_mut_ptr());
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(n_bands);
+        for b in 0..n_bands {
+            let (r0, r1) = (bands[b], bands[b + 1]);
+            let collector = &collector;
+            let blocks = &blocks;
+            tasks.push(Box::new(move || {
+                let mut local = ThreadLocalStats::default();
+                let ptr = c_ptr;
+                // SAFETY: identical disjoint-band argument as the scoped
+                // driver; the pool's scope_execute blocks until every task
+                // completes, keeping the borrows alive.
+                unsafe {
+                    band_subproblem(
+                        &a_view, ptr.0, ldc, r0, r1, k, alpha, beta, blocks, &mut local,
+                    );
+                }
+                collector.absorb(&local);
+            }));
+        }
+        pool.scope_execute(tasks);
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    collector.finish(n_bands, n_bands, 1, wall_ns)
+}
+
 /// Row-band edges with balanced triangle area: `edges[t] ≈ m·√(t/T)`,
 /// rounded to `mr` multiples, deduplicated, always covering `[0, m]`.
 pub fn band_edges(m: usize, threads: usize, mr: usize) -> Vec<usize> {
@@ -366,6 +447,21 @@ mod tests {
         assert!(stats.threads_used >= 2);
         assert!(stats.kernel_calls > 0);
         assert!(stats.a_packed_bytes > 0 && stats.b_packed_bytes > 0);
+    }
+
+    #[test]
+    fn pooled_driver_matches_scoped_driver_bitwise() {
+        let pool = crate::pool::ThreadPool::new(4);
+        for &(m, k, threads) in &[(64usize, 20usize, 4usize), (150, 40, 8), (33, 7, 3)] {
+            let a = fill(m * k, 11);
+            let mut c1 = fill(m * m, 12);
+            let mut c2 = c1.clone();
+            let s1 = syrk_with_stats(m, k, 1.5, &a, k, 0.5, &mut c1, m, threads);
+            let s2 = syrk_with_stats_pooled(&pool, m, k, 1.5, &a, k, 0.5, &mut c2, m, threads);
+            assert_eq!(c1, c2, "pooled SYRK differs at m={m} k={k} t={threads}");
+            assert_eq!(s1.kernel_calls, s2.kernel_calls);
+            assert_eq!(s1.threads_used, s2.threads_used);
+        }
     }
 
     #[test]

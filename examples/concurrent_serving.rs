@@ -54,13 +54,14 @@ fn main() {
                     let a = vec![1.0f32; m * k];
                     let b = vec![0.5f32; k * n];
                     let mut c = vec![0.0f32; m * n];
-                    let (decision, stats) =
-                        service.sgemm(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 8);
+                    let (decision, stats) = service
+                        .sgemm(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 8)
+                        .expect("well-formed sgemm");
                     assert!(
                         service.candidates().contains(&decision.threads),
                         "decision escaped the ladder"
                     );
-                    assert!(stats.threads_used >= 1);
+                    assert!(stats.exec.threads_used >= 1);
                     let expected = k as f32 * 0.5;
                     assert!(
                         c.iter().all(|&v| (v - expected).abs() <= 1e-2 * expected),

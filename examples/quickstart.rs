@@ -58,13 +58,15 @@ fn main() {
     let a = vec![1.0f32; m * k];
     let b = vec![0.5f32; k * n];
     let mut c = vec![0.0f32; m * n];
-    let (decision, stats) = gemm.sgemm_host(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, host_cores);
+    let (decision, stats) = gemm
+        .sgemm_host(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, host_cores)
+        .expect("well-formed sgemm");
     println!(
         "host SGEMM {m}x{k}x{n}: ML chose {} threads, ran on {} ({} kernel calls, {:.2} MB packed)",
         decision.threads,
-        stats.threads_used,
-        stats.kernel_calls,
-        stats.packed_bytes() as f64 / 1e6
+        stats.exec.threads_used,
+        stats.exec.kernel_calls,
+        stats.exec.packed_bytes() as f64 / 1e6
     );
     assert!((c[0] - k as f32 * 0.5).abs() < 1e-2);
     println!("result verified. done.");

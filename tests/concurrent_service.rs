@@ -1,12 +1,14 @@
 //! Concurrency tests for the shared ADSALA serving layer: N client
-//! threads hammering one `AdsalaService` through `&self`, plus the
-//! pooled-vs-spawn execution equivalence the runtime path relies on.
+//! threads hammering one `AdsalaService` through `&self`, the
+//! pooled-vs-spawn execution equivalence the runtime path relies on, and
+//! mixed-routine/mixed-precision traffic through the generic `run`
+//! entry point.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use adsala::bundle::quick_test_bundle as quick_bundle;
-use adsala::{AdsalaService, ArtifactBundle, ServiceConfig, ThreadDecision};
+use adsala::prelude::*;
 use adsala_gemm::gemm::{gemm_with_stats, GemmCall};
 
 type ShapeKey = (u64, u64, u64);
@@ -128,9 +130,10 @@ fn concurrent_sgemm_matches_spawn_path_bitwise() {
                 let b: Vec<f32> = (0..k * n).map(|i| (i % 11) as f32 * 0.25).collect();
                 for _ in 0..3 {
                     let mut c_pooled = vec![1.0f32; m * n];
-                    let (decision, stats) =
-                        service.sgemm(m, n, k, 1.5, &a, k, &b, n, 0.5, &mut c_pooled, n, 4);
-                    assert!(stats.threads_used >= 1);
+                    let (decision, stats) = service
+                        .sgemm(m, n, k, 1.5, &a, k, &b, n, 0.5, &mut c_pooled, n, 4)
+                        .expect("well-formed sgemm");
+                    assert!(stats.exec.threads_used >= 1);
 
                     // Same thread request through the spawn-per-call driver.
                     let threads = decision.threads.clamp(1, 4) as usize;
@@ -141,6 +144,146 @@ fn concurrent_sgemm_matches_spawn_path_bitwise() {
                         c_pooled, c_spawn,
                         "pooled and spawn paths diverged for {m}x{k}x{n}"
                     );
+                }
+            });
+        }
+    });
+}
+
+/// The acceptance stress test for the op-descriptor redesign: one
+/// `AdsalaService` serving f32 GEMM, f64 GEMM, f64 SYRK, and f32 GEMV
+/// concurrently through the same `run(..)` entry point, every result
+/// bitwise-equal to the corresponding direct kernel call at the decided
+/// thread count.
+#[test]
+fn mixed_routine_traffic_matches_direct_kernels_bitwise() {
+    let service = AdsalaService::with_config(
+        quick_bundle().into_shared(),
+        ServiceConfig { pool_workers: 4, ..ServiceConfig::default() },
+    );
+    let rounds = 3usize;
+    let cap = 4u32;
+
+    std::thread::scope(|scope| {
+        // Client 1: f32 GEMM.
+        let svc = &service;
+        scope.spawn(move || {
+            let (m, n, k) = (48usize, 40usize, 32usize);
+            let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 - 6.0).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| (i % 11) as f32 * 0.25).collect();
+            for _ in 0..rounds {
+                let mut c = vec![1.0f32; m * n];
+                let mut req: OpRequest<'_, f32> =
+                    GemmArgs::untransposed(m, n, k, 1.5, &a, k, &b, n, 0.5, &mut c, n).into();
+                let (d, stats) =
+                    svc.run_with(&mut req, RunOptions::with_host_cap(cap)).expect("f32 gemm");
+                assert_eq!((stats.routine, stats.precision), (Routine::Gemm, Precision::F32));
+                let threads = d.threads.clamp(1, cap) as usize;
+                let mut c_direct = vec![1.0f32; m * n];
+                let call = GemmCall::new(m, n, k, threads);
+                gemm_with_stats(&call, 1.5, &a, k, &b, n, 0.5, &mut c_direct, n);
+                assert_eq!(c, c_direct, "f32 GEMM diverged from direct kernel");
+            }
+        });
+
+        // Client 2: f64 GEMM.
+        scope.spawn(move || {
+            let (m, n, k) = (36usize, 52usize, 24usize);
+            let a: Vec<f64> = (0..m * k).map(|i| (i % 9) as f64 - 4.0).collect();
+            let b: Vec<f64> = (0..k * n).map(|i| (i % 7) as f64 * 0.5).collect();
+            for _ in 0..rounds {
+                let mut c = vec![2.0f64; m * n];
+                let (d, stats) =
+                    svc.dgemm(m, n, k, 1.0, &a, k, &b, n, -0.5, &mut c, n, cap).expect("f64 gemm");
+                assert_eq!((stats.routine, stats.precision), (Routine::Gemm, Precision::F64));
+                let threads = d.threads.clamp(1, cap) as usize;
+                let mut c_direct = vec![2.0f64; m * n];
+                let call = GemmCall::new(m, n, k, threads);
+                gemm_with_stats(&call, 1.0, &a, k, &b, n, -0.5, &mut c_direct, n);
+                assert_eq!(c, c_direct, "f64 GEMM diverged from direct kernel");
+            }
+        });
+
+        // Client 3: f64 SYRK.
+        scope.spawn(move || {
+            let (m, k) = (50usize, 20usize);
+            let a: Vec<f64> = (0..m * k).map(|i| (i % 17) as f64 - 8.0).collect();
+            for _ in 0..rounds {
+                let mut c = vec![0.5f64; m * m];
+                let mut req: OpRequest<'_, f64> =
+                    SyrkArgs { m, k, alpha: 2.0, a: &a, lda: k, beta: 0.25, c: &mut c, ldc: m }
+                        .into();
+                let (d, stats) =
+                    svc.run_with(&mut req, RunOptions::with_host_cap(cap)).expect("f64 syrk");
+                assert_eq!((stats.routine, stats.precision), (Routine::Syrk, Precision::F64));
+                let threads = d.threads.clamp(1, cap) as usize;
+                let mut c_direct = vec![0.5f64; m * m];
+                adsala_gemm::syrk_with_stats(m, k, 2.0, &a, k, 0.25, &mut c_direct, m, threads);
+                assert_eq!(c, c_direct, "SYRK diverged from direct kernel");
+            }
+        });
+
+        // Client 4: f32 GEMV.
+        scope.spawn(move || {
+            let (m, n) = (300usize, 80usize);
+            let a: Vec<f32> = (0..m * n).map(|i| (i % 5) as f32 - 2.0).collect();
+            let x: Vec<f32> = (0..n).map(|i| (i % 3) as f32 * 0.5).collect();
+            for _ in 0..rounds {
+                let mut y = vec![1.0f32; m];
+                let mut req: OpRequest<'_, f32> =
+                    GemvArgs { m, n, alpha: 1.0, a: &a, lda: n, x: &x, beta: 0.5, y: &mut y }
+                        .into();
+                let (d, stats) =
+                    svc.run_with(&mut req, RunOptions::with_host_cap(cap)).expect("f32 gemv");
+                assert_eq!((stats.routine, stats.precision), (Routine::Gemv, Precision::F32));
+                let threads = d.threads.clamp(1, cap) as usize;
+                let mut y_direct = vec![1.0f32; m];
+                adsala_gemm::gemv_with_stats(m, n, 1.0, &a, n, &x, 0.5, &mut y_direct, threads);
+                assert_eq!(y, y_direct, "GEMV diverged from direct kernel");
+            }
+        });
+    });
+
+    // Four distinct (routine, precision, shape) keys; every client's later
+    // rounds hit the memo.
+    let stats = service.cache_stats();
+    assert_eq!(stats.lookups(), 4 * rounds as u64);
+    assert_eq!(stats.entries, 4, "{stats:?}");
+    assert!(stats.hits >= 4 * (rounds as u64 - 1), "{stats:?}");
+}
+
+/// Malformed requests racing well-formed ones: the bad ones all error,
+/// the good ones all succeed, and no serving thread panics.
+#[test]
+fn malformed_requests_error_cleanly_under_concurrency() {
+    let service = AdsalaService::with_config(
+        quick_bundle().into_shared(),
+        ServiceConfig { pool_workers: 2, ..ServiceConfig::default() },
+    );
+    std::thread::scope(|scope| {
+        for client in 0..4usize {
+            let svc = &service;
+            scope.spawn(move || {
+                let (m, n, k) = (24usize, 24usize, 24usize);
+                let a = vec![1.0f32; m * k];
+                let b = vec![1.0f32; k * n];
+                for round in 0..8usize {
+                    if (client + round) % 2 == 0 {
+                        let mut c = vec![0.0f32; m * n];
+                        let mut req: OpRequest<'_, f32> =
+                            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n)
+                                .into();
+                        svc.run(&mut req).expect("well-formed request must serve");
+                    } else {
+                        let mut c = vec![0.0f32; m]; // far too small
+                        let mut req: OpRequest<'_, f32> =
+                            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n)
+                                .into();
+                        match svc.run(&mut req) {
+                            Err(AdsalaError::Shape(e)) => assert_eq!(e.routine, Routine::Gemm),
+                            other => panic!("expected shape error, got {other:?}"),
+                        }
+                    }
                 }
             });
         }

@@ -66,8 +66,10 @@ fn pipeline_trains_against_real_host_gemm() {
     let a: Vec<f32> = (0..m * k).map(|i| (i % 11) as f32 - 5.0).collect();
     let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 * 0.25).collect();
     let mut c = vec![0.0f32; m * n];
-    let (_, stats) = gemm.sgemm_host(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, host_threads);
-    assert!(stats.kernel_calls > 0);
+    let (_, stats) = gemm
+        .sgemm_host(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, host_threads)
+        .expect("well-formed sgemm");
+    assert!(stats.exec.kernel_calls > 0);
 
     let mut c_ref = vec![0.0f32; m * n];
     adsala_repro::adsala_gemm::naive::naive_gemm(

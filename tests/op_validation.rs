@@ -1,0 +1,106 @@
+//! Property tests for the dispatch layer's operand validation: an
+//! undersized or mis-strided `a`/`b`/`c`/`x`/`y` must come back as a
+//! `ShapeError` from the public entry points — never a panic, never a
+//! short read — and validation must agree exactly with executability.
+
+use adsala_gemm::dispatch::{GemmArgs, GemvArgs, OpRequest, SyrkArgs};
+use adsala_gemm::{ThreadPool, Transpose};
+use proptest::prelude::*;
+
+/// Buffer length for a row-major `rows×cols` operand with row stride `ld`,
+/// shortened by `cut` elements (saturating at zero).
+fn len_for(rows: usize, cols: usize, ld: usize, cut: usize) -> usize {
+    let full = if rows > 0 && cols > 0 { (rows - 1) * ld + cols } else { 0 };
+    full.saturating_sub(cut)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn undersized_gemm_errors_instead_of_panicking(
+        m in 0usize..28,
+        n in 0usize..28,
+        k in 0usize..28,
+        lda_extra in 0usize..3,
+        ldb_extra in 0usize..3,
+        ldc_extra in 0usize..3,
+        a_cut in 0usize..48,
+        b_cut in 0usize..48,
+        c_cut in 0usize..48,
+        transpose_a in prop::bool::ANY,
+        threads in 1usize..5,
+    ) {
+        let trans_a = if transpose_a { Transpose::Yes } else { Transpose::No };
+        let (ar, ac) = if transpose_a { (k, m) } else { (m, k) };
+        let lda = ac.max(1) + lda_extra;
+        let ldb = n.max(1) + ldb_extra;
+        let ldc = n.max(1) + ldc_extra;
+        let a = vec![1.0f32; len_for(ar, ac, lda, a_cut)];
+        let b = vec![1.0f32; len_for(k, n, ldb, b_cut)];
+        let mut c = vec![1.0f32; len_for(m, n, ldc, c_cut)];
+
+        let pool = ThreadPool::new(2);
+        let mut req: OpRequest<'_, f32> = GemmArgs {
+            trans_a,
+            trans_b: Transpose::No,
+            m, n, k,
+            alpha: 1.0,
+            a: &a, lda,
+            b: &b, ldb,
+            beta: 0.5,
+            c: &mut c, ldc,
+        }.into();
+        let valid = req.validate().is_ok();
+        // `execute` must agree with `validate` and must never panic —
+        // a panic here fails the test case outright.
+        let result = req.execute(&pool, threads);
+        prop_assert_eq!(valid, result.is_ok(), "validate/execute disagree: {:?}", result.err());
+    }
+
+    #[test]
+    fn undersized_syrk_errors_instead_of_panicking(
+        m in 0usize..24,
+        k in 0usize..24,
+        lda_extra in 0usize..3,
+        ldc_extra in 0usize..3,
+        a_cut in 0usize..40,
+        c_cut in 0usize..40,
+        threads in 1usize..5,
+    ) {
+        let lda = k.max(1) + lda_extra;
+        let ldc = m.max(1) + ldc_extra;
+        let a = vec![1.0f64; len_for(m, k, lda, a_cut)];
+        let mut c = vec![1.0f64; len_for(m, m, ldc, c_cut)];
+
+        let pool = ThreadPool::new(2);
+        let mut req: OpRequest<'_, f64> =
+            SyrkArgs { m, k, alpha: 1.0, a: &a, lda, beta: 0.0, c: &mut c, ldc }.into();
+        let valid = req.validate().is_ok();
+        let result = req.execute(&pool, threads);
+        prop_assert_eq!(valid, result.is_ok(), "validate/execute disagree: {:?}", result.err());
+    }
+
+    #[test]
+    fn undersized_gemv_errors_instead_of_panicking(
+        m in 0usize..40,
+        n in 0usize..40,
+        lda_extra in 0usize..3,
+        a_cut in 0usize..40,
+        x_cut in 0usize..8,
+        y_cut in 0usize..8,
+        threads in 1usize..6,
+    ) {
+        let lda = n.max(1) + lda_extra;
+        let a = vec![1.0f32; len_for(m, n, lda, a_cut)];
+        let x = vec![1.0f32; n.saturating_sub(x_cut)];
+        let mut y = vec![1.0f32; m.saturating_sub(y_cut)];
+
+        let pool = ThreadPool::new(2);
+        let mut req: OpRequest<'_, f32> =
+            GemvArgs { m, n, alpha: 1.0, a: &a, lda, x: &x, beta: 0.25, y: &mut y }.into();
+        let valid = req.validate().is_ok();
+        let result = req.execute(&pool, threads);
+        prop_assert_eq!(valid, result.is_ok(), "validate/execute disagree: {:?}", result.err());
+    }
+}
