@@ -140,6 +140,13 @@ impl AdsalaGemm {
         self.cache.clear();
     }
 
+    /// Packing-arena counters of the lazily created execution pool's
+    /// workspace; `None` before the first executing call. See
+    /// [`crate::service::AdsalaService::workspace_stats`].
+    pub fn workspace_stats(&self) -> Option<adsala_gemm::ArenaStats> {
+        self.pool.as_ref().map(|pool| pool.workspace().arena_stats())
+    }
+
     /// Serve one operation with default options: validate, decide
     /// (memoised), execute on the handle's persistent pool.
     pub fn run<T: Element>(

@@ -11,7 +11,13 @@
 //! and owns one persistent [`ThreadPool`]. Every request executes through
 //! the pooled kernel drivers on that pool, so the service path never pays
 //! the per-call OS-thread spawn/join the paper's profiler analysis
-//! (§VI-D) identifies as the dominant overhead for small shapes.
+//! (§VI-D) identifies as the dominant overhead for small shapes. The pool
+//! also owns the packing [`adsala_gemm::Workspace`]: workers reuse warm
+//! per-worker arenas (zero packing-path heap allocations at steady
+//! state, observable via [`AdsalaService::workspace_stats`]) and
+//! row-split GEMM grids pack each B panel once into a shared region
+//! instead of once per row group — the two copy/sync costs of Table VII
+//! this layer eliminates.
 //!
 //! The serving surface is routine- and precision-generic: build an
 //! [`OpRequest`] from a typed descriptor ([`adsala_gemm::GemmArgs`],
@@ -29,7 +35,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use adsala_gemm::dispatch::{GemmArgs, OpRequest, OpShape, OpStats, Precision};
-use adsala_gemm::{Element, ThreadPool};
+use adsala_gemm::{ArenaStats, Element, ThreadPool};
 
 use crate::bundle::{ArtifactBundle, ThreadDecision};
 use crate::cache::{CacheStats, DecisionCache, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS};
@@ -129,6 +135,16 @@ impl AdsalaService {
     /// Worker threads in the persistent execution pool.
     pub fn pool_workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// Aggregate packing-arena counters of the pool's workspace (the
+    /// per-worker scratch slots plus the shared-B free list). On a warm
+    /// service, `allocations` stops moving while `bytes_reused` keeps
+    /// climbing — the observable form of the zero-allocation hot path
+    /// (the paper's Table VII "data copy" component with the allocator
+    /// taken out of it).
+    pub fn workspace_stats(&self) -> ArenaStats {
+        self.pool.workspace().arena_stats()
     }
 
     /// Pick the thread count for any operation: memo first, model sweep

@@ -24,6 +24,13 @@
 //! and inconsistent leading dimensions come back as [`ShapeError`] values
 //! instead of the kernels' internal panics, so a long-lived server can
 //! reject a malformed request without dying.
+//!
+//! Execution is arena-aware end to end: [`OpRequest::execute`] routes to
+//! the pooled drivers, which draw packing scratch from the pool's
+//! [`crate::workspace::Workspace`] (stable per-worker arena slots) and,
+//! for row-split GEMM grids, pack each B block once into a shared region
+//! (see [`crate::gemm`]'s module docs) — so a warm serving path performs
+//! zero packing-path heap allocations per request.
 
 use crate::gemm::{gemm_with_stats_pooled, GemmCall};
 use crate::gemv::gemv_with_stats_pooled;

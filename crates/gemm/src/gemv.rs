@@ -7,6 +7,7 @@
 //! different response curve from GEMM, which is exactly why per-routine
 //! ML thread selection is interesting.
 
+use crate::pool::Executor;
 use crate::stats::{GemmStats, StatsCollector, ThreadLocalStats};
 use crate::threading::SendMutPtr;
 use crate::Element;
@@ -29,49 +30,7 @@ pub fn gemv_with_stats<T: Element>(
     y: &mut [T],
     threads: usize,
 ) -> GemmStats {
-    assert!(lda >= n.max(1), "lda too small");
-    if m > 0 && n > 0 {
-        assert!(a.len() >= (m - 1) * lda + n, "A buffer too small");
-    }
-    assert!(x.len() >= n, "x too short");
-    assert!(y.len() >= m, "y too short");
-
-    let start = Instant::now();
-    if m == 0 {
-        return GemmStats::default();
-    }
-    // One thread per ~4096 output elements is plenty for a bandwidth-bound
-    // kernel; never exceed one row per thread.
-    let threads = threads.max(1).min(m);
-
-    let collector = StatsCollector::default();
-    if threads == 1 {
-        let mut local = ThreadLocalStats::default();
-        row_range(a, lda, x, y.as_mut_ptr(), 0, m, n, alpha, beta, &mut local);
-        collector.absorb(&local);
-    } else {
-        let y_ptr = SendMutPtr(y.as_mut_ptr());
-        crossbeam::scope(|scope| {
-            let base = m / threads;
-            let extra = m % threads;
-            let mut r0 = 0;
-            for t in 0..threads {
-                let rows = base + usize::from(t < extra);
-                let r1 = r0 + rows;
-                let collector = &collector;
-                scope.spawn(move |_| {
-                    let mut local = ThreadLocalStats::default();
-                    let ptr = y_ptr;
-                    row_range(a, lda, x, ptr.0, r0, r1, n, alpha, beta, &mut local);
-                    collector.absorb(&local);
-                });
-                r0 = r1;
-            }
-        })
-        .expect("GEMV worker panicked");
-    }
-    let wall_ns = start.elapsed().as_nanos() as u64;
-    collector.finish(threads, threads, 1, wall_ns)
+    drive(Executor::Scoped, m, n, alpha, a, lda, x, beta, y, threads)
 }
 
 /// Like [`gemv_with_stats`], but running the row-range workers on a
@@ -92,6 +51,25 @@ pub fn gemv_with_stats_pooled<T: Element>(
     y: &mut [T],
     threads: usize,
 ) -> GemmStats {
+    drive(Executor::Pool(pool), m, n, alpha, a, lda, x, beta, y, threads)
+}
+
+/// The one row-partitioned GEMV driver behind both public entry points.
+/// Level-2 BLAS packs nothing, so there is no arena traffic here — the
+/// executor only decides spawn-per-call vs pooled workers.
+#[allow(clippy::too_many_arguments)]
+fn drive<T: Element>(
+    exec: Executor<'_>,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    x: &[T],
+    beta: T,
+    y: &mut [T],
+    threads: usize,
+) -> GemmStats {
     assert!(lda >= n.max(1), "lda too small");
     if m > 0 && n > 0 {
         assert!(a.len() >= (m - 1) * lda + n, "A buffer too small");
@@ -101,8 +79,11 @@ pub fn gemv_with_stats_pooled<T: Element>(
 
     let start = Instant::now();
     if m == 0 {
-        return GemmStats::default();
+        // Degenerate shapes still report their wall time (see the GEMM
+        // driver's identical early out).
+        return GemmStats { wall_ns: start.elapsed().as_nanos() as u64, ..GemmStats::default() };
     }
+    // Never exceed one row per thread: the kernel is bandwidth-bound.
     let threads = threads.max(1).min(m);
 
     let collector = StatsCollector::default();
@@ -129,7 +110,7 @@ pub fn gemv_with_stats_pooled<T: Element>(
             }));
             r0 = r1;
         }
-        pool.scope_execute(tasks);
+        exec.run(tasks);
     }
     let wall_ns = start.elapsed().as_nanos() as u64;
     collector.finish(threads, threads, 1, wall_ns)

@@ -34,17 +34,22 @@ pub mod pool;
 pub mod stats;
 pub mod syrk;
 pub mod threading;
+pub mod workspace;
 
 pub use blocking::BlockSizes;
 pub use dispatch::{
     GemmArgs, GemvArgs, OpRequest, OpShape, OpStats, Precision, Routine, ShapeError, SyrkArgs,
 };
-pub use gemm::{dgemm, gemm_with_stats, gemm_with_stats_pooled, sgemm, GemmCall};
+pub use gemm::{
+    dgemm, gemm_with_stats, gemm_with_stats_pooled, gemm_with_stats_pooled_unshared, sgemm,
+    GemmCall,
+};
 pub use gemv::{gemv_with_stats, gemv_with_stats_pooled};
-pub use pool::ThreadPool;
+pub use pool::{Executor, ThreadPool};
 pub use stats::GemmStats;
 pub use syrk::{syrk_with_stats, syrk_with_stats_pooled};
 pub use threading::ThreadGrid;
+pub use workspace::{ArenaStats, PackArena, Workspace};
 
 /// Transposition flag for an input operand, mirroring the BLAS `TRANS*`
 /// parameters (conjugation is irrelevant for real elements).

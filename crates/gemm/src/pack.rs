@@ -90,6 +90,10 @@ impl<'a, T: Element> MatView<'a, T> {
 ///
 /// `buf` must hold at least `ceil(rows/MR)·MR·cols` elements. Returns the
 /// number of *bytes* written (padding included) for copy accounting.
+///
+/// When the view's row stride is 1 (a transposed operand: the packed
+/// "columns" are contiguous in storage), each micro-panel column is one
+/// `copy_from_slice` — `memcpy` speed instead of a gather loop.
 pub fn pack_a<T: Element>(block: &MatView<'_, T>, mr: usize, buf: &mut [T]) -> u64 {
     let rows = block.rows();
     let cols = block.cols();
@@ -97,6 +101,23 @@ pub fn pack_a<T: Element>(block: &MatView<'_, T>, mr: usize, buf: &mut [T]) -> u
     let needed = strips * mr * cols;
     assert!(buf.len() >= needed, "pack_a buffer too small");
     let mut idx = 0;
+    if block.rs == 1 {
+        // Unit row stride: rows r0..r0+live of column l are the
+        // contiguous range data[offset + r0 + l·cs ..][..live].
+        for strip in 0..strips {
+            let r0 = strip * mr;
+            let live = (rows - r0).min(mr);
+            for l in 0..cols {
+                let src = block.offset + r0 + l * block.cs;
+                buf[idx..idx + live].copy_from_slice(&block.data[src..src + live]);
+                for slot in &mut buf[idx + live..idx + mr] {
+                    *slot = T::ZERO;
+                }
+                idx += mr;
+            }
+        }
+        return (needed * T::BYTES) as u64;
+    }
     for strip in 0..strips {
         let r0 = strip * mr;
         let live = (rows - r0).min(mr);
@@ -126,6 +147,10 @@ pub fn pack_a<T: Element>(block: &MatView<'_, T>, mr: usize, buf: &mut [T]) -> u
 ///
 /// `buf` must hold at least `kc·ceil(cols/NR)·NR` elements. Returns the
 /// number of bytes written (padding included).
+///
+/// When the view's column stride is 1 (an untransposed row-major
+/// operand — the common case), each micro-panel row is one
+/// `copy_from_slice` instead of an element gather.
 pub fn pack_b<T: Element>(block: &MatView<'_, T>, nr: usize, buf: &mut [T]) -> u64 {
     let kc = block.rows();
     let cols = block.cols();
@@ -133,6 +158,23 @@ pub fn pack_b<T: Element>(block: &MatView<'_, T>, nr: usize, buf: &mut [T]) -> u
     let needed = strips * nr * kc;
     assert!(buf.len() >= needed, "pack_b buffer too small");
     let mut idx = 0;
+    if block.cs == 1 {
+        // Unit column stride: columns c0..c0+live of row l are the
+        // contiguous range data[offset + l·rs + c0 ..][..live].
+        for strip in 0..strips {
+            let c0 = strip * nr;
+            let live = (cols - c0).min(nr);
+            for l in 0..kc {
+                let src = block.offset + l * block.rs + c0;
+                buf[idx..idx + live].copy_from_slice(&block.data[src..src + live]);
+                for slot in &mut buf[idx + live..idx + nr] {
+                    *slot = T::ZERO;
+                }
+                idx += nr;
+            }
+        }
+        return (needed * T::BYTES) as u64;
+    }
     for strip in 0..strips {
         let c0 = strip * nr;
         let live = (cols - c0).min(nr);
@@ -257,6 +299,72 @@ mod tests {
         pack_a(&vt, 2, &mut b1);
         pack_a(&vm, 2, &mut b2);
         assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn pack_b_unit_stride_fast_path_matches_strided_path() {
+        // The same logical 5×7 matrix, once stored row-major (cs = 1,
+        // copy_from_slice fast path) and once as the transpose of its
+        // materialised transpose (cs = 5, generic gather path). Both
+        // pack orders must agree, including ragged zero padding.
+        let (k, n) = (5usize, 7usize);
+        let dense: Vec<f64> = (0..k * n).map(|i| i as f64 * 1.5 - 10.0).collect();
+        let mut transposed = vec![0.0; k * n];
+        for i in 0..k {
+            for j in 0..n {
+                transposed[j * k + i] = dense[i * n + j];
+            }
+        }
+        let fast = MatView::row_major(&dense, k, n, n);
+        let strided = MatView::row_major(&transposed, n, k, k).t();
+        for nr in [2usize, 3, 4, 8] {
+            let len = k * n.div_ceil(nr) * nr;
+            let mut b1 = vec![-1.0; len];
+            let mut b2 = vec![-1.0; len];
+            let bytes1 = pack_b(&fast, nr, &mut b1);
+            let bytes2 = pack_b(&strided, nr, &mut b2);
+            assert_eq!(b1, b2, "nr = {nr}");
+            assert_eq!(bytes1, bytes2);
+        }
+    }
+
+    #[test]
+    fn pack_a_unit_stride_fast_path_matches_strided_path() {
+        // Logical 7×5 A: unit row stride via a transposed view (fast
+        // path) vs its materialised row-major equivalent (generic path).
+        let (m, k) = (7usize, 5usize);
+        let stored: Vec<f64> = (0..k * m).map(|i| (i as f64).sin() * 4.0).collect(); // k×m
+        let mut materialised = vec![0.0; m * k];
+        for i in 0..m {
+            for j in 0..k {
+                materialised[i * k + j] = stored[j * m + i];
+            }
+        }
+        let fast = MatView::row_major(&stored, k, m, m).t(); // rs = 1
+        let generic = MatView::row_major(&materialised, m, k, k); // rs = k
+        for mr in [2usize, 4, 8] {
+            let len = m.div_ceil(mr) * mr * k;
+            let mut b1 = vec![-1.0; len];
+            let mut b2 = vec![-1.0; len];
+            let bytes1 = pack_a(&fast, mr, &mut b1);
+            let bytes2 = pack_a(&generic, mr, &mut b2);
+            assert_eq!(b1, b2, "mr = {mr}");
+            assert_eq!(bytes1, bytes2);
+        }
+    }
+
+    #[test]
+    fn pack_fast_paths_zero_pad_subviews() {
+        // A sub-view with an offset keeps the fast path honest about
+        // offsets and padding.
+        let d = seq(48); // 6x8
+        let v = MatView::row_major(&d, 6, 8, 8).sub(1, 2, 4, 5); // cs = 1
+        let mut buf = vec![-1.0; 4 * 8];
+        pack_b(&v, 4, &mut buf);
+        // Row 0 of the sub-view is d[1*8+2 ..][..5] = 10..15.
+        assert_eq!(&buf[0..4], &[10.0, 11.0, 12.0, 13.0]);
+        // Second strip holds the ragged column 14.0 + three zeros.
+        assert_eq!(&buf[16..20], &[14.0, 0.0, 0.0, 0.0]);
     }
 
     #[test]

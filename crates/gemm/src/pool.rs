@@ -20,6 +20,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::workspace::{with_thread_arena, PackArena, Workspace};
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Counts outstanding jobs; `wait` blocks until zero.
@@ -67,9 +69,19 @@ impl Drop for CountGuard<'_> {
 }
 
 /// A fixed-size pool of parked worker threads.
+///
+/// Besides execution, the pool owns the packing [`Workspace`]: every
+/// worker registers a stable index at spawn and reuses the same
+/// cache-line-padded [`crate::workspace::PackArena`] slot across calls,
+/// which is what makes the steady-state serving path allocation-free on
+/// the packing side.
 pub struct ThreadPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    workspace: Arc<Workspace>,
+    /// Workers not currently reserved by a gang-scheduled (barrier-using)
+    /// batch; see [`ThreadPool::try_reserve_gang`].
+    gang_capacity: Mutex<usize>,
 }
 
 impl std::fmt::Debug for ThreadPool {
@@ -82,14 +94,18 @@ impl ThreadPool {
     /// Spawn `workers` parked threads (at least one).
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
+        let workspace = Arc::new(Workspace::new(workers));
         let (sender, receiver) = unbounded::<Job>();
         let handles = (0..workers)
             .map(|i| {
                 let receiver = receiver.clone();
+                let workspace = Arc::clone(&workspace);
                 std::thread::Builder::new()
                     .name(format!("adsala-gemm-{i}"))
                     .spawn(move || {
-                        // Runs until the sender is dropped.
+                        // Bind this thread to its stable workspace slot,
+                        // then run until the sender is dropped.
+                        workspace.register_worker(i);
                         while let Ok(job) = receiver.recv() {
                             job();
                         }
@@ -97,7 +113,12 @@ impl ThreadPool {
                     .expect("spawn pool worker")
             })
             .collect();
-        Self { sender: Some(sender), workers: handles }
+        Self {
+            sender: Some(sender),
+            workers: handles,
+            workspace,
+            gang_capacity: Mutex::new(workers),
+        }
     }
 
     /// Spawn one parked worker per available hardware thread — the right
@@ -109,6 +130,34 @@ impl ThreadPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The packing workspace owned by this pool (per-worker arena slots
+    /// plus the shared-B free list).
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
+    }
+
+    /// Reserve `n` workers for a gang-scheduled batch whose tasks
+    /// synchronise with each other (the cooperative shared-B driver's
+    /// barriers). Returns `None` — caller must fall back to independent
+    /// tasks — when the reservation would over-subscribe the pool.
+    ///
+    /// Why this exists: tasks queue on one channel, so a barrier-using
+    /// batch larger than the worker count (or overlapping reservations
+    /// that sum past it) could park every worker on a barrier whose
+    /// remaining members are still queued behind them — deadlock. With
+    /// all barrier users holding reservations bounded by the worker
+    /// count, every member of every gang eventually gets a worker
+    /// (non-gang jobs never block indefinitely), so every barrier opens.
+    pub fn try_reserve_gang(&self, n: usize) -> Option<GangReservation<'_>> {
+        let mut available = self.gang_capacity.lock();
+        if *available >= n {
+            *available -= n;
+            Some(GangReservation { pool: self, n })
+        } else {
+            None
+        }
     }
 
     /// Execute a batch of borrowing closures on the pool, blocking until
@@ -153,6 +202,71 @@ impl Drop for ThreadPool {
         self.sender.take();
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+    }
+}
+
+/// A held gang reservation; dropping it returns the workers to the
+/// reservable capacity.
+pub struct GangReservation<'a> {
+    pool: &'a ThreadPool,
+    n: usize,
+}
+
+impl Drop for GangReservation<'_> {
+    fn drop(&mut self) {
+        *self.pool.gang_capacity.lock() += self.n;
+    }
+}
+
+/// How a kernel driver runs its worker closures: OS threads spawned per
+/// call (`crossbeam::scope`) or the persistent pool.
+///
+/// The GEMM/SYRK/GEMV drivers are each written once against this enum —
+/// the scoped and pooled public entry points are thin wrappers selecting
+/// a variant — so packing, statistics, and (for GEMM) the cooperative
+/// shared-B logic live in exactly one place.
+#[derive(Clone, Copy, Debug)]
+pub enum Executor<'p> {
+    /// Spawn one OS thread per task and join them (the paper's baseline
+    /// cost model: spawn/join is the synchronisation overhead).
+    Scoped,
+    /// Run the tasks on a persistent [`ThreadPool`].
+    Pool(&'p ThreadPool),
+}
+
+impl<'p> Executor<'p> {
+    /// Run a batch of borrowing tasks to completion.
+    pub fn run<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        match self {
+            Executor::Scoped => {
+                crossbeam::scope(|scope| {
+                    for task in tasks {
+                        scope.spawn(move |_| task());
+                    }
+                })
+                .expect("scoped worker panicked");
+            }
+            Executor::Pool(pool) => pool.scope_execute(tasks),
+        }
+    }
+
+    /// Run `f` with the right scratch arena for the calling thread under
+    /// this executor: pool workers use their stable workspace slot,
+    /// everything else (serial path, scoped spawn-per-call workers) the
+    /// thread-local arena.
+    pub fn with_arena<R>(&self, f: impl FnOnce(&mut PackArena) -> R) -> R {
+        match self {
+            Executor::Scoped => with_thread_arena(f),
+            Executor::Pool(pool) => pool.workspace.with_arena(f),
+        }
+    }
+
+    /// The pool behind this executor, if any.
+    pub fn pool(&self) -> Option<&'p ThreadPool> {
+        match self {
+            Executor::Scoped => None,
+            Executor::Pool(pool) => Some(pool),
         }
     }
 }
@@ -250,5 +364,59 @@ mod tests {
     fn zero_workers_clamps_to_one() {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn workers_use_their_stable_workspace_slots() {
+        let pool = ThreadPool::new(3);
+        // Each task checks out scratch through the workspace; all of it
+        // must land in the pool's slots, not in thread-local fallbacks.
+        for _ in 0..4 {
+            let ws = pool.workspace();
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..3)
+                .map(|_| {
+                    Box::new(move || {
+                        ws.with_arena(|arena| {
+                            arena.checkout_elems::<f64>(256);
+                        });
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.scope_execute(tasks);
+        }
+        let stats = pool.workspace().arena_stats();
+        assert_eq!(stats.checkouts, 12, "every checkout must hit a pool slot");
+        assert!(stats.allocations <= 3, "at most one allocation per worker slot, got {stats:?}");
+        assert!(stats.bytes_reused > 0, "repeat batches must reuse warm slots");
+    }
+
+    #[test]
+    fn gang_reservation_bounds_concurrent_gangs() {
+        let pool = ThreadPool::new(4);
+        let first = pool.try_reserve_gang(3).expect("capacity free");
+        assert!(pool.try_reserve_gang(2).is_none(), "3 + 2 > 4 must be refused");
+        let second = pool.try_reserve_gang(1).expect("one worker left");
+        drop(first);
+        let third = pool.try_reserve_gang(3).expect("capacity returned on drop");
+        drop(second);
+        drop(third);
+        assert!(pool.try_reserve_gang(4).is_some(), "full capacity restored");
+    }
+
+    #[test]
+    fn executor_runs_tasks_on_both_backends() {
+        let pool = ThreadPool::new(2);
+        for exec in [Executor::Scoped, Executor::Pool(&pool)] {
+            let counter = AtomicUsize::new(0);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..6)
+                .map(|_| {
+                    Box::new(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            exec.run(tasks);
+            assert_eq!(counter.load(Ordering::Relaxed), 6);
+        }
     }
 }

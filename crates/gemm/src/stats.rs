@@ -22,6 +22,15 @@ pub struct GemmStats {
     pub a_packed_bytes: u64,
     /// Bytes written while packing `B` micro-panels, summed over threads.
     pub b_packed_bytes: u64,
+    /// Bytes of packed `B` consumed from a groupmate's shared panel
+    /// instead of being re-packed locally — the duplicated-copy traffic
+    /// (paper Table VII's "data copy" column) the cooperative driver
+    /// eliminates. Always 0 for the scoped and serial drivers.
+    pub b_pack_shared: u64,
+    /// Packing-scratch bytes served from a warm arena without touching
+    /// the allocator, summed over threads. On a steady-state serving
+    /// path this equals the whole packing workspace per call.
+    pub arena_bytes_reused: u64,
     /// Micro-kernel invocations, summed over threads.
     pub kernel_calls: u64,
     /// Nanoseconds spent packing, summed over threads.
@@ -57,6 +66,8 @@ impl GemmStats {
 pub struct StatsCollector {
     pub a_packed_bytes: AtomicU64,
     pub b_packed_bytes: AtomicU64,
+    pub b_pack_shared: AtomicU64,
+    pub arena_bytes_reused: AtomicU64,
     pub kernel_calls: AtomicU64,
     pub pack_ns: AtomicU64,
     pub kernel_ns: AtomicU64,
@@ -69,6 +80,8 @@ impl StatsCollector {
     pub fn absorb(&self, local: &ThreadLocalStats) {
         self.a_packed_bytes.fetch_add(local.a_packed_bytes, Ordering::Relaxed);
         self.b_packed_bytes.fetch_add(local.b_packed_bytes, Ordering::Relaxed);
+        self.b_pack_shared.fetch_add(local.b_pack_shared, Ordering::Relaxed);
+        self.arena_bytes_reused.fetch_add(local.arena_bytes_reused, Ordering::Relaxed);
         self.kernel_calls.fetch_add(local.kernel_calls, Ordering::Relaxed);
         self.pack_ns.fetch_add(local.pack_ns, Ordering::Relaxed);
         self.kernel_ns.fetch_add(local.kernel_ns, Ordering::Relaxed);
@@ -90,6 +103,8 @@ impl StatsCollector {
             grid_cols,
             a_packed_bytes: self.a_packed_bytes.load(Ordering::Relaxed),
             b_packed_bytes: self.b_packed_bytes.load(Ordering::Relaxed),
+            b_pack_shared: self.b_pack_shared.load(Ordering::Relaxed),
+            arena_bytes_reused: self.arena_bytes_reused.load(Ordering::Relaxed),
             kernel_calls: self.kernel_calls.load(Ordering::Relaxed),
             pack_ns: self.pack_ns.load(Ordering::Relaxed),
             kernel_ns: self.kernel_ns.load(Ordering::Relaxed),
@@ -105,6 +120,8 @@ impl StatsCollector {
 pub struct ThreadLocalStats {
     pub a_packed_bytes: u64,
     pub b_packed_bytes: u64,
+    pub b_pack_shared: u64,
+    pub arena_bytes_reused: u64,
     pub kernel_calls: u64,
     pub pack_ns: u64,
     pub kernel_ns: u64,
@@ -120,6 +137,8 @@ mod tests {
         c.absorb(&ThreadLocalStats {
             a_packed_bytes: 10,
             b_packed_bytes: 20,
+            b_pack_shared: 5,
+            arena_bytes_reused: 40,
             kernel_calls: 3,
             pack_ns: 100,
             kernel_ns: 200,
@@ -127,6 +146,8 @@ mod tests {
         c.absorb(&ThreadLocalStats {
             a_packed_bytes: 1,
             b_packed_bytes: 2,
+            b_pack_shared: 7,
+            arena_bytes_reused: 2,
             kernel_calls: 4,
             pack_ns: 50,
             kernel_ns: 75,
@@ -135,6 +156,8 @@ mod tests {
         assert_eq!(s.a_packed_bytes, 11);
         assert_eq!(s.b_packed_bytes, 22);
         assert_eq!(s.packed_bytes(), 33);
+        assert_eq!(s.b_pack_shared, 12);
+        assert_eq!(s.arena_bytes_reused, 42);
         assert_eq!(s.kernel_calls, 7);
         assert_eq!(s.pack_ns, 150);
         assert_eq!(s.kernel_ns, 275);

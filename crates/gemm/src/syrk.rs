@@ -15,15 +15,18 @@
 use crate::blocking::BlockSizes;
 use crate::microkernel::accumulate;
 use crate::pack::{pack_a, pack_b, MatView};
+use crate::pool::Executor;
 use crate::stats::{GemmStats, StatsCollector, ThreadLocalStats};
 use crate::threading::SendMutPtr;
+use crate::workspace::with_thread_arena;
 use crate::Element;
 use std::time::Instant;
 
 /// `C ← α·A·Aᵀ + β·C`, updating only the lower triangle (row-major, `A` is
 /// `m×k` with row stride `lda`, `C` is `m×m` with row stride `ldc`).
 ///
-/// Returns the same execution statistics as the GEMM driver.
+/// Returns the same execution statistics as the GEMM driver. Workers are
+/// spawned per call; serving paths should use [`syrk_with_stats_pooled`].
 ///
 /// # Panics
 /// Panics if a buffer is too small for its described shape.
@@ -39,69 +42,12 @@ pub fn syrk_with_stats<T: Element>(
     ldc: usize,
     threads: usize,
 ) -> GemmStats {
-    assert!(ldc >= m.max(1), "ldc too small");
-    if m > 0 {
-        assert!(c.len() >= (m - 1) * ldc + m, "C buffer too small");
-    }
-    let a_view = MatView::row_major(a, m, k, lda);
-    let start = Instant::now();
-    if m == 0 {
-        return GemmStats::default();
-    }
-
-    let blocks = BlockSizes::for_element_bytes(T::BYTES).clamped(m, m, k.max(1));
-    let bands = band_edges(m, threads.max(1), blocks.mr);
-    let n_bands = bands.len() - 1;
-
-    let collector = StatsCollector::default();
-    if n_bands == 1 {
-        let mut local = ThreadLocalStats::default();
-        // SAFETY: single worker owns all of C.
-        unsafe {
-            band_subproblem(
-                &a_view,
-                c.as_mut_ptr(),
-                ldc,
-                0,
-                m,
-                k,
-                alpha,
-                beta,
-                &blocks,
-                &mut local,
-            );
-        }
-        collector.absorb(&local);
-    } else {
-        let c_ptr = SendMutPtr(c.as_mut_ptr());
-        crossbeam::scope(|scope| {
-            for b in 0..n_bands {
-                let (r0, r1) = (bands[b], bands[b + 1]);
-                let collector = &collector;
-                scope.spawn(move |_| {
-                    let mut local = ThreadLocalStats::default();
-                    let ptr = c_ptr;
-                    // SAFETY: band rows [r0, r1) are disjoint across
-                    // workers, and each worker writes only columns
-                    // 0..=row within its rows.
-                    unsafe {
-                        band_subproblem(
-                            &a_view, ptr.0, ldc, r0, r1, k, alpha, beta, &blocks, &mut local,
-                        );
-                    }
-                    collector.absorb(&local);
-                });
-            }
-        })
-        .expect("SYRK worker panicked");
-    }
-    let wall_ns = start.elapsed().as_nanos() as u64;
-    collector.finish(n_bands, n_bands, 1, wall_ns)
+    drive(Executor::Scoped, m, k, alpha, a, lda, beta, c, ldc, threads)
 }
 
 /// Like [`syrk_with_stats`], but running the band workers on a persistent
-/// [`crate::pool::ThreadPool`] instead of spawning OS threads per call —
-/// the dispatch layer's serving path. Band partitioning and per-band
+/// [`crate::pool::ThreadPool`] with warm per-worker packing arenas — the
+/// dispatch layer's serving path. Band partitioning and per-band
 /// arithmetic are identical, so results are bitwise-equal to the scoped
 /// driver.
 ///
@@ -120,6 +66,24 @@ pub fn syrk_with_stats_pooled<T: Element>(
     ldc: usize,
     threads: usize,
 ) -> GemmStats {
+    drive(Executor::Pool(pool), m, k, alpha, a, lda, beta, c, ldc, threads)
+}
+
+/// The one banded SYRK driver behind both public entry points; packing
+/// scratch comes from the executor's arena (pool slot or thread-local).
+#[allow(clippy::too_many_arguments)]
+fn drive<T: Element>(
+    exec: Executor<'_>,
+    m: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+    threads: usize,
+) -> GemmStats {
     assert!(ldc >= m.max(1), "ldc too small");
     if m > 0 {
         assert!(c.len() >= (m - 1) * ldc + m, "C buffer too small");
@@ -127,7 +91,9 @@ pub fn syrk_with_stats_pooled<T: Element>(
     let a_view = MatView::row_major(a, m, k, lda);
     let start = Instant::now();
     if m == 0 {
-        return GemmStats::default();
+        // Degenerate shapes still report their wall time (see the GEMM
+        // driver's identical early out).
+        return GemmStats { wall_ns: start.elapsed().as_nanos() as u64, ..GemmStats::default() };
     }
 
     let blocks = BlockSizes::for_element_bytes(T::BYTES).clamped(m, m, k.max(1));
@@ -137,21 +103,27 @@ pub fn syrk_with_stats_pooled<T: Element>(
     let collector = StatsCollector::default();
     if n_bands == 1 {
         let mut local = ThreadLocalStats::default();
-        // SAFETY: single worker owns all of C.
-        unsafe {
-            band_subproblem(
-                &a_view,
-                c.as_mut_ptr(),
-                ldc,
-                0,
-                m,
-                k,
-                alpha,
-                beta,
-                &blocks,
-                &mut local,
-            );
-        }
+        with_thread_arena(|arena| {
+            let (a_buf, b_buf, reused) = arena.checkout_pair::<T>(&blocks);
+            local.arena_bytes_reused += reused;
+            // SAFETY: single worker owns all of C.
+            unsafe {
+                band_subproblem(
+                    &a_view,
+                    c.as_mut_ptr(),
+                    ldc,
+                    0,
+                    m,
+                    k,
+                    alpha,
+                    beta,
+                    &blocks,
+                    a_buf,
+                    b_buf,
+                    &mut local,
+                );
+            }
+        });
         collector.absorb(&local);
     } else {
         let c_ptr = SendMutPtr(c.as_mut_ptr());
@@ -163,18 +135,24 @@ pub fn syrk_with_stats_pooled<T: Element>(
             tasks.push(Box::new(move || {
                 let mut local = ThreadLocalStats::default();
                 let ptr = c_ptr;
-                // SAFETY: identical disjoint-band argument as the scoped
-                // driver; the pool's scope_execute blocks until every task
-                // completes, keeping the borrows alive.
-                unsafe {
-                    band_subproblem(
-                        &a_view, ptr.0, ldc, r0, r1, k, alpha, beta, blocks, &mut local,
-                    );
-                }
+                exec.with_arena(|arena| {
+                    let (a_buf, b_buf, reused) = arena.checkout_pair::<T>(blocks);
+                    local.arena_bytes_reused += reused;
+                    // SAFETY: band rows [r0, r1) are disjoint across
+                    // workers, each worker writes only columns 0..=row
+                    // within its rows, and the executor blocks until
+                    // every task completes, keeping the borrows alive.
+                    unsafe {
+                        band_subproblem(
+                            &a_view, ptr.0, ldc, r0, r1, k, alpha, beta, blocks, a_buf, b_buf,
+                            &mut local,
+                        );
+                    }
+                });
                 collector.absorb(&local);
             }));
         }
-        pool.scope_execute(tasks);
+        exec.run(tasks);
     }
     let wall_ns = start.elapsed().as_nanos() as u64;
     collector.finish(n_bands, n_bands, 1, wall_ns)
@@ -198,7 +176,8 @@ pub fn band_edges(m: usize, threads: usize, mr: usize) -> Vec<usize> {
     edges
 }
 
-/// One worker's band: rows `[r0, r1)` of the lower triangle.
+/// One worker's band: rows `[r0, r1)` of the lower triangle, packing into
+/// caller-provided arena scratch.
 ///
 /// # Safety
 /// `c` points at the full matrix origin; rows `[r0, r1)` (columns
@@ -214,6 +193,8 @@ unsafe fn band_subproblem<T: Element>(
     alpha: T,
     beta: T,
     blocks: &BlockSizes,
+    a_buf: &mut [T],
+    b_buf: &mut [T],
     stats: &mut ThreadLocalStats,
 ) {
     let BlockSizes { mc, kc, nc, mr, nr } = *blocks;
@@ -233,9 +214,8 @@ unsafe fn band_subproblem<T: Element>(
     }
     let ns = r1; // columns 0..r1 participate for this band
     let at = a.t();
-
-    let mut a_buf = vec![T::ZERO; mc.div_ceil(mr) * mr * kc];
-    let mut b_buf = vec![T::ZERO; kc * nc.div_ceil(nr) * nr];
+    debug_assert!(a_buf.len() >= mc.div_ceil(mr) * mr * kc);
+    debug_assert!(b_buf.len() >= kc * nc.div_ceil(nr) * nr);
 
     let mut jc = 0;
     while jc < ns {
@@ -248,7 +228,7 @@ unsafe fn band_subproblem<T: Element>(
             let t0 = Instant::now();
             // "B" is Aᵀ: columns jc..jc+ncur are A's rows jc.. transposed.
             let b_block = at.sub(pc, jc, kcur, ncur);
-            stats.b_packed_bytes += pack_b(&b_block, nr, &mut b_buf);
+            stats.b_packed_bytes += pack_b(&b_block, nr, b_buf);
             stats.pack_ns += t0.elapsed().as_nanos() as u64;
 
             let mut ic = 0;
@@ -256,7 +236,7 @@ unsafe fn band_subproblem<T: Element>(
                 let mcur = (ms - ic).min(mc);
                 let t0 = Instant::now();
                 let a_block = a.sub(r0 + ic, pc, mcur, kcur);
-                stats.a_packed_bytes += pack_a(&a_block, mr, &mut a_buf);
+                stats.a_packed_bytes += pack_a(&a_block, mr, a_buf);
                 stats.pack_ns += t0.elapsed().as_nanos() as u64;
 
                 let t0 = Instant::now();

@@ -49,12 +49,23 @@ impl Display for BenchmarkId {
 /// Benchmark driver handed to bench closures; call [`Bencher::iter`].
 pub struct Bencher {
     budget: Duration,
+    test_mode: bool,
     measured: Option<(Duration, u64)>,
 }
 
 impl Bencher {
     /// Time `routine` repeatedly and record the mean iteration time.
+    ///
+    /// In `--test` mode (like real criterion's smoke mode) the routine
+    /// runs exactly once — enough to prove the bench executes — and the
+    /// single timing is recorded.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            let start = Instant::now();
+            hint::black_box(routine());
+            self.measured = Some((start.elapsed(), 1));
+            return;
+        }
         // Warm-up: one untimed call (also triggers lazy setup).
         hint::black_box(routine());
         let mut iters: u64 = 0;
@@ -74,28 +85,40 @@ impl Bencher {
     }
 }
 
+/// `cargo bench -- --test` puts the harness in smoke mode: every bench
+/// body runs once so CI can catch panicking or bit-rotted benches
+/// without paying for real measurements.
+fn test_mode_from_args() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+}
+
 /// Top-level harness handle; create groups with
 /// [`Criterion::benchmark_group`].
 pub struct Criterion {
     budget: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { budget: Duration::from_millis(120) }
+        Criterion { budget: Duration::from_millis(120), test_mode: test_mode_from_args() }
     }
 }
 
 impl Criterion {
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
-        BenchmarkGroup { name: name.into(), budget: self.budget, throughput: None }
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+            test_mode: self.test_mode,
+            throughput: None,
+        }
     }
 
     /// Run a stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
-        let budget = self.budget;
-        run_one("", budget, None, id, f);
+        run_one("", self.budget, self.test_mode, None, id, f);
     }
 }
 
@@ -103,6 +126,7 @@ impl Criterion {
 pub struct BenchmarkGroup {
     name: String,
     budget: Duration,
+    test_mode: bool,
     throughput: Option<Throughput>,
 }
 
@@ -123,7 +147,7 @@ impl BenchmarkGroup {
 
     /// Benchmark a closure under this group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
-        run_one(&self.name, self.budget, self.throughput, id, f);
+        run_one(&self.name, self.budget, self.test_mode, self.throughput, id, f);
     }
 
     /// Benchmark a closure that receives a borrowed input.
@@ -131,7 +155,7 @@ impl BenchmarkGroup {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&self.name, self.budget, self.throughput, id, |b| f(b, input));
+        run_one(&self.name, self.budget, self.test_mode, self.throughput, id, |b| f(b, input));
     }
 
     /// Close the group (prints nothing extra; parity with criterion).
@@ -141,11 +165,12 @@ impl BenchmarkGroup {
 fn run_one<F: FnMut(&mut Bencher)>(
     group: &str,
     budget: Duration,
+    test_mode: bool,
     throughput: Option<Throughput>,
     id: impl Display,
     mut f: F,
 ) {
-    let mut bencher = Bencher { budget, measured: None };
+    let mut bencher = Bencher { budget, test_mode, measured: None };
     f(&mut bencher);
     let full_name = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
     match bencher.measured {
@@ -207,11 +232,21 @@ mod tests {
 
     #[test]
     fn measures_and_reports() {
-        let mut c = Criterion { budget: Duration::from_millis(5) };
+        let mut c = Criterion { budget: Duration::from_millis(5), test_mode: false };
         let mut group = c.benchmark_group("shim");
         group.throughput(Throughput::Elements(1000));
         group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
         group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &x| b.iter(|| x * 2));
         group.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_each_bench_exactly_once() {
+        let mut c = Criterion { budget: Duration::from_millis(5), test_mode: true };
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("once", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1, "--test mode must execute the body once, not measure");
     }
 }

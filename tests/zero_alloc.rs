@@ -1,0 +1,113 @@
+//! Steady-state allocation behaviour of the serving hot path.
+//!
+//! The PR-4 tentpole claims `AdsalaService::run` performs **zero
+//! packing-path heap allocations** once the arenas are warm. These tests
+//! prove it with the workspace's own allocation counters (every arena
+//! growth — the only packing-path allocation — bumps `allocations`):
+//! after a warm-up call per shape, the counter must stop moving while
+//! traffic keeps flowing, and the per-call `arena_bytes_reused` stat must
+//! show the packing scratch being served warm.
+
+use adsala::bundle::quick_test_bundle;
+use adsala::prelude::*;
+use adsala_gemm::workspace::thread_arena_stats;
+
+fn service() -> AdsalaService {
+    AdsalaService::with_config(
+        quick_test_bundle().into_shared(),
+        ServiceConfig { pool_workers: 4, ..ServiceConfig::default() },
+    )
+}
+
+fn run_gemm(svc: &AdsalaService, m: usize, n: usize, k: usize) -> OpStats {
+    let a = vec![1.0f32; m * k];
+    let b = vec![0.5f32; k * n];
+    let mut c = vec![0.0f32; m * n];
+    let mut req: OpRequest<'_, f32> =
+        GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+    let (_, stats) = svc.run(&mut req).expect("valid request");
+    stats
+}
+
+#[test]
+fn steady_state_service_traffic_allocates_nothing_on_the_packing_path() {
+    let svc = service();
+    let shapes = [(192usize, 192usize, 96usize), (256, 64, 128), (64, 64, 64)];
+
+    // Warm-up: the first call per shape may grow pool-slot arenas, the
+    // shared-B free list, and this client thread's local arena.
+    for &(m, n, k) in &shapes {
+        run_gemm(&svc, m, n, k);
+        run_gemm(&svc, m, n, k);
+    }
+
+    // The packing path draws from two places: the pool workspace
+    // (parallel grids) and the client thread's local arena (serial
+    // decisions). Neither may allocate once warm.
+    let ws_before = svc.workspace_stats();
+    let tl_before = thread_arena_stats();
+    for round in 0..10 {
+        for &(m, n, k) in &shapes {
+            let stats = run_gemm(&svc, m, n, k);
+            assert!(
+                stats.exec.arena_bytes_reused > 0,
+                "round {round}: {m}x{n}x{k} did not reuse warm arena bytes: {stats:?}"
+            );
+        }
+    }
+    let ws_after = svc.workspace_stats();
+    let tl_after = thread_arena_stats();
+    assert_eq!(
+        ws_after.allocations, ws_before.allocations,
+        "pool workspace allocated during steady state: {ws_before:?} -> {ws_after:?}"
+    );
+    assert_eq!(
+        tl_after.allocations, tl_before.allocations,
+        "client thread arena allocated during steady state: {tl_before:?} -> {tl_after:?}"
+    );
+    assert!(
+        ws_after.bytes_reused + tl_after.bytes_reused
+            > ws_before.bytes_reused + tl_before.bytes_reused,
+        "steady-state traffic must be served from warm arenas"
+    );
+}
+
+#[test]
+fn mixed_routine_steady_state_stays_warm() {
+    // SYRK packs through the same arenas; GEMV packs nothing. Neither
+    // may disturb the zero-allocation steady state.
+    let svc = service();
+    let (m, k) = (128usize, 64usize);
+    let a = vec![1.0f64; m * k];
+    let x = vec![1.0f64; k];
+
+    let run_all = || {
+        let mut c = vec![0.0f64; m * m];
+        let mut req: OpRequest<'_, f64> =
+            SyrkArgs { m, k, alpha: 1.0, a: &a, lda: k, beta: 0.0, c: &mut c, ldc: m }.into();
+        svc.run(&mut req).expect("syrk");
+        let mut y = vec![0.0f64; m];
+        let mut req: OpRequest<'_, f64> =
+            GemvArgs { m, n: k, alpha: 1.0, a: &a, lda: k, x: &x, beta: 0.0, y: &mut y }.into();
+        svc.run(&mut req).expect("gemv");
+    };
+    run_all();
+    run_all();
+    let ws_before = svc.workspace_stats();
+    let tl_before = thread_arena_stats();
+    for _ in 0..8 {
+        run_all();
+    }
+    assert_eq!(svc.workspace_stats().allocations, ws_before.allocations);
+    assert_eq!(thread_arena_stats().allocations, tl_before.allocations);
+}
+
+#[test]
+fn degenerate_shapes_report_wall_time_through_the_service() {
+    // Satellite regression: m/n == 0 used to return a default-zero stats
+    // struct; the service must now see a measured wall_ns.
+    let svc = service();
+    let stats = run_gemm(&svc, 0, 16, 16);
+    assert!(stats.exec.wall_ns > 0, "degenerate call lost its wall time: {stats:?}");
+    assert_eq!(stats.exec.threads_used, 0);
+}
