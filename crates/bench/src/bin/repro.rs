@@ -373,6 +373,14 @@ fn speedup_table(ht: bool) {
     let mut columns: Vec<(String, SpeedupStats)> = Vec::new();
     let mut csv_rows: Vec<String> = Vec::new();
     let mut service_lines: Vec<String> = Vec::new();
+    // Record which micro-kernel produced the host-side timings of this
+    // run (simulated timings ignore it, host timings depend on it): the
+    // dispatched ISA, its register tiles, and the probed cache hierarchy
+    // behind the derived blocking.
+    service_lines.push(format!(
+        "[service] kernel dispatch: {}",
+        adsala_machine::HostCaches::probe().summary()
+    ));
     for machine in [Machine::Setonix, Machine::Gadi] {
         let run = speedup_run(machine, ht);
         service_lines.push(format!(
@@ -935,6 +943,7 @@ fn ablation_memo() {
     let stats = service.cache_stats();
     println!("service cold selection (fresh shapes):   {:.2} us", t_svc_cold * 1e6);
     println!("service memoised selection (hot shape):  {:.3} us", t_svc_hot * 1e6);
+    println!("[service] kernel dispatch: {}", adsala_machine::HostCaches::probe().summary());
     println!(
         "service cache: {} hits / {} misses, {} evictions, {}/{} entries, {} sweeps",
         stats.hits,

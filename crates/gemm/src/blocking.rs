@@ -4,10 +4,29 @@
 //! (outer `jc` loop), `A·B` in `KC`-deep rank updates (`pc` loop) and `MC`-
 //! tall row panels (`ic` loop); inside, the packed micro-panels are `MR×KC`
 //! strips of `A` and `KC×NR` strips of `B`. `KC·NR` should live in L1,
-//! `MC·KC` in L2 and `KC·NC` in L3 — the defaults below are conservative
-//! values that behave well on current x86-64 parts without per-machine
-//! autotuning (which is exactly the layer of optimisation the paper leaves
-//! to the vendor library).
+//! `MC·KC` in L2 and `KC·NC` in L3.
+//!
+//! Since the kernel-dispatch layer landed, the blocking is **derived at
+//! runtime** from two inputs:
+//!
+//! * the dispatched micro-kernel's `MR×NR` register tile (ISA-dependent:
+//!   see [`crate::isa`]), which `MC`/`NC` must be multiples of, and
+//! * the host's cache hierarchy, probed once per process from
+//!   `/sys/devices/system/cpu/.../cache` ([`CacheInfo::detect`]); when the
+//!   probe is unavailable (non-Linux, sandboxed sysfs) the derivation
+//!   falls back to the conservative per-precision constants the crate
+//!   shipped before ([`BlockSizes::for_f32`]/[`BlockSizes::for_f64`]),
+//!   snapped to the kernel's tile.
+//!
+//! Per-machine blocking is exactly the layer of optimisation the paper
+//! delegates to the vendor library; deriving it here is what makes the
+//! learned thread-selection model's training data reflect real hardware
+//! behaviour instead of one hard-coded machine's.
+
+use std::sync::OnceLock;
+
+use crate::isa::{Kernel, KernelIsa};
+use crate::Element;
 
 /// Blocking parameters, in elements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,17 +44,19 @@ pub struct BlockSizes {
 }
 
 impl BlockSizes {
-    /// Defaults for `f32` operands.
+    /// Fallback constants for `f32` operands at the scalar `MR×NR` tile —
+    /// the pre-dispatch defaults, kept as the no-probe baseline.
     pub fn for_f32() -> Self {
         Self { mc: 128, kc: 384, nc: 4096, mr: MR, nr: NR }
     }
 
-    /// Defaults for `f64` operands.
+    /// Fallback constants for `f64` operands at the scalar tile.
     pub fn for_f64() -> Self {
         Self { mc: 96, kc: 256, nc: 4096, mr: MR, nr: NR }
     }
 
-    /// Defaults by element size in bytes (4 → f32, otherwise f64).
+    /// Fallback constants by element size in bytes (4 → f32, otherwise
+    /// f64), at the scalar tile.
     pub fn for_element_bytes(bytes: usize) -> Self {
         if bytes == 4 {
             Self::for_f32()
@@ -44,11 +65,83 @@ impl BlockSizes {
         }
     }
 
+    /// Derive blocking for a `mr×nr` register tile and an element of
+    /// `bytes` bytes from the cache hierarchy (BLIS's analytical model):
+    ///
+    /// * `KC` sizes one `KC×NR` packed B strip to about half of L1d,
+    /// * `MC` sizes one `MC×KC` packed A block to about half of L2,
+    /// * `NC` sizes one `KC×NC` packed B block to a quarter of L3
+    ///   (shared with other cores and the output traffic),
+    ///
+    /// each clamped to sane bounds and rounded so `MC % MR == 0` and
+    /// `NC % NR == 0`. With `cache == None` the per-precision fallback
+    /// constants are used, snapped to the tile.
+    pub fn for_tile(mr: usize, nr: usize, bytes: usize, cache: Option<&CacheInfo>) -> Self {
+        let (mr, nr) = (mr.max(1), nr.max(1));
+        let Some(cache) = cache else {
+            return Self::for_element_bytes(bytes).with_tile(mr, nr);
+        };
+        // KC from L1d: half the cache for the streaming B strip, rounded
+        // to a multiple of 4 for the unrolled depth loop (the clamp floor
+        // of 64 survives the flooring, so kc ∈ [64, 512]).
+        let kc = (cache.l1d / 2 / (nr * bytes)).clamp(64, 512) / 4 * 4;
+        // MC from L2: half the cache for the resident A block.
+        let mc_raw = (cache.l2 / 2 / (kc * bytes)).max(mr);
+        let mc = (mc_raw / mr * mr).clamp(mr, 4096 / mr * mr);
+        // NC from L3: a quarter for the resident B block (L3 is shared).
+        let nc_raw = (cache.l3 / 4 / (kc * bytes)).max(nr);
+        let nc = (nc_raw / nr * nr).clamp(nr, 8192 / nr * nr);
+        let derived = Self { mc, kc, nc, mr, nr };
+        debug_assert!(derived.is_valid(), "derived blocking invalid: {derived:?}");
+        derived
+    }
+
+    /// The process-wide blocking for element type `T`: the dispatched
+    /// kernel's tile ([`Kernel::dispatched`]) plus the detected cache
+    /// hierarchy, computed once and cached per precision.
+    pub fn dispatched<T: Element>() -> Self {
+        static F32: OnceLock<BlockSizes> = OnceLock::new();
+        static F64: OnceLock<BlockSizes> = OnceLock::new();
+        let derive = || {
+            let kern = Kernel::<T>::dispatched();
+            Self::for_tile(kern.mr, kern.nr, T::BYTES, CacheInfo::detected())
+        };
+        match T::BYTES {
+            4 => *F32.get_or_init(derive),
+            _ => *F64.get_or_init(derive),
+        }
+    }
+
+    /// Blocking for element type `T` under an explicit ISA (tests and
+    /// the `GemmCall` ISA override use this; serving paths use
+    /// [`BlockSizes::dispatched`]).
+    pub fn for_isa<T: Element>(isa: KernelIsa) -> Self {
+        let kern = Kernel::<T>::for_isa(isa);
+        Self::for_tile(kern.mr, kern.nr, T::BYTES, CacheInfo::detected())
+    }
+
+    /// Re-target these cache blocks at a different register tile: sets
+    /// `mr`/`nr` and snaps `mc`/`nc` down to tile multiples (never below
+    /// one tile). Cache-derived `kc` is tile-independent and kept.
+    pub fn with_tile(mut self, mr: usize, nr: usize) -> Self {
+        let (mr, nr) = (mr.max(1), nr.max(1));
+        self.mr = mr;
+        self.nr = nr;
+        self.mc = (self.mc / mr * mr).max(mr);
+        self.nc = (self.nc / nr * nr).max(nr);
+        self.kc = self.kc.max(1);
+        self
+    }
+
     /// Clamp the cache blocks to the problem size so tiny problems do not
     /// allocate oversized packing buffers.
+    ///
+    /// Rounding follows the blocking's own (dispatched) `mr`/`nr`, so the
+    /// micro-kernel still sees whole tiles after clamping, and degenerate
+    /// dimensions (`m`, `n` or `k` of 0) still produce valid, non-empty
+    /// panel geometry — the drivers early-out before packing, but the
+    /// workspace sizing math must never see a zero block.
     pub fn clamped(mut self, m: usize, n: usize, k: usize) -> Self {
-        // Keep MR/NR multiples where possible so the micro-kernel still
-        // sees full tiles after clamping.
         let round_up = |v: usize, q: usize| v.div_ceil(q.max(1)) * q.max(1);
         self.mc = self.mc.min(round_up(m.max(1), self.mr));
         self.nc = self.nc.min(round_up(n.max(1), self.nr));
@@ -68,11 +161,98 @@ impl BlockSizes {
     }
 }
 
-/// Micro-kernel tile rows. 8×8 accumulators fit comfortably in 16 vector
-/// registers for f32 AVX2 and autovectorise cleanly for f64 too.
+/// Scalar micro-kernel tile rows (the dispatch layer's always-available
+/// reference tile; SIMD kernels carry their own `mr`/`nr`).
 pub const MR: usize = 8;
-/// Micro-kernel tile columns.
+/// Scalar micro-kernel tile columns.
 pub const NR: usize = 8;
+
+/// Data-cache sizes (bytes) of the core the process starts on, as probed
+/// from the OS. Feeds the `MC`/`KC`/`NC` derivation in
+/// [`BlockSizes::for_tile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheInfo {
+    /// L1 data cache size.
+    pub l1d: usize,
+    /// L2 (unified) cache size.
+    pub l2: usize,
+    /// L3 (last-level) cache size. Falls back to `l2` on parts without
+    /// an L3 so the `NC` derivation stays meaningful.
+    pub l3: usize,
+}
+
+impl CacheInfo {
+    /// Probe the host's cache hierarchy. Linux: parses
+    /// `/sys/devices/system/cpu/cpu0/cache/index*/{level,type,size}`.
+    /// Returns `None` when the probe is unsupported or yields nonsense
+    /// (callers then fall back to the shipped constants).
+    pub fn detect() -> Option<CacheInfo> {
+        Self::from_sysfs(std::path::Path::new("/sys/devices/system/cpu/cpu0/cache"))
+    }
+
+    /// The process-wide probe result, computed once.
+    pub fn detected() -> Option<&'static CacheInfo> {
+        static DETECTED: OnceLock<Option<CacheInfo>> = OnceLock::new();
+        DETECTED.get_or_init(CacheInfo::detect).as_ref()
+    }
+
+    /// Parse a sysfs-style cache directory (`index*/level,type,size`).
+    /// Split out from [`CacheInfo::detect`] so tests can exercise the
+    /// parser against a fixture tree.
+    pub fn from_sysfs(dir: &std::path::Path) -> Option<CacheInfo> {
+        let mut l1d = 0usize;
+        let mut l2 = 0usize;
+        let mut l3 = 0usize;
+        for entry in std::fs::read_dir(dir).ok()? {
+            // One unreadable or malformed index directory must not abort
+            // the probe — skip it and keep whatever the rest describe.
+            let Some(path) = entry.ok().map(|e| e.path()) else {
+                continue;
+            };
+            if !path.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("index")) {
+                continue;
+            }
+            let read = |leaf: &str| -> Option<String> {
+                Some(std::fs::read_to_string(path.join(leaf)).ok()?.trim().to_string())
+            };
+            let Some(level) = read("level").and_then(|l| l.parse::<u32>().ok()) else {
+                continue;
+            };
+            let Some(ty) = read("type") else {
+                continue;
+            };
+            let Some(size) = read("size").and_then(|s| parse_cache_size(&s)) else {
+                continue;
+            };
+            match (level, ty.as_str()) {
+                (1, "Data") => l1d = l1d.max(size),
+                (2, "Unified" | "Data") => l2 = l2.max(size),
+                (3, "Unified" | "Data") => l3 = l3.max(size),
+                _ => {}
+            }
+        }
+        // Sanity: require L1d and L2; tolerate missing L3 (some parts
+        // stop at L2) by reusing L2 for the NC derivation.
+        if l1d == 0 || l2 == 0 || l1d > l2 {
+            return None;
+        }
+        Some(CacheInfo { l1d, l2, l3: if l3 == 0 { l2 } else { l3 } })
+    }
+}
+
+/// Parse a sysfs cache size string (`"48K"`, `"2048K"`, `"8M"`, plain
+/// bytes) into bytes.
+fn parse_cache_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' | b'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    let n: usize = digits.trim().parse().ok()?;
+    (n > 0).then_some(n * mult)
+}
 
 #[cfg(test)]
 mod tests {
@@ -104,5 +284,124 @@ mod tests {
     fn element_size_dispatch() {
         assert_eq!(BlockSizes::for_element_bytes(4), BlockSizes::for_f32());
         assert_eq!(BlockSizes::for_element_bytes(8), BlockSizes::for_f64());
+    }
+
+    #[test]
+    fn dispatched_blocks_match_dispatched_kernel_tile() {
+        let k32 = Kernel::<f32>::dispatched();
+        let b32 = BlockSizes::dispatched::<f32>();
+        assert_eq!((b32.mr, b32.nr), (k32.mr, k32.nr));
+        assert!(b32.is_valid());
+        let k64 = Kernel::<f64>::dispatched();
+        let b64 = BlockSizes::dispatched::<f64>();
+        assert_eq!((b64.mr, b64.nr), (k64.mr, k64.nr));
+        assert!(b64.is_valid());
+    }
+
+    #[test]
+    fn derivation_without_probe_snaps_constants_to_tile() {
+        // A 6×16 tile against the f32 fallback constants: mc 128 → 126,
+        // nc 4096 stays (multiple of 16), kc unchanged.
+        let b = BlockSizes::for_tile(6, 16, 4, None);
+        assert_eq!(b, BlockSizes { mc: 126, kc: 384, nc: 4096, mr: 6, nr: 16 });
+        assert!(b.is_valid());
+        // The scalar tile reproduces the constants exactly.
+        assert_eq!(BlockSizes::for_tile(MR, NR, 4, None), BlockSizes::for_f32());
+        assert_eq!(BlockSizes::for_tile(MR, NR, 8, None), BlockSizes::for_f64());
+    }
+
+    #[test]
+    fn derivation_scales_with_cache_sizes() {
+        let small = CacheInfo { l1d: 32 * 1024, l2: 256 * 1024, l3: 4 << 20 };
+        let big = CacheInfo { l1d: 64 * 1024, l2: 2 << 20, l3: 64 << 20 };
+        for (mr, nr, bytes) in [(6usize, 16usize, 4usize), (6, 8, 8), (8, 8, 4)] {
+            let bs = BlockSizes::for_tile(mr, nr, bytes, Some(&small));
+            let bb = BlockSizes::for_tile(mr, nr, bytes, Some(&big));
+            assert!(bs.is_valid(), "{bs:?}");
+            assert!(bb.is_valid(), "{bb:?}");
+            assert!(bb.kc >= bs.kc, "bigger L1 must not shrink KC: {bs:?} vs {bb:?}");
+            assert!(bb.mc >= bs.mc, "bigger L2 must not shrink MC: {bs:?} vs {bb:?}");
+            assert!(bb.nc >= bs.nc, "bigger L3 must not shrink NC: {bs:?} vs {bb:?}");
+            // The packed working sets actually respect the cache budget.
+            assert!(bs.kc * nr * bytes <= small.l1d, "KC strip exceeds L1d: {bs:?}");
+            assert!(bs.mc * bs.kc * bytes <= small.l2, "MC block exceeds L2: {bs:?}");
+        }
+    }
+
+    #[test]
+    fn with_tile_snaps_and_never_undershoots() {
+        let b = BlockSizes::for_f64().with_tile(6, 8);
+        assert_eq!((b.mr, b.nr), (6, 8));
+        assert!(b.is_valid());
+        // A pathological tiny block still yields one whole tile.
+        let t = BlockSizes { mc: 2, kc: 1, nc: 3, mr: 8, nr: 8 }.with_tile(6, 16);
+        assert_eq!((t.mc, t.nc), (6, 16));
+        assert!(t.is_valid());
+    }
+
+    #[test]
+    fn clamped_rounds_to_runtime_tile_and_survives_degenerate_k() {
+        // Regression (dispatch era): clamping must round to the
+        // *dispatched* kernel's tile, not the scalar constants, and
+        // k == 0 must still produce valid panel geometry.
+        for (mr, nr) in [(6usize, 16usize), (6, 8), (8, 8)] {
+            let blocks = BlockSizes::for_tile(mr, nr, 4, None);
+            let c = blocks.clamped(mr + 1, nr + 1, 0);
+            assert!(c.is_valid(), "degenerate k: {c:?}");
+            assert_eq!(c.kc, 1, "k == 0 must clamp KC to one, not zero");
+            assert_eq!(c.mc, 2 * mr, "mc must round up to the runtime tile: {c:?}");
+            assert_eq!(c.nc, 2 * nr, "nc must round up to the runtime tile: {c:?}");
+            // And the packing workspace derived from it is non-empty.
+            let (a_len, b_len) = crate::workspace::pack_buffer_lens(&c);
+            assert!(a_len > 0 && b_len > 0);
+            // All-degenerate problems stay valid too.
+            assert!(blocks.clamped(0, 0, 0).is_valid());
+        }
+    }
+
+    #[test]
+    fn cache_size_parsing() {
+        assert_eq!(parse_cache_size("48K"), Some(48 * 1024));
+        assert_eq!(parse_cache_size("2048K"), Some(2048 * 1024));
+        assert_eq!(parse_cache_size("8M"), Some(8 << 20));
+        assert_eq!(parse_cache_size("266240K"), Some(266240 * 1024));
+        assert_eq!(parse_cache_size("512"), Some(512));
+        assert_eq!(parse_cache_size(""), None);
+        assert_eq!(parse_cache_size("0K"), None);
+        assert_eq!(parse_cache_size("fastK"), None);
+    }
+
+    #[test]
+    fn sysfs_probe_on_linux_hosts() {
+        // On Linux with sysfs the probe should produce an ordered
+        // hierarchy; elsewhere `None` is the documented answer.
+        if let Some(info) = CacheInfo::detect() {
+            assert!(info.l1d >= 4 * 1024, "{info:?}");
+            assert!(info.l1d <= info.l2, "{info:?}");
+            assert!(info.l2 <= info.l3, "{info:?}");
+        }
+    }
+
+    #[test]
+    fn sysfs_parser_reads_fixture_tree() {
+        let dir = std::env::temp_dir().join(format!("adsala-cache-fixture-{}", std::process::id()));
+        let index = |name: &str, level: &str, ty: &str, size: &str| {
+            let d = dir.join(name);
+            std::fs::create_dir_all(&d).unwrap();
+            std::fs::write(d.join("level"), level).unwrap();
+            std::fs::write(d.join("type"), ty).unwrap();
+            std::fs::write(d.join("size"), size).unwrap();
+        };
+        index("index0", "1", "Data", "48K\n");
+        index("index1", "1", "Instruction", "32K\n");
+        index("index2", "2", "Unified", "2048K\n");
+        index("index3", "3", "Unified", "16M\n");
+        let info = CacheInfo::from_sysfs(&dir).expect("fixture tree must parse");
+        assert_eq!(
+            info,
+            CacheInfo { l1d: 48 * 1024, l2: 2048 * 1024, l3: 16 << 20 },
+            "instruction caches must be ignored"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

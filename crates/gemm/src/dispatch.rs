@@ -502,6 +502,7 @@ impl<T: Element> OpRequest<'_, T> {
                     k: g.k,
                     threads,
                     blocks: None,
+                    isa: None,
                 };
                 gemm_with_stats_pooled(
                     pool, &call, g.alpha, g.a, g.lda, g.b, g.ldb, g.beta, g.c, g.ldc,

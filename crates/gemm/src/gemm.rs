@@ -43,7 +43,7 @@
 use std::time::Instant;
 
 use crate::blocking::BlockSizes;
-use crate::microkernel::{accumulate, merge_into_raw};
+use crate::isa::{Kernel, KernelIsa};
 use crate::pack::{pack_a, pack_b, MatView};
 use crate::pool::{Executor, ThreadPool};
 use crate::stats::{GemmStats, StatsCollector, ThreadLocalStats};
@@ -64,12 +64,20 @@ pub struct GemmCall {
     pub k: usize,
     /// Maximum worker threads (≥ 1).
     pub threads: usize,
-    /// Cache blocking override; `None` picks per-precision defaults.
+    /// Cache blocking override; `None` derives ISA- and cache-aware
+    /// blocking at dispatch time. An override's `mr`/`nr` are always
+    /// replaced by the dispatched kernel's tile (via
+    /// [`BlockSizes::with_tile`]) — only `mc`/`kc`/`nc` are honoured.
     pub blocks: Option<BlockSizes>,
+    /// Micro-kernel ISA override; `None` uses the process-wide
+    /// [`KernelIsa::dispatched`]. Unsupported requests degrade to
+    /// [`KernelIsa::Scalar`] (see [`Kernel::for_isa`]). The equivalence
+    /// tests use this to compare SIMD and scalar in one process.
+    pub isa: Option<KernelIsa>,
 }
 
 impl GemmCall {
-    /// Untransposed call with default blocking.
+    /// Untransposed call with default blocking and kernel dispatch.
     pub fn new(m: usize, n: usize, k: usize, threads: usize) -> Self {
         Self {
             trans_a: Transpose::No,
@@ -79,7 +87,14 @@ impl GemmCall {
             k,
             threads: threads.max(1),
             blocks: None,
+            isa: None,
         }
+    }
+
+    /// This call with an explicit micro-kernel ISA.
+    pub fn with_isa(mut self, isa: KernelIsa) -> Self {
+        self.isa = Some(isa);
+        self
     }
 }
 
@@ -180,14 +195,36 @@ fn drive<T: Element>(
         Transpose::Yes => MatView::row_major(b, n, k, ldb).t(),
     };
 
+    // Resolve the micro-kernel once per call (the dispatch itself is
+    // resolved once per process); everything downstream — blocking,
+    // grid choice, packing geometry, the per-tile kernel calls — flows
+    // from its register tile.
+    let kernel = match call.isa {
+        Some(isa) => Kernel::<T>::for_isa(isa),
+        None => Kernel::<T>::dispatched(),
+    };
+    let kernel_stat = (kernel.isa, kernel.mr, kernel.nr);
+
     let start = Instant::now();
     if m == 0 || n == 0 {
         // Degenerate shapes still report their (tiny) wall time, so
         // latency accounting upstream treats them like any other call.
-        return GemmStats { wall_ns: start.elapsed().as_nanos() as u64, ..GemmStats::default() };
+        return GemmStats {
+            kernel_isa: kernel.isa,
+            mr: kernel.mr,
+            nr: kernel.nr,
+            wall_ns: start.elapsed().as_nanos() as u64,
+            ..GemmStats::default()
+        };
     }
 
-    let blocks = call.blocks.unwrap_or_else(|| BlockSizes::for_element_bytes(T::BYTES));
+    let blocks = match (call.blocks, call.isa) {
+        // An explicit MC/KC/NC override keeps its cache blocks but must
+        // run at the dispatched kernel's register tile.
+        (Some(b), _) => b.with_tile(kernel.mr, kernel.nr),
+        (None, None) => BlockSizes::dispatched::<T>(),
+        (None, Some(isa)) => BlockSizes::for_isa::<T>(isa),
+    };
     debug_assert!(blocks.is_valid(), "invalid block sizes {blocks:?}");
     let blocks = blocks.clamped(m, n, k);
     let grid = ThreadGrid::choose(call.threads, m, n, blocks.mr, blocks.nr);
@@ -201,6 +238,7 @@ fn drive<T: Element>(
             // SAFETY: single worker owns the whole of C.
             unsafe {
                 subproblem(
+                    &kernel,
                     &a_view,
                     &b_view,
                     c.as_mut_ptr(),
@@ -229,7 +267,7 @@ fn drive<T: Element>(
         };
         if let Some((pool, _reservation)) = gang {
             run_cooperative(
-                pool, &grid, m, n, k, &a_view, &b_view, c_ptr, ldc, alpha, beta, &blocks,
+                pool, &kernel, &grid, m, n, k, &a_view, &b_view, c_ptr, ldc, alpha, beta, &blocks,
                 &collector,
             );
         } else {
@@ -255,6 +293,7 @@ fn drive<T: Element>(
                             // outlives the executor's blocking run.
                             unsafe {
                                 subproblem(
+                                    &kernel,
                                     &a_sub,
                                     &b_sub,
                                     ptr.0.add(r0 * ldc + c0),
@@ -280,7 +319,7 @@ fn drive<T: Element>(
     }
 
     let wall_ns = start.elapsed().as_nanos() as u64;
-    collector.finish(grid.count(), grid.rows, grid.cols, wall_ns)
+    collector.finish(grid.count(), grid.rows, grid.cols, wall_ns, kernel_stat)
 }
 
 /// The cooperative shared-B parallel section: one shared packed-B region
@@ -290,6 +329,7 @@ fn drive<T: Element>(
 #[allow(clippy::too_many_arguments)]
 fn run_cooperative<T: Element>(
     pool: &ThreadPool,
+    kernel: &Kernel<T>,
     grid: &ThreadGrid,
     m: usize,
     n: usize,
@@ -331,6 +371,7 @@ fn run_cooperative<T: Element>(
             let a_sub = a_view.sub(r0, 0, r1 - r0, k);
             let b_sub = b_view.sub(0, c0, k, c1 - c0);
             let rows = grid.rows;
+            let kernel = *kernel;
             tasks.push(Box::new(move || {
                 // A panicking member poisons its group's barrier so the
                 // rest fail fast instead of spinning forever.
@@ -352,6 +393,7 @@ fn run_cooperative<T: Element>(
                     // arena behind `b_base` outlives `scope_execute`.
                     unsafe {
                         coop_subproblem(
+                            &kernel,
                             &a_sub,
                             &b_sub,
                             c_ptr.0.add(r0 * ldc + c0),
@@ -414,6 +456,7 @@ unsafe fn scale_rows_by_beta<T: Element>(c: *mut T, ldc: usize, ms: usize, ns: u
 /// `ldc` apart must be valid for read/write and not concurrently accessed.
 #[allow(clippy::too_many_arguments)]
 unsafe fn subproblem<T: Element>(
+    kernel: &Kernel<T>,
     a: &MatView<'_, T>,
     b: &MatView<'_, T>,
     c: *mut T,
@@ -452,7 +495,8 @@ unsafe fn subproblem<T: Element>(
             stats.pack_ns += t0.elapsed().as_nanos() as u64;
 
             row_panel_sweep(
-                a, c, ldc, ms, jc, pc, ncur, kcur, alpha, beta_eff, blocks, b_buf, a_buf, stats,
+                kernel, a, c, ldc, ms, jc, pc, ncur, kcur, alpha, beta_eff, blocks, b_buf, a_buf,
+                stats,
             );
             pc += kcur;
         }
@@ -473,6 +517,7 @@ unsafe fn subproblem<T: Element>(
 /// else may touch the region while the group runs.
 #[allow(clippy::too_many_arguments)]
 unsafe fn coop_subproblem<T: Element>(
+    kernel: &Kernel<T>,
     a: &MatView<'_, T>,
     b: &MatView<'_, T>,
     c: *mut T,
@@ -523,7 +568,8 @@ unsafe fn coop_subproblem<T: Element>(
             barrier.wait();
             let b_buf = std::slice::from_raw_parts(shared_b, b_needed);
             row_panel_sweep(
-                a, c, ldc, ms, jc, pc, ncur, kcur, alpha, beta_eff, blocks, b_buf, a_buf, stats,
+                kernel, a, c, ldc, ms, jc, pc, ncur, kcur, alpha, beta_eff, blocks, b_buf, a_buf,
+                stats,
             );
             // Retire: nobody still reads the panel when the next packer
             // overwrites it.
@@ -542,9 +588,12 @@ unsafe fn coop_subproblem<T: Element>(
 /// keeps their per-tile FLOP order — and results — bitwise identical.
 ///
 /// # Safety
-/// As for [`subproblem`]; `b_buf` must hold the packed `kcur×ncur` block.
+/// As for [`subproblem`]; `b_buf` must hold the packed `kcur×ncur` block,
+/// and `blocks.mr`/`blocks.nr` must equal `kernel.mr`/`kernel.nr` (the
+/// drive entry point derives one from the other).
 #[allow(clippy::too_many_arguments)]
 unsafe fn row_panel_sweep<T: Element>(
+    kernel: &Kernel<T>,
     a: &MatView<'_, T>,
     c: *mut T,
     ldc: usize,
@@ -580,11 +629,14 @@ unsafe fn row_panel_sweep<T: Element>(
                 let i0 = ir * mr;
                 let live_m = (mcur - i0).min(mr);
                 let a_panel = &a_buf[ir * mr * kcur..(ir + 1) * mr * kcur];
-                let acc = accumulate(kcur, a_panel, b_panel);
-                // SAFETY: tile origin stays inside this worker's
-                // C region by construction of the loop bounds.
-                merge_into_raw(
-                    &acc,
+                // SAFETY: tile origin stays inside this worker's C
+                // region by construction of the loop bounds; the packed
+                // panels hold kcur·mr / kcur·nr elements (zero padded)
+                // and mr/nr are the kernel's own tile.
+                kernel.run(
+                    kcur,
+                    a_panel.as_ptr(),
+                    b_panel.as_ptr(),
                     c.add((ic + i0) * ldc + jc + j0),
                     ldc,
                     live_m,
@@ -618,7 +670,8 @@ pub fn sgemm(
     ldc: usize,
     threads: usize,
 ) {
-    let call = GemmCall { trans_a, trans_b, m, n, k, threads: threads.max(1), blocks: None };
+    let call =
+        GemmCall { trans_a, trans_b, m, n, k, threads: threads.max(1), blocks: None, isa: None };
     gemm_with_stats(&call, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
@@ -640,7 +693,8 @@ pub fn dgemm(
     ldc: usize,
     threads: usize,
 ) {
-    let call = GemmCall { trans_a, trans_b, m, n, k, threads: threads.max(1), blocks: None };
+    let call =
+        GemmCall { trans_a, trans_b, m, n, k, threads: threads.max(1), blocks: None, isa: None };
     gemm_with_stats(&call, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
@@ -687,7 +741,7 @@ mod tests {
         let mut c = fill(m * n.max(1), 3);
         let mut c_ref = c.clone();
 
-        let call = GemmCall { trans_a: ta, trans_b: tb, m, n, k, threads, blocks: None };
+        let call = GemmCall { trans_a: ta, trans_b: tb, m, n, k, threads, blocks: None, isa: None };
         gemm_with_stats(&call, alpha, &a, ac.max(1), &b, bc.max(1), beta, &mut c, n.max(1));
         naive_gemm(
             ta,
@@ -905,8 +959,16 @@ mod tests {
                     let b = fill(br * bc, 42);
                     let mut c_scoped = fill(m * n, 43);
                     let mut c_pooled = c_scoped.clone();
-                    let call =
-                        GemmCall { trans_a: ta, trans_b: tb, m, n, k, threads, blocks: None };
+                    let call = GemmCall {
+                        trans_a: ta,
+                        trans_b: tb,
+                        m,
+                        n,
+                        k,
+                        threads,
+                        blocks: None,
+                        isa: None,
+                    };
                     let s1 = gemm_with_stats(&call, 1.3, &a, ac, &b, bc, 0.6, &mut c_scoped, n);
                     let s2 = gemm_with_stats_pooled(
                         &pool,

@@ -7,11 +7,17 @@
 //! different response curve from GEMM, which is exactly why per-routine
 //! ML thread selection is interesting.
 
+use crate::isa::KernelIsa;
 use crate::pool::Executor;
 use crate::stats::{GemmStats, StatsCollector, ThreadLocalStats};
 use crate::threading::SendMutPtr;
 use crate::Element;
 use std::time::Instant;
+
+/// GEMV streams rows through plain (auto-vectorised) dot products — there
+/// is no register-tile micro-kernel to dispatch, so its stats report the
+/// scalar ISA at a degenerate `1×1` tile.
+const GEMV_KERNEL: (KernelIsa, usize, usize) = (KernelIsa::Scalar, 1, 1);
 
 /// `y ← α·A·x + β·y` for row-major `A` (`m×n`, row stride `lda`) on up to
 /// `threads` worker threads (row-partitioned).
@@ -81,7 +87,13 @@ fn drive<T: Element>(
     if m == 0 {
         // Degenerate shapes still report their wall time (see the GEMM
         // driver's identical early out).
-        return GemmStats { wall_ns: start.elapsed().as_nanos() as u64, ..GemmStats::default() };
+        return GemmStats {
+            kernel_isa: GEMV_KERNEL.0,
+            mr: GEMV_KERNEL.1,
+            nr: GEMV_KERNEL.2,
+            wall_ns: start.elapsed().as_nanos() as u64,
+            ..GemmStats::default()
+        };
     }
     // Never exceed one row per thread: the kernel is bandwidth-bound.
     let threads = threads.max(1).min(m);
@@ -113,7 +125,7 @@ fn drive<T: Element>(
         exec.run(tasks);
     }
     let wall_ns = start.elapsed().as_nanos() as u64;
-    collector.finish(threads, threads, 1, wall_ns)
+    collector.finish(threads, threads, 1, wall_ns, GEMV_KERNEL)
 }
 
 /// Dot-product rows `[r0, r1)` into `y`. `y` may be a raw shared pointer;

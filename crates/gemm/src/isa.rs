@@ -1,0 +1,951 @@
+//! Runtime kernel dispatch: architecture-aware SIMD micro-kernels.
+//!
+//! The paper's speedups are measured against vendor BLAS kernels running
+//! near machine peak; a scalar reference kernel would put every absolute
+//! latency an ML router trains on an order of magnitude off the hardware
+//! roofline. This module closes that gap the way vendor libraries do —
+//! one hand-written register-tile micro-kernel per instruction set,
+//! selected **once per process** by runtime CPU feature detection:
+//!
+//! * [`KernelIsa::Avx2Fma`] — x86-64 with AVX2 + FMA: 256-bit register
+//!   tiles, `6×16` for `f32` and `6×8` for `f64` (12 accumulator vectors,
+//!   two `B` vectors and one broadcast in flight — 15 of the 16 `ymm`
+//!   registers), built on `_mm256_fmadd_ps/pd`.
+//! * [`KernelIsa::Neon`] — AArch64 NEON (baseline on that architecture):
+//!   128-bit tiles, `6×8` for `f32` and `6×4` for `f64`.
+//! * [`KernelIsa::Scalar`] — the portable reference kernel
+//!   ([`crate::microkernel`]), always available, and selectable on any
+//!   host via the `ADSALA_FORCE_SCALAR` environment variable (any value
+//!   other than empty or `0`). Its arithmetic is bitwise-identical to the
+//!   pre-dispatch implementation.
+//!
+//! A [`Kernel`] is a pair of function pointers behind the same contract
+//! the scalar [`crate::microkernel::accumulate`] /
+//! [`crate::microkernel::merge_into_raw`] pair established: panels are
+//! packed zero-padded to the full `MR`/`NR` tile, the accumulator always
+//! computes the full register tile, and only the write-back is masked to
+//! the `live_m × live_n` region — with the same β = 0 (no read of `C`)
+//! and α = 1 specialisations.
+//!
+//! SIMD and FMA change floating-point **rounding** relative to the scalar
+//! path (vector lanes partition the sum differently, FMA skips an
+//! intermediate rounding), so dispatched results are ULP-close but not
+//! bitwise equal to scalar results; the scalar path itself is unchanged.
+
+use std::sync::OnceLock;
+
+use crate::blocking::{MR, NR};
+use crate::microkernel::{accumulate, merge_into_raw};
+use crate::Element;
+
+/// Upper bound on `mr·nr` across every kernel in this module; callers
+/// that stage a register tile in memory (the SYRK triangle merge, the
+/// SIMD edge write-back) can use a fixed-size buffer of this many
+/// elements.
+pub const MAX_TILE_ELEMS: usize = 128;
+
+/// The instruction set a micro-kernel is written for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelIsa {
+    /// x86-64 AVX2 + FMA, 256-bit registers.
+    Avx2Fma,
+    /// AArch64 NEON, 128-bit registers.
+    Neon,
+    /// Portable scalar reference path (always available).
+    #[default]
+    Scalar,
+}
+
+impl KernelIsa {
+    /// Lower-case ISA name (stable; used in stats lines and benches).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelIsa::Avx2Fma => "avx2fma",
+            KernelIsa::Neon => "neon",
+            KernelIsa::Scalar => "scalar",
+        }
+    }
+
+    /// Detect the best ISA supported by the running CPU, ignoring the
+    /// `ADSALA_FORCE_SCALAR` override.
+    pub fn detect() -> KernelIsa {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return KernelIsa::Avx2Fma;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            // NEON is part of the AArch64 baseline.
+            return KernelIsa::Neon;
+        }
+        #[allow(unreachable_code)]
+        KernelIsa::Scalar
+    }
+
+    /// `true` if kernels for this ISA exist in this build *and* the
+    /// running CPU can execute them.
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelIsa::Scalar => true,
+            KernelIsa::Avx2Fma | KernelIsa::Neon => Self::detect() == self,
+        }
+    }
+
+    /// The ISA every default kernel dispatches to, resolved once per
+    /// process: [`KernelIsa::detect`] unless `ADSALA_FORCE_SCALAR` is set
+    /// to a non-empty value other than `0`.
+    pub fn dispatched() -> KernelIsa {
+        static DISPATCHED: OnceLock<KernelIsa> = OnceLock::new();
+        *DISPATCHED.get_or_init(|| {
+            if force_scalar_requested() {
+                KernelIsa::Scalar
+            } else {
+                KernelIsa::detect()
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for KernelIsa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// `true` if the `ADSALA_FORCE_SCALAR` override is active in this
+/// process's environment.
+pub fn force_scalar_requested() -> bool {
+    std::env::var("ADSALA_FORCE_SCALAR").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+/// Fused micro-kernel: multiply one packed `mr×kc` A panel by one packed
+/// `kc×nr` B panel and merge the tile into `C` as
+/// `C ← α·tile + β·C` over the `live_m × live_n` live region.
+///
+/// Safety contract (shared by every implementation):
+/// * `a_panel` points at `kc·mr` elements, `b_panel` at `kc·nr`,
+/// * `c` points at the tile origin; rows `i < live_m` of `live_n`
+///   elements spaced `ldc` apart are valid for writes (and for reads
+///   unless β = 0), with no concurrent access,
+/// * `live_m ≤ mr`, `live_n ≤ nr`,
+/// * the CPU supports the kernel's ISA (guaranteed by dispatch).
+#[allow(clippy::type_complexity)]
+pub type MicroFn<T> = unsafe fn(
+    kc: usize,
+    a_panel: *const T,
+    b_panel: *const T,
+    c: *mut T,
+    ldc: usize,
+    live_m: usize,
+    live_n: usize,
+    alpha: T,
+    beta: T,
+);
+
+/// Accumulate-only micro-kernel: compute the full `mr×nr` tile of
+/// `A_panel · B_panel` into `tile` (row-major, `nr` stride), overwriting
+/// it. Used by consumers that need a custom masked merge (SYRK's
+/// triangle). Same safety contract as [`MicroFn`] minus the `C` clauses;
+/// `tile` must hold `mr·nr` elements.
+pub type AccFn<T> = unsafe fn(kc: usize, a_panel: *const T, b_panel: *const T, tile: *mut T);
+
+/// One dispatched micro-kernel: the register-tile geometry plus the two
+/// entry points every driver consumes.
+pub struct Kernel<T> {
+    /// The instruction set the kernel is written for.
+    pub isa: KernelIsa,
+    /// Register-tile rows.
+    pub mr: usize,
+    /// Register-tile columns.
+    pub nr: usize,
+    run: MicroFn<T>,
+    acc: AccFn<T>,
+}
+
+// Derived Clone/Copy would put `T: Clone` bounds on the impls; the struct
+// is plain fn pointers + scalars, so implement them unconditionally.
+impl<T> Clone for Kernel<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Kernel<T> {}
+
+impl<T> std::fmt::Debug for Kernel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Kernel({} {}x{})", self.isa, self.mr, self.nr)
+    }
+}
+
+impl<T: Element> Kernel<T> {
+    /// The process-wide dispatched kernel for this element type.
+    pub fn dispatched() -> Kernel<T> {
+        T::kernel(KernelIsa::dispatched())
+    }
+
+    /// The kernel for `isa`, falling back to [`KernelIsa::Scalar`] when
+    /// the requested ISA is not executable on this host/build (so an
+    /// artefact recorded on another machine can never dispatch an
+    /// illegal-instruction path).
+    pub fn for_isa(isa: KernelIsa) -> Kernel<T> {
+        T::kernel(if isa.is_supported() { isa } else { KernelIsa::Scalar })
+    }
+
+    /// Run the fused multiply + merge micro-kernel.
+    ///
+    /// # Safety
+    /// See [`MicroFn`]'s contract: packed panels of `kc·mr` / `kc·nr`
+    /// elements, a valid non-aliased `live_m × live_n` C tile at stride
+    /// `ldc` (not read when β = 0), `live_m ≤ mr`, `live_n ≤ nr`.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub unsafe fn run(
+        &self,
+        kc: usize,
+        a_panel: *const T,
+        b_panel: *const T,
+        c: *mut T,
+        ldc: usize,
+        live_m: usize,
+        live_n: usize,
+        alpha: T,
+        beta: T,
+    ) {
+        (self.run)(kc, a_panel, b_panel, c, ldc, live_m, live_n, alpha, beta)
+    }
+
+    /// Compute the full `mr×nr` accumulator tile into `tile` (row-major),
+    /// overwriting it.
+    ///
+    /// # Safety
+    /// Packed panels of `kc·mr` / `kc·nr` elements; `tile` must hold
+    /// `mr·nr` elements.
+    #[inline(always)]
+    pub unsafe fn acc(&self, kc: usize, a_panel: *const T, b_panel: *const T, tile: *mut T) {
+        (self.acc)(kc, a_panel, b_panel, tile)
+    }
+}
+
+/// Kernel table for `f32`.
+pub fn kernel_f32(isa: KernelIsa) -> Kernel<f32> {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        KernelIsa::Avx2Fma => {
+            Kernel { isa, mr: x86::MR_F32, nr: x86::NR_F32, run: x86::run_f32, acc: x86::acc_f32 }
+        }
+        #[cfg(target_arch = "aarch64")]
+        KernelIsa::Neon => Kernel {
+            isa,
+            mr: neon::MR_F32,
+            nr: neon::NR_F32,
+            run: neon::run_f32,
+            acc: neon::acc_f32,
+        },
+        _ => scalar_kernel::<f32>(),
+    }
+}
+
+/// Kernel table for `f64`.
+pub fn kernel_f64(isa: KernelIsa) -> Kernel<f64> {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        KernelIsa::Avx2Fma => {
+            Kernel { isa, mr: x86::MR_F64, nr: x86::NR_F64, run: x86::run_f64, acc: x86::acc_f64 }
+        }
+        #[cfg(target_arch = "aarch64")]
+        KernelIsa::Neon => Kernel {
+            isa,
+            mr: neon::MR_F64,
+            nr: neon::NR_F64,
+            run: neon::run_f64,
+            acc: neon::acc_f64,
+        },
+        _ => scalar_kernel::<f64>(),
+    }
+}
+
+/// The always-available scalar kernel: the exact pre-dispatch
+/// `accumulate` + `merge_into_raw` pair at the historical `8×8` tile.
+fn scalar_kernel<T: Element>() -> Kernel<T> {
+    Kernel { isa: KernelIsa::Scalar, mr: MR, nr: NR, run: scalar_run::<T>, acc: scalar_acc::<T> }
+}
+
+/// Scalar fused kernel. Safety: see [`MicroFn`].
+#[allow(clippy::too_many_arguments)]
+unsafe fn scalar_run<T: Element>(
+    kc: usize,
+    a_panel: *const T,
+    b_panel: *const T,
+    c: *mut T,
+    ldc: usize,
+    live_m: usize,
+    live_n: usize,
+    alpha: T,
+    beta: T,
+) {
+    // SAFETY: the contract guarantees kc·MR / kc·NR packed elements.
+    let a_panel = std::slice::from_raw_parts(a_panel, kc * MR);
+    let b_panel = std::slice::from_raw_parts(b_panel, kc * NR);
+    let acc = accumulate(kc, a_panel, b_panel);
+    // SAFETY: forwarded from the caller's contract.
+    merge_into_raw(&acc, c, ldc, live_m, live_n, alpha, beta);
+}
+
+/// Scalar accumulate-only kernel. Safety: see [`AccFn`].
+unsafe fn scalar_acc<T: Element>(kc: usize, a_panel: *const T, b_panel: *const T, tile: *mut T) {
+    // SAFETY: the contract guarantees kc·MR / kc·NR packed elements.
+    let a_panel = std::slice::from_raw_parts(a_panel, kc * MR);
+    let b_panel = std::slice::from_raw_parts(b_panel, kc * NR);
+    let acc = accumulate(kc, a_panel, b_panel);
+    for (i, row) in acc.iter().enumerate() {
+        // SAFETY: `tile` holds mr·nr = MR·NR elements per the contract.
+        std::ptr::copy_nonoverlapping(row.as_ptr(), tile.add(i * NR), NR);
+    }
+}
+
+/// Masked scalar write-back of a row-major `mr×nr` tile staged in memory:
+/// `C ← α·tile + β·C` on the live region, with the same β = 0 (never
+/// read `C`) and α = 1 specialisations as the scalar merge.
+///
+/// # Safety
+/// `tile` holds `mr·nr` elements (`live_m·nr` actually read); `c` points
+/// at a tile whose `live_m` rows of `live_n` elements spaced `ldc` apart
+/// are valid for writes (and reads unless β = 0), with no concurrent
+/// access.
+#[allow(clippy::too_many_arguments)]
+unsafe fn merge_staged_tile<T: Element>(
+    tile: *const T,
+    nr: usize,
+    c: *mut T,
+    ldc: usize,
+    live_m: usize,
+    live_n: usize,
+    alpha: T,
+    beta: T,
+) {
+    for i in 0..live_m {
+        // SAFETY: row i is in bounds of both the staged tile and C per
+        // the function contract.
+        let src = std::slice::from_raw_parts(tile.add(i * nr), live_n);
+        let dst = std::slice::from_raw_parts_mut(c.add(i * ldc), live_n);
+        if beta == T::ZERO {
+            if alpha == T::ONE {
+                for (out, &v) in dst.iter_mut().zip(src) {
+                    *out = v + T::ZERO;
+                }
+            } else {
+                for (out, &v) in dst.iter_mut().zip(src) {
+                    *out = alpha.mul_add_e(v, T::ZERO);
+                }
+            }
+        } else if alpha == T::ONE {
+            for (out, &v) in dst.iter_mut().zip(src) {
+                *out = v + beta.mul_add_e(*out, T::ZERO);
+            }
+        } else {
+            for (out, &v) in dst.iter_mut().zip(src) {
+                *out = alpha.mul_add_e(v, beta.mul_add_e(*out, T::ZERO));
+            }
+        }
+    }
+}
+
+/// AVX2 + FMA micro-kernels (x86-64, 256-bit registers).
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::merge_staged_tile;
+    use std::arch::x86_64::*;
+
+    /// f32 register-tile rows.
+    pub const MR_F32: usize = 6;
+    /// f32 register-tile columns (two 8-lane `ymm` per row).
+    pub const NR_F32: usize = 16;
+    /// f64 register-tile rows.
+    pub const MR_F64: usize = 6;
+    /// f64 register-tile columns (two 4-lane `ymm` per row).
+    pub const NR_F64: usize = 8;
+
+    /// Accumulate the full 6×16 f32 tile: 12 accumulator vectors, two B
+    /// vectors and one broadcast live at once (15 of 16 `ymm`).
+    ///
+    /// # Safety
+    /// CPU must support AVX2+FMA; `a` points at `kc·6` packed elements,
+    /// `b` at `kc·16`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn acc_tile_f32(kc: usize, a: *const f32, b: *const f32) -> [__m256; 12] {
+        let mut acc = [_mm256_setzero_ps(); 12];
+        let mut ap = a;
+        let mut bp = b;
+        for _ in 0..kc {
+            // SAFETY: panel bounds per the function contract.
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            // Constant trip count: LLVM fully unrolls and keeps every
+            // accumulator pinned to a register.
+            for i in 0..6 {
+                let ai = _mm256_set1_ps(*ap.add(i));
+                acc[2 * i] = _mm256_fmadd_ps(ai, b0, acc[2 * i]);
+                acc[2 * i + 1] = _mm256_fmadd_ps(ai, b1, acc[2 * i + 1]);
+            }
+            ap = ap.add(MR_F32);
+            bp = bp.add(NR_F32);
+        }
+        acc
+    }
+
+    /// Fused 6×16 f32 kernel body (full-tile vector write-back, staged
+    /// scalar write-back on edge tiles).
+    ///
+    /// # Safety
+    /// CPU must support AVX2+FMA; otherwise the [`super::MicroFn`]
+    /// contract.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn run_f32_body(
+        kc: usize,
+        a_panel: *const f32,
+        b_panel: *const f32,
+        c: *mut f32,
+        ldc: usize,
+        live_m: usize,
+        live_n: usize,
+        alpha: f32,
+        beta: f32,
+    ) {
+        let acc = acc_tile_f32(kc, a_panel, b_panel);
+        if live_m == MR_F32 && live_n == NR_F32 {
+            let va = _mm256_set1_ps(alpha);
+            let vb = _mm256_set1_ps(beta);
+            for i in 0..MR_F32 {
+                // SAFETY: full-tile rows are valid per the contract.
+                let row = c.add(i * ldc);
+                let mut lo = acc[2 * i];
+                let mut hi = acc[2 * i + 1];
+                if alpha != 1.0 {
+                    lo = _mm256_mul_ps(va, lo);
+                    hi = _mm256_mul_ps(va, hi);
+                }
+                if beta != 0.0 {
+                    // β = 0 must not read C (BLAS semantics).
+                    lo = _mm256_fmadd_ps(vb, _mm256_loadu_ps(row), lo);
+                    hi = _mm256_fmadd_ps(vb, _mm256_loadu_ps(row.add(8)), hi);
+                }
+                _mm256_storeu_ps(row, lo);
+                _mm256_storeu_ps(row.add(8), hi);
+            }
+        } else {
+            let mut tile = [0.0f32; MR_F32 * NR_F32];
+            for i in 0..MR_F32 {
+                _mm256_storeu_ps(tile.as_mut_ptr().add(i * NR_F32), acc[2 * i]);
+                _mm256_storeu_ps(tile.as_mut_ptr().add(i * NR_F32 + 8), acc[2 * i + 1]);
+            }
+            // SAFETY: staged tile is fully initialised; C bounds per the
+            // caller's contract.
+            merge_staged_tile(tile.as_ptr(), NR_F32, c, ldc, live_m, live_n, alpha, beta);
+        }
+    }
+
+    /// Plain-`unsafe fn` wrapper so the kernel coerces to a function
+    /// pointer (a `#[target_feature]` fn cannot).
+    ///
+    /// # Safety
+    /// See [`super::MicroFn`]; dispatch guarantees AVX2+FMA.
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn run_f32(
+        kc: usize,
+        a_panel: *const f32,
+        b_panel: *const f32,
+        c: *mut f32,
+        ldc: usize,
+        live_m: usize,
+        live_n: usize,
+        alpha: f32,
+        beta: f32,
+    ) {
+        // SAFETY: forwarded contract; the dispatch layer only installs
+        // this pointer when AVX2+FMA are detected.
+        run_f32_body(kc, a_panel, b_panel, c, ldc, live_m, live_n, alpha, beta)
+    }
+
+    /// Accumulate-only 6×16 f32 kernel body.
+    ///
+    /// # Safety
+    /// CPU must support AVX2+FMA; `tile` holds `6·16` elements.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn acc_f32_body(kc: usize, a_panel: *const f32, b_panel: *const f32, tile: *mut f32) {
+        let acc = acc_tile_f32(kc, a_panel, b_panel);
+        for i in 0..MR_F32 {
+            // SAFETY: `tile` holds mr·nr elements per the contract.
+            _mm256_storeu_ps(tile.add(i * NR_F32), acc[2 * i]);
+            _mm256_storeu_ps(tile.add(i * NR_F32 + 8), acc[2 * i + 1]);
+        }
+    }
+
+    /// Fn-pointer wrapper for [`acc_f32_body`].
+    ///
+    /// # Safety
+    /// See [`super::AccFn`]; dispatch guarantees AVX2+FMA.
+    pub unsafe fn acc_f32(kc: usize, a_panel: *const f32, b_panel: *const f32, tile: *mut f32) {
+        // SAFETY: forwarded contract; AVX2+FMA guaranteed by dispatch.
+        acc_f32_body(kc, a_panel, b_panel, tile)
+    }
+
+    /// Accumulate the full 6×8 f64 tile (12 accumulator `ymm`).
+    ///
+    /// # Safety
+    /// CPU must support AVX2+FMA; `a` points at `kc·6` packed elements,
+    /// `b` at `kc·8`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn acc_tile_f64(kc: usize, a: *const f64, b: *const f64) -> [__m256d; 12] {
+        let mut acc = [_mm256_setzero_pd(); 12];
+        let mut ap = a;
+        let mut bp = b;
+        for _ in 0..kc {
+            // SAFETY: panel bounds per the function contract.
+            let b0 = _mm256_loadu_pd(bp);
+            let b1 = _mm256_loadu_pd(bp.add(4));
+            for i in 0..6 {
+                let ai = _mm256_set1_pd(*ap.add(i));
+                acc[2 * i] = _mm256_fmadd_pd(ai, b0, acc[2 * i]);
+                acc[2 * i + 1] = _mm256_fmadd_pd(ai, b1, acc[2 * i + 1]);
+            }
+            ap = ap.add(MR_F64);
+            bp = bp.add(NR_F64);
+        }
+        acc
+    }
+
+    /// Fused 6×8 f64 kernel body.
+    ///
+    /// # Safety
+    /// CPU must support AVX2+FMA; otherwise the [`super::MicroFn`]
+    /// contract.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn run_f64_body(
+        kc: usize,
+        a_panel: *const f64,
+        b_panel: *const f64,
+        c: *mut f64,
+        ldc: usize,
+        live_m: usize,
+        live_n: usize,
+        alpha: f64,
+        beta: f64,
+    ) {
+        let acc = acc_tile_f64(kc, a_panel, b_panel);
+        if live_m == MR_F64 && live_n == NR_F64 {
+            let va = _mm256_set1_pd(alpha);
+            let vb = _mm256_set1_pd(beta);
+            for i in 0..MR_F64 {
+                // SAFETY: full-tile rows are valid per the contract.
+                let row = c.add(i * ldc);
+                let mut lo = acc[2 * i];
+                let mut hi = acc[2 * i + 1];
+                if alpha != 1.0 {
+                    lo = _mm256_mul_pd(va, lo);
+                    hi = _mm256_mul_pd(va, hi);
+                }
+                if beta != 0.0 {
+                    // β = 0 must not read C (BLAS semantics).
+                    lo = _mm256_fmadd_pd(vb, _mm256_loadu_pd(row), lo);
+                    hi = _mm256_fmadd_pd(vb, _mm256_loadu_pd(row.add(4)), hi);
+                }
+                _mm256_storeu_pd(row, lo);
+                _mm256_storeu_pd(row.add(4), hi);
+            }
+        } else {
+            let mut tile = [0.0f64; MR_F64 * NR_F64];
+            for i in 0..MR_F64 {
+                _mm256_storeu_pd(tile.as_mut_ptr().add(i * NR_F64), acc[2 * i]);
+                _mm256_storeu_pd(tile.as_mut_ptr().add(i * NR_F64 + 4), acc[2 * i + 1]);
+            }
+            // SAFETY: staged tile fully initialised; C bounds per caller.
+            merge_staged_tile(tile.as_ptr(), NR_F64, c, ldc, live_m, live_n, alpha, beta);
+        }
+    }
+
+    /// Fn-pointer wrapper for [`run_f64_body`].
+    ///
+    /// # Safety
+    /// See [`super::MicroFn`]; dispatch guarantees AVX2+FMA.
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn run_f64(
+        kc: usize,
+        a_panel: *const f64,
+        b_panel: *const f64,
+        c: *mut f64,
+        ldc: usize,
+        live_m: usize,
+        live_n: usize,
+        alpha: f64,
+        beta: f64,
+    ) {
+        // SAFETY: forwarded contract; AVX2+FMA guaranteed by dispatch.
+        run_f64_body(kc, a_panel, b_panel, c, ldc, live_m, live_n, alpha, beta)
+    }
+
+    /// Accumulate-only 6×8 f64 kernel body.
+    ///
+    /// # Safety
+    /// CPU must support AVX2+FMA; `tile` holds `6·8` elements.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn acc_f64_body(kc: usize, a_panel: *const f64, b_panel: *const f64, tile: *mut f64) {
+        let acc = acc_tile_f64(kc, a_panel, b_panel);
+        for i in 0..MR_F64 {
+            // SAFETY: `tile` holds mr·nr elements per the contract.
+            _mm256_storeu_pd(tile.add(i * NR_F64), acc[2 * i]);
+            _mm256_storeu_pd(tile.add(i * NR_F64 + 4), acc[2 * i + 1]);
+        }
+    }
+
+    /// Fn-pointer wrapper for [`acc_f64_body`].
+    ///
+    /// # Safety
+    /// See [`super::AccFn`]; dispatch guarantees AVX2+FMA.
+    pub unsafe fn acc_f64(kc: usize, a_panel: *const f64, b_panel: *const f64, tile: *mut f64) {
+        // SAFETY: forwarded contract; AVX2+FMA guaranteed by dispatch.
+        acc_f64_body(kc, a_panel, b_panel, tile)
+    }
+}
+
+/// NEON micro-kernels (AArch64, 128-bit registers). NEON is baseline on
+/// AArch64, so no `#[target_feature]` gymnastics are needed.
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::merge_staged_tile;
+    use std::arch::aarch64::*;
+
+    /// f32 register-tile rows.
+    pub const MR_F32: usize = 6;
+    /// f32 register-tile columns (two 4-lane `v` registers per row).
+    pub const NR_F32: usize = 8;
+    /// f64 register-tile rows.
+    pub const MR_F64: usize = 6;
+    /// f64 register-tile columns (two 2-lane `v` registers per row).
+    pub const NR_F64: usize = 4;
+
+    /// Fused 6×8 f32 NEON kernel.
+    ///
+    /// # Safety
+    /// See [`super::MicroFn`].
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn run_f32(
+        kc: usize,
+        a_panel: *const f32,
+        b_panel: *const f32,
+        c: *mut f32,
+        ldc: usize,
+        live_m: usize,
+        live_n: usize,
+        alpha: f32,
+        beta: f32,
+    ) {
+        let acc = acc_tile_f32(kc, a_panel, b_panel);
+        if live_m == MR_F32 && live_n == NR_F32 {
+            for i in 0..MR_F32 {
+                // SAFETY: full-tile rows are valid per the contract.
+                let row = c.add(i * ldc);
+                let mut lo = acc[2 * i];
+                let mut hi = acc[2 * i + 1];
+                if alpha != 1.0 {
+                    lo = vmulq_n_f32(lo, alpha);
+                    hi = vmulq_n_f32(hi, alpha);
+                }
+                if beta != 0.0 {
+                    // β = 0 must not read C (BLAS semantics).
+                    lo = vfmaq_n_f32(lo, vld1q_f32(row), beta);
+                    hi = vfmaq_n_f32(hi, vld1q_f32(row.add(4)), beta);
+                }
+                vst1q_f32(row, lo);
+                vst1q_f32(row.add(4), hi);
+            }
+        } else {
+            let mut tile = [0.0f32; MR_F32 * NR_F32];
+            for i in 0..MR_F32 {
+                vst1q_f32(tile.as_mut_ptr().add(i * NR_F32), acc[2 * i]);
+                vst1q_f32(tile.as_mut_ptr().add(i * NR_F32 + 4), acc[2 * i + 1]);
+            }
+            // SAFETY: staged tile fully initialised; C bounds per caller.
+            merge_staged_tile(tile.as_ptr(), NR_F32, c, ldc, live_m, live_n, alpha, beta);
+        }
+    }
+
+    /// Accumulate the full 6×8 f32 tile (12 accumulator vectors).
+    ///
+    /// # Safety
+    /// `a` points at `kc·6` packed elements, `b` at `kc·8`.
+    unsafe fn acc_tile_f32(kc: usize, a: *const f32, b: *const f32) -> [float32x4_t; 12] {
+        let mut acc = [vdupq_n_f32(0.0); 12];
+        let mut ap = a;
+        let mut bp = b;
+        for _ in 0..kc {
+            // SAFETY: panel bounds per the function contract.
+            let b0 = vld1q_f32(bp);
+            let b1 = vld1q_f32(bp.add(4));
+            for i in 0..6 {
+                let ai = *ap.add(i);
+                acc[2 * i] = vfmaq_n_f32(acc[2 * i], b0, ai);
+                acc[2 * i + 1] = vfmaq_n_f32(acc[2 * i + 1], b1, ai);
+            }
+            ap = ap.add(MR_F32);
+            bp = bp.add(NR_F32);
+        }
+        acc
+    }
+
+    /// Accumulate-only 6×8 f32 kernel.
+    ///
+    /// # Safety
+    /// See [`super::AccFn`].
+    pub unsafe fn acc_f32(kc: usize, a_panel: *const f32, b_panel: *const f32, tile: *mut f32) {
+        let acc = acc_tile_f32(kc, a_panel, b_panel);
+        for i in 0..MR_F32 {
+            // SAFETY: `tile` holds mr·nr elements per the contract.
+            vst1q_f32(tile.add(i * NR_F32), acc[2 * i]);
+            vst1q_f32(tile.add(i * NR_F32 + 4), acc[2 * i + 1]);
+        }
+    }
+
+    /// Fused 6×4 f64 NEON kernel.
+    ///
+    /// # Safety
+    /// See [`super::MicroFn`].
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn run_f64(
+        kc: usize,
+        a_panel: *const f64,
+        b_panel: *const f64,
+        c: *mut f64,
+        ldc: usize,
+        live_m: usize,
+        live_n: usize,
+        alpha: f64,
+        beta: f64,
+    ) {
+        let acc = acc_tile_f64(kc, a_panel, b_panel);
+        if live_m == MR_F64 && live_n == NR_F64 {
+            for i in 0..MR_F64 {
+                // SAFETY: full-tile rows are valid per the contract.
+                let row = c.add(i * ldc);
+                let mut lo = acc[2 * i];
+                let mut hi = acc[2 * i + 1];
+                if alpha != 1.0 {
+                    lo = vmulq_n_f64(lo, alpha);
+                    hi = vmulq_n_f64(hi, alpha);
+                }
+                if beta != 0.0 {
+                    // β = 0 must not read C (BLAS semantics).
+                    lo = vfmaq_n_f64(lo, vld1q_f64(row), beta);
+                    hi = vfmaq_n_f64(hi, vld1q_f64(row.add(2)), beta);
+                }
+                vst1q_f64(row, lo);
+                vst1q_f64(row.add(2), hi);
+            }
+        } else {
+            let mut tile = [0.0f64; MR_F64 * NR_F64];
+            for i in 0..MR_F64 {
+                vst1q_f64(tile.as_mut_ptr().add(i * NR_F64), acc[2 * i]);
+                vst1q_f64(tile.as_mut_ptr().add(i * NR_F64 + 2), acc[2 * i + 1]);
+            }
+            // SAFETY: staged tile fully initialised; C bounds per caller.
+            merge_staged_tile(tile.as_ptr(), NR_F64, c, ldc, live_m, live_n, alpha, beta);
+        }
+    }
+
+    /// Accumulate the full 6×4 f64 tile (12 accumulator vectors).
+    ///
+    /// # Safety
+    /// `a` points at `kc·6` packed elements, `b` at `kc·4`.
+    unsafe fn acc_tile_f64(kc: usize, a: *const f64, b: *const f64) -> [float64x2_t; 12] {
+        let mut acc = [vdupq_n_f64(0.0); 12];
+        let mut ap = a;
+        let mut bp = b;
+        for _ in 0..kc {
+            // SAFETY: panel bounds per the function contract.
+            let b0 = vld1q_f64(bp);
+            let b1 = vld1q_f64(bp.add(2));
+            for i in 0..6 {
+                let ai = *ap.add(i);
+                acc[2 * i] = vfmaq_n_f64(acc[2 * i], b0, ai);
+                acc[2 * i + 1] = vfmaq_n_f64(acc[2 * i + 1], b1, ai);
+            }
+            ap = ap.add(MR_F64);
+            bp = bp.add(NR_F64);
+        }
+        acc
+    }
+
+    /// Accumulate-only 6×4 f64 kernel.
+    ///
+    /// # Safety
+    /// See [`super::AccFn`].
+    pub unsafe fn acc_f64(kc: usize, a_panel: *const f64, b_panel: *const f64, tile: *mut f64) {
+        let acc = acc_tile_f64(kc, a_panel, b_panel);
+        for i in 0..MR_F64 {
+            // SAFETY: `tile` holds mr·nr elements per the contract.
+            vst1q_f64(tile.add(i * NR_F64), acc[2 * i]);
+            vst1q_f64(tile.add(i * NR_F64 + 2), acc[2 * i + 1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pack a dense row-major `mr×kc` A block / `kc×nr` B block the way
+    /// the real pack routines would (one full strip each).
+    fn pack_dense<T: Element>(
+        a: &[T],
+        b: &[T],
+        kc: usize,
+        mr: usize,
+        nr: usize,
+    ) -> (Vec<T>, Vec<T>) {
+        let mut ap = vec![T::ZERO; kc * mr];
+        for l in 0..kc {
+            for i in 0..mr {
+                ap[l * mr + i] = a[i * kc + l];
+            }
+        }
+        let mut bp = vec![T::ZERO; kc * nr];
+        bp.copy_from_slice(&b[..kc * nr]);
+        (ap, bp)
+    }
+
+    fn dense_f64(n: usize, scale: f64) -> Vec<f64> {
+        (0..n).map(|i| ((i % 17) as f64 - 8.0) * scale).collect()
+    }
+
+    /// Every kernel (whatever the host dispatches plus scalar) must agree
+    /// with a naive tile product within an accumulation-order bound.
+    #[test]
+    fn kernels_match_naive_tile_product() {
+        for isa in [KernelIsa::dispatched(), KernelIsa::Scalar] {
+            let kern = Kernel::<f64>::for_isa(isa);
+            let (mr, nr) = (kern.mr, kern.nr);
+            for kc in [0usize, 1, 3, 7, 64] {
+                let a = dense_f64(mr * kc.max(1), 0.37);
+                let b = dense_f64(kc.max(1) * nr, 0.53);
+                let (ap, bp) = pack_dense(&a, &b, kc, mr, nr);
+                let mut c = vec![0.0f64; mr * nr];
+                // SAFETY: packed panels and C tile sized per contract.
+                unsafe {
+                    kern.run(kc, ap.as_ptr(), bp.as_ptr(), c.as_mut_ptr(), nr, mr, nr, 1.0, 0.0);
+                }
+                for i in 0..mr {
+                    for j in 0..nr {
+                        let mut want = 0.0;
+                        for l in 0..kc {
+                            want += a[i * kc + l] * b[l * nr + j];
+                        }
+                        let got = c[i * nr + j];
+                        assert!(
+                            (got - want).abs() <= 1e-10 * (1.0 + want.abs()),
+                            "{isa:?} kc={kc} ({i},{j}): {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_beta_zero_never_reads_c() {
+        let kern = Kernel::<f32>::dispatched();
+        let (mr, nr) = (kern.mr, kern.nr);
+        let kc = 5;
+        let a = vec![1.0f32; mr * kc];
+        let b = vec![2.0f32; kc * nr];
+        let (ap, bp) = pack_dense(&a, &b, kc, mr, nr);
+        // Full tile: NaN in C must be fully overwritten.
+        let mut c = vec![f32::NAN; mr * nr];
+        // SAFETY: packed panels and C tile sized per contract.
+        unsafe { kern.run(kc, ap.as_ptr(), bp.as_ptr(), c.as_mut_ptr(), nr, mr, nr, 0.5, 0.0) };
+        for &v in &c {
+            assert_eq!(v, 0.5 * kc as f32 * 2.0);
+        }
+        // Edge tile: live lanes overwritten, dead lanes untouched.
+        let mut c = vec![f32::NAN; mr * nr];
+        let (lm, ln) = (mr - 1, nr - 3);
+        // SAFETY: live_m/live_n within the allocated tile.
+        unsafe { kern.run(kc, ap.as_ptr(), bp.as_ptr(), c.as_mut_ptr(), nr, lm, ln, 1.0, 0.0) };
+        for i in 0..mr {
+            for j in 0..nr {
+                let v = c[i * nr + j];
+                if i < lm && j < ln {
+                    assert_eq!(v, kc as f32 * 2.0, "({i},{j})");
+                } else {
+                    assert!(v.is_nan(), "dead lane ({i},{j}) was written");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acc_matches_run_with_identity_merge() {
+        for isa in [KernelIsa::dispatched(), KernelIsa::Scalar] {
+            let kern = Kernel::<f64>::for_isa(isa);
+            let (mr, nr) = (kern.mr, kern.nr);
+            assert!(mr * nr <= MAX_TILE_ELEMS);
+            let kc = 9;
+            let a = dense_f64(mr * kc, 1.1);
+            let b = dense_f64(kc * nr, -0.7);
+            let (ap, bp) = pack_dense(&a, &b, kc, mr, nr);
+            let mut via_run = vec![0.0f64; mr * nr];
+            let mut via_acc = vec![0.0f64; mr * nr];
+            // SAFETY: packed panels and tiles sized per contract.
+            unsafe {
+                kern.run(kc, ap.as_ptr(), bp.as_ptr(), via_run.as_mut_ptr(), nr, mr, nr, 1.0, 0.0);
+                kern.acc(kc, ap.as_ptr(), bp.as_ptr(), via_acc.as_mut_ptr());
+            }
+            // α = 1, β = 0 merge adds `+ 0.0`, which is an exact no-op
+            // for these finite values: the two paths agree bitwise.
+            assert_eq!(via_run, via_acc, "{isa:?}");
+        }
+    }
+
+    #[test]
+    fn force_scalar_env_parsing() {
+        // Can't mutate the process env safely in a threaded test run;
+        // just pin the parse rule on the current (unset) state.
+        if std::env::var("ADSALA_FORCE_SCALAR").is_err() {
+            assert!(!force_scalar_requested());
+        } else if force_scalar_requested() {
+            // When CI exports the override the dispatch must honour it.
+            // (The converse does not hold: a host may dispatch Scalar by
+            // detection even with the override unset or set to "0".)
+            assert_eq!(KernelIsa::dispatched(), KernelIsa::Scalar);
+        }
+    }
+
+    #[test]
+    fn detect_is_stable_and_supported() {
+        let isa = KernelIsa::detect();
+        assert!(isa.is_supported());
+        assert_eq!(isa, KernelIsa::detect());
+        assert!(KernelIsa::Scalar.is_supported());
+    }
+
+    #[test]
+    fn for_isa_falls_back_to_scalar_when_unsupported() {
+        // Whichever SIMD ISA the host does NOT have must degrade to the
+        // scalar kernel rather than installing an illegal path.
+        for isa in [KernelIsa::Avx2Fma, KernelIsa::Neon] {
+            let k32 = Kernel::<f32>::for_isa(isa);
+            let k64 = Kernel::<f64>::for_isa(isa);
+            if isa.is_supported() {
+                assert_eq!(k32.isa, isa);
+                assert_eq!(k64.isa, isa);
+            } else {
+                assert_eq!(k32.isa, KernelIsa::Scalar);
+                assert_eq!(k64.isa, KernelIsa::Scalar);
+            }
+        }
+    }
+}

@@ -27,6 +27,7 @@ pub mod blocking;
 pub mod dispatch;
 pub mod gemm;
 pub mod gemv;
+pub mod isa;
 pub mod microkernel;
 pub mod naive;
 pub mod pack;
@@ -36,7 +37,7 @@ pub mod syrk;
 pub mod threading;
 pub mod workspace;
 
-pub use blocking::BlockSizes;
+pub use blocking::{BlockSizes, CacheInfo};
 pub use dispatch::{
     GemmArgs, GemvArgs, OpRequest, OpShape, OpStats, Precision, Routine, ShapeError, SyrkArgs,
 };
@@ -45,6 +46,7 @@ pub use gemm::{
     GemmCall,
 };
 pub use gemv::{gemv_with_stats, gemv_with_stats_pooled};
+pub use isa::{Kernel, KernelIsa};
 pub use pool::{Executor, ThreadPool};
 pub use stats::GemmStats;
 pub use syrk::{syrk_with_stats, syrk_with_stats_pooled};
@@ -93,6 +95,9 @@ pub trait Element:
     const BYTES: usize;
     /// The precision tag the dispatch layer keys decisions on.
     const PRECISION: dispatch::Precision;
+    /// The micro-kernel table for this element type under `isa` (see
+    /// [`isa::Kernel`]; drivers resolve it once per call).
+    fn kernel(isa: isa::KernelIsa) -> isa::Kernel<Self>;
 }
 
 impl Element for f32 {
@@ -106,6 +111,9 @@ impl Element for f32 {
     }
     const BYTES: usize = 4;
     const PRECISION: dispatch::Precision = dispatch::Precision::F32;
+    fn kernel(isa: isa::KernelIsa) -> isa::Kernel<Self> {
+        isa::kernel_f32(isa)
+    }
 }
 
 impl Element for f64 {
@@ -117,4 +125,7 @@ impl Element for f64 {
     }
     const BYTES: usize = 8;
     const PRECISION: dispatch::Precision = dispatch::Precision::F64;
+    fn kernel(isa: isa::KernelIsa) -> isa::Kernel<Self> {
+        isa::kernel_f64(isa)
+    }
 }

@@ -1,8 +1,17 @@
-//! Register-blocked micro-kernel — where every FLOP happens.
+//! The **scalar reference** register-blocked micro-kernel.
 //!
 //! The kernel multiplies one packed `MR×kc` micro-panel of `A` by one packed
 //! `kc×NR` micro-panel of `B`, accumulating into an `MR×NR` register tile,
 //! and finally merges the tile into `C` as `C ← α·tile + β_eff·C`.
+//!
+//! Since the kernel-dispatch layer ([`crate::isa`]) landed, drivers reach
+//! this code through [`crate::isa::KernelIsa::Scalar`]'s [`crate::isa::Kernel`]
+//! entry — the always-available portable path, also selectable via the
+//! `ADSALA_FORCE_SCALAR` environment variable. Its arithmetic (tile
+//! geometry, 4-way depth unroll, accumulation order, write-back
+//! specialisations) is unchanged from the pre-dispatch implementation, so
+//! forced-scalar results stay bitwise identical across releases; the SIMD
+//! kernels satisfy the same contract with different rounding.
 //!
 //! The accumulator is a fixed-size 2-D array so LLVM keeps it entirely in
 //! vector registers and unrolls the `MR×NR` update; the packed operands are

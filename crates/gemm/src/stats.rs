@@ -8,9 +8,21 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::isa::KernelIsa;
+
 /// Aggregated statistics for one GEMM call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GemmStats {
+    /// The instruction set of the micro-kernel that produced this call's
+    /// FLOPs (benchmarks record it next to every timing). Level-2
+    /// routines without a register-tile kernel report
+    /// [`KernelIsa::Scalar`].
+    pub kernel_isa: KernelIsa,
+    /// Effective register-tile rows of the dispatched kernel (1 for
+    /// routines without a tiled kernel, 0 only on `GemmStats::default`).
+    pub mr: usize,
+    /// Effective register-tile columns of the dispatched kernel.
+    pub nr: usize,
     /// Threads that actually ran (≤ requested; tiny problems use fewer).
     pub threads_used: usize,
     /// Thread-grid rows (partition of `C`'s row dimension).
@@ -88,16 +100,21 @@ impl StatsCollector {
         self.max_busy_ns.fetch_max(local.pack_ns + local.kernel_ns, Ordering::Relaxed);
     }
 
-    /// Finalise into a [`GemmStats`] snapshot.
+    /// Finalise into a [`GemmStats`] snapshot. `kernel` names the
+    /// dispatched micro-kernel as `(isa, mr, nr)`.
     pub fn finish(
         &self,
         threads_used: usize,
         grid_rows: usize,
         grid_cols: usize,
         wall_ns: u64,
+        kernel: (KernelIsa, usize, usize),
     ) -> GemmStats {
         let max_busy = self.max_busy_ns.load(Ordering::Relaxed);
         GemmStats {
+            kernel_isa: kernel.0,
+            mr: kernel.1,
+            nr: kernel.2,
             threads_used,
             grid_rows,
             grid_cols,
@@ -152,7 +169,8 @@ mod tests {
             pack_ns: 50,
             kernel_ns: 75,
         });
-        let s = c.finish(2, 2, 1, 1000);
+        let s = c.finish(2, 2, 1, 1000, (KernelIsa::Scalar, 8, 8));
+        assert_eq!((s.kernel_isa, s.mr, s.nr), (KernelIsa::Scalar, 8, 8));
         assert_eq!(s.a_packed_bytes, 11);
         assert_eq!(s.b_packed_bytes, 22);
         assert_eq!(s.packed_bytes(), 33);

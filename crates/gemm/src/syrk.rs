@@ -13,7 +13,7 @@
 //! it, so the strict upper triangle of `C` is never written.
 
 use crate::blocking::BlockSizes;
-use crate::microkernel::accumulate;
+use crate::isa::{Kernel, MAX_TILE_ELEMS};
 use crate::pack::{pack_a, pack_b, MatView};
 use crate::pool::Executor;
 use crate::stats::{GemmStats, StatsCollector, ThreadLocalStats};
@@ -89,14 +89,25 @@ fn drive<T: Element>(
         assert!(c.len() >= (m - 1) * ldc + m, "C buffer too small");
     }
     let a_view = MatView::row_major(a, m, k, lda);
+    // SYRK shares GEMM's packing/micro-kernel anatomy, so it runs the
+    // same dispatched register-tile kernel (accumulate-only entry; the
+    // triangle merge is masked per element below).
+    let kernel = Kernel::<T>::dispatched();
+    let kernel_stat = (kernel.isa, kernel.mr, kernel.nr);
     let start = Instant::now();
     if m == 0 {
         // Degenerate shapes still report their wall time (see the GEMM
         // driver's identical early out).
-        return GemmStats { wall_ns: start.elapsed().as_nanos() as u64, ..GemmStats::default() };
+        return GemmStats {
+            kernel_isa: kernel.isa,
+            mr: kernel.mr,
+            nr: kernel.nr,
+            wall_ns: start.elapsed().as_nanos() as u64,
+            ..GemmStats::default()
+        };
     }
 
-    let blocks = BlockSizes::for_element_bytes(T::BYTES).clamped(m, m, k.max(1));
+    let blocks = BlockSizes::dispatched::<T>().clamped(m, m, k.max(1));
     let bands = band_edges(m, threads.max(1), blocks.mr);
     let n_bands = bands.len() - 1;
 
@@ -109,6 +120,7 @@ fn drive<T: Element>(
             // SAFETY: single worker owns all of C.
             unsafe {
                 band_subproblem(
+                    &kernel,
                     &a_view,
                     c.as_mut_ptr(),
                     ldc,
@@ -144,8 +156,8 @@ fn drive<T: Element>(
                     // every task completes, keeping the borrows alive.
                     unsafe {
                         band_subproblem(
-                            &a_view, ptr.0, ldc, r0, r1, k, alpha, beta, blocks, a_buf, b_buf,
-                            &mut local,
+                            &kernel, &a_view, ptr.0, ldc, r0, r1, k, alpha, beta, blocks, a_buf,
+                            b_buf, &mut local,
                         );
                     }
                 });
@@ -155,7 +167,7 @@ fn drive<T: Element>(
         exec.run(tasks);
     }
     let wall_ns = start.elapsed().as_nanos() as u64;
-    collector.finish(n_bands, n_bands, 1, wall_ns)
+    collector.finish(n_bands, n_bands, 1, wall_ns, kernel_stat)
 }
 
 /// Row-band edges with balanced triangle area: `edges[t] ≈ m·√(t/T)`,
@@ -184,6 +196,7 @@ pub fn band_edges(m: usize, threads: usize, mr: usize) -> Vec<usize> {
 /// `0..=row`) must be valid and not concurrently accessed.
 #[allow(clippy::too_many_arguments)]
 unsafe fn band_subproblem<T: Element>(
+    kernel: &Kernel<T>,
     a: &MatView<'_, T>,
     c: *mut T,
     ldc: usize,
@@ -216,6 +229,10 @@ unsafe fn band_subproblem<T: Element>(
     let at = a.t();
     debug_assert!(a_buf.len() >= mc.div_ceil(mr) * mr * kc);
     debug_assert!(b_buf.len() >= kc * nc.div_ceil(nr) * nr);
+    debug_assert!((mr, nr) == (kernel.mr, kernel.nr), "blocks/kernel tile mismatch");
+    // The register tile staged in memory for the masked triangle merge;
+    // every kernel tile fits in MAX_TILE_ELEMS by construction.
+    let mut tile = [T::ZERO; MAX_TILE_ELEMS];
 
     let mut jc = 0;
     while jc < ns {
@@ -255,14 +272,18 @@ unsafe fn band_subproblem<T: Element>(
                             continue;
                         }
                         let a_panel = &a_buf[ir * mr * kcur..(ir + 1) * mr * kcur];
-                        let acc = accumulate(kcur, a_panel, b_panel);
+                        // SAFETY: packed panels hold kcur·mr / kcur·nr
+                        // elements and the staged tile holds mr·nr
+                        // (≤ MAX_TILE_ELEMS).
+                        kernel.acc(kcur, a_panel.as_ptr(), b_panel.as_ptr(), tile.as_mut_ptr());
                         // Masked merge: only elements with column ≤ row.
-                        for (di, acc_row) in acc.iter().enumerate().take(live_m) {
+                        for di in 0..live_m {
                             let gi = i0 + di;
                             let max_col = if gi >= j0 { (gi - j0 + 1).min(live_n) } else { 0 };
                             if max_col == 0 {
                                 continue;
                             }
+                            let acc_row = &tile[di * nr..di * nr + max_col];
                             let row = std::slice::from_raw_parts_mut(c.add(gi * ldc + j0), max_col);
                             for (dj, out) in row.iter_mut().enumerate() {
                                 *out =

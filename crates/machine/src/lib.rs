@@ -27,6 +27,7 @@
 //! [`timer::HostTimer`] runs the real blocked GEMM from `adsala-gemm` on
 //! the host — the same interface the ADSALA installation workflow consumes.
 
+pub mod cache;
 pub mod cost;
 pub mod noise;
 pub mod ops;
@@ -35,6 +36,7 @@ pub mod timer;
 pub mod topology;
 pub mod vendor;
 
+pub use cache::HostCaches;
 pub use cost::{CostBreakdown, MachineModel};
 pub use ops::{BlasOp, OpTimer};
 pub use presets::{gadi, setonix};

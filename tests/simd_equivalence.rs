@@ -1,0 +1,479 @@
+//! SIMD-vs-scalar equivalence suite for the kernel-dispatch layer.
+//!
+//! The dispatched SIMD micro-kernels (AVX2+FMA / NEON) partition the
+//! depth sum across vector lanes and contract multiply-adds into FMAs,
+//! so their results differ from the scalar reference path by rounding
+//! only. This suite pins that claim down:
+//!
+//! * every `(transpose_a, transpose_b)` combination, skewed shapes, and
+//!   edge tiles (`live_m < MR`, `live_n < NR`) agree within an
+//!   accumulation-order error bound derived per element from exact
+//!   `f64`/`f128`-style arithmetic (`C·ε·k` times the magnitude sum of
+//!   the dot product — the standard reordering bound),
+//! * the β = 0 and α = 1 write-back specialisations agree under both
+//!   kernels (and β = 0 never reads `C` under either),
+//! * the scalar path itself stays **bitwise identical** to the
+//!   pre-dispatch (PR 4) implementation, reconstructed here from the
+//!   public `accumulate`/`merge_into_raw` contract.
+//!
+//! The suite passes under the host's dispatched ISA *and* under
+//! `ADSALA_FORCE_SCALAR=1` (CI runs both): when dispatch already
+//! resolves to scalar the comparisons degenerate to bitwise equality,
+//! which the bounds trivially admit.
+
+use adsala_repro::adsala_gemm::blocking::BlockSizes;
+use adsala_repro::adsala_gemm::gemm::{gemm_with_stats, gemm_with_stats_pooled, GemmCall};
+use adsala_repro::adsala_gemm::isa::{Kernel, KernelIsa};
+use adsala_repro::adsala_gemm::microkernel::{accumulate, merge_into_raw};
+use adsala_repro::adsala_gemm::pool::ThreadPool;
+use adsala_repro::adsala_gemm::{Element, Transpose};
+
+fn fill_f32(n: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 2000) as f32 - 1000.0) / 250.0
+        })
+        .collect()
+}
+
+fn fill_f64(n: usize, seed: u64) -> Vec<f64> {
+    fill_f32(n, seed).into_iter().map(f64::from).collect()
+}
+
+/// Logical `op(A)`/`op(B)` element accessors for building error bounds.
+fn op_at<T: Element + Into<f64>>(
+    data: &[T],
+    ld: usize,
+    transposed: bool,
+    i: usize,
+    j: usize,
+) -> f64 {
+    if transposed {
+        data[j * ld + i].into()
+    } else {
+        data[i * ld + j].into()
+    }
+}
+
+/// Per-element reordering bound: different summation orders (and FMA
+/// contraction) of the same dot product differ by at most
+/// `C · ε · k · Σ_l |a_il|·|b_lj|` plus the α/β merge rounding, which is
+/// absorbed into the same form via the output magnitude.
+#[allow(clippy::too_many_arguments)]
+fn assert_equivalent<T: Element + Into<f64>>(
+    label: &str,
+    simd: &[T],
+    scalar: &[T],
+    a: &[T],
+    lda: usize,
+    ta: Transpose,
+    b: &[T],
+    ldb: usize,
+    tb: Transpose,
+    c_init: &[f64],
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    beta: f64,
+    eps: f64,
+) {
+    assert_eq!(simd.len(), scalar.len());
+    for i in 0..m {
+        for j in 0..n {
+            let mut mag = 0.0f64;
+            for l in 0..k {
+                mag += (op_at(a, lda, ta.is_transposed(), i, l)
+                    * op_at(b, ldb, tb.is_transposed(), l, j))
+                .abs();
+            }
+            let scale =
+                alpha.abs() * mag + beta.abs() * c_init[i * n + j].abs() + f64::MIN_POSITIVE;
+            let bound = 8.0 * eps * (k as f64 + 2.0) * scale;
+            let (x, y): (f64, f64) = (simd[i * n + j].into(), scalar[i * n + j].into());
+            assert!(
+                (x - y).abs() <= bound,
+                "{label}: ({i},{j}) dispatched {x} vs scalar {y}, |Δ| = {} > bound {bound}",
+                (x - y).abs()
+            );
+        }
+    }
+}
+
+/// Run one GEMM under an explicit ISA, returning the output.
+#[allow(clippy::too_many_arguments)]
+fn run_isa<T: Element>(
+    isa: KernelIsa,
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c_init: &[T],
+) -> (Vec<T>, KernelIsa) {
+    let mut c = c_init.to_vec();
+    let call = GemmCall { trans_a: ta, trans_b: tb, m, n, k, threads, blocks: None, isa: None }
+        .with_isa(isa);
+    let stats = gemm_with_stats(&call, alpha, a, lda, b, ldb, beta, &mut c, n.max(1));
+    (c, stats.kernel_isa)
+}
+
+/// The suite's shape grid: square, skewed both ways, sub-tile, ragged
+/// edges around every kernel's MR/NR, and a deep-k accumulation case.
+const SHAPES: [(usize, usize, usize); 8] = [
+    (64, 64, 64),
+    (97, 33, 131),  // ragged in every dimension
+    (5, 3, 7),      // below any register tile: all-edge tiles
+    (1, 1, 600),    // deep k, single element
+    (256, 17, 40),  // tall-skinny, live_n < NR tiles
+    (13, 257, 96),  // short-wide, live_m < MR tiles
+    (6, 16, 128),   // exactly one AVX2 f32 tile
+    (48, 48, 1200), // multiple KC blocks (β_eff accumulation path)
+];
+
+#[test]
+fn dispatched_matches_scalar_all_transposes_f32() {
+    let dispatched = KernelIsa::dispatched();
+    for &(m, n, k) in &SHAPES {
+        for ta in [Transpose::No, Transpose::Yes] {
+            for tb in [Transpose::No, Transpose::Yes] {
+                let (ar, ac) = if ta.is_transposed() { (k, m) } else { (m, k) };
+                let (br, bc) = if tb.is_transposed() { (n, k) } else { (k, n) };
+                let a = fill_f32(ar * ac, 11);
+                let b = fill_f32(br * bc, 22);
+                let c0 = fill_f32(m * n, 33);
+                let c0_f64: Vec<f64> = c0.iter().map(|&v| f64::from(v)).collect();
+                let (alpha, beta) = (1.3f32, -0.4f32);
+                let (simd, ran) =
+                    run_isa(dispatched, ta, tb, m, n, k, 3, alpha, &a, ac, &b, bc, beta, &c0);
+                assert_eq!(ran, dispatched);
+                let (scalar, ran) = run_isa(
+                    KernelIsa::Scalar,
+                    ta,
+                    tb,
+                    m,
+                    n,
+                    k,
+                    3,
+                    alpha,
+                    &a,
+                    ac,
+                    &b,
+                    bc,
+                    beta,
+                    &c0,
+                );
+                assert_eq!(ran, KernelIsa::Scalar);
+                assert_equivalent(
+                    &format!("f32 {m}x{n}x{k} {ta:?}/{tb:?}"),
+                    &simd,
+                    &scalar,
+                    &a,
+                    ac,
+                    ta,
+                    &b,
+                    bc,
+                    tb,
+                    &c0_f64,
+                    m,
+                    n,
+                    k,
+                    f64::from(alpha),
+                    f64::from(beta),
+                    f64::from(f32::EPSILON),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dispatched_matches_scalar_all_transposes_f64() {
+    let dispatched = KernelIsa::dispatched();
+    for &(m, n, k) in &SHAPES {
+        for ta in [Transpose::No, Transpose::Yes] {
+            for tb in [Transpose::No, Transpose::Yes] {
+                let (ar, ac) = if ta.is_transposed() { (k, m) } else { (m, k) };
+                let (br, bc) = if tb.is_transposed() { (n, k) } else { (k, n) };
+                let a = fill_f64(ar * ac, 44);
+                let b = fill_f64(br * bc, 55);
+                let c0 = fill_f64(m * n, 66);
+                let (alpha, beta) = (0.75f64, 2.0f64);
+                let (simd, _) =
+                    run_isa(dispatched, ta, tb, m, n, k, 4, alpha, &a, ac, &b, bc, beta, &c0);
+                let (scalar, _) = run_isa(
+                    KernelIsa::Scalar,
+                    ta,
+                    tb,
+                    m,
+                    n,
+                    k,
+                    4,
+                    alpha,
+                    &a,
+                    ac,
+                    &b,
+                    bc,
+                    beta,
+                    &c0,
+                );
+                assert_equivalent(
+                    &format!("f64 {m}x{n}x{k} {ta:?}/{tb:?}"),
+                    &simd,
+                    &scalar,
+                    &a,
+                    ac,
+                    ta,
+                    &b,
+                    bc,
+                    tb,
+                    &c0,
+                    m,
+                    n,
+                    k,
+                    alpha,
+                    beta,
+                    f64::EPSILON,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn beta_zero_and_alpha_one_specialisations_agree() {
+    let dispatched = KernelIsa::dispatched();
+    let (m, n, k) = (45, 29, 77);
+    let a = fill_f32(m * k, 7);
+    let b = fill_f32(k * n, 8);
+    let zero_c = vec![0.0f32; m * n];
+    let c0 = fill_f32(m * n, 9);
+    let c0_f64: Vec<f64> = c0.iter().map(|&v| f64::from(v)).collect();
+    for (alpha, beta, c_init, label) in
+        [(1.0f32, 0.0f32, &zero_c, "α=1 β=0"), (2.5, 0.0, &zero_c, "β=0"), (1.0, 0.5, &c0, "α=1")]
+    {
+        let c_init_f64: Vec<f64> = if beta == 0.0 { vec![0.0; m * n] } else { c0_f64.clone() };
+        let no = Transpose::No;
+        let (simd, _) = run_isa(dispatched, no, no, m, n, k, 2, alpha, &a, k, &b, n, beta, c_init);
+        let (scalar, _) =
+            run_isa(KernelIsa::Scalar, no, no, m, n, k, 2, alpha, &a, k, &b, n, beta, c_init);
+        assert_equivalent(
+            label,
+            &simd,
+            &scalar,
+            &a,
+            k,
+            no,
+            &b,
+            n,
+            no,
+            &c_init_f64,
+            m,
+            n,
+            k,
+            f64::from(alpha),
+            f64::from(beta),
+            f64::from(f32::EPSILON),
+        );
+    }
+}
+
+#[test]
+fn beta_zero_never_reads_c_under_dispatch() {
+    // NaN-poisoned output: β = 0 BLAS semantics must hold under whatever
+    // kernel dispatch resolves to, including on edge tiles.
+    let (m, n, k) = (19, 21, 16);
+    let a = fill_f32(m * k, 1);
+    let b = fill_f32(k * n, 2);
+    let mut c = vec![f32::NAN; m * n];
+    let call = GemmCall::new(m, n, k, 2);
+    gemm_with_stats(&call, 1.0f32, &a, k, &b, n, 0.0, &mut c, n);
+    assert!(c.iter().all(|v| v.is_finite()), "β = 0 must overwrite NaN garbage");
+}
+
+#[test]
+fn pooled_and_scoped_agree_bitwise_under_dispatch() {
+    // The shared-B cooperative driver keeps per-tile FLOP order, so its
+    // results must stay bitwise identical to the scoped driver under the
+    // SIMD kernels too, not just scalar.
+    let pool = ThreadPool::new(4);
+    let (m, n, k) = (192, 56, 144);
+    let a = fill_f64(m * k, 13);
+    let b = fill_f64(k * n, 14);
+    let c0 = fill_f64(m * n, 15);
+    let call = GemmCall::new(m, n, k, 4);
+    let mut c_scoped = c0.clone();
+    let mut c_pooled = c0;
+    let s1 = gemm_with_stats(&call, 1.1, &a, k, &b, n, 0.3, &mut c_scoped, n);
+    let s2 = gemm_with_stats_pooled(&pool, &call, 1.1, &a, k, &b, n, 0.3, &mut c_pooled, n);
+    assert_eq!(c_scoped, c_pooled);
+    assert_eq!(s1.kernel_isa, s2.kernel_isa);
+    assert_eq!((s1.mr, s1.nr), (s2.mr, s2.nr));
+    assert_eq!(s1.kernel_isa, KernelIsa::dispatched());
+}
+
+#[test]
+fn scalar_path_is_bitwise_identical_to_pr4_reference() {
+    // Reconstruct the pre-dispatch (PR 4) driver inline from the public
+    // scalar micro-kernel contract — same blocking constants, same pack
+    // layout, same per-tile accumulate + merge order — and require the
+    // forced-scalar driver to reproduce it bit for bit.
+    use adsala_repro::adsala_gemm::pack::{pack_a, pack_b, MatView};
+
+    let (m, n, k) = (100usize, 73usize, 65usize);
+    let a = fill_f64(m * k, 91);
+    let b = fill_f64(k * n, 92);
+    let c0 = fill_f64(m * n, 93);
+    let (alpha, beta) = (1.25f64, -0.5f64);
+
+    // The driver under test: serial, forced scalar, PR 4 blocking.
+    let blocks = BlockSizes::for_f64();
+    let call =
+        GemmCall { blocks: Some(blocks), ..GemmCall::new(m, n, k, 1) }.with_isa(KernelIsa::Scalar);
+    let mut c_driver = c0.clone();
+    let stats = gemm_with_stats(&call, alpha, &a, k, &b, n, beta, &mut c_driver, n);
+    assert_eq!(stats.kernel_isa, KernelIsa::Scalar);
+    assert_eq!((stats.mr, stats.nr), (blocks.mr, blocks.nr));
+
+    // The PR 4 loop nest, re-derived from the public contract.
+    let blocks = blocks.clamped(m, n, k);
+    let (mc, kc, nc, mr, nr) = (blocks.mc, blocks.kc, blocks.nc, blocks.mr, blocks.nr);
+    let a_view = MatView::row_major(&a, m, k, k);
+    let b_view = MatView::row_major(&b, k, n, n);
+    let mut c_ref = c0;
+    let mut a_buf = vec![0.0f64; mc.div_ceil(mr) * mr * kc];
+    let mut b_buf = vec![0.0f64; kc * nc.div_ceil(nr) * nr];
+    let mut jc = 0;
+    while jc < n {
+        let ncur = (n - jc).min(nc);
+        let mut pc = 0;
+        while pc < k {
+            let kcur = (k - pc).min(kc);
+            let beta_eff = if pc == 0 { beta } else { 1.0 };
+            pack_b(&b_view.sub(pc, jc, kcur, ncur), nr, &mut b_buf);
+            let mut ic = 0;
+            while ic < m {
+                let mcur = (m - ic).min(mc);
+                pack_a(&a_view.sub(ic, pc, mcur, kcur), mr, &mut a_buf);
+                for jr in 0..ncur.div_ceil(nr) {
+                    let j0 = jr * nr;
+                    let live_n = (ncur - j0).min(nr);
+                    let b_panel = &b_buf[jr * nr * kcur..(jr + 1) * nr * kcur];
+                    for ir in 0..mcur.div_ceil(mr) {
+                        let i0 = ir * mr;
+                        let live_m = (mcur - i0).min(mr);
+                        let a_panel = &a_buf[ir * mr * kcur..(ir + 1) * mr * kcur];
+                        let acc = accumulate(kcur, a_panel, b_panel);
+                        // SAFETY: the tile origin and live region lie
+                        // inside the m×n C buffer by loop construction.
+                        unsafe {
+                            merge_into_raw(
+                                &acc,
+                                c_ref.as_mut_ptr().add((ic + i0) * n + jc + j0),
+                                n,
+                                live_m,
+                                live_n,
+                                alpha,
+                                beta_eff,
+                            );
+                        }
+                    }
+                }
+                ic += mcur;
+            }
+            pc += kcur;
+        }
+        jc += ncur;
+    }
+    assert_eq!(c_driver, c_ref, "forced-scalar driver must match the PR 4 loop nest bitwise");
+}
+
+#[test]
+fn kernel_level_edge_tiles_match_scalar_masking() {
+    // Directly exercise every (live_m, live_n) mask of the dispatched
+    // kernel against the scalar kernel on identically packed panels.
+    let kern = Kernel::<f32>::dispatched();
+    let scal = Kernel::<f32>::for_isa(KernelIsa::Scalar);
+    let kc = 23usize;
+    // Pack one panel pair per kernel geometry from the same dense data.
+    let dense_a = fill_f32(8 * 16 * kc, 3); // enough for any tile
+    let dense_b = fill_f32(kc * 16, 4);
+    let pack = |mr: usize, nr: usize| {
+        let mut ap = vec![0.0f32; kc * mr];
+        for l in 0..kc {
+            for i in 0..mr {
+                ap[l * mr + i] = dense_a[i * kc + l];
+            }
+        }
+        let mut bp = vec![0.0f32; kc * nr];
+        for l in 0..kc {
+            bp[l * nr..(l + 1) * nr].copy_from_slice(&dense_b[l * 16..l * 16 + nr]);
+        }
+        (ap, bp)
+    };
+    let (kap, kbp) = pack(kern.mr, kern.nr);
+    let (sap, sbp) = pack(scal.mr, scal.nr);
+    let common_m = kern.mr.min(scal.mr);
+    let common_n = kern.nr.min(scal.nr);
+    for live_m in 1..=common_m {
+        for live_n in 1..=common_n {
+            let mut ck = vec![-7.0f32; common_m * common_n];
+            let mut cs = ck.clone();
+            // SAFETY: panels are packed for each kernel's tile; the
+            // live region lies inside the common_m×common_n buffer.
+            unsafe {
+                kern.run(
+                    kc,
+                    kap.as_ptr(),
+                    kbp.as_ptr(),
+                    ck.as_mut_ptr(),
+                    common_n,
+                    live_m,
+                    live_n,
+                    1.5,
+                    0.25,
+                );
+                scal.run(
+                    kc,
+                    sap.as_ptr(),
+                    sbp.as_ptr(),
+                    cs.as_mut_ptr(),
+                    common_n,
+                    live_m,
+                    live_n,
+                    1.5,
+                    0.25,
+                );
+            }
+            for i in 0..common_m {
+                for j in 0..common_n {
+                    let (x, y) = (ck[i * common_n + j], cs[i * common_n + j]);
+                    if i < live_m && j < live_n {
+                        let mag: f32 = (0..kc)
+                            .map(|l| (dense_a[i * kc + l] * dense_b[l * 16 + j]).abs())
+                            .sum();
+                        let bound = 8.0 * f32::EPSILON * (kc as f32 + 2.0) * (1.5 * mag + 2.0);
+                        assert!(
+                            (x - y).abs() <= bound,
+                            "live ({live_m},{live_n}) @ ({i},{j}): {x} vs {y}"
+                        );
+                    } else {
+                        assert_eq!(x, -7.0, "dead lane ({i},{j}) written at ({live_m},{live_n})");
+                        assert_eq!(x, y);
+                    }
+                }
+            }
+        }
+    }
+}
