@@ -134,7 +134,7 @@ fn bench_routine_dispatch(c: &mut Criterion) {
     // the delta between the two benches is pure dispatch overhead.
     let decided = service
         .select_for(OpShape::gemm(Precision::F32, m as u64, k as u64, n as u64))
-        .threads
+        .threads()
         .clamp(1, threads as u32) as usize;
     let pool = ThreadPool::new(threads);
     let call = GemmCall::new(m, n, k, decided);

@@ -107,7 +107,10 @@ fn bench_gemm_table5(c: &mut Criterion) {
         let flops = (2 * m * k * n) as u64;
         group.throughput(Throughput::Elements(flops));
         for (label, isa) in [("dispatched", None), ("scalar", Some(KernelIsa::Scalar))] {
-            let call = GemmCall { isa, ..GemmCall::new(m, n, k, threads) };
+            let mut call = GemmCall::new(m, n, k, threads);
+            if let Some(isa) = isa {
+                call = call.with_isa(isa);
+            }
             group.bench_with_input(
                 BenchmarkId::new(label, format!("{m}x{k}x{n}")),
                 &call,

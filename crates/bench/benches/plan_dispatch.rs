@@ -1,0 +1,98 @@
+//! Throughput across the [`ExecutionPlan`] axes the grid-trained decision
+//! layer chooses between.
+//!
+//! * `plan_dispatch/axes` — end-to-end pooled f32 GEMM under each
+//!   single-axis deviation from the host-default plan: pinned scalar ISA,
+//!   half/double cache blocking, and independent (duplicated) B packing.
+//!   The spread between these bars is the headroom the plan-aware model
+//!   has over the paper's threads-only decision.
+//! * `plan_dispatch/grid_points` — the same call swept over every point
+//!   of the reduced install grid, i.e. exactly what one shape costs the
+//!   grid sweep at install time.
+//!
+//! Element throughput equals the FLOPs of the measured call, so
+//! criterion's element rate is FLOP/s.
+
+use adsala_gemm::dispatch::Precision;
+use adsala_gemm::gemm::{gemm_with_stats_pooled, GemmCall};
+use adsala_gemm::plan::{ExecutionPlan, PackingStrategy, PlanGrid, PlanPoint};
+use adsala_gemm::pool::ThreadPool;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn fill(n: usize, seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 997) as f32 / 500.0 - 1.0
+        })
+        .collect()
+}
+
+fn bench_plan(
+    group: &mut criterion::BenchmarkGroup,
+    pool: &ThreadPool,
+    label: &str,
+    plan: ExecutionPlan,
+    (m, n, k): (usize, usize, usize),
+    a: &[f32],
+    b: &[f32],
+) {
+    let call = GemmCall::new(m, n, k, 1).with_plan(plan);
+    group.bench_with_input(
+        BenchmarkId::new(label, format!("{m}x{k}x{n}")),
+        &call,
+        |bench, call| {
+            let mut out = vec![0.0f32; m * n];
+            bench.iter(|| {
+                gemm_with_stats_pooled(pool, call, 1.0, a, k, b, n, 0.0, black_box(&mut out), n)
+            });
+        },
+    );
+}
+
+/// One plan axis moved off its default at a time, against the
+/// threads-only baseline.
+fn bench_axes(c: &mut Criterion) {
+    let threads = 4.min(std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)) as u32;
+    let pool = ThreadPool::new(threads as usize);
+    let (m, k, n) = (512usize, 512usize, 512usize);
+    let a = fill(m * k, 3);
+    let b = fill(k * n, 4);
+    let mut group = c.benchmark_group("plan_dispatch/axes");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+    let base = PlanPoint::threads_only(threads);
+    let plans = [
+        ("baseline", base),
+        ("scalar_isa", PlanPoint { isa: adsala_gemm::plan::IsaChoice::Scalar, ..base }),
+        ("blk_50", PlanPoint { block_percent: 50, ..base }),
+        ("blk_200", PlanPoint { block_percent: 200, ..base }),
+        ("independent_pack", PlanPoint { packing: PackingStrategy::Independent, ..base }),
+    ];
+    for (label, point) in plans {
+        let plan = point.materialise(Precision::F32);
+        bench_plan(&mut group, &pool, label, plan, (m, n, k), &a, &b);
+    }
+    group.finish();
+}
+
+/// Every point of the reduced install grid for one shape: the per-shape
+/// cost of the grid sweep at install time.
+fn bench_grid_points(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    let (m, k, n) = (256usize, 256usize, 256usize);
+    let a = fill(m * k, 5);
+    let b = fill(k * n, 6);
+    let mut group = c.benchmark_group("plan_dispatch/grid_points");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+    for point in PlanGrid::reduced(vec![1, 2, 4]).points() {
+        let plan = point.materialise(Precision::F32);
+        let label = format!("t{}_{}", point.threads, point.packing.as_str());
+        bench_plan(&mut group, &pool, &label, plan, (m, n, k), &a, &b);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_axes, bench_grid_points);
+criterion_main!(benches);

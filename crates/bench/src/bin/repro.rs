@@ -12,6 +12,7 @@
 //!   table4    model comparison table, Gadi
 //!   table5    speedup statistics, hyper-threading on
 //!   table6    speedup statistics, hyper-threading off
+//!   plans     grid-trained ExecutionPlan choice table (beyond the paper)
 //!   fig10     speedup heat-maps over (m,k),(m,n),(k,n)
 //!   fig11     GFLOPS vs memory bucket, Setonix (BLIS vs ML)
 //!   fig12     GFLOPS vs memory bucket, Gadi (MKL vs ML)
@@ -44,7 +45,7 @@ use adsala_sampling::{DomainSampler, GemmShape, MemoryCap, Precision, Predesigne
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: repro <fig1|fig4|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table3|table4|table5|table6|table7|ablation <name>|all>");
+        eprintln!("usage: repro <fig1|fig4|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table3|table4|table5|table6|table7|plans|ablation <name>|all>");
         std::process::exit(2);
     };
     let started = Instant::now();
@@ -58,6 +59,7 @@ fn main() {
         "table4" => model_table(Machine::Gadi),
         "table5" => speedup_table(true),
         "table6" => speedup_table(false),
+        "plans" => plan_table(),
         "fig10" => fig10(),
         "fig11" => gflops_buckets(Machine::Setonix, "fig11"),
         "fig12" => gflops_buckets(Machine::Gadi, "fig12"),
@@ -77,6 +79,7 @@ fn main() {
             model_table(Machine::Gadi);
             speedup_table(true);
             speedup_table(false);
+            plan_table();
             fig10();
             gflops_buckets(Machine::Setonix, "fig11");
             gflops_buckets(Machine::Gadi, "fig12");
@@ -327,6 +330,8 @@ fn model_table(machine: Machine) {
 struct SpeedupRun {
     /// (shape, bytes, chosen threads, t_orig, t_adsala_incl_eval)
     samples: Vec<(GemmShape, u64, u32, f64, f64)>,
+    /// The full execution plan chosen for each sample, in sample order.
+    plans: Vec<adsala_gemm::plan::ExecutionPlan>,
     /// Decision-cache counters after serving the whole set.
     cache: adsala::CacheStats,
     /// Model sweeps the service performed.
@@ -351,16 +356,22 @@ fn speedup_run(machine: Machine, ht: bool) -> SpeedupRun {
         .unwrap_or(0.0);
     let shapes = sample_shapes(MemoryCap::paper_training(), 174, 0x55AA);
     let p_max = timer.max_threads();
+    let decisions: Vec<_> = shapes.iter().map(|&s| service.select_threads(s.m, s.k, s.n)).collect();
     let samples = shapes
         .iter()
-        .map(|&s| {
+        .zip(&decisions)
+        .map(|(&s, d)| {
             let t_orig = timer.time(s, p_max, 10);
-            let d = service.select_threads(s.m, s.k, s.n);
-            let t_adsala = timer.time(s, d.threads, 10) + eval_s;
-            (s, s.memory_bytes(Precision::F32), d.threads, t_orig, t_adsala)
+            let t_adsala = timer.time(s, d.threads(), 10) + eval_s;
+            (s, s.memory_bytes(Precision::F32), d.threads(), t_orig, t_adsala)
         })
         .collect();
-    SpeedupRun { samples, cache: service.cache_stats(), evaluations: service.evaluations() }
+    SpeedupRun {
+        samples,
+        plans: decisions.iter().map(|d| d.plan).collect(),
+        cache: service.cache_stats(),
+        evaluations: service.evaluations(),
+    }
 }
 
 fn speedup_table(ht: bool) {
@@ -391,6 +402,19 @@ fn speedup_table(ht: bool) {
             run.cache.misses,
             run.cache.evictions,
             run.evaluations
+        ));
+        // What the decision layer actually hands the drivers: with the
+        // cached threads-only artefacts every plan's non-thread axes stay
+        // at host defaults; a grid-trained artefact (see `repro plans`)
+        // diversifies them.
+        let distinct: std::collections::HashSet<_> = run.plans.iter().collect();
+        let non_default = run.plans.iter().filter(|p| !p.is_threads_only()).count();
+        service_lines.push(format!(
+            "[service] {} plans: {} distinct over {} shapes, {} with non-default axes",
+            machine.name(),
+            distinct.len(),
+            run.plans.len(),
+            non_default
         ));
         for cap in [500_000_000u64, 100_000_000] {
             let speedups: Vec<f64> = run
@@ -444,6 +468,127 @@ fn speedup_table(ht: bool) {
         "machine,ht,m,k,n,chosen_threads,t_original_s,t_adsala_s",
         &csv_rows,
     );
+}
+
+// ------------------------------------------------------- plan choices
+
+/// Beyond the paper: install over the full execution-plan grid on the
+/// Gadi simulator and tabulate which plan axes the learned model picks
+/// for fresh shapes — the companion of Tables V/VI for the generalised
+/// (threads × ISA × blocking × packing) decision.
+fn plan_table() {
+    banner("Plan table — grid-trained ExecutionPlan choices over fresh shapes, Gadi");
+    let timer = sim_timer(Machine::Gadi, true, Affinity::CoreBased);
+    let mut cfg = InstallConfig::quick();
+    // Every shape is timed at every grid point (threads × isa × blocking
+    // × packing), and the LOF filter is quadratic in rows — keep the
+    // thread axis coarse so the sweep stays a few thousand rows.
+    cfg.gather.n_shapes = 120;
+    cfg.gather.grid =
+        Some(adsala_gemm::plan::PlanGrid::full(vec![1, 8, 24, 48, timer.max_threads()]));
+    let install = Installation::run(&timer, &cfg).expect("grid install");
+    println!(
+        "grid: {} candidate plans per shape ({} threads x {} isa x {} block scales x {} packings); selected {:?}",
+        install.grid.len(),
+        install.grid.threads.len(),
+        install.grid.isa.len(),
+        install.grid.block_percents.len(),
+        install.grid.packing.len(),
+        install.selected
+    );
+
+    // Ground truth first: how often the sweep itself found a non-default
+    // axis optimal during gathering.
+    let optimal = install.data.optimal_points();
+    let swept = optimal.len();
+    let opt_isa =
+        optimal.iter().filter(|(_, p)| p.isa != adsala_gemm::plan::IsaChoice::default()).count();
+    let opt_blk = optimal.iter().filter(|(_, p)| p.block_percent != 100).count();
+    let opt_pack = optimal
+        .iter()
+        .filter(|(_, p)| p.packing != adsala_gemm::plan::PackingStrategy::SharedB)
+        .count();
+    println!(
+        "sweep-optimal non-default axes over {swept} training shapes: \
+         isa {opt_isa}, blocking {opt_blk}, packing {opt_pack}"
+    );
+
+    // Serve fresh shapes and tabulate the model's plan choices.
+    let service = adsala::AdsalaService::with_config(
+        install.into_bundle().into_shared(),
+        adsala::ServiceConfig { pool_workers: 1, ..Default::default() },
+    );
+    let shapes = sample_shapes(MemoryCap::paper_training(), 120, 0x91A);
+    println!("\n{:<10} {:>8} {:>8} {:>12}  chosen plan", "m", "k", "n", "pred (s)");
+    let mut csv_rows = Vec::new();
+    let mut chose_isa = 0usize;
+    let mut chose_blk = 0usize;
+    let mut chose_pack = 0usize;
+    let mut distinct: std::collections::HashSet<adsala_gemm::plan::ExecutionPlan> =
+        std::collections::HashSet::new();
+    for (i, &s) in shapes.iter().enumerate() {
+        let d = service.select_threads(s.m, s.k, s.n);
+        let plan = d.plan;
+        distinct.insert(plan);
+        chose_isa += usize::from(plan.kernel_isa.is_some());
+        chose_blk += usize::from(plan.blocking.is_some());
+        chose_pack += usize::from(plan.packing != adsala_gemm::plan::PackingStrategy::SharedB);
+        if i < 16 {
+            println!(
+                "{:<10} {:>8} {:>8} {:>12.3e}  [{}]",
+                s.m,
+                s.k,
+                s.n,
+                d.predicted_runtime_s,
+                plan.describe()
+            );
+        }
+        let isa = plan.kernel_isa.map_or("auto", |i| i.as_str());
+        let blk = plan
+            .blocking
+            .map_or_else(|| "auto".to_string(), |b| format!("{}x{}x{}", b.mc, b.kc, b.nc));
+        csv_rows.push(format!(
+            "{},{},{},{},{},{},{},{:.9e}",
+            s.m, s.k, s.n, plan.threads, isa, blk, plan.packing, d.predicted_runtime_s
+        ));
+    }
+    println!(
+        "\nmodel-selected over {} fresh shapes: {} distinct plans; non-default axes: \
+         isa {}, blocking {}, packing {}",
+        shapes.len(),
+        distinct.len(),
+        chose_isa,
+        chose_blk,
+        chose_pack
+    );
+    let axes_moved = [chose_isa, chose_blk, chose_pack].iter().filter(|&&c| c > 0).count();
+    println!("plan axes exercised beyond the thread count: {axes_moved} of 3");
+
+    // One real host execution through the service so the executed plan —
+    // and any force-scalar/unsupported-ISA degradation — is visible.
+    {
+        use adsala_gemm::dispatch::{GemmArgs, OpRequest};
+        let (m, n, k) = (192usize, 160, 224);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i % 13) as f32 - 6.0) * 0.25).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i % 11) as f32 - 5.0) * 0.5).collect();
+        let mut c = vec![0.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let (d, stats) = service.run(&mut req).expect("serve sgemm");
+        println!(
+            "[service] sgemm {m}x{k}x{n}: requested [{}], executed isa={} degraded={}",
+            d.plan.describe(),
+            stats.exec.kernel_isa,
+            stats.plan_degraded
+        );
+    }
+
+    let path = write_csv(
+        "plan_choices_gadi.csv",
+        "m,k,n,threads,isa,blocking,packing,predicted_s",
+        &csv_rows,
+    );
+    println!("[csv] {}", path.display());
 }
 
 // ---------------------------------------------------------------- fig 10
@@ -549,14 +694,14 @@ fn predesigned(machine: Machine, tag: &str) {
                 let shape = grid.shape(swept, fixed);
                 let t_orig = timer.time(shape, p_max, 10);
                 let d = runtime.select_threads(shape.m, shape.k, shape.n);
-                let t_ml = timer.time(shape, d.threads, 10);
+                let t_ml = timer.time(shape, d.threads(), 10);
                 let gf = |t: f64| shape.flops() as f64 / t / 1e9;
                 println!(
                     "{:>8} {:>14.2} {:>14.2} {:>10} {:>8.2}",
                     swept,
                     gf(t_orig),
                     gf(t_ml),
-                    d.threads,
+                    d.threads(),
                     t_orig / t_ml
                 );
                 rows.push(format!(
@@ -595,7 +740,7 @@ fn table7() {
     );
     let mut rows = Vec::new();
     for shape in [GemmShape::new(64, 2048, 64), GemmShape::new(64, 64, 4096)] {
-        let chosen = runtime.select_threads(shape.m, shape.k, shape.n).threads;
+        let chosen = runtime.select_threads(shape.m, shape.k, shape.n).threads();
         for (label, p) in [("no ML", model.max_threads()), ("with ML", chosen)] {
             let c = model.expected(shape, p);
             let reps = 1000.0;
@@ -645,6 +790,7 @@ fn learning_curve() {
             records: data.records.iter().filter(|r| shapes.contains(&r.shape)).copied().collect(),
             shapes: data.shapes.iter().take(n_shapes).copied().collect(),
             ladder: data.ladder.clone(),
+            grid: data.grid.clone(),
             machine: data.machine.clone(),
             max_threads: data.max_threads,
         };
@@ -720,14 +866,14 @@ fn ops_extension() {
         for &s in &shapes {
             let d = runtime.select_threads(s.m, s.k, s.n);
             let t_max = timer.time(s, p_max, 5);
-            let t_ml = timer.time(s, d.threads, 5);
+            let t_ml = timer.time(s, d.threads(), 5);
             speedups.push(t_max / t_ml);
             rows.push(format!(
                 "{},{},{},{},{:.6e},{:.6e}",
                 op.name(),
                 s.m,
                 s.k,
-                d.threads,
+                d.threads(),
                 t_max,
                 t_ml
             ));
@@ -843,12 +989,12 @@ fn ablation_halton() {
             .flat_map(|&shape| {
                 ladder.counts.iter().map(move |&threads| adsala::gather::GemmRecord {
                     shape,
-                    threads,
+                    point: adsala_gemm::plan::PlanPoint::threads_only(threads),
                     runtime_s: 0.0,
                 })
             })
             .map(|mut r| {
-                r.runtime_s = timer.time(r.shape, r.threads, 3);
+                r.runtime_s = timer.time(r.shape, r.threads(), 3);
                 r
             })
             .collect();
@@ -856,6 +1002,7 @@ fn ablation_halton() {
             records,
             shapes: shapes.to_vec(),
             ladder: ladder.clone(),
+            grid: adsala_gemm::plan::PlanGrid::threads_only(ladder.counts.clone()),
             machine: timer.name(),
             max_threads: 96,
         }

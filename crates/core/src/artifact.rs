@@ -2,19 +2,27 @@
 //! loads at program boot (Figs. 2/3 of the paper).
 //!
 //! One JSON document holds the preprocessing configuration, another the
-//! trained models; both are bundled with provenance (machine name, thread
-//! candidates) so a runtime handle can be reconstructed with nothing else.
+//! trained models; both are bundled with provenance (machine name,
+//! candidate plan grid) so a runtime handle can be reconstructed with
+//! nothing else.
 //!
-//! **Schema v2** carries a per-routine [`ModelTable`] instead of v1's
-//! single GEMM model, so one artefact can hold dedicated SYRK/GEMV
-//! selectors next to the GEMM one. v1 documents still load: their model
-//! migrates into the table's GEMM slot, which every other routine falls
-//! back to (sound because each routine's shape maps into the same GEMM
-//! feature space — see [`adsala_gemm::OpShape::gemm_equivalent`]).
+//! **Schema v3** carries a full candidate [`PlanGrid`] — thread counts
+//! plus the ISA, blocking-scale, and packing axes the install-time sweep
+//! sampled — instead of v2's bare thread-count list. Both earlier schemas
+//! still load and degrade to threads-only grids, so a migrated artefact
+//! decides bit-identically to the build that wrote it:
+//!
+//! * **v2** (per-routine [`ModelTable`], `candidates` list) → the list
+//!   becomes [`PlanGrid::threads_only`];
+//! * **v1** (single GEMM model) → the model additionally migrates into
+//!   the table's GEMM slot, which every other routine falls back to
+//!   (sound because each routine's shape maps into the same GEMM feature
+//!   space — see [`adsala_gemm::OpShape::gemm_equivalent`]).
 
 use std::fs;
 use std::path::Path;
 
+use adsala_gemm::plan::PlanGrid;
 use adsala_gemm::Routine;
 use adsala_ml::AnyModel;
 use serde::{Deserialize, Serialize};
@@ -77,15 +85,16 @@ impl ModelTable {
     }
 }
 
-/// A complete, self-describing installation artefact (schema v2).
+/// A complete, self-describing installation artefact (schema v3).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Artifact {
     /// Schema version; [`Artifact::VERSION`] when written by this build.
     pub version: u32,
     /// Name of the machine the artefact was trained for.
     pub machine: String,
-    /// Candidate thread counts the runtime sweeps.
-    pub candidates: Vec<u32>,
+    /// Candidate plan grid the runtime sweeps (threads-only when the
+    /// artefact was migrated from v1/v2 or installed without a grid).
+    pub grid: PlanGrid,
     /// Preprocessing configuration ("config file" in Fig. 2).
     pub config: PreprocessConfig,
     /// Per-routine trained models ("trained model" in Fig. 2, per slot).
@@ -102,6 +111,16 @@ struct ArtifactV1 {
     model: AnyModel,
 }
 
+/// The v2 on-disk layout: a model table, but a bare thread-count list
+/// where v3 has the plan grid. Kept only for migration.
+#[derive(Deserialize)]
+struct ArtifactV2 {
+    machine: String,
+    candidates: Vec<u32>,
+    config: PreprocessConfig,
+    models: ModelTable,
+}
+
 /// Minimal probe to branch on the schema version before a full parse.
 #[derive(Deserialize)]
 struct VersionProbe {
@@ -110,28 +129,42 @@ struct VersionProbe {
 
 impl Artifact {
     /// Current schema version.
-    pub const VERSION: u32 = 2;
+    pub const VERSION: u32 = 3;
     /// The legacy single-model schema still accepted by `from_json`.
     pub const V1: u32 = 1;
+    /// The legacy threads-only schema still accepted by `from_json`.
+    pub const V2: u32 = 2;
 
-    /// Bundle runtime state into an artefact with only a GEMM model.
+    /// Bundle runtime state into an artefact with only a GEMM model and a
+    /// threads-only candidate grid.
     pub fn from_parts(
         machine: &str,
         candidates: Vec<u32>,
         config: PreprocessConfig,
         model: AnyModel,
     ) -> Self {
-        Self::from_table(machine, candidates, config, ModelTable::gemm_only(model))
+        Self::from_table(
+            machine,
+            config,
+            ModelTable::gemm_only(model),
+            PlanGrid::threads_only(candidates),
+        )
     }
 
-    /// Bundle runtime state into an artefact with a full model table.
+    /// Bundle runtime state into an artefact with a full model table and
+    /// candidate grid.
     pub fn from_table(
         machine: &str,
-        candidates: Vec<u32>,
         config: PreprocessConfig,
         models: ModelTable,
+        grid: PlanGrid,
     ) -> Self {
-        Self { version: Self::VERSION, machine: machine.to_string(), candidates, config, models }
+        Self { version: Self::VERSION, machine: machine.to_string(), grid, config, models }
+    }
+
+    /// Candidate thread counts (the grid's thread axis).
+    pub fn candidates(&self) -> &[u32] {
+        &self.grid.threads
     }
 
     /// Serialise to a JSON string (always the current schema).
@@ -139,9 +172,10 @@ impl Artifact {
         serde_json::to_string(self).map_err(|e| AdsalaError::Artifact(e.to_string()))
     }
 
-    /// Deserialise from a JSON string, migrating v1 documents (their
-    /// single model lands in the table's GEMM slot). Versions this build
-    /// does not know return [`AdsalaError::Unsupported`].
+    /// Deserialise from a JSON string, migrating older documents: a v2
+    /// thread-count list becomes a threads-only [`PlanGrid`], and a v1
+    /// single model additionally lands in the table's GEMM slot. Versions
+    /// this build does not know return [`AdsalaError::Unsupported`].
     pub fn from_json(json: &str) -> Result<Self, AdsalaError> {
         let err = |e: serde_json::Error| AdsalaError::Artifact(e.to_string());
         let probe: VersionProbe = serde_json::from_str(json).map_err(err)?;
@@ -152,9 +186,20 @@ impl Artifact {
                 Artifact {
                     version: Self::VERSION,
                     machine,
-                    candidates,
+                    grid: PlanGrid::threads_only(candidates),
                     config,
                     models: ModelTable::gemm_only(model),
+                }
+            }
+            Self::V2 => {
+                let ArtifactV2 { machine, candidates, config, models } =
+                    serde_json::from_str(json).map_err(err)?;
+                Artifact {
+                    version: Self::VERSION,
+                    machine,
+                    grid: PlanGrid::threads_only(candidates),
+                    config,
+                    models,
                 }
             }
             Self::VERSION => serde_json::from_str::<Artifact>(json).map_err(err)?,
@@ -166,7 +211,7 @@ impl Artifact {
                 )))
             }
         };
-        if artifact.candidates.is_empty() {
+        if artifact.grid.threads.is_empty() {
             return Err(AdsalaError::Artifact("artifact has no thread candidates".into()));
         }
         Ok(artifact)
@@ -219,7 +264,7 @@ mod tests {
         Artifact::from_parts("gadi-sim", data.ladder.counts, fitted.config, model)
     }
 
-    /// Writer for the legacy layout, so migration is testable in-unit.
+    /// Writer for the v1 layout, so migration is testable in-unit.
     #[derive(Serialize)]
     struct V1Writer {
         version: u32,
@@ -227,6 +272,16 @@ mod tests {
         candidates: Vec<u32>,
         config: PreprocessConfig,
         model: AnyModel,
+    }
+
+    /// Writer for the v2 layout (model table, bare thread list).
+    #[derive(Serialize)]
+    struct V2Writer {
+        version: u32,
+        machine: String,
+        candidates: Vec<u32>,
+        config: PreprocessConfig,
+        models: ModelTable,
     }
 
     #[test]
@@ -247,14 +302,37 @@ mod tests {
         let v1 = V1Writer {
             version: Artifact::V1,
             machine: art.machine.clone(),
-            candidates: art.candidates.clone(),
+            candidates: art.candidates().to_vec(),
             config: art.config.clone(),
             model: art.models.gemm.clone(),
         };
         let json = serde_json::to_string(&v1).unwrap();
         let migrated = Artifact::from_json(&json).unwrap();
         assert_eq!(migrated.version, Artifact::VERSION);
+        assert!(migrated.grid.is_threads_only(), "v1 artefacts degrade to threads-only grids");
         assert!(!migrated.models.has_dedicated(adsala_gemm::Routine::Syrk));
+        let mut a = art.into_runtime();
+        let mut b = migrated.into_runtime();
+        for (m, k, n) in [(64, 64, 64), (1000, 500, 1000), (2000, 64, 2000)] {
+            assert_eq!(a.select_threads(m, k, n), b.select_threads(m, k, n));
+        }
+    }
+
+    #[test]
+    fn v2_document_migrates_to_threads_only_grid() {
+        let art = artifact();
+        let v2 = V2Writer {
+            version: Artifact::V2,
+            machine: art.machine.clone(),
+            candidates: art.candidates().to_vec(),
+            config: art.config.clone(),
+            models: art.models.clone(),
+        };
+        let json = serde_json::to_string(&v2).unwrap();
+        let migrated = Artifact::from_json(&json).unwrap();
+        assert_eq!(migrated.version, Artifact::VERSION);
+        assert_eq!(migrated.grid, PlanGrid::threads_only(art.candidates().to_vec()));
+        assert!(!migrated.grid.plan_features);
         let mut a = art.into_runtime();
         let mut b = migrated.into_runtime();
         for (m, k, n) in [(64, 64, 64), (1000, 500, 1000), (2000, 64, 2000)] {
@@ -282,7 +360,7 @@ mod tests {
         art.save(&path).unwrap();
         let back = Artifact::load(&path).unwrap();
         assert_eq!(back.machine, "gadi-sim");
-        assert_eq!(back.candidates, art.candidates);
+        assert_eq!(back.grid, art.grid);
         assert_eq!(back.version, Artifact::VERSION);
         std::fs::remove_file(&path).ok();
     }
@@ -301,7 +379,7 @@ mod tests {
     #[test]
     fn empty_candidates_rejected() {
         let mut art = artifact();
-        art.candidates.clear();
+        art.grid.threads.clear();
         let json = serde_json::to_string(&art).unwrap();
         assert!(Artifact::from_json(&json).is_err());
     }

@@ -1,8 +1,8 @@
 //! The immutable runtime artefact bundle — layer 1 of the serving stack.
 //!
-//! [`ArtifactBundle`] is everything the runtime phase needs to make a
-//! thread decision: the fitted preprocessing configuration, the
-//! per-routine [`ModelTable`], and the candidate thread ladder. It is
+//! [`ArtifactBundle`] is everything the runtime phase needs to make an
+//! execution-plan decision: the fitted preprocessing configuration, the
+//! per-routine [`ModelTable`], and the candidate [`PlanGrid`]. It is
 //! deliberately immutable — no memo, no counters — so one bundle can sit
 //! behind an `Arc` and be read by any number of serving threads without
 //! synchronisation. The mutable concerns live in the layers above it:
@@ -12,34 +12,46 @@
 //! Decisions are routine- and precision-generic: [`ArtifactBundle::decide_op`]
 //! takes an [`OpShape`] (routine, precision, dimensions), picks the
 //! routine's model (GEMM fallback), maps the dimensions into the §III-A
-//! GEMM feature space, and sweeps the ladder. The legacy
-//! [`ArtifactBundle::decide`] is the f32-GEMM special case.
+//! GEMM feature space, and sweeps the grid. The legacy
+//! [`ArtifactBundle::decide`] is the f32-GEMM special case. A bundle
+//! built from a threads-only grid (every migrated v1/v2 artefact) decides
+//! bit-identically to the pre-plan thread ladder and emits threads-only
+//! plans.
 //!
 //! A bundle round-trips through [`crate::artifact::Artifact`] (the
-//! on-disk JSON installation artefact, schema v2), which adds provenance
-//! (machine name, schema version) on top of these three fields.
+//! on-disk JSON installation artefact, schema v3), which adds provenance
+//! (machine name, schema version) on top of these fields.
 
 use std::path::Path;
 use std::sync::Arc;
 
+use adsala_gemm::plan::{ExecutionPlan, PlanGrid};
 use adsala_gemm::{OpShape, Precision, Routine};
 use adsala_ml::AnyModel;
 use serde::{Deserialize, Serialize};
 
 use crate::artifact::{Artifact, ModelTable};
 use crate::preprocess::PreprocessConfig;
-use crate::select::predict_threads_for_op;
+use crate::select::predict_plan_for_op;
 use crate::AdsalaError;
 
-/// The outcome of a thread selection.
+/// The outcome of a plan selection: the full learned execution plan plus
+/// the model's runtime prediction for it.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ThreadDecision {
-    /// The chosen thread count.
-    pub threads: u32,
-    /// Model-predicted runtime at that count (seconds).
+pub struct PlanDecision {
+    /// The chosen execution plan (threads, kernel ISA, blocking, packing).
+    pub plan: ExecutionPlan,
+    /// Model-predicted runtime under that plan (seconds).
     pub predicted_runtime_s: f64,
     /// Whether the decision came from a memo rather than a model sweep.
     pub memoised: bool,
+}
+
+impl PlanDecision {
+    /// The plan's thread count — the axis the paper learns.
+    pub fn threads(&self) -> u32 {
+        self.plan.threads
+    }
 }
 
 /// The immutable installation artefacts, packaged for shared serving.
@@ -52,12 +64,14 @@ pub struct ArtifactBundle {
     pub config: PreprocessConfig,
     /// Per-routine trained models (GEMM mandatory, rest fall back to it).
     pub models: ModelTable,
-    /// Candidate thread counts swept per decision.
-    pub candidates: Vec<u32>,
+    /// Candidate plan grid swept per decision (threads-only for migrated
+    /// pre-grid artefacts).
+    pub grid: PlanGrid,
 }
 
 impl ArtifactBundle {
-    /// Assemble a bundle from its parts with only a GEMM model.
+    /// Assemble a bundle from its parts with only a GEMM model and a
+    /// threads-only candidate grid (the paper's ladder).
     ///
     /// # Panics
     /// Panics if `candidates` is empty — a runtime with nothing to sweep
@@ -66,13 +80,27 @@ impl ArtifactBundle {
         Self::with_models(config, ModelTable::gemm_only(model), candidates)
     }
 
-    /// Assemble a bundle from its parts with a full model table.
+    /// Assemble a bundle from its parts with a full model table and a
+    /// threads-only candidate grid.
     ///
     /// # Panics
     /// Panics if `candidates` is empty.
     pub fn with_models(config: PreprocessConfig, models: ModelTable, candidates: Vec<u32>) -> Self {
         assert!(!candidates.is_empty(), "need at least one candidate thread count");
-        Self { config, models, candidates }
+        Self { config, models, grid: PlanGrid::threads_only(candidates) }
+    }
+
+    /// Replace the candidate grid (builder-style). The grid's feature
+    /// shape must match what `config`'s chain was fitted on: plan-feature
+    /// grids pair with grid-trained configs, threads-only grids with
+    /// ladder-trained ones.
+    ///
+    /// # Panics
+    /// Panics if `grid` has no candidate points.
+    pub fn with_grid(mut self, grid: PlanGrid) -> Self {
+        assert!(!grid.is_empty(), "need at least one candidate plan point");
+        self.grid = grid;
+        self
     }
 
     /// Install a dedicated model for one routine (builder-style).
@@ -81,40 +109,40 @@ impl ArtifactBundle {
         self
     }
 
+    /// Candidate thread counts (the grid's thread axis).
+    pub fn candidates(&self) -> &[u32] {
+        &self.grid.threads
+    }
+
     /// Wrap into the shared handle the serving layer uses.
     pub fn into_shared(self) -> Arc<Self> {
         Arc::new(self)
     }
 
-    /// Run one full model sweep over the candidate ladder for any
+    /// Run one full model sweep over the candidate grid for any
     /// operation. Pure: no memo is consulted or updated, so equal inputs
     /// always produce equal decisions.
-    pub fn decide_op(&self, shape: OpShape) -> ThreadDecision {
+    pub fn decide_op(&self, shape: OpShape) -> PlanDecision {
         let model = self.models.for_routine(shape.routine);
-        let (threads, predicted_runtime_s) =
-            predict_threads_for_op(model, &self.config, &self.candidates, shape);
-        ThreadDecision { threads, predicted_runtime_s, memoised: false }
+        let (plan, predicted_runtime_s) =
+            predict_plan_for_op(model, &self.config, &self.grid, shape);
+        PlanDecision { plan, predicted_runtime_s, memoised: false }
     }
 
     /// The f32-GEMM special case of [`ArtifactBundle::decide_op`], kept
     /// for the paper-faithful `(m, k, n)` call sites.
-    pub fn decide(&self, m: u64, k: u64, n: u64) -> ThreadDecision {
+    pub fn decide(&self, m: u64, k: u64, n: u64) -> PlanDecision {
         self.decide_op(OpShape::gemm(Precision::F32, m, k, n))
     }
 
     /// Strip provenance off an on-disk artefact.
     pub fn from_artifact(artifact: Artifact) -> Self {
-        Self::with_models(artifact.config, artifact.models, artifact.candidates)
+        Self { config: artifact.config, models: artifact.models, grid: artifact.grid }
     }
 
     /// Re-attach provenance, producing a saveable artefact.
     pub fn to_artifact(&self, machine: &str) -> Artifact {
-        Artifact::from_table(
-            machine,
-            self.candidates.clone(),
-            self.config.clone(),
-            self.models.clone(),
-        )
+        Artifact::from_table(machine, self.config.clone(), self.models.clone(), self.grid.clone())
     }
 
     /// Save as a versioned installation artefact at `path`.
@@ -161,7 +189,8 @@ pub(crate) mod tests {
         let first = bundle.decide(256, 256, 256);
         let again = bundle.decide(256, 256, 256);
         assert_eq!(first, again, "an immutable bundle must be deterministic");
-        assert!(bundle.candidates.contains(&first.threads));
+        assert!(bundle.candidates().contains(&first.threads()));
+        assert!(first.plan.is_threads_only(), "a threads-only grid emits threads-only plans");
         assert!(first.predicted_runtime_s > 0.0);
         assert!(!first.memoised);
     }
@@ -176,7 +205,7 @@ pub(crate) mod tests {
             OpShape::gemv(Precision::F32, 4096, 512),
         ] {
             let d = bundle.decide_op(shape);
-            assert!(bundle.candidates.contains(&d.threads), "{shape:?}");
+            assert!(bundle.candidates().contains(&d.threads()), "{shape:?}");
             assert!(d.predicted_runtime_s > 0.0);
         }
     }
@@ -211,7 +240,7 @@ pub(crate) mod tests {
         assert!(bundle.models.has_dedicated(Routine::Syrk));
         // GEMM decisions are untouched.
         let d = bundle.decide(256, 256, 256);
-        assert!(bundle.candidates.contains(&d.threads));
+        assert!(bundle.candidates().contains(&d.threads()));
     }
 
     #[test]
@@ -239,7 +268,8 @@ pub(crate) mod tests {
         let path = dir.join("bundle.json");
         bundle.save("gadi-sim", &path).unwrap();
         let back = ArtifactBundle::load(&path).unwrap();
-        assert_eq!(back.candidates, bundle.candidates);
+        assert_eq!(back.candidates(), bundle.candidates());
+        assert_eq!(back.grid, bundle.grid);
         assert_eq!(back.decide(128, 512, 128), bundle.decide(128, 512, 128));
         std::fs::remove_file(&path).ok();
     }

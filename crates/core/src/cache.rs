@@ -27,7 +27,7 @@ use adsala_gemm::OpShape;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
-use crate::bundle::ThreadDecision;
+use crate::bundle::PlanDecision;
 
 /// A decision key: routine, precision, and the routine's logical
 /// dimensions. An f32 GEMM and an f64 GEMM of the same dimensions are
@@ -72,8 +72,8 @@ impl CacheStats {
 #[derive(Debug, Default)]
 struct ShardState {
     /// The shard's last-decided shape — the §III-C fast path.
-    last: Option<(ShapeKey, ThreadDecision)>,
-    map: HashMap<ShapeKey, ThreadDecision>,
+    last: Option<(ShapeKey, PlanDecision)>,
+    map: HashMap<ShapeKey, PlanDecision>,
 }
 
 /// A sharded, capacity-bounded, concurrent memo of thread decisions.
@@ -125,7 +125,7 @@ impl DecisionCache {
     }
 
     /// Look a shape up, counting exactly one hit or one miss.
-    pub fn get(&self, key: ShapeKey) -> Option<ThreadDecision> {
+    pub fn get(&self, key: ShapeKey) -> Option<PlanDecision> {
         let shard = self.shard_for(key);
         let found = {
             let state = shard.read();
@@ -149,9 +149,9 @@ impl DecisionCache {
     /// Insert (or refresh) a decision, evicting an arbitrary resident
     /// entry if the shard is at capacity. Also refreshes the shard's
     /// last-shape fast path.
-    pub fn insert(&self, key: ShapeKey, decision: ThreadDecision) {
+    pub fn insert(&self, key: ShapeKey, decision: PlanDecision) {
         // The fast path must replay as a memo hit.
-        let stored = ThreadDecision { memoised: true, ..decision };
+        let stored = PlanDecision { memoised: true, ..decision };
         let shard = self.shard_for(key);
         let mut state = shard.write();
         if !state.map.contains_key(&key) && state.map.len() >= self.per_shard_capacity {
@@ -206,8 +206,12 @@ mod tests {
     use super::*;
     use adsala_gemm::Precision;
 
-    fn decision(threads: u32) -> ThreadDecision {
-        ThreadDecision { threads, predicted_runtime_s: 1e-3, memoised: false }
+    fn decision(threads: u32) -> PlanDecision {
+        PlanDecision {
+            plan: adsala_gemm::plan::ExecutionPlan::with_threads(threads),
+            predicted_runtime_s: 1e-3,
+            memoised: false,
+        }
     }
 
     fn key(m: u64, k: u64, n: u64) -> ShapeKey {
@@ -220,7 +224,7 @@ mod tests {
         assert!(cache.get(key(1, 2, 3)).is_none());
         cache.insert(key(1, 2, 3), decision(8));
         let hit = cache.get(key(1, 2, 3)).expect("resident");
-        assert_eq!(hit.threads, 8);
+        assert_eq!(hit.threads(), 8);
         assert!(hit.memoised, "cache replay must be flagged memoised");
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
@@ -236,9 +240,9 @@ mod tests {
         // SYRK(8,8) maps to the same feature point as GEMM(8,8,8) but is a
         // distinct cache entry.
         cache.insert(OpShape::syrk(Precision::F32, 8, 8), decision(6));
-        assert_eq!(cache.get(OpShape::gemm(Precision::F32, 8, 8, 8)).unwrap().threads, 2);
-        assert_eq!(cache.get(OpShape::gemm(Precision::F64, 8, 8, 8)).unwrap().threads, 4);
-        assert_eq!(cache.get(OpShape::syrk(Precision::F32, 8, 8)).unwrap().threads, 6);
+        assert_eq!(cache.get(OpShape::gemm(Precision::F32, 8, 8, 8)).unwrap().threads(), 2);
+        assert_eq!(cache.get(OpShape::gemm(Precision::F64, 8, 8, 8)).unwrap().threads(), 4);
+        assert_eq!(cache.get(OpShape::syrk(Precision::F32, 8, 8)).unwrap().threads(), 6);
         assert!(cache.get(OpShape::gemv(Precision::F32, 8, 8)).is_none());
     }
 
@@ -262,7 +266,7 @@ mod tests {
         cache.insert(key(2, 2, 2), decision(4));
         // (1,1,1) was evicted by the 1-entry bound; (2,2,2) is `last`.
         assert!(cache.get(key(1, 1, 1)).is_none());
-        assert_eq!(cache.get(key(2, 2, 2)).unwrap().threads, 4);
+        assert_eq!(cache.get(key(2, 2, 2)).unwrap().threads(), 4);
     }
 
     #[test]

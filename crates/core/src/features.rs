@@ -12,10 +12,15 @@
 //! [`build_features_for_op`], so one trained model — or one per-routine
 //! model trained on that routine's timings — serves every routine.
 
+use adsala_gemm::plan::{IsaChoice, PackingStrategy, PlanPoint};
 use adsala_gemm::OpShape;
 
 /// Number of raw features before correlation pruning.
 pub const FEATURE_COUNT: usize = 17;
+
+/// Raw feature count when the plan axes ride along (grid-trained models):
+/// the Table II set plus one column per non-thread plan axis.
+pub const PLAN_FEATURE_COUNT: usize = FEATURE_COUNT + 3;
 
 /// Names of the raw features, in [`build_features`] order.
 pub fn feature_names() -> [&'static str; FEATURE_COUNT] {
@@ -80,6 +85,36 @@ pub fn build_features_for_op(shape: &OpShape, n_threads: u32) -> Vec<f64> {
     build_features(m, k, n, n_threads)
 }
 
+/// Names of the plan-axis columns appended by [`build_plan_features`].
+pub fn plan_feature_names() -> [&'static str; 3] {
+    ["isa_scalar", "block_scale", "packing_independent"]
+}
+
+/// Build the extended feature vector for one plan-grid point: the Table II
+/// set at the point's thread count, plus one column per non-thread plan
+/// axis (scalar-ISA flag, cache-block scale, independent-packing flag).
+/// Only grid-trained models ([`adsala_gemm::PlanGrid::plan_features`])
+/// consume these; threads-only artefacts keep the 17-feature space.
+pub fn build_plan_features(m: u64, k: u64, n: u64, point: &PlanPoint) -> Vec<f64> {
+    let mut f = build_features(m, k, n, point.threads);
+    f.push(match point.isa {
+        IsaChoice::Dispatched => 0.0,
+        IsaChoice::Scalar => 1.0,
+    });
+    f.push(f64::from(point.block_percent.max(1)) / 100.0);
+    f.push(match point.packing {
+        PackingStrategy::SharedB => 0.0,
+        PackingStrategy::Independent => 1.0,
+    });
+    f
+}
+
+/// The [`build_plan_features`] analogue of [`build_features_for_op`].
+pub fn build_plan_features_for_op(shape: &OpShape, point: &PlanPoint) -> Vec<f64> {
+    let (m, k, n) = shape.gemm_equivalent();
+    build_plan_features(m, k, n, point)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +152,32 @@ mod tests {
     fn names_and_vector_agree_in_length() {
         assert_eq!(feature_names().len(), FEATURE_COUNT);
         assert_eq!(build_features(2, 3, 4, 5).len(), FEATURE_COUNT);
+        assert_eq!(FEATURE_COUNT + plan_feature_names().len(), PLAN_FEATURE_COUNT);
+        assert_eq!(
+            build_plan_features(2, 3, 4, &PlanPoint::threads_only(5)).len(),
+            PLAN_FEATURE_COUNT
+        );
+    }
+
+    #[test]
+    fn plan_features_extend_the_base_row() {
+        let point = PlanPoint {
+            threads: 5,
+            isa: IsaChoice::Scalar,
+            block_percent: 50,
+            packing: PackingStrategy::Independent,
+        };
+        let f = build_plan_features(2, 3, 4, &point);
+        assert_eq!(&f[..FEATURE_COUNT], &build_features(2, 3, 4, 5)[..]);
+        assert_eq!(&f[FEATURE_COUNT..], &[1.0, 0.5, 1.0]);
+        // A default-axes point appends the all-defaults columns.
+        let base = build_plan_features(2, 3, 4, &PlanPoint::threads_only(5));
+        assert_eq!(&base[FEATURE_COUNT..], &[0.0, 1.0, 0.0]);
+        // And the op-shaped builder maps through gemm equivalents.
+        assert_eq!(
+            build_plan_features_for_op(&OpShape::syrk(Precision::F64, 100, 30), &point),
+            build_plan_features(100, 30, 100, &point)
+        );
     }
 
     #[test]

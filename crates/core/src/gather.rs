@@ -1,22 +1,36 @@
 //! Install-time data gathering (the left half of the paper's Fig. 2).
 //!
 //! Shapes come from a scrambled Halton sampler under a memory cap; each
-//! shape is timed at a ladder of thread counts, each configuration
-//! averaged over several repetitions. The paper runs different thread
-//! counts in different program executions to avoid perturbation — here
-//! that corresponds to independent noise streams per `(shape, threads)`.
+//! shape is timed at a candidate grid of execution plans — in the paper
+//! just a ladder of thread counts, optionally extended with ISA, cache-
+//! blocking and packing axes ([`adsala_gemm::PlanGrid`]) — each
+//! configuration averaged over several repetitions. The paper runs
+//! different thread counts in different program executions to avoid
+//! perturbation — here that corresponds to independent noise streams per
+//! `(shape, plan point)`.
 
+use adsala_gemm::plan::{PlanGrid, PlanPoint};
 use adsala_machine::GemmTimer;
 use adsala_sampling::{DomainSampler, GemmShape, MemoryCap, Precision};
 use serde::{Deserialize, Serialize};
 
-/// One timed configuration: the atom of the training set.
+/// One timed configuration: the atom of the training set. Every row
+/// records the full plan point it was timed under; threads-only gathers
+/// carry the default axes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GemmRecord {
     pub shape: GemmShape,
-    pub threads: u32,
+    /// The candidate plan this row was timed under.
+    pub point: PlanPoint,
     /// Mean measured runtime in seconds.
     pub runtime_s: f64,
+}
+
+impl GemmRecord {
+    /// The row's thread count (the point's thread axis).
+    pub fn threads(&self) -> u32 {
+        self.point.threads
+    }
 }
 
 /// The thread counts at which each shape is timed.
@@ -75,6 +89,10 @@ pub struct GatherConfig {
     /// Used when the routine's own constraints shrink the sensible domain
     /// (e.g. SYRK's `m×m` output).
     pub max_dim: Option<u64>,
+    /// Candidate plan grid; `None` = a threads-only grid over the ladder
+    /// (the paper's sweep). Setting a grid overrides `ladder` — the
+    /// gathered ladder becomes the grid's thread axis.
+    pub grid: Option<PlanGrid>,
     /// Halton scrambling / sampling seed.
     pub seed: u64,
 }
@@ -89,6 +107,7 @@ impl GatherConfig {
             reps: 10,
             ladder: None,
             max_dim: None,
+            grid: None,
             seed: 0x2023_000A,
         }
     }
@@ -105,27 +124,37 @@ pub struct TrainingData {
     pub records: Vec<GemmRecord>,
     pub shapes: Vec<GemmShape>,
     pub ladder: ThreadLadder,
+    /// The candidate grid the records were swept over (threads-only when
+    /// gathering was ladder-based); its thread axis equals `ladder`.
+    pub grid: PlanGrid,
     pub machine: String,
     pub max_threads: u32,
 }
 
 impl TrainingData {
-    /// Gather timings for `config` from `timer`.
+    /// Gather timings for `config` from `timer`: every sampled shape is
+    /// timed at every point of the candidate grid.
     pub fn gather<T: GemmTimer + ?Sized>(timer: &T, config: &GatherConfig) -> TrainingData {
-        let ladder =
-            config.ladder.clone().unwrap_or_else(|| ThreadLadder::geometric(timer.max_threads()));
+        let grid = match (&config.grid, &config.ladder) {
+            (Some(grid), _) => grid.clone(),
+            (None, Some(ladder)) => PlanGrid::threads_only(ladder.counts.clone()),
+            (None, None) => {
+                PlanGrid::threads_only(ThreadLadder::geometric(timer.max_threads()).counts)
+            }
+        };
+        let ladder = ThreadLadder { counts: grid.threads.clone() };
         let mut sampler = DomainSampler::new(config.cap, config.precision, config.seed);
         if let Some(max_dim) = config.max_dim {
             sampler = sampler.with_dim_bounds(1, max_dim);
         }
         let shapes = sampler.sample(config.n_shapes);
-        let mut records = Vec::with_capacity(shapes.len() * ladder.len());
+        let mut records = Vec::with_capacity(shapes.len() * grid.len());
         for &shape in &shapes {
-            for &threads in &ladder.counts {
+            for point in grid.points() {
                 records.push(GemmRecord {
                     shape,
-                    threads,
-                    runtime_s: timer.time(shape, threads, config.reps),
+                    point,
+                    runtime_s: timer.time_plan(shape, &point, config.reps),
                 });
             }
         }
@@ -133,14 +162,20 @@ impl TrainingData {
             records,
             shapes,
             ladder,
+            grid,
             machine: timer.name(),
             max_threads: timer.max_threads(),
         }
     }
 
     /// The measured-optimal thread count per shape (argmin over the
-    /// ladder) — the quantity histogrammed in the paper's Figs. 1 and 8.
+    /// sweep) — the quantity histogrammed in the paper's Figs. 1 and 8.
     pub fn optimal_threads(&self) -> Vec<(GemmShape, u32)> {
+        self.optimal_points().into_iter().map(|(shape, point)| (shape, point.threads)).collect()
+    }
+
+    /// The measured-optimal plan point per shape (argmin over the grid).
+    pub fn optimal_points(&self) -> Vec<(GemmShape, PlanPoint)> {
         self.shapes
             .iter()
             .map(|&shape| {
@@ -150,7 +185,7 @@ impl TrainingData {
                     .filter(|r| r.shape == shape)
                     .min_by(|a, b| a.runtime_s.partial_cmp(&b.runtime_s).expect("finite runtimes"))
                     .expect("every shape has records");
-                (shape, best.threads)
+                (shape, best.point)
             })
             .collect()
     }
@@ -213,7 +248,55 @@ mod tests {
         assert_eq!(data.shapes.len(), 30);
         assert_eq!(data.len(), 30 * data.ladder.len());
         assert!(data.records.iter().all(|r| r.runtime_s > 0.0));
+        assert!(data.grid.is_threads_only());
+        assert!(data.records.iter().all(|r| r.point.is_default_axes()));
         assert_eq!(data.max_threads, 96);
+    }
+
+    #[test]
+    fn grid_gather_sweeps_every_plan_point() {
+        let timer = SimTimer::new(MachineModel::gadi());
+        let grid = PlanGrid::full(vec![1, 8, 96]);
+        let config = GatherConfig {
+            n_shapes: 6,
+            reps: 2,
+            grid: Some(grid.clone()),
+            ..GatherConfig::quick()
+        };
+        let data = TrainingData::gather(&timer, &config);
+        assert_eq!(data.len(), 6 * grid.len());
+        assert_eq!(data.ladder.counts, grid.threads, "ladder mirrors the grid's thread axis");
+        assert_eq!(data.grid, grid);
+        assert!(data.records.iter().all(|r| r.runtime_s > 0.0));
+        // The default-axes rows are bit-identical to a plain ladder sweep
+        // of the same shapes (same timer stream).
+        let ladder_cfg = GatherConfig {
+            n_shapes: 6,
+            reps: 2,
+            ladder: Some(ThreadLadder { counts: vec![1, 8, 96] }),
+            ..GatherConfig::quick()
+        };
+        let ladder_data = TrainingData::gather(&timer, &ladder_cfg);
+        let defaults: Vec<&GemmRecord> =
+            data.records.iter().filter(|r| r.point.is_default_axes()).collect();
+        assert_eq!(defaults.len(), ladder_data.records.len());
+        for (a, b) in defaults.iter().zip(&ladder_data.records) {
+            assert_eq!(**a, *b);
+        }
+        // Non-default axes actually change the measurement.
+        let scalar = data
+            .records
+            .iter()
+            .find(|r| r.point.isa == adsala_gemm::IsaChoice::Scalar)
+            .expect("grid sweeps scalar points");
+        let base = data
+            .records
+            .iter()
+            .find(|r| {
+                r.shape == scalar.shape && r.point == PlanPoint::threads_only(scalar.point.threads)
+            })
+            .unwrap();
+        assert_ne!(scalar.runtime_s, base.runtime_s);
     }
 
     #[test]
@@ -235,7 +318,7 @@ mod tests {
             let best_time = data
                 .records
                 .iter()
-                .find(|r| r.shape == *shape && r.threads == *best)
+                .find(|r| r.shape == *shape && r.threads() == *best)
                 .unwrap()
                 .runtime_s;
             for r in data.records.iter().filter(|r| r.shape == *shape) {

@@ -124,8 +124,9 @@ pub struct Installation {
     pub selected: ModelKind,
     /// The production model: the winner refitted on all preprocessed data.
     pub model: AnyModel,
-    /// Runtime candidate thread counts (the gather ladder).
-    pub candidates: Vec<u32>,
+    /// Runtime candidate grid (the gather grid; threads-only for ladder
+    /// installs).
+    pub grid: adsala_gemm::plan::PlanGrid,
     /// Shapes held out from training (used by Table V-style evaluations).
     pub test_shapes: Vec<GemmShape>,
 }
@@ -176,11 +177,13 @@ impl Installation {
 
         // 3. Tune every family on the training split.
         //
-        // The runtime sweep uses the same thread ladder the gathering
-        // phase sampled: the model has no information between rungs, and
-        // a 16-rung sweep keeps the per-call evaluation in the tens of
-        // microseconds — the regime of the paper's Tables III/IV `t_eval`.
-        let candidates_runtime: Vec<u32> = data.ladder.counts.clone();
+        // The runtime sweep uses the same candidate grid the gathering
+        // phase sampled: the model has no information between grid points,
+        // and a threads-only sweep keeps the per-call evaluation in the
+        // tens of microseconds — the regime of the paper's Tables III/IV
+        // `t_eval`. Grid installs sweep every (threads, isa, blocking,
+        // packing) point instead.
+        let grid_runtime = data.grid.clone();
         let tuned = train_all_families(&cfg.families, &cfg.grids, &train_set, cfg.folds, cfg.seed)?;
 
         // 4. Score every family: NRMSE + measured eval time + estimated
@@ -197,11 +200,11 @@ impl Installation {
         for cand in &tuned {
             let nrmse = test_nrmse(&cand.model, &test_set);
             let eval_s = cfg.eval_scale
-                * measure_eval_time(&cand.model, &fitted.config, &candidates_runtime, &probes, 3);
+                * measure_eval_time(&cand.model, &fitted.config, &grid_runtime, &probes, 3);
             let speedups = estimate_speedups(
                 &cand.model,
                 &fitted.config,
-                &candidates_runtime,
+                &grid_runtime,
                 &speedup_shapes,
                 timer,
                 eval_s,
@@ -241,15 +244,20 @@ impl Installation {
             reports,
             selected,
             model,
-            candidates: candidates_runtime,
+            grid: grid_runtime,
             test_shapes: speedup_shapes,
         })
+    }
+
+    /// Runtime candidate thread counts (the grid's thread axis).
+    pub fn candidates(&self) -> &[u32] {
+        &self.grid.threads
     }
 
     /// Hand back the immutable artefact bundle — the input every serving
     /// layer (facade or concurrent service) is built from.
     pub fn into_bundle(self) -> ArtifactBundle {
-        ArtifactBundle::new(self.config, self.model, self.candidates)
+        ArtifactBundle::new(self.config, self.model, self.grid.threads.clone()).with_grid(self.grid)
     }
 
     /// Build the single-threaded runtime handle from this installation.
@@ -268,13 +276,13 @@ impl Installation {
         AdsalaService::with_config(self.into_bundle().into_shared(), cfg)
     }
 
-    /// Bundle into a saveable artefact.
+    /// Bundle into a saveable artefact (schema v3, carrying the grid).
     pub fn to_artifact(&self) -> crate::artifact::Artifact {
-        crate::artifact::Artifact::from_parts(
+        crate::artifact::Artifact::from_table(
             &self.machine,
-            self.candidates.clone(),
             self.config.clone(),
-            self.model.clone(),
+            crate::artifact::ModelTable::gemm_only(self.model.clone()),
+            self.grid.clone(),
         )
     }
 }
@@ -291,7 +299,8 @@ mod tests {
         assert_eq!(install.reports.len(), 2);
         assert!(install.model.is_fitted());
         assert_eq!(install.max_threads, 96);
-        assert_eq!(install.candidates, install.data.ladder.counts);
+        assert_eq!(install.candidates(), install.data.ladder.counts);
+        assert!(install.grid.is_threads_only(), "ladder installs stay threads-only");
         assert!(!install.test_shapes.is_empty());
 
         // The tree-boosting family must beat plain linear regression on
@@ -318,7 +327,7 @@ mod tests {
         let install = Installation::run(&timer, &InstallConfig::quick()).unwrap();
         let mut gemm = install.into_runtime();
         let d = gemm.select_threads(64, 2048, 64);
-        assert!((1..=96).contains(&d.threads));
+        assert!((1..=96).contains(&d.threads()));
     }
 
     #[test]

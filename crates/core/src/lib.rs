@@ -1,25 +1,31 @@
 //! ADSALA — Architecture and Data-Structure Aware Linear Algebra.
 //!
 //! The paper's contribution: a GEMM front-end that uses a regression model
-//! to pick, per call, the thread count minimising runtime. The library has
-//! the paper's two-phase life cycle:
+//! to pick, per call, the execution configuration minimising runtime. The
+//! paper learns one axis (the thread count); this library generalises the
+//! learned decision to a full [`adsala_gemm::plan::ExecutionPlan`] —
+//! threads, micro-kernel ISA, cache-blocking scale, and packing strategy —
+//! while keeping the paper's two-phase life cycle:
 //!
 //! **Installation** ([`gather`] → [`preprocess`] → [`train`] → [`select`]):
-//! sample GEMM shapes quasi-randomly, time them at a ladder of thread
-//! counts on the target machine (simulated node or the real host), build
-//! the Table II feature set, run the Yeo-Johnson → standardise → LOF →
-//! correlation-prune chain, tune all candidate model families with
-//! cross-validation, and pick the family with the best *estimated speedup*
+//! sample GEMM shapes quasi-randomly, time them at a grid of candidate
+//! plan points on the target machine (simulated node or the real host) —
+//! the paper's thread ladder is the grid's default, threads-only special
+//! case — build the Table II feature set (plus the plan axes for grid
+//! installs), run the Yeo-Johnson → standardise → LOF → correlation-prune
+//! chain, tune all candidate model families with cross-validation, and
+//! pick the family with the best *estimated speedup*
 //! `s = t_orig / (t_ADSALA + t_eval)`. The products are two artefacts
-//! ([`artifact`]): a preprocessing config and a trained model.
+//! ([`artifact`], schema v3): a preprocessing config and a trained model,
+//! plus the candidate grid they were fitted against.
 //!
 //! **Runtime**: load the artefacts once, and for every GEMM call evaluate
-//! the model at each candidate thread count, run the GEMM with the
-//! argmin, and memoise the decision for repeated shapes. The runtime is
+//! the model at each candidate grid point, run the GEMM with the argmin
+//! plan, and memoise the decision for repeated shapes. The runtime is
 //! layered for concurrent serving:
 //!
 //! 1. [`bundle::ArtifactBundle`] — the immutable artefacts (config +
-//!    model + candidate ladder), shared behind an `Arc`;
+//!    model + candidate grid), shared behind an `Arc`;
 //! 2. [`cache::DecisionCache`] — a lock-striped, capacity-bounded memo
 //!    with per-shard last-shape fast paths and hit/miss/eviction
 //!    counters;
@@ -39,7 +45,7 @@
 //! let install = Installation::run(&timer, &InstallConfig::quick()).unwrap();
 //! let service = install.into_service(); // Send + Sync, share by reference
 //! let decision = service.select_threads(64, 2048, 64);
-//! assert!(decision.threads >= 1);
+//! assert!(decision.threads() >= 1);
 //! ```
 
 pub mod artifact;
@@ -56,9 +62,12 @@ pub mod speedup;
 pub mod train;
 
 pub use artifact::{Artifact, ModelTable};
-pub use bundle::{ArtifactBundle, ThreadDecision};
+pub use bundle::{ArtifactBundle, PlanDecision};
 pub use cache::{CacheStats, DecisionCache};
-pub use features::{build_features, build_features_for_op, feature_names, FEATURE_COUNT};
+pub use features::{
+    build_features, build_features_for_op, build_plan_features, build_plan_features_for_op,
+    feature_names, plan_feature_names, FEATURE_COUNT, PLAN_FEATURE_COUNT,
+};
 pub use gather::{GatherConfig, GemmRecord, ThreadLadder, TrainingData};
 pub use install::{InstallConfig, Installation};
 pub use preprocess::{
@@ -66,7 +75,8 @@ pub use preprocess::{
 };
 pub use runtime::AdsalaGemm;
 pub use select::{
-    estimate_speedups, predict_threads_for_op, predict_threads_with_runtime, SpeedupEstimate,
+    estimate_speedups, predict_plan_for_op, predict_point_for_op, predict_threads_for_op,
+    predict_threads_with_runtime, SpeedupEstimate,
 };
 pub use service::{AdsalaService, RunOptions, ServiceConfig};
 pub use speedup::SpeedupStats;
@@ -99,7 +109,7 @@ pub use adsala_gemm::dispatch::{
 /// ```
 pub mod prelude {
     pub use crate::artifact::{Artifact, ModelTable};
-    pub use crate::bundle::{ArtifactBundle, ThreadDecision};
+    pub use crate::bundle::{ArtifactBundle, PlanDecision};
     pub use crate::cache::CacheStats;
     pub use crate::install::{InstallConfig, Installation};
     pub use crate::runtime::AdsalaGemm;
@@ -108,6 +118,7 @@ pub mod prelude {
     pub use adsala_gemm::dispatch::{
         GemmArgs, GemvArgs, OpRequest, OpShape, OpStats, Precision, Routine, ShapeError, SyrkArgs,
     };
+    pub use adsala_gemm::plan::{ExecutionPlan, PackingStrategy, PlanGrid};
     pub use adsala_gemm::Transpose;
 }
 

@@ -18,12 +18,13 @@
 //! [`PreprocessConfig::features_for`] is the runtime hot path that turns
 //! `(m, k, n, p)` into a model-ready row.
 
+use adsala_gemm::plan::PlanPoint;
 use adsala_ml::data::{Dataset, Matrix};
 use adsala_ml::preprocess::scaler::LabelScaler;
 use adsala_ml::preprocess::{CorrelationPruner, LocalOutlierFactor, StandardScaler, YeoJohnson};
 use serde::{Deserialize, Serialize};
 
-use crate::features::build_features;
+use crate::features::{build_features, build_plan_features};
 use crate::gather::TrainingData;
 use crate::AdsalaError;
 
@@ -47,6 +48,22 @@ impl PreprocessConfig {
     /// into the GEMM feature space, then go through the fitted chain.
     pub fn features_for_op(&self, shape: &adsala_gemm::OpShape, threads: u32) -> Vec<f64> {
         self.transform_raw(crate::features::build_features_for_op(shape, threads))
+    }
+
+    /// Model-ready feature row for one plan-grid point of a `(m, k, n)`
+    /// GEMM input. Only valid against a config fitted on plan-feature
+    /// rows (a grid-trained artefact).
+    pub fn features_for_plan(&self, m: u64, k: u64, n: u64, point: &PlanPoint) -> Vec<f64> {
+        self.transform_raw(build_plan_features(m, k, n, point))
+    }
+
+    /// The any-routine analogue of [`PreprocessConfig::features_for_plan`].
+    pub fn features_for_op_plan(
+        &self,
+        shape: &adsala_gemm::OpShape,
+        point: &PlanPoint,
+    ) -> Vec<f64> {
+        self.transform_raw(crate::features::build_plan_features_for_op(shape, point))
     }
 
     fn transform_raw(&self, mut row: Vec<f64>) -> Vec<f64> {
@@ -120,11 +137,19 @@ pub fn fit_preprocess_with(
     if data.is_empty() {
         return Err(AdsalaError::InsufficientData("no gathered records".into()));
     }
-    // 1. Raw features and log labels.
+    // 1. Raw features and log labels. Grid-gathered data appends the plan
+    //    axes as features; ladder-gathered data keeps the paper's Table II
+    //    space bit-for-bit.
     let rows: Vec<Vec<f64>> = data
         .records
         .iter()
-        .map(|r| build_features(r.shape.m, r.shape.k, r.shape.n, r.threads))
+        .map(|r| {
+            if data.grid.plan_features {
+                build_plan_features(r.shape.m, r.shape.k, r.shape.n, &r.point)
+            } else {
+                build_features(r.shape.m, r.shape.k, r.shape.n, r.threads())
+            }
+        })
         .collect();
     let x_raw = Matrix::from_rows(&rows);
     let log_runtime: Vec<f64> = data.records.iter().map(|r| r.runtime_s.max(1e-12).ln()).collect();
@@ -244,7 +269,41 @@ mod tests {
         // Row 0 of the surviving dataset corresponds to some record; check
         // the fast path reproduces the batch transform for a fresh input.
         let r = data.records[0];
-        let row = f.config.features_for(r.shape.m, r.shape.k, r.shape.n, r.threads);
+        let row = f.config.features_for(r.shape.m, r.shape.k, r.shape.n, r.threads());
+        assert_eq!(row.len(), f.config.pruner.kept.len());
+        assert!(row.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn plan_feature_fit_keeps_at_least_one_plan_axis() {
+        use adsala_gemm::plan::{IsaChoice, PackingStrategy, PlanGrid};
+        let timer = SimTimer::new(MachineModel::gadi());
+        let config = GatherConfig {
+            n_shapes: 40,
+            reps: 2,
+            grid: Some(PlanGrid::full(vec![1, 4, 16, 96])),
+            ..GatherConfig::quick()
+        };
+        let data = crate::gather::TrainingData::gather(&timer, &config);
+        let f = fit_preprocess(&data).unwrap();
+        assert_eq!(f.report.features_in, crate::features::PLAN_FEATURE_COUNT);
+        // The plan axes are weakly correlated with the size terms, so the
+        // pruner must keep them.
+        for plan_col in crate::features::FEATURE_COUNT..crate::features::PLAN_FEATURE_COUNT {
+            assert!(
+                f.config.pruner.kept.contains(&plan_col),
+                "plan-axis column {plan_col} was pruned: kept {:?}",
+                f.config.pruner.kept
+            );
+        }
+        // The runtime plan path produces rows of the fitted width.
+        let point = PlanPoint {
+            threads: 4,
+            isa: IsaChoice::Scalar,
+            block_percent: 50,
+            packing: PackingStrategy::Independent,
+        };
+        let row = f.config.features_for_plan(500, 300, 400, &point);
         assert_eq!(row.len(), f.config.pruner.kept.len());
         assert!(row.iter().all(|v| v.is_finite()));
     }
@@ -265,6 +324,7 @@ mod tests {
             records: vec![],
             shapes: vec![],
             ladder: crate::gather::ThreadLadder { counts: vec![] },
+            grid: adsala_gemm::plan::PlanGrid::threads_only(vec![]),
             machine: "none".into(),
             max_threads: 1,
         };

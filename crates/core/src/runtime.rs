@@ -30,7 +30,7 @@ use crate::preprocess::PreprocessConfig;
 use crate::service::{AdsalaService, RunOptions, ServiceConfig};
 use crate::AdsalaError;
 
-pub use crate::bundle::ThreadDecision;
+pub use crate::bundle::PlanDecision;
 
 /// The single-threaded runtime handle: artefacts + memoisation.
 #[derive(Debug)]
@@ -38,8 +38,8 @@ pub struct AdsalaGemm {
     bundle: ArtifactBundle,
     /// Keep every shape's decision, not just the last one.
     pub full_cache: bool,
-    last: Option<(OpShape, ThreadDecision)>,
-    cache: HashMap<OpShape, ThreadDecision>,
+    last: Option<(OpShape, PlanDecision)>,
+    cache: HashMap<OpShape, PlanDecision>,
     /// Model sweeps performed (diagnostics; memo hits don't count).
     pub evaluations: u64,
     /// Created on the first executing call, then reused — the facade
@@ -88,7 +88,7 @@ impl AdsalaGemm {
 
     /// Candidate thread counts swept per decision.
     pub fn candidates(&self) -> &[u32] {
-        &self.bundle.candidates
+        self.bundle.candidates()
     }
 
     /// Upgrade to the shared, concurrent serving layer, moving the
@@ -107,15 +107,15 @@ impl AdsalaGemm {
     /// are the same as the previous, the software will read and apply the
     /// predictions … without re-evaluation" (§III-C) — here generalised
     /// to the full `(routine, precision, dims)` key.
-    pub fn select_for(&mut self, shape: OpShape) -> ThreadDecision {
+    pub fn select_for(&mut self, shape: OpShape) -> PlanDecision {
         if let Some((last_key, decision)) = self.last {
             if last_key == shape {
-                return ThreadDecision { memoised: true, ..decision };
+                return PlanDecision { memoised: true, ..decision };
             }
         }
         if self.full_cache {
             if let Some(&decision) = self.cache.get(&shape) {
-                let hit = ThreadDecision { memoised: true, ..decision };
+                let hit = PlanDecision { memoised: true, ..decision };
                 self.last = Some((shape, decision));
                 return hit;
             }
@@ -130,7 +130,7 @@ impl AdsalaGemm {
     }
 
     /// The f32-GEMM special case of [`AdsalaGemm::select_for`].
-    pub fn select_threads(&mut self, m: u64, k: u64, n: u64) -> ThreadDecision {
+    pub fn select_threads(&mut self, m: u64, k: u64, n: u64) -> PlanDecision {
         self.select_for(OpShape::gemm(Precision::F32, m, k, n))
     }
 
@@ -152,7 +152,7 @@ impl AdsalaGemm {
     pub fn run<T: Element>(
         &mut self,
         req: &mut OpRequest<'_, T>,
-    ) -> Result<(ThreadDecision, OpStats), AdsalaError> {
+    ) -> Result<(PlanDecision, OpStats), AdsalaError> {
         self.run_with(req, RunOptions::default())
     }
 
@@ -162,7 +162,7 @@ impl AdsalaGemm {
         &mut self,
         req: &mut OpRequest<'_, T>,
         opts: RunOptions,
-    ) -> Result<(ThreadDecision, OpStats), AdsalaError> {
+    ) -> Result<(PlanDecision, OpStats), AdsalaError> {
         req.validate()?;
         let shape = req.shape();
         let decision = if opts.bypass_cache {
@@ -171,10 +171,10 @@ impl AdsalaGemm {
         } else {
             self.select_for(shape)
         };
-        let threads = opts.effective_threads(&decision);
+        let plan = opts.effective_plan(&decision);
         let pool = self.pool.get_or_insert_with(ThreadPool::with_host_parallelism);
         // Already validated above; skip the descriptor's re-check.
-        let stats = req.execute_validated(pool, threads);
+        let stats = req.execute_validated(pool, &plan);
         Ok((decision, stats))
     }
 
@@ -201,7 +201,7 @@ impl AdsalaGemm {
         c: &mut [f32],
         ldc: usize,
         host_max_threads: u32,
-    ) -> Result<(ThreadDecision, OpStats), AdsalaError> {
+    ) -> Result<(PlanDecision, OpStats), AdsalaError> {
         let mut req: OpRequest<'_, f32> =
             GemmArgs::untransposed(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc).into();
         self.run_with(&mut req, RunOptions::with_host_cap(host_max_threads.max(1)))
@@ -247,7 +247,7 @@ mod tests {
     fn decision_is_a_candidate() {
         let mut g = handle();
         let d = g.select_threads(256, 256, 256);
-        assert!(g.candidates().contains(&d.threads));
+        assert!(g.candidates().contains(&d.threads()));
         assert!(d.predicted_runtime_s > 0.0);
         assert!(!d.memoised);
     }
@@ -259,7 +259,7 @@ mod tests {
         let second = g.select_threads(128, 512, 128);
         assert!(!first.memoised);
         assert!(second.memoised);
-        assert_eq!(first.threads, second.threads);
+        assert_eq!(first.threads(), second.threads());
         assert_eq!(g.evaluations, 1, "memo hit must not re-evaluate");
     }
 
@@ -287,7 +287,7 @@ mod tests {
         assert_eq!(g.evaluations, 2);
         // Without a dedicated SYRK model both sweeps see the same
         // features, so the decision itself agrees bit for bit.
-        assert_eq!(gemm.threads, syrk.threads);
+        assert_eq!(gemm.threads(), syrk.threads());
         assert_eq!(gemm.predicted_runtime_s.to_bits(), syrk.predicted_runtime_s.to_bits());
     }
 
@@ -319,10 +319,10 @@ mod tests {
             ServiceConfig { pool_workers: 1, ..ServiceConfig::default() },
         );
         for (m, k, n) in [(64, 64, 64), (128, 512, 128), (64, 4096, 64)] {
-            assert_eq!(g.select_threads(m, k, n).threads, svc.select_threads(m, k, n).threads);
+            assert_eq!(g.select_threads(m, k, n).threads(), svc.select_threads(m, k, n).threads());
         }
         let shape = OpShape::syrk(Precision::F64, 500, 100);
-        assert_eq!(g.select_for(shape).threads, svc.select_for(shape).threads);
+        assert_eq!(g.select_for(shape).threads(), svc.select_for(shape).threads());
     }
 
     #[test]
@@ -336,7 +336,7 @@ mod tests {
         let mut c = vec![0.0f32; m * n];
         let (decision, stats) =
             g.sgemm_host(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 4).unwrap();
-        assert!(decision.threads >= 1);
+        assert!(decision.threads() >= 1);
         assert!(stats.exec.threads_used >= 1 && stats.exec.threads_used <= 4);
         // Verify against the naive oracle.
         let mut c_ref = vec![0.0f32; m * n];
@@ -388,6 +388,6 @@ mod tests {
         let mut back: AdsalaGemm = serde_json::from_str(&json).unwrap();
         back.clear_memo();
         let after = back.select_threads(512, 512, 512);
-        assert_eq!(before.threads, after.threads);
+        assert_eq!(before.threads(), after.threads());
     }
 }

@@ -13,6 +13,7 @@
 //! model-chosen count. The candidate with the highest estimated mean
 //! speedup wins.
 
+use adsala_gemm::plan::{ExecutionPlan, PlanGrid, PlanPoint};
 use adsala_machine::GemmTimer;
 use adsala_ml::{AnyModel, Regressor};
 use adsala_sampling::GemmShape;
@@ -56,6 +57,51 @@ pub fn predict_threads_for_op(
     (best, config.runtime_from_prediction(best_pred))
 }
 
+/// Predict the runtime-minimising plan-grid point for any routine's
+/// shape, returning the argmin point and its predicted runtime in
+/// seconds.
+///
+/// For a threads-only grid this sweep visits exactly the legacy thread
+/// ladder with the legacy 17-feature rows, in the legacy order — so a
+/// migrated (pre-grid) artefact decides bit-identically to
+/// [`predict_threads_for_op`]. Grid-trained artefacts
+/// ([`PlanGrid::plan_features`]) get the plan axes appended to every row.
+pub fn predict_point_for_op(
+    model: &AnyModel,
+    config: &PreprocessConfig,
+    grid: &PlanGrid,
+    shape: adsala_gemm::OpShape,
+) -> (PlanPoint, f64) {
+    debug_assert!(!grid.is_empty());
+    let mut best = PlanPoint::threads_only(grid.threads.first().copied().unwrap_or(1));
+    let mut best_pred = f64::INFINITY;
+    for point in grid.points() {
+        let row = if grid.plan_features {
+            config.features_for_op_plan(&shape, &point)
+        } else {
+            config.features_for_op(&shape, point.threads)
+        };
+        let pred = model.predict_row(&row);
+        if pred < best_pred {
+            best_pred = pred;
+            best = point;
+        }
+    }
+    (best, config.runtime_from_prediction(best_pred))
+}
+
+/// Like [`predict_point_for_op`], but materialises the winning point into
+/// a concrete [`ExecutionPlan`] for the shape's precision on this host.
+pub fn predict_plan_for_op(
+    model: &AnyModel,
+    config: &PreprocessConfig,
+    grid: &PlanGrid,
+    shape: adsala_gemm::OpShape,
+) -> (ExecutionPlan, f64) {
+    let (point, runtime_s) = predict_point_for_op(model, config, grid, shape);
+    (point.materialise(shape.precision), runtime_s)
+}
+
 /// The GEMM special case of [`predict_threads_for_op`].
 pub fn predict_threads_with_runtime(
     model: &AnyModel,
@@ -78,14 +124,16 @@ pub fn predict_threads(
 }
 
 /// Estimate ideal and evaluation-inclusive speedups of `model` over
-/// `shapes`, timing through `timer`.
+/// `shapes`, timing through `timer`. The model's choice is a full
+/// plan-grid point; the baseline stays the conventional default (all
+/// threads, default plan axes).
 ///
 /// `t_eval_s` is the measured per-call model evaluation time (seconds);
 /// `reps` is the timing repetition count per configuration.
 pub fn estimate_speedups<T: GemmTimer + ?Sized>(
     model: &AnyModel,
     config: &PreprocessConfig,
-    candidates: &[u32],
+    grid: &PlanGrid,
     shapes: &[GemmShape],
     timer: &T,
     t_eval_s: f64,
@@ -99,8 +147,9 @@ pub fn estimate_speedups<T: GemmTimer + ?Sized>(
     let mut total_adsala_eval = 0.0;
     for &shape in shapes {
         let t_orig = timer.time(shape, p_max, reps);
-        let chosen = predict_threads(model, config, candidates, shape);
-        let t_adsala = timer.time(shape, chosen, reps);
+        let op = adsala_gemm::OpShape::gemm(adsala_gemm::Precision::F32, shape.m, shape.k, shape.n);
+        let (chosen, _) = predict_point_for_op(model, config, grid, op);
+        let t_adsala = timer.time_plan(shape, &chosen, reps);
         ideal_ratios.push(t_orig / t_adsala);
         est_ratios.push(t_orig / (t_adsala + t_eval_s));
         total_orig += t_orig;
@@ -162,6 +211,28 @@ mod tests {
     }
 
     #[test]
+    fn threads_only_grid_sweep_is_bit_identical_to_the_ladder_sweep() {
+        let (_, config, model, candidates) = setup();
+        let grid = PlanGrid::threads_only(candidates.clone());
+        for shape in [
+            GemmShape::new(64, 64, 64),
+            GemmShape::new(128, 512, 128),
+            GemmShape::new(2000, 64, 2000),
+            GemmShape::new(1, 74_000, 1),
+        ] {
+            let op =
+                adsala_gemm::OpShape::gemm(adsala_gemm::Precision::F32, shape.m, shape.k, shape.n);
+            let (t, rt) = predict_threads_for_op(&model, &config, &candidates, op);
+            let (point, prt) = predict_point_for_op(&model, &config, &grid, op);
+            assert_eq!(point, PlanPoint::threads_only(t));
+            assert_eq!(prt.to_bits(), rt.to_bits(), "sweep must reuse the same prediction");
+            let (plan, _) = predict_plan_for_op(&model, &config, &grid, op);
+            assert_eq!(plan, ExecutionPlan::with_threads(t));
+            assert!(plan.is_threads_only());
+        }
+    }
+
+    #[test]
     fn model_avoids_max_threads_for_tiny_gemm() {
         let (_, config, model, candidates) = setup();
         let p = predict_threads(&model, &config, &candidates, GemmShape::new(48, 48, 48));
@@ -178,7 +249,8 @@ mod tests {
             GemmShape::new(300, 300, 300),
             GemmShape::new(64, 64, 4096),
         ];
-        let est = estimate_speedups(&model, &config, &candidates, &shapes, &timer, 0.0, 2);
+        let grid = PlanGrid::threads_only(candidates);
+        let est = estimate_speedups(&model, &config, &grid, &shapes, &timer, 0.0, 2);
         assert!(
             est.ideal_mean > 1.2,
             "ML thread selection should clearly beat max threads: {est:?}"
@@ -190,8 +262,9 @@ mod tests {
     fn eval_overhead_lowers_estimates() {
         let (timer, config, model, candidates) = setup();
         let shapes = vec![GemmShape::new(64, 64, 64), GemmShape::new(128, 128, 128)];
-        let no_overhead = estimate_speedups(&model, &config, &candidates, &shapes, &timer, 0.0, 2);
-        let heavy = estimate_speedups(&model, &config, &candidates, &shapes, &timer, 1.0, 2);
+        let grid = PlanGrid::threads_only(candidates);
+        let no_overhead = estimate_speedups(&model, &config, &grid, &shapes, &timer, 0.0, 2);
+        let heavy = estimate_speedups(&model, &config, &grid, &shapes, &timer, 1.0, 2);
         assert!(heavy.est_mean < no_overhead.est_mean);
         // The baseline at max threads is itself tens of milliseconds for
         // these shapes (contention), so only a very large eval overhead is

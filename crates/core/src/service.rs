@@ -35,9 +35,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use adsala_gemm::dispatch::{GemmArgs, OpRequest, OpShape, OpStats, Precision};
+use adsala_gemm::plan::ExecutionPlan;
 use adsala_gemm::{ArenaStats, Element, ThreadPool};
 
-use crate::bundle::{ArtifactBundle, ThreadDecision};
+use crate::bundle::{ArtifactBundle, PlanDecision};
 use crate::cache::{CacheStats, DecisionCache, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS};
 use crate::AdsalaError;
 
@@ -81,11 +82,12 @@ impl RunOptions {
         Self { host_max_threads: max, ..Self::default() }
     }
 
-    /// The thread count actually executed for `decision` under these
-    /// options: the model's choice clamped to the host cap (0 = no cap).
-    pub fn effective_threads(&self, decision: &ThreadDecision) -> usize {
+    /// The plan actually executed for `decision` under these options: the
+    /// model's choice with its thread count clamped to the host cap
+    /// (0 = no cap). Every other plan axis passes through unchanged.
+    pub fn effective_plan(&self, decision: &PlanDecision) -> ExecutionPlan {
         let cap = if self.host_max_threads == 0 { u32::MAX } else { self.host_max_threads };
-        decision.threads.clamp(1, cap) as usize
+        ExecutionPlan { threads: decision.plan.threads.clamp(1, cap), ..decision.plan }
     }
 }
 
@@ -127,9 +129,10 @@ impl AdsalaService {
         &self.bundle
     }
 
-    /// Candidate thread counts swept per decision.
+    /// Candidate thread counts swept per decision (the grid's thread
+    /// axis).
     pub fn candidates(&self) -> &[u32] {
-        &self.bundle.candidates
+        self.bundle.candidates()
     }
 
     /// Worker threads in the persistent execution pool.
@@ -147,11 +150,11 @@ impl AdsalaService {
         self.pool.workspace().arena_stats()
     }
 
-    /// Pick the thread count for any operation: memo first, model sweep
+    /// Pick the execution plan for any operation: memo first, model sweep
     /// on a miss. Callable concurrently through `&self`; equal shapes
-    /// always yield equal `threads` because both the cache and the bundle
+    /// always yield equal plans because both the cache and the bundle
     /// are deterministic.
-    pub fn select_for(&self, shape: OpShape) -> ThreadDecision {
+    pub fn select_for(&self, shape: OpShape) -> PlanDecision {
         if let Some(decision) = self.cache.get(shape) {
             return decision;
         }
@@ -163,13 +166,13 @@ impl AdsalaService {
 
     /// The f32-GEMM special case of [`AdsalaService::select_for`], kept
     /// for the paper-faithful `(m, k, n)` call sites.
-    pub fn select_threads(&self, m: u64, k: u64, n: u64) -> ThreadDecision {
+    pub fn select_threads(&self, m: u64, k: u64, n: u64) -> PlanDecision {
         self.select_for(OpShape::gemm(Precision::F32, m, k, n))
     }
 
     /// Serve one operation with default options: validate the operands,
-    /// pick the thread count (memoised per `(routine, precision, shape)`),
-    /// and execute on the persistent pool.
+    /// pick the execution plan (memoised per `(routine, precision,
+    /// shape)`), and execute on the persistent pool.
     ///
     /// ```no_run
     /// use adsala::prelude::*;
@@ -183,14 +186,14 @@ impl AdsalaService {
     ///     GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
     /// let (decision, stats) = service.run(&mut req)?;
     /// assert_eq!(stats.routine, Routine::Gemm);
-    /// assert!(decision.threads >= 1);
+    /// assert!(decision.threads() >= 1);
     /// # Ok(())
     /// # }
     /// ```
     pub fn run<T: Element>(
         &self,
         req: &mut OpRequest<'_, T>,
-    ) -> Result<(ThreadDecision, OpStats), AdsalaError> {
+    ) -> Result<(PlanDecision, OpStats), AdsalaError> {
         self.run_with(req, RunOptions::default())
     }
 
@@ -200,7 +203,7 @@ impl AdsalaService {
         &self,
         req: &mut OpRequest<'_, T>,
         opts: RunOptions,
-    ) -> Result<(ThreadDecision, OpStats), AdsalaError> {
+    ) -> Result<(PlanDecision, OpStats), AdsalaError> {
         // Reject malformed operands before touching the memo or the pool.
         req.validate()?;
         let shape = req.shape();
@@ -211,9 +214,9 @@ impl AdsalaService {
         } else {
             self.select_for(shape)
         };
-        let threads = opts.effective_threads(&decision);
+        let plan = opts.effective_plan(&decision);
         // Already validated above; skip the descriptor's re-check.
-        let stats = req.execute_validated(&self.pool, threads);
+        let stats = req.execute_validated(&self.pool, &plan);
         Ok((decision, stats))
     }
 
@@ -236,7 +239,7 @@ impl AdsalaService {
         c: &mut [f32],
         ldc: usize,
         host_max_threads: u32,
-    ) -> Result<(ThreadDecision, OpStats), AdsalaError> {
+    ) -> Result<(PlanDecision, OpStats), AdsalaError> {
         let mut req: OpRequest<'_, f32> =
             GemmArgs::untransposed(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc).into();
         self.run_with(&mut req, RunOptions::with_host_cap(host_max_threads.max(1)))
@@ -259,7 +262,7 @@ impl AdsalaService {
         c: &mut [f64],
         ldc: usize,
         host_max_threads: u32,
-    ) -> Result<(ThreadDecision, OpStats), AdsalaError> {
+    ) -> Result<(PlanDecision, OpStats), AdsalaError> {
         let mut req: OpRequest<'_, f64> =
             GemmArgs::untransposed(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc).into();
         self.run_with(&mut req, RunOptions::with_host_cap(host_max_threads.max(1)))
@@ -306,7 +309,7 @@ mod tests {
         let second = svc.select_threads(128, 512, 128);
         assert!(!first.memoised);
         assert!(second.memoised);
-        assert_eq!(first.threads, second.threads);
+        assert_eq!(first.threads(), second.threads());
         assert_eq!(svc.evaluations(), 1, "memo hit must not re-sweep");
         let stats = svc.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
@@ -320,7 +323,7 @@ mod tests {
         let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 * 0.5).collect();
         let mut c = vec![0.0f32; m * n];
         let (decision, stats) = svc.sgemm(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 4).unwrap();
-        assert!(svc.candidates().contains(&decision.threads));
+        assert!(svc.candidates().contains(&decision.threads()));
         assert_eq!(stats.routine, Routine::Gemm);
         assert_eq!(stats.precision, Precision::F32);
         assert!(stats.exec.threads_used >= 1 && stats.exec.threads_used <= 4);
@@ -363,7 +366,7 @@ mod tests {
             SyrkArgs { m, k, alpha: 1.0, a: &a64, lda: k, beta: 0.0, c: &mut csy, ldc: m }.into();
         let (d, stats) = svc.run(&mut req).unwrap();
         assert_eq!(stats.routine, Routine::Syrk);
-        assert!(svc.candidates().contains(&d.threads));
+        assert!(svc.candidates().contains(&d.threads()));
 
         let x32: Vec<f32> = (0..n).map(|i| i as f32).collect();
         let a32: Vec<f32> = (0..m * n).map(|i| (i % 3) as f32).collect();
@@ -458,6 +461,9 @@ mod tests {
             bundle,
             ServiceConfig { pool_workers: 1, ..ServiceConfig::default() },
         );
-        assert_eq!(a.select_threads(64, 2048, 64).threads, b.select_threads(64, 2048, 64).threads);
+        assert_eq!(
+            a.select_threads(64, 2048, 64).threads(),
+            b.select_threads(64, 2048, 64).threads()
+        );
     }
 }

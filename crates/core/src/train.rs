@@ -3,6 +3,7 @@
 
 use std::time::Instant;
 
+use adsala_gemm::plan::PlanGrid;
 use adsala_ml::data::Dataset;
 use adsala_ml::metrics::normalised_rmse;
 use adsala_ml::tune::{GridSearch, ModelSpec};
@@ -82,31 +83,38 @@ pub fn test_nrmse(model: &AnyModel, test: &Dataset) -> f64 {
     normalised_rmse(&model.predict(&test.x), &test.y)
 }
 
-/// Measure the per-call model-evaluation time: one full thread-selection
-/// sweep (features + prediction for every candidate count), averaged over
-/// `probes` distinct inputs and `reps` timed repetitions. Returns seconds.
+/// Measure the per-call model-evaluation time: one full plan-selection
+/// sweep (features + prediction for every candidate grid point), averaged
+/// over `probes` distinct inputs and `reps` timed repetitions. Returns
+/// seconds.
 pub fn measure_eval_time(
     model: &AnyModel,
     config: &PreprocessConfig,
-    candidates: &[u32],
+    grid: &PlanGrid,
     probes: &[(u64, u64, u64)],
     reps: u32,
 ) -> f64 {
-    debug_assert!(!candidates.is_empty() && !probes.is_empty());
+    debug_assert!(!grid.is_empty() && !probes.is_empty());
+    let sweep = |sink: &mut f64, m: u64, k: u64, n: u64| {
+        for point in grid.points() {
+            let row = if grid.plan_features {
+                config.features_for_plan(m, k, n, &point)
+            } else {
+                config.features_for(m, k, n, point.threads)
+            };
+            *sink += model.predict_row(&row);
+        }
+    };
     // Warm-up sweep so lazy CPU state doesn't inflate the first probe.
     let mut sink = 0.0f64;
     for &(m, k, n) in probes.iter().take(1) {
-        for &p in candidates {
-            sink += model.predict_row(&config.features_for(m, k, n, p));
-        }
+        sweep(&mut sink, m, k, n);
     }
     let reps = reps.max(1);
     let start = Instant::now();
     for _ in 0..reps {
         for &(m, k, n) in probes {
-            for &p in candidates {
-                sink += model.predict_row(&config.features_for(m, k, n, p));
-            }
+            sweep(&mut sink, m, k, n);
         }
     }
     let elapsed = start.elapsed().as_secs_f64();

@@ -27,9 +27,10 @@ use std::sync::OnceLock;
 
 use crate::isa::{Kernel, KernelIsa};
 use crate::Element;
+use serde::{Deserialize, Serialize};
 
 /// Blocking parameters, in elements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BlockSizes {
     /// Row-panel height of `A` (L2 resident): `MC`.
     pub mc: usize,
@@ -118,6 +119,28 @@ impl BlockSizes {
     pub fn for_isa<T: Element>(isa: KernelIsa) -> Self {
         let kern = Kernel::<T>::for_isa(isa);
         Self::for_tile(kern.mr, kern.nr, T::BYTES, CacheInfo::detected())
+    }
+
+    /// The process-wide blocking by precision tag — the monomorphised
+    /// [`BlockSizes::dispatched`] for callers (the plan-candidate grid)
+    /// that only hold a [`crate::dispatch::Precision`].
+    pub fn dispatched_for(precision: crate::dispatch::Precision) -> Self {
+        match precision {
+            crate::dispatch::Precision::F32 => Self::dispatched::<f32>(),
+            crate::dispatch::Precision::F64 => Self::dispatched::<f64>(),
+        }
+    }
+
+    /// Scale the cache blocks `MC`/`KC`/`NC` to `percent` of their
+    /// current values (100 = unchanged) and re-snap to the register tile.
+    /// This is the blocking-multiplier axis of the plan-candidate grid:
+    /// coarse deviations around the topology-derived baseline, not a free
+    /// search over three independent block sizes.
+    pub fn scaled(self, percent: u32) -> Self {
+        let p = percent.max(1) as usize;
+        let scale = |v: usize| (v * p / 100).max(1);
+        Self { mc: scale(self.mc), kc: scale(self.kc), nc: scale(self.nc), ..self }
+            .with_tile(self.mr, self.nr)
     }
 
     /// Re-target these cache blocks at a different register tile: sets
@@ -357,6 +380,35 @@ mod tests {
             // All-degenerate problems stay valid too.
             assert!(blocks.clamped(0, 0, 0).is_valid());
         }
+    }
+
+    #[test]
+    fn scaled_blocks_stay_valid_and_identity_at_100() {
+        for base in
+            [BlockSizes::for_f32(), BlockSizes::for_f64(), BlockSizes::for_tile(6, 16, 4, None)]
+        {
+            assert_eq!(base.scaled(100), base, "100% must be the identity");
+            for percent in [25, 50, 200, 400] {
+                let s = base.scaled(percent);
+                assert!(s.is_valid(), "{percent}% of {base:?} -> {s:?}");
+                assert_eq!((s.mr, s.nr), (base.mr, base.nr), "tile must not change");
+                if percent > 100 {
+                    assert!(s.kc >= base.kc && s.mc >= base.mc && s.nc >= base.nc);
+                } else {
+                    assert!(s.kc <= base.kc && s.mc <= base.mc && s.nc <= base.nc);
+                }
+            }
+            // Pathological scales still yield one whole tile.
+            assert!(base.scaled(1).is_valid());
+            assert!(base.scaled(0).is_valid());
+        }
+    }
+
+    #[test]
+    fn dispatched_for_matches_generic_dispatch() {
+        use crate::dispatch::Precision;
+        assert_eq!(BlockSizes::dispatched_for(Precision::F32), BlockSizes::dispatched::<f32>());
+        assert_eq!(BlockSizes::dispatched_for(Precision::F64), BlockSizes::dispatched::<f64>());
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 use crate::gemm::{gemm_with_stats_pooled, GemmCall};
 use crate::gemv::gemv_with_stats_pooled;
+use crate::plan::ExecutionPlan;
 use crate::pool::ThreadPool;
 use crate::stats::GemmStats;
 use crate::syrk::syrk_with_stats_pooled;
@@ -387,6 +388,15 @@ pub struct OpStats {
     pub routine: Routine,
     /// The element precision it ran at.
     pub precision: Precision,
+    /// The [`ExecutionPlan`] the caller requested for this operation.
+    /// The ISA that actually ran is `exec.kernel_isa` — compare the two
+    /// (or check [`OpStats::plan_degraded`]) to spot clamping.
+    pub plan: ExecutionPlan,
+    /// `true` when the executed configuration fell back from the
+    /// requested plan: a pinned kernel ISA was clamped (unsupported host
+    /// or `ADSALA_FORCE_SCALAR`), or a non-thread plan axis was requested
+    /// for a routine (SYRK/GEMV) that only honours the thread count.
+    pub plan_degraded: bool,
     /// The sync/copy/kernel breakdown shared by every routine.
     pub exec: GemmStats,
 }
@@ -399,7 +409,7 @@ pub struct OpStats {
 ///
 /// ```
 /// use adsala_gemm::dispatch::{GemmArgs, OpRequest, Routine};
-/// use adsala_gemm::ThreadPool;
+/// use adsala_gemm::{ExecutionPlan, ThreadPool};
 ///
 /// let pool = ThreadPool::new(2);
 /// let (m, n, k) = (4, 3, 2);
@@ -409,8 +419,9 @@ pub struct OpStats {
 /// let mut req: OpRequest<'_, f32> =
 ///     GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
 /// assert_eq!(req.routine(), Routine::Gemm);
-/// let stats = req.execute(&pool, 2).unwrap();
+/// let stats = req.execute(&pool, &ExecutionPlan::with_threads(2)).unwrap();
 /// assert_eq!(stats.routine, Routine::Gemm);
+/// assert_eq!(stats.plan.threads, 2);
 /// assert!(c.iter().all(|&v| v == 1.0));
 /// ```
 #[derive(Debug)]
@@ -470,15 +481,19 @@ impl<T: Element> OpRequest<'_, T> {
         }
     }
 
-    /// Validate, then run the routine's blocked kernel on `pool` with at
-    /// most `threads` workers. The output buffer is untouched on error.
+    /// Validate, then run the routine's blocked kernel on `pool` under
+    /// `plan`. The output buffer is untouched on error.
     ///
     /// Results are bitwise-identical to the corresponding direct kernel
-    /// call at the same thread count — dispatch adds a match and a few
+    /// call under the same plan — dispatch adds a match and a few
     /// compares, nothing numeric.
-    pub fn execute(&mut self, pool: &ThreadPool, threads: usize) -> Result<OpStats, ShapeError> {
+    pub fn execute(
+        &mut self,
+        pool: &ThreadPool,
+        plan: &ExecutionPlan,
+    ) -> Result<OpStats, ShapeError> {
         self.validate()?;
-        Ok(self.execute_validated(pool, threads))
+        Ok(self.execute_validated(pool, plan))
     }
 
     /// Run the routine's kernel without re-checking the operands — for
@@ -486,12 +501,16 @@ impl<T: Element> OpRequest<'_, T> {
     /// (the serving layers validate before consulting their memo, so the
     /// hot path should not pay the bounds checks twice).
     ///
+    /// GEMM honours every plan axis; SYRK and GEMV have no configurable
+    /// kernel or packing and honour only `plan.threads` (the report's
+    /// [`OpStats::plan_degraded`] flags when other axes were requested).
+    ///
     /// On a request that would fail validation, the underlying kernels
     /// fall back to their own assertions and may panic; memory safety is
     /// never at stake.
-    pub fn execute_validated(&mut self, pool: &ThreadPool, threads: usize) -> OpStats {
+    pub fn execute_validated(&mut self, pool: &ThreadPool, plan: &ExecutionPlan) -> OpStats {
         let shape = self.shape();
-        let threads = threads.max(1);
+        let threads = plan.threads.max(1) as usize;
         let exec = match self {
             OpRequest::Gemm(g) => {
                 let call = GemmCall {
@@ -500,9 +519,7 @@ impl<T: Element> OpRequest<'_, T> {
                     m: g.m,
                     n: g.n,
                     k: g.k,
-                    threads,
-                    blocks: None,
-                    isa: None,
+                    plan: *plan,
                 };
                 gemm_with_stats_pooled(
                     pool, &call, g.alpha, g.a, g.lda, g.b, g.ldb, g.beta, g.c, g.ldc,
@@ -515,7 +532,17 @@ impl<T: Element> OpRequest<'_, T> {
                 pool, v.m, v.n, v.alpha, v.a, v.lda, v.x, v.beta, v.y, threads,
             ),
         };
-        OpStats { routine: shape.routine, precision: shape.precision, exec }
+        let plan_degraded = match shape.routine {
+            Routine::Gemm => plan.kernel_isa.is_some_and(|isa| exec.kernel_isa != isa),
+            Routine::Syrk | Routine::Gemv => !plan.is_threads_only(),
+        };
+        OpStats {
+            routine: shape.routine,
+            precision: shape.precision,
+            plan: *plan,
+            plan_degraded,
+            exec,
+        }
     }
 }
 
@@ -573,9 +600,11 @@ mod tests {
         let mut c_ref = c.clone();
         let mut req: OpRequest<'_, f64> =
             GemmArgs::untransposed(m, n, k, 1.5, &a, k, &b, n, 0.5, &mut c, n).into();
-        let stats = req.execute(&pool, 3).unwrap();
+        let stats = req.execute(&pool, &ExecutionPlan::with_threads(3)).unwrap();
         assert_eq!(stats.routine, Routine::Gemm);
         assert_eq!(stats.precision, Precision::F64);
+        assert_eq!(stats.plan.threads, 3);
+        assert!(!stats.plan_degraded, "a threads-only plan never degrades");
         assert!(stats.exec.kernel_calls > 0);
         naive_gemm(Transpose::No, Transpose::No, m, n, k, 1.5, &a, k, &b, n, 0.5, &mut c_ref, n);
         for (x, y) in c.iter().zip(&c_ref) {
@@ -592,8 +621,9 @@ mod tests {
         let mut c_ref = c.clone();
         let mut req: OpRequest<'_, f64> =
             SyrkArgs { m, k, alpha: 2.0, a: &a, lda: k, beta: -0.5, c: &mut c, ldc: m }.into();
-        let stats = req.execute(&pool, 4).unwrap();
+        let stats = req.execute(&pool, &ExecutionPlan::with_threads(4)).unwrap();
         assert_eq!(stats.routine, Routine::Syrk);
+        assert!(!stats.plan_degraded);
         naive_syrk(m, k, 2.0, &a, k, -0.5, &mut c_ref, m);
         for i in 0..m {
             for j in 0..=i {
@@ -613,12 +643,42 @@ mod tests {
         let mut y_ref = y.clone();
         let mut req: OpRequest<'_, f64> =
             GemvArgs { m, n, alpha: 1.0, a: &a, lda: n, x: &x, beta: 1.0, y: &mut y }.into();
-        let stats = req.execute(&pool, 2).unwrap();
+        let stats = req.execute(&pool, &ExecutionPlan::with_threads(2)).unwrap();
         assert_eq!(stats.routine, Routine::Gemv);
         naive_gemv(m, n, 1.0, &a, n, &x, 1.0, &mut y_ref);
         for (u, v) in y.iter().zip(&y_ref) {
             assert!((u - v).abs() <= 1e-10 * (1.0 + v.abs()));
         }
+    }
+
+    #[test]
+    fn plan_degradation_is_reported() {
+        use crate::isa::KernelIsa;
+        use crate::plan::PackingStrategy;
+        let pool = ThreadPool::new(2);
+
+        // A scalar-pinned GEMM plan always runs as requested.
+        let (m, n, k) = (16, 16, 16);
+        let a = fill(m * k, 9);
+        let b = fill(k * n, 10);
+        let mut c = vec![0.0f64; m * n];
+        let mut req: OpRequest<'_, f64> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let plan = ExecutionPlan::with_threads(2).with_isa(KernelIsa::Scalar);
+        let stats = req.execute(&pool, &plan).unwrap();
+        assert_eq!(stats.exec.kernel_isa, KernelIsa::Scalar);
+        assert!(!stats.plan_degraded);
+        assert_eq!(stats.plan, plan);
+
+        // SYRK has no packing axis: a non-default packing degrades.
+        let (m, k) = (12, 8);
+        let a = fill(m * k, 11);
+        let mut c = vec![0.0f64; m * m];
+        let mut req: OpRequest<'_, f64> =
+            SyrkArgs { m, k, alpha: 1.0, a: &a, lda: k, beta: 0.0, c: &mut c, ldc: m }.into();
+        let plan = ExecutionPlan::with_threads(2).with_packing(PackingStrategy::Independent);
+        let stats = req.execute(&pool, &plan).unwrap();
+        assert!(stats.plan_degraded, "SYRK honours only the thread axis");
     }
 
     #[test]
@@ -629,7 +689,7 @@ mod tests {
         let mut c = vec![7.0f32; 8];
         let mut req: OpRequest<'_, f32> =
             GemmArgs::untransposed(2, 4, 3, 1.0, &a, 3, &b, 4, 0.0, &mut c, 4).into();
-        let err = req.execute(&pool, 2).unwrap_err();
+        let err = req.execute(&pool, &ExecutionPlan::with_threads(2)).unwrap_err();
         assert_eq!(err.routine, Routine::Gemm);
         assert!(err.message.contains('a'), "{err}");
         assert!(c.iter().all(|&v| v == 7.0), "output must be untouched on error");

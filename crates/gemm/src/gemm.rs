@@ -45,6 +45,7 @@ use std::time::Instant;
 use crate::blocking::BlockSizes;
 use crate::isa::{Kernel, KernelIsa};
 use crate::pack::{pack_a, pack_b, MatView};
+use crate::plan::{ExecutionPlan, PackingStrategy};
 use crate::pool::{Executor, ThreadPool};
 use crate::stats::{GemmStats, StatsCollector, ThreadLocalStats};
 use crate::threading::{SendMutPtr, ThreadGrid};
@@ -54,7 +55,13 @@ use crate::workspace::{
 };
 use crate::{Element, Transpose};
 
-/// A fully described GEMM invocation (shape, flags, threading).
+/// A fully described GEMM invocation: shape, flags, and the
+/// [`ExecutionPlan`] saying how to run it.
+///
+/// The plan's non-thread axes default to "derive from the host"
+/// ([`ExecutionPlan::with_threads`]), which is what the plain BLAS entry
+/// points and threads-only decisions use; the grid-trained decision layer
+/// hands full plans down instead.
 #[derive(Debug, Clone, Copy)]
 pub struct GemmCall {
     pub trans_a: Transpose,
@@ -62,22 +69,18 @@ pub struct GemmCall {
     pub m: usize,
     pub n: usize,
     pub k: usize,
-    /// Maximum worker threads (≥ 1).
-    pub threads: usize,
-    /// Cache blocking override; `None` derives ISA- and cache-aware
-    /// blocking at dispatch time. An override's `mr`/`nr` are always
-    /// replaced by the dispatched kernel's tile (via
-    /// [`BlockSizes::with_tile`]) — only `mc`/`kc`/`nc` are honoured.
-    pub blocks: Option<BlockSizes>,
-    /// Micro-kernel ISA override; `None` uses the process-wide
-    /// [`KernelIsa::dispatched`]. Unsupported requests degrade to
-    /// [`KernelIsa::Scalar`] (see [`Kernel::for_isa`]). The equivalence
-    /// tests use this to compare SIMD and scalar in one process.
-    pub isa: Option<KernelIsa>,
+    /// How to execute: threads, micro-kernel ISA, cache blocking, and
+    /// B-panel packing. An explicit `kernel_isa` degrades to
+    /// [`KernelIsa::Scalar`] when unsupported or force-scalar is active
+    /// (see [`Kernel::for_isa`]); an explicit `blocking` keeps its cache
+    /// blocks but always runs at the resolved kernel's register tile
+    /// (via [`BlockSizes::with_tile`]).
+    pub plan: ExecutionPlan,
 }
 
 impl GemmCall {
-    /// Untransposed call with default blocking and kernel dispatch.
+    /// Untransposed call with a threads-only plan (default blocking,
+    /// process-wide kernel dispatch, shared-B packing).
     pub fn new(m: usize, n: usize, k: usize, threads: usize) -> Self {
         Self {
             trans_a: Transpose::No,
@@ -85,16 +88,32 @@ impl GemmCall {
             m,
             n,
             k,
-            threads: threads.max(1),
-            blocks: None,
-            isa: None,
+            plan: ExecutionPlan::with_threads(u32::try_from(threads.max(1)).unwrap_or(u32::MAX)),
         }
+    }
+
+    /// This call with an explicit execution plan (shape and transpose
+    /// flags kept).
+    pub fn with_plan(mut self, plan: ExecutionPlan) -> Self {
+        self.plan = plan;
+        self
     }
 
     /// This call with an explicit micro-kernel ISA.
     pub fn with_isa(mut self, isa: KernelIsa) -> Self {
-        self.isa = Some(isa);
+        self.plan.kernel_isa = Some(isa);
         self
+    }
+
+    /// This call with an explicit cache-blocking override.
+    pub fn with_blocks(mut self, blocks: BlockSizes) -> Self {
+        self.plan.blocking = Some(blocks);
+        self
+    }
+
+    /// Maximum worker threads (≥ 1), as the drivers consume it.
+    pub fn threads(&self) -> usize {
+        self.plan.threads.max(1) as usize
     }
 }
 
@@ -199,7 +218,7 @@ fn drive<T: Element>(
     // resolved once per process); everything downstream — blocking,
     // grid choice, packing geometry, the per-tile kernel calls — flows
     // from its register tile.
-    let kernel = match call.isa {
+    let kernel = match call.plan.kernel_isa {
         Some(isa) => Kernel::<T>::for_isa(isa),
         None => Kernel::<T>::dispatched(),
     };
@@ -218,16 +237,16 @@ fn drive<T: Element>(
         };
     }
 
-    let blocks = match (call.blocks, call.isa) {
+    let blocks = match (call.plan.blocking, call.plan.kernel_isa) {
         // An explicit MC/KC/NC override keeps its cache blocks but must
-        // run at the dispatched kernel's register tile.
+        // run at the resolved kernel's register tile.
         (Some(b), _) => b.with_tile(kernel.mr, kernel.nr),
         (None, None) => BlockSizes::dispatched::<T>(),
         (None, Some(isa)) => BlockSizes::for_isa::<T>(isa),
     };
     debug_assert!(blocks.is_valid(), "invalid block sizes {blocks:?}");
     let blocks = blocks.clamped(m, n, k);
-    let grid = ThreadGrid::choose(call.threads, m, n, blocks.mr, blocks.nr);
+    let grid = ThreadGrid::choose(call.threads(), m, n, blocks.mr, blocks.nr);
 
     let collector = StatsCollector::default();
     if grid.count() == 1 {
@@ -259,8 +278,10 @@ fn drive<T: Element>(
     } else {
         let c_ptr = SendMutPtr(c.as_mut_ptr());
         // Cooperative shared-B needs every group member running at once;
-        // reserve the gang or fall back to independent packing.
-        let gang = if allow_shared_b && grid.rows > 1 {
+        // reserve the gang or fall back to independent packing. A plan
+        // that asks for independent packing skips the gang entirely.
+        let share = allow_shared_b && call.plan.packing == PackingStrategy::SharedB;
+        let gang = if share && grid.rows > 1 {
             exec.pool().and_then(|pool| pool.try_reserve_gang(grid.count()).map(|g| (pool, g)))
         } else {
             None
@@ -670,8 +691,7 @@ pub fn sgemm(
     ldc: usize,
     threads: usize,
 ) {
-    let call =
-        GemmCall { trans_a, trans_b, m, n, k, threads: threads.max(1), blocks: None, isa: None };
+    let call = GemmCall { trans_a, trans_b, ..GemmCall::new(m, n, k, threads) };
     gemm_with_stats(&call, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
@@ -693,8 +713,7 @@ pub fn dgemm(
     ldc: usize,
     threads: usize,
 ) {
-    let call =
-        GemmCall { trans_a, trans_b, m, n, k, threads: threads.max(1), blocks: None, isa: None };
+    let call = GemmCall { trans_a, trans_b, ..GemmCall::new(m, n, k, threads) };
     gemm_with_stats(&call, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
@@ -741,7 +760,7 @@ mod tests {
         let mut c = fill(m * n.max(1), 3);
         let mut c_ref = c.clone();
 
-        let call = GemmCall { trans_a: ta, trans_b: tb, m, n, k, threads, blocks: None, isa: None };
+        let call = GemmCall { trans_a: ta, trans_b: tb, ..GemmCall::new(m, n, k, threads) };
         gemm_with_stats(&call, alpha, &a, ac.max(1), &b, bc.max(1), beta, &mut c, n.max(1));
         naive_gemm(
             ta,
@@ -959,16 +978,8 @@ mod tests {
                     let b = fill(br * bc, 42);
                     let mut c_scoped = fill(m * n, 43);
                     let mut c_pooled = c_scoped.clone();
-                    let call = GemmCall {
-                        trans_a: ta,
-                        trans_b: tb,
-                        m,
-                        n,
-                        k,
-                        threads,
-                        blocks: None,
-                        isa: None,
-                    };
+                    let call =
+                        GemmCall { trans_a: ta, trans_b: tb, ..GemmCall::new(m, n, k, threads) };
                     let s1 = gemm_with_stats(&call, 1.3, &a, ac, &b, bc, 0.6, &mut c_scoped, n);
                     let s2 = gemm_with_stats_pooled(
                         &pool,

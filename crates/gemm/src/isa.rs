@@ -37,6 +37,7 @@ use std::sync::OnceLock;
 use crate::blocking::{MR, NR};
 use crate::microkernel::{accumulate, merge_into_raw};
 use crate::Element;
+use serde::{Deserialize, Serialize};
 
 /// Upper bound on `mr·nr` across every kernel in this module; callers
 /// that stage a register tile in memory (the SYRK triangle merge, the
@@ -45,7 +46,7 @@ use crate::Element;
 pub const MAX_TILE_ELEMS: usize = 128;
 
 /// The instruction set a micro-kernel is written for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum KernelIsa {
     /// x86-64 AVX2 + FMA, 256-bit registers.
     Avx2Fma,
@@ -190,9 +191,13 @@ impl<T: Element> Kernel<T> {
     /// The kernel for `isa`, falling back to [`KernelIsa::Scalar`] when
     /// the requested ISA is not executable on this host/build (so an
     /// artefact recorded on another machine can never dispatch an
-    /// illegal-instruction path).
+    /// illegal-instruction path), or when `ADSALA_FORCE_SCALAR` is active
+    /// (so a plan decided — or cached — while SIMD was dispatched cannot
+    /// replay a SIMD kernel past the override).
     pub fn for_isa(isa: KernelIsa) -> Kernel<T> {
-        T::kernel(if isa.is_supported() { isa } else { KernelIsa::Scalar })
+        let isa =
+            if isa.is_supported() && !force_scalar_requested() { isa } else { KernelIsa::Scalar };
+        T::kernel(isa)
     }
 
     /// Run the fused multiply + merge micro-kernel.
@@ -935,17 +940,29 @@ mod tests {
     #[test]
     fn for_isa_falls_back_to_scalar_when_unsupported() {
         // Whichever SIMD ISA the host does NOT have must degrade to the
-        // scalar kernel rather than installing an illegal path.
+        // scalar kernel rather than installing an illegal path — and even
+        // a *supported* ISA must degrade while ADSALA_FORCE_SCALAR is
+        // active (is_supported() reflects detection, not the override, so
+        // a cached SIMD plan would otherwise replay past it).
         for isa in [KernelIsa::Avx2Fma, KernelIsa::Neon] {
             let k32 = Kernel::<f32>::for_isa(isa);
             let k64 = Kernel::<f64>::for_isa(isa);
-            if isa.is_supported() {
+            if isa.is_supported() && !force_scalar_requested() {
                 assert_eq!(k32.isa, isa);
                 assert_eq!(k64.isa, isa);
             } else {
                 assert_eq!(k32.isa, KernelIsa::Scalar);
                 assert_eq!(k64.isa, KernelIsa::Scalar);
             }
+        }
+    }
+
+    #[test]
+    fn kernel_isa_serde_roundtrip() {
+        for isa in [KernelIsa::Avx2Fma, KernelIsa::Neon, KernelIsa::Scalar] {
+            let v = serde::Serialize::to_value(&isa);
+            let back: KernelIsa = serde::Deserialize::from_value(&v).unwrap();
+            assert_eq!(isa, back);
         }
     }
 }

@@ -31,6 +31,7 @@ pub mod isa;
 pub mod microkernel;
 pub mod naive;
 pub mod pack;
+pub mod plan;
 pub mod pool;
 pub mod stats;
 pub mod syrk;
@@ -47,6 +48,7 @@ pub use gemm::{
 };
 pub use gemv::{gemv_with_stats, gemv_with_stats_pooled};
 pub use isa::{Kernel, KernelIsa};
+pub use plan::{ExecutionPlan, IsaChoice, PackingStrategy, PlanGrid, PlanPoint};
 pub use pool::{Executor, ThreadPool};
 pub use stats::GemmStats;
 pub use syrk::{syrk_with_stats, syrk_with_stats_pooled};

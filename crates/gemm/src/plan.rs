@@ -1,0 +1,400 @@
+//! Execution plans — the full "how to run" decision for one routine call.
+//!
+//! The paper's runtime learns a single knob, the thread count. After the
+//! SIMD dispatch and shared-packing work, the substrate has more knobs
+//! that matter: which micro-kernel ISA to run, how to block for the cache
+//! hierarchy, and whether row groups cooperate on packing `B` or pack
+//! independent copies. [`ExecutionPlan`] carries all of them from the
+//! decision layer down to the drivers, so "pick a thread count" becomes
+//! "pick how to run".
+//!
+//! A plan is deliberately *descriptive*, not prescriptive: `None` axes
+//! mean "derive from the host" (process-wide ISA dispatch, topology-fitted
+//! block sizes), so a threads-only plan — what a migrated v1/v2 artefact
+//! degrades to — executes exactly like the pre-plan runtime did.
+
+use crate::blocking::BlockSizes;
+use crate::isa::KernelIsa;
+use serde::{Deserialize, Serialize};
+
+/// How row groups of the thread grid obtain their packed `B` panels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PackingStrategy {
+    /// Cooperative: one designated packer per column group fills a shared
+    /// `KC×NC` panel, the row group synchronises on a panel barrier.
+    #[default]
+    SharedB,
+    /// Every row group packs its own copy of the `B` panel — more copy
+    /// volume, no panel barrier.
+    Independent,
+}
+
+impl PackingStrategy {
+    /// Short label for stats lines and tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PackingStrategy::SharedB => "shared-b",
+            PackingStrategy::Independent => "independent",
+        }
+    }
+}
+
+impl std::fmt::Display for PackingStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The full learned decision: every execution knob for one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// Worker threads (≥ 1).
+    pub threads: u32,
+    /// Micro-kernel ISA; `None` defers to the process-wide dispatch
+    /// ([`KernelIsa::dispatched`]). An explicit ISA is still clamped to
+    /// scalar at execution time when the host cannot run it or
+    /// `ADSALA_FORCE_SCALAR` is set.
+    pub kernel_isa: Option<KernelIsa>,
+    /// Cache blocking; `None` derives `MC/KC/NC` from the host topology
+    /// for the resolved kernel's register tile.
+    pub blocking: Option<BlockSizes>,
+    /// `B`-panel packing across row groups.
+    pub packing: PackingStrategy,
+}
+
+impl ExecutionPlan {
+    /// A threads-only plan: every other axis defers to the host defaults.
+    /// This is what migrated (pre-grid) artefacts and the plain BLAS
+    /// entry points produce, and it executes exactly like the pre-plan
+    /// runtime.
+    pub fn with_threads(threads: u32) -> Self {
+        Self {
+            threads: threads.max(1),
+            kernel_isa: None,
+            blocking: None,
+            packing: PackingStrategy::SharedB,
+        }
+    }
+
+    /// `true` when every non-thread axis is at its host-default setting.
+    pub fn is_threads_only(&self) -> bool {
+        self.kernel_isa.is_none()
+            && self.blocking.is_none()
+            && self.packing == PackingStrategy::SharedB
+    }
+
+    /// Builder: pin the micro-kernel ISA.
+    pub fn with_isa(mut self, isa: KernelIsa) -> Self {
+        self.kernel_isa = Some(isa);
+        self
+    }
+
+    /// Builder: pin the cache blocking.
+    pub fn with_blocking(mut self, blocks: BlockSizes) -> Self {
+        self.blocking = Some(blocks);
+        self
+    }
+
+    /// Builder: pick the packing strategy.
+    pub fn with_packing(mut self, packing: PackingStrategy) -> Self {
+        self.packing = packing;
+        self
+    }
+
+    /// Compact human-readable form for stats lines and tables, e.g.
+    /// `t=8 isa=auto blk=auto pack=shared-b`.
+    pub fn describe(&self) -> String {
+        let isa = match self.kernel_isa {
+            None => "auto".to_string(),
+            Some(isa) => format!("{isa:?}").to_lowercase(),
+        };
+        let blk = match self.blocking {
+            None => "auto".to_string(),
+            Some(b) => format!("{}x{}x{}", b.mc, b.kc, b.nc),
+        };
+        format!("t={} isa={} blk={} pack={}", self.threads, isa, blk, self.packing)
+    }
+}
+
+impl Default for ExecutionPlan {
+    fn default() -> Self {
+        Self::with_threads(1)
+    }
+}
+
+/// The ISA axis of a candidate grid: candidates do not name a concrete
+/// instruction set (artefacts must be portable across hosts) but choose
+/// between "whatever this host dispatches" and the scalar reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum IsaChoice {
+    /// Use the process-wide dispatched kernel ([`KernelIsa::dispatched`]).
+    #[default]
+    Dispatched,
+    /// Pin the portable scalar kernel.
+    Scalar,
+}
+
+impl IsaChoice {
+    /// Short label for tables and timing records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IsaChoice::Dispatched => "dispatched",
+            IsaChoice::Scalar => "scalar",
+        }
+    }
+}
+
+/// One candidate point of a [`PlanGrid`]: the abstract, host-portable
+/// form of an execution plan. [`PlanPoint::materialise`] turns it into a
+/// concrete [`ExecutionPlan`] for a precision on the current host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PlanPoint {
+    /// Worker threads (≥ 1).
+    pub threads: u32,
+    /// Kernel ISA choice.
+    pub isa: IsaChoice,
+    /// Cache-block scale in percent of the host-derived `MC/KC/NC`
+    /// (100 = host default).
+    pub block_percent: u32,
+    /// `B`-panel packing strategy.
+    pub packing: PackingStrategy,
+}
+
+impl PlanPoint {
+    /// The point with every non-thread axis at its default.
+    pub fn threads_only(threads: u32) -> Self {
+        Self {
+            threads: threads.max(1),
+            isa: IsaChoice::Dispatched,
+            block_percent: 100,
+            packing: PackingStrategy::SharedB,
+        }
+    }
+
+    /// `true` when every non-thread axis is at its default setting.
+    pub fn is_default_axes(&self) -> bool {
+        self.isa == IsaChoice::Dispatched
+            && self.block_percent == 100
+            && self.packing == PackingStrategy::SharedB
+    }
+
+    /// Concrete plan for `precision` on this host. Default axes map to
+    /// `None` (derive from the host), so a threads-only point executes
+    /// exactly like the pre-plan runtime.
+    pub fn materialise(&self, precision: crate::dispatch::Precision) -> ExecutionPlan {
+        let mut plan = ExecutionPlan::with_threads(self.threads);
+        if self.isa == IsaChoice::Scalar {
+            plan = plan.with_isa(KernelIsa::Scalar);
+        }
+        if self.block_percent != 100 {
+            plan = plan
+                .with_blocking(BlockSizes::dispatched_for(precision).scaled(self.block_percent));
+        }
+        plan.with_packing(self.packing)
+    }
+}
+
+/// The candidate domain the install sweep samples and the model predicts
+/// over: a cartesian grid of plan axes.
+///
+/// A [`PlanGrid::threads_only`] grid (what migrated v1/v2 artefacts carry)
+/// enumerates exactly the old thread ladder, so every downstream decision
+/// is bit-identical to the pre-grid pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanGrid {
+    /// Thread-count candidates (the paper's ladder).
+    pub threads: Vec<u32>,
+    /// ISA candidates (defaults first).
+    pub isa: Vec<IsaChoice>,
+    /// Cache-block scales in percent (defaults first; 100 = host default).
+    pub block_percents: Vec<u32>,
+    /// Packing-strategy candidates (defaults first).
+    pub packing: Vec<PackingStrategy>,
+    /// Whether timing rows gathered from this grid carry the plan axes as
+    /// model features (false for threads-only grids, preserving the
+    /// paper's 17-feature space).
+    pub plan_features: bool,
+}
+
+impl PlanGrid {
+    /// The degenerate grid of the paper: a thread ladder with every other
+    /// axis pinned to its default.
+    pub fn threads_only(threads: Vec<u32>) -> Self {
+        Self {
+            threads,
+            isa: vec![IsaChoice::Dispatched],
+            block_percents: vec![100],
+            packing: vec![PackingStrategy::SharedB],
+            plan_features: false,
+        }
+    }
+
+    /// The full grid: thread ladder × {dispatched, scalar} ×
+    /// {100, 50, 200}% blocking × {shared, independent} packing.
+    pub fn full(threads: Vec<u32>) -> Self {
+        Self {
+            threads,
+            isa: vec![IsaChoice::Dispatched, IsaChoice::Scalar],
+            block_percents: vec![100, 50, 200],
+            packing: vec![PackingStrategy::SharedB, PackingStrategy::Independent],
+            plan_features: true,
+        }
+    }
+
+    /// A reduced grid for smoke tests: two plan axes (threads × packing)
+    /// so an install sweep stays cheap while still exercising the
+    /// plan-candidate machinery.
+    pub fn reduced(threads: Vec<u32>) -> Self {
+        Self {
+            threads,
+            isa: vec![IsaChoice::Dispatched],
+            block_percents: vec![100],
+            packing: vec![PackingStrategy::SharedB, PackingStrategy::Independent],
+            plan_features: true,
+        }
+    }
+
+    /// `true` when only the thread axis has more than its default point.
+    pub fn is_threads_only(&self) -> bool {
+        self.isa == [IsaChoice::Dispatched]
+            && self.block_percents == [100]
+            && self.packing == [PackingStrategy::SharedB]
+    }
+
+    /// Number of candidate points.
+    pub fn len(&self) -> usize {
+        self.threads.len() * self.isa.len() * self.block_percents.len() * self.packing.len()
+    }
+
+    /// `true` when the grid has no candidate points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every candidate point, thread-major with default axes first —
+    /// for a threads-only grid this is exactly the old candidate order,
+    /// so strict-`<` argmin sweeps keep their tie-breaking behaviour.
+    pub fn points(&self) -> impl Iterator<Item = PlanPoint> + '_ {
+        self.threads.iter().flat_map(move |&threads| {
+            self.isa.iter().flat_map(move |&isa| {
+                self.block_percents.iter().flat_map(move |&block_percent| {
+                    self.packing.iter().map(move |&packing| PlanPoint {
+                        threads,
+                        isa,
+                        block_percent,
+                        packing,
+                    })
+                })
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_only_plan_has_default_axes() {
+        let p = ExecutionPlan::with_threads(8);
+        assert_eq!(p.threads, 8);
+        assert!(p.is_threads_only());
+        assert_eq!(p, ExecutionPlan { packing: PackingStrategy::default(), ..p });
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(ExecutionPlan::with_threads(0).threads, 1);
+        assert_eq!(ExecutionPlan::default().threads, 1);
+    }
+
+    #[test]
+    fn builders_leave_threads_alone() {
+        let p = ExecutionPlan::with_threads(4)
+            .with_isa(KernelIsa::Scalar)
+            .with_packing(PackingStrategy::Independent);
+        assert_eq!(p.threads, 4);
+        assert_eq!(p.kernel_isa, Some(KernelIsa::Scalar));
+        assert_eq!(p.packing, PackingStrategy::Independent);
+        assert!(!p.is_threads_only());
+    }
+
+    #[test]
+    fn describe_is_compact() {
+        let p = ExecutionPlan::with_threads(8);
+        assert_eq!(p.describe(), "t=8 isa=auto blk=auto pack=shared-b");
+        let q = p.with_isa(KernelIsa::Scalar).with_packing(PackingStrategy::Independent);
+        assert_eq!(q.describe(), "t=8 isa=scalar blk=auto pack=independent");
+    }
+
+    #[test]
+    fn threads_only_grid_reduces_to_the_ladder() {
+        let grid = PlanGrid::threads_only(vec![1, 2, 4, 8]);
+        assert!(grid.is_threads_only());
+        assert_eq!(grid.len(), 4);
+        let points: Vec<_> = grid.points().collect();
+        assert_eq!(points.len(), 4);
+        for (p, &t) in points.iter().zip(&grid.threads) {
+            assert_eq!(*p, PlanPoint::threads_only(t));
+            assert!(p.is_default_axes());
+        }
+    }
+
+    #[test]
+    fn full_grid_enumerates_the_cartesian_product() {
+        let grid = PlanGrid::full(vec![1, 8]);
+        assert!(!grid.is_threads_only());
+        assert_eq!(grid.len(), 2 * 2 * 3 * 2);
+        let points: Vec<_> = grid.points().collect();
+        assert_eq!(points.len(), grid.len());
+        // Thread-major, defaults first: the first point of each thread
+        // count is the threads-only point.
+        assert_eq!(points[0], PlanPoint::threads_only(1));
+        assert_eq!(points[12], PlanPoint::threads_only(8));
+        // All points distinct.
+        let mut uniq = points.clone();
+        uniq.sort_by_key(|p| (p.threads, p.isa as u8, p.block_percent, p.packing as u8));
+        uniq.dedup();
+        assert_eq!(uniq.len(), points.len());
+    }
+
+    #[test]
+    fn materialise_maps_defaults_to_auto() {
+        use crate::dispatch::Precision;
+        let p = PlanPoint::threads_only(6).materialise(Precision::F32);
+        assert_eq!(p, ExecutionPlan::with_threads(6));
+        assert!(p.is_threads_only());
+
+        let q = PlanPoint {
+            threads: 4,
+            isa: IsaChoice::Scalar,
+            block_percent: 50,
+            packing: PackingStrategy::Independent,
+        }
+        .materialise(Precision::F32);
+        assert_eq!(q.threads, 4);
+        assert_eq!(q.kernel_isa, Some(KernelIsa::Scalar));
+        let blocks = q.blocking.expect("non-default percent pins blocking");
+        assert!(blocks.is_valid());
+        assert_eq!(q.packing, PackingStrategy::Independent);
+    }
+
+    #[test]
+    fn reduced_grid_has_two_axes() {
+        let grid = PlanGrid::reduced(vec![1, 2, 4]);
+        assert_eq!(grid.len(), 6);
+        assert!(!grid.is_threads_only());
+        assert!(grid.plan_features);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = ExecutionPlan::with_threads(6)
+            .with_isa(KernelIsa::Scalar)
+            .with_blocking(BlockSizes::for_f32())
+            .with_packing(PackingStrategy::Independent);
+        let v = serde::Serialize::to_value(&p);
+        let back: ExecutionPlan = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(p, back);
+    }
+}

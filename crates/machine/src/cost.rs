@@ -6,6 +6,7 @@
 //! thread count" — which is exactly the question the paper's training data
 //! gathering asks the real machines.
 
+use adsala_gemm::plan::{IsaChoice, PackingStrategy, PlanPoint};
 use adsala_sampling::GemmShape;
 use serde::{Deserialize, Serialize};
 
@@ -102,11 +103,31 @@ impl MachineModel {
         self.topology.total_threads()
     }
 
-    /// Noise-free expected cost of one GEMM at `threads`.
+    /// Noise-free expected cost of one GEMM at `threads` under the
+    /// default execution plan.
     pub fn expected(&self, shape: GemmShape, threads: u32) -> CostBreakdown {
+        self.expected_point(shape, &PlanPoint::threads_only(threads))
+    }
+
+    /// Noise-free expected cost of one GEMM at a full plan-grid point.
+    ///
+    /// A default-axes point evaluates the exact arithmetic of the
+    /// threads-only model (bit-identical results). Non-default axes
+    /// adjust the terms they physically touch:
+    ///
+    /// * **scalar ISA** — divides the kernel's FLOP capacity by the
+    ///   vector width (`32 / element_bytes` lanes);
+    /// * **block scale** — rescales `KC`, which moves the per-panel
+    ///   barrier count, `C` write-back traffic and kernel-call overhead,
+    ///   at a small kernel-efficiency penalty for leaving the tuned
+    ///   cache footprint;
+    /// * **independent packing** — drops the per-panel barrier (only a
+    ///   start and end barrier remain) but pays duplicated `B`-copy
+    ///   traffic across row groups.
+    pub fn expected_point(&self, shape: GemmShape, point: &PlanPoint) -> CostBreakdown {
         let topo = &self.topology;
         let params = self.vendor.params();
-        let p = threads.clamp(1, topo.total_threads());
+        let p = point.threads.clamp(1, topo.total_threads());
         let place = Placement::place(topo, p, self.affinity);
         let es = self.element_bytes as f64;
         let (m, k, n) = (shape.m.max(1), shape.k.max(1), shape.n.max(1));
@@ -117,7 +138,13 @@ impl MachineModel {
         // Zero-padding of ragged micro-tiles: packed bytes per logical byte.
         let pad_m = (tile_m.div_ceil(params.mr) * params.mr) as f64 / tile_m as f64;
         let pad_n = (tile_n.div_ceil(params.nr) * params.nr) as f64 / tile_n as f64;
-        let kblocks = k.div_ceil(params.kc).max(1) as f64;
+        let kc = if point.block_percent == 100 {
+            params.kc
+        } else {
+            (params.kc * point.block_percent.max(1) as u64 / 100).max(1)
+        };
+        let kblocks = k.div_ceil(kc).max(1) as f64;
+        let independent = point.packing == PackingStrategy::Independent;
 
         // ---- spawn + sync -------------------------------------------------
         let (spawn_s, sync_s) = if p <= 1 {
@@ -127,7 +154,10 @@ impl MachineModel {
             let barrier = params.sync_per_barrier_s
                 * (p as f64).log2()
                 * (1.0 + params.sync_numa_penalty * (place.sockets_used - 1) as f64);
-            (spawn, (kblocks + 2.0) * barrier)
+            // Cooperative B packing synchronises every rank-update panel;
+            // independent packing only meets at the start and end.
+            let barriers = if independent { 2.0 } else { kblocks + 2.0 };
+            (spawn, barriers * barrier)
         };
 
         // ---- data copy (packing) -----------------------------------------
@@ -135,7 +165,12 @@ impl MachineModel {
         // group its own copy of the A panel (duplication across the grid),
         // padded to full micro-tiles.
         let a_bytes = es * (m * k) as f64 * pad_m * pc as f64;
-        let b_bytes = es * (k * n) as f64 * pad_n * pr as f64;
+        let mut b_bytes = es * (k * n) as f64 * pad_n * pr as f64;
+        if independent {
+            // No shared panel to lean on: every row group streams its own
+            // copy through a cold cache.
+            b_bytes *= 1.35;
+        }
         let copy_bytes = a_bytes + b_bytes;
 
         // Aggregate copy bandwidth: sockets in play, NUMA-interleave
@@ -171,9 +206,21 @@ impl MachineModel {
         let eff_m = tile_m as f64 / (tile_m.div_ceil(params.mr) * params.mr) as f64;
         let eff_n = tile_n as f64 / (tile_n.div_ceil(params.nr) * params.nr) as f64;
         let eff_k = k as f64 / (k as f64 + 16.0);
-        let eff = params.kernel_eff * eff_m * eff_n * eff_k;
+        let mut eff = params.kernel_eff * eff_m * eff_n * eff_k;
+        // Leaving the vendor-tuned cache footprint costs kernel
+        // efficiency: oversized panels spill L2, undersized ones re-load
+        // A micro-panels more often.
+        if point.block_percent > 100 {
+            eff *= 0.90;
+        } else if point.block_percent < 100 {
+            eff *= 0.96;
+        }
         let flops = shape.flops() as f64;
-        let flop_time = flops / (capacity * eff.max(1e-3));
+        let mut flop_time = flops / (capacity * eff.max(1e-3));
+        if point.isa == IsaChoice::Scalar {
+            // The scalar reference kernel leaves every vector lane idle.
+            flop_time *= (32.0 / es).max(2.0);
+        }
         // Memory roofline: C is streamed (read+write) once per rank-update
         // block. SMT siblings hide memory latency, extracting more of the
         // socket bandwidth (this is why a small cluster of memory-bound
@@ -217,6 +264,42 @@ impl MachineModel {
     pub fn measure_avg(&self, shape: GemmShape, threads: u32, reps: u32) -> f64 {
         let reps = reps.max(1);
         (0..reps).map(|r| self.measure(shape, threads, r)).sum::<f64>() / reps as f64
+    }
+
+    /// One noisy measurement of a plan-grid point. A default-axes point
+    /// routes through [`MachineModel::measure`] (bit-identical to the
+    /// threads-only path); other points draw noise from a seed extended
+    /// with the plan axes so distinct plans scatter independently.
+    pub fn measure_point(&self, shape: GemmShape, point: &PlanPoint, rep: u32) -> f64 {
+        if point.is_default_axes() {
+            return self.measure(shape, point.threads, rep);
+        }
+        let expected = self.expected_point(shape, point).total();
+        if self.noise_sigma == 0.0 && self.spike_prob == 0.0 {
+            return expected;
+        }
+        let seed = combine(&[
+            self.seed,
+            shape.m,
+            shape.k,
+            shape.n,
+            point.threads as u64,
+            rep as u64,
+            matches!(self.affinity, Affinity::ThreadBased) as u64,
+            0x504C_414E, // "PLAN": keeps plan streams off the legacy ones
+            point.isa as u64,
+            point.block_percent as u64,
+            point.packing as u64,
+        ]);
+        expected
+            * lognormal_factor(seed, self.noise_sigma)
+            * spike_factor(seed, self.spike_prob, self.spike_scale)
+    }
+
+    /// Mean of `reps` noisy measurements of a plan-grid point.
+    pub fn measure_point_avg(&self, shape: GemmShape, point: &PlanPoint, reps: u32) -> f64 {
+        let reps = reps.max(1);
+        (0..reps).map(|r| self.measure_point(shape, point, r)).sum::<f64>() / reps as f64
     }
 
     /// The thread count minimising the noise-free expected runtime
@@ -420,6 +503,84 @@ mod tests {
         let model = MachineModel::gadi();
         let g = model.gflops(sq(4000), 48);
         assert!((50.0..5000.0).contains(&g), "Gadi large-GEMM GFLOPS {g} implausible");
+    }
+
+    #[test]
+    fn default_point_is_bit_identical_to_threads_only_model() {
+        for model in [MachineModel::setonix(), MachineModel::gadi()] {
+            for shape in [sq(64), sq(1000), GemmShape::new(64, 2048, 64)] {
+                for p in [1, 16, 96] {
+                    let point = PlanPoint::threads_only(p);
+                    assert_eq!(model.expected(shape, p), model.expected_point(shape, &point));
+                    for rep in 0..3 {
+                        assert_eq!(
+                            model.measure(shape, p, rep),
+                            model.measure_point(shape, &point, rep)
+                        );
+                    }
+                    assert_eq!(
+                        model.measure_avg(shape, p, 5),
+                        model.measure_point_avg(shape, &point, 5)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_isa_is_slower_on_compute_bound_shapes() {
+        let model = MachineModel::gadi();
+        let base = model.expected_point(sq(2048), &PlanPoint::threads_only(48)).total();
+        let scalar = model
+            .expected_point(
+                sq(2048),
+                &PlanPoint { isa: IsaChoice::Scalar, ..PlanPoint::threads_only(48) },
+            )
+            .total();
+        assert!(scalar > 3.0 * base, "scalar {scalar} vs dispatched {base}");
+    }
+
+    #[test]
+    fn independent_packing_trades_sync_for_copy() {
+        let model = MachineModel::gadi();
+        let shape = GemmShape::new(96, 8192, 96);
+        let shared = model.expected_point(shape, &PlanPoint::threads_only(96));
+        let indep = model.expected_point(
+            shape,
+            &PlanPoint { packing: PackingStrategy::Independent, ..PlanPoint::threads_only(96) },
+        );
+        assert!(indep.sync_s < shared.sync_s, "independent packing must drop panel barriers");
+        assert!(indep.copy_s > shared.copy_s, "independent packing must duplicate B traffic");
+    }
+
+    #[test]
+    fn block_scale_moves_barrier_and_writeback_counts() {
+        let model = MachineModel::gadi();
+        let shape = GemmShape::new(256, 8192, 256);
+        let base = model.expected_point(shape, &PlanPoint::threads_only(48));
+        let wide = model.expected_point(
+            shape,
+            &PlanPoint { block_percent: 200, ..PlanPoint::threads_only(48) },
+        );
+        assert!(wide.sync_s < base.sync_s, "bigger KC means fewer panel barriers");
+        // Every non-default plan point stays finite and positive.
+        for point in adsala_gemm::plan::PlanGrid::full(vec![1, 48]).points().collect::<Vec<_>>() {
+            let c = model.expected_point(shape, &point);
+            assert!(c.total().is_finite() && c.total() > 0.0, "{point:?}");
+        }
+    }
+
+    #[test]
+    fn plan_points_get_independent_noise_streams() {
+        let model = MachineModel::gadi();
+        let shape = sq(500);
+        let a = PlanPoint { block_percent: 200, ..PlanPoint::threads_only(24) };
+        let b = PlanPoint { packing: PackingStrategy::Independent, ..PlanPoint::threads_only(24) };
+        let ma = model.measure_point(shape, &a, 0);
+        assert_eq!(ma, model.measure_point(shape, &a, 0), "deterministic");
+        let ra = ma / model.expected_point(shape, &a).total();
+        let rb = model.measure_point(shape, &b, 0) / model.expected_point(shape, &b).total();
+        assert_ne!(ra, rb, "distinct plan axes must draw distinct noise");
     }
 
     #[test]

@@ -12,15 +12,25 @@
 
 use std::time::Instant;
 
+use adsala_gemm::dispatch::Precision;
 use adsala_gemm::gemm::{gemm_with_stats, GemmCall};
+use adsala_gemm::plan::PlanPoint;
 use adsala_sampling::GemmShape;
 
 use crate::cost::MachineModel;
 
-/// Source of GEMM timings for a machine with a thread-count knob.
+/// Source of GEMM timings for a machine with an execution-plan knob.
 pub trait GemmTimer {
     /// Mean wall time (seconds) of `reps` runs of `shape` on `threads`.
     fn time(&self, shape: GemmShape, threads: u32, reps: u32) -> f64;
+
+    /// Mean wall time (seconds) of `reps` runs of `shape` under a full
+    /// plan-grid point. The default implementation honours only the
+    /// thread axis (exactly [`GemmTimer::time`]); plan-capable timers
+    /// override it.
+    fn time_plan(&self, shape: GemmShape, point: &PlanPoint, reps: u32) -> f64 {
+        self.time(shape, point.threads, reps)
+    }
 
     /// The machine's maximum thread count (the paper's baseline setting).
     fn max_threads(&self) -> u32;
@@ -45,6 +55,10 @@ impl SimTimer {
 impl GemmTimer for SimTimer {
     fn time(&self, shape: GemmShape, threads: u32, reps: u32) -> f64 {
         self.model.measure_avg(shape, threads, reps)
+    }
+
+    fn time_plan(&self, shape: GemmShape, point: &PlanPoint, reps: u32) -> f64 {
+        self.model.measure_point_avg(shape, point, reps)
     }
 
     fn max_threads(&self) -> u32 {
@@ -80,8 +94,11 @@ impl HostTimer {
     }
 }
 
-impl GemmTimer for HostTimer {
-    fn time(&self, shape: GemmShape, threads: u32, reps: u32) -> f64 {
+impl HostTimer {
+    /// Time `reps` runs of a prepared call, excluding one warm-up run
+    /// (first-touch, page faults) from timing, mirroring standard
+    /// benchmark practice.
+    fn time_call(&self, shape: GemmShape, call: &GemmCall, reps: u32) -> f64 {
         let m = shape.m as usize;
         let k = shape.k as usize;
         let n = shape.n as usize;
@@ -96,17 +113,30 @@ impl GemmTimer for HostTimer {
         let a = fill(m * k, 1);
         let b = fill(k * n, 2);
         let mut c = vec![0.0f32; m * n];
-        let call = GemmCall::new(m, n, k, threads.clamp(1, self.max_threads) as usize);
 
-        // One warm-up run (first-touch, page faults) excluded from timing,
-        // mirroring standard benchmark practice.
-        gemm_with_stats(&call, 1.0, &a, k.max(1), &b, n.max(1), 0.0, &mut c, n.max(1));
+        gemm_with_stats(call, 1.0, &a, k.max(1), &b, n.max(1), 0.0, &mut c, n.max(1));
         let reps = reps.max(1);
         let start = Instant::now();
         for _ in 0..reps {
-            gemm_with_stats(&call, 1.0, &a, k.max(1), &b, n.max(1), 0.0, &mut c, n.max(1));
+            gemm_with_stats(call, 1.0, &a, k.max(1), &b, n.max(1), 0.0, &mut c, n.max(1));
         }
         start.elapsed().as_secs_f64() / reps as f64
+    }
+}
+
+impl GemmTimer for HostTimer {
+    fn time(&self, shape: GemmShape, threads: u32, reps: u32) -> f64 {
+        let (m, n, k) = (shape.m as usize, shape.n as usize, shape.k as usize);
+        let call = GemmCall::new(m, n, k, threads.clamp(1, self.max_threads) as usize);
+        self.time_call(shape, &call, reps)
+    }
+
+    fn time_plan(&self, shape: GemmShape, point: &PlanPoint, reps: u32) -> f64 {
+        let (m, n, k) = (shape.m as usize, shape.n as usize, shape.k as usize);
+        let mut plan = point.materialise(Precision::F32);
+        plan.threads = plan.threads.clamp(1, self.max_threads);
+        let call = GemmCall::new(m, n, k, plan.threads as usize).with_plan(plan);
+        self.time_call(shape, &call, reps)
     }
 
     fn max_threads(&self) -> u32 {
@@ -145,6 +175,35 @@ mod tests {
         let small = timer.time(GemmShape::new(32, 32, 32), 1, 2);
         let big = timer.time(GemmShape::new(256, 256, 256), 1, 2);
         assert!(big > small, "256³ ({big}) not slower than 32³ ({small})");
+    }
+
+    #[test]
+    fn sim_timer_time_plan_matches_model_points() {
+        use adsala_gemm::plan::PackingStrategy;
+        let model = MachineModel::gadi();
+        let timer = SimTimer::new(model.clone());
+        let shape = GemmShape::new(300, 300, 300);
+        let point =
+            PlanPoint { packing: PackingStrategy::Independent, ..PlanPoint::threads_only(16) };
+        assert_eq!(timer.time_plan(shape, &point, 4), model.measure_point_avg(shape, &point, 4));
+        // Default-axes points keep the legacy timing path bit-identical.
+        let base = PlanPoint::threads_only(16);
+        assert_eq!(timer.time_plan(shape, &base, 4), timer.time(shape, 16, 4));
+    }
+
+    #[test]
+    fn host_timer_runs_non_default_plans() {
+        use adsala_gemm::plan::{IsaChoice, PackingStrategy};
+        let timer = HostTimer::with_max_threads(2);
+        let shape = GemmShape::new(48, 48, 48);
+        let point = PlanPoint {
+            threads: 2,
+            isa: IsaChoice::Scalar,
+            block_percent: 50,
+            packing: PackingStrategy::Independent,
+        };
+        let t = timer.time_plan(shape, &point, 1);
+        assert!(t > 0.0 && t < 1.0, "implausible plan timing {t}");
     }
 
     #[test]

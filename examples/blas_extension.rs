@@ -45,11 +45,11 @@ fn main() {
         for (label, shape) in probes {
             let d = runtime.select_threads(shape.m, shape.k, shape.n);
             let t_max = timer.time(shape, p_max, 5);
-            let t_ml = timer.time(shape, d.threads, 5);
+            let t_ml = timer.time(shape, d.threads(), 5);
             println!(
                 "{:<22} {:>8} {:>14.1} {:>14.1} {:>8.2}x",
                 label,
-                d.threads,
+                d.threads(),
                 t_max * 1e6,
                 t_ml * 1e6,
                 t_max / t_ml

@@ -58,7 +58,7 @@ fn main() {
                         .sgemm(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n, 8)
                         .expect("well-formed sgemm");
                     assert!(
-                        service.candidates().contains(&decision.threads),
+                        service.candidates().contains(&decision.threads()),
                         "decision escaped the ladder"
                     );
                     assert!(stats.exec.threads_used >= 1);

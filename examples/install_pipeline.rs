@@ -82,6 +82,6 @@ fn main() {
     println!(
         "artifact: {} bytes of JSON (config + trained model), {} candidate thread counts",
         json.len(),
-        artifact.candidates.len()
+        artifact.candidates().len()
     );
 }

@@ -40,7 +40,7 @@ fn train_routine_model(
     let rows: Vec<Vec<f64>> = data
         .records
         .iter()
-        .map(|r| base_config.features_for(r.shape.m, r.shape.k, r.shape.n, r.threads))
+        .map(|r| base_config.features_for(r.shape.m, r.shape.k, r.shape.n, r.threads()))
         .collect();
     let labels: Vec<f64> =
         data.records.iter().map(|r| base_config.label_for_runtime(r.runtime_s)).collect();
@@ -89,7 +89,7 @@ fn main() {
         println!(
             "{:<28} {:>8} {:>16.1}",
             format!("{} {} {:?}", shape.precision, shape.routine, shape.dims),
-            d.threads,
+            d.threads(),
             d.predicted_runtime_s * 1e6
         );
     }

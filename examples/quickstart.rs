@@ -46,7 +46,7 @@ fn main() {
         let d = gemm.select_threads(m, k, n);
         println!(
             "GEMM {m}x{k}x{n}: chose {} threads (predicted {:.3} ms)",
-            d.threads,
+            d.threads(),
             d.predicted_runtime_s * 1e3
         );
     }
@@ -63,7 +63,7 @@ fn main() {
         .expect("well-formed sgemm");
     println!(
         "host SGEMM {m}x{k}x{n}: ML chose {} threads, ran on {} ({} kernel calls, {:.2} MB packed)",
-        decision.threads,
+        decision.threads(),
         stats.exec.threads_used,
         stats.exec.kernel_calls,
         stats.exec.packed_bytes() as f64 / 1e6

@@ -49,14 +49,14 @@ fn main() {
             let again = gemm.select_threads(shape.m, shape.k, shape.n);
             assert!(again.memoised, "repeated shape must hit the memo");
         }
-        let t_ml = timer.time(shape, d.threads, 5) * calls as f64;
+        let t_ml = timer.time(shape, d.threads(), 5) * calls as f64;
         total_max += t_max;
         total_ml += t_ml;
         println!(
             "{:<14} {:>18} {:>8} {:>14.3} {:>14.3} {:>8.2}x",
             name,
             format!("{}x{}x{}", shape.m, shape.k, shape.n),
-            d.threads,
+            d.threads(),
             t_max * 1e3,
             t_ml * 1e3,
             t_max / t_ml

@@ -1,19 +1,20 @@
-//! Schema-migration guarantees: a pinned v1 installation artefact
-//! (committed under `tests/fixtures/`, written by the pre-redesign
-//! runtime) must load as schema v2 with its model in the GEMM slot and
-//! reproduce the pre-redesign runtime's decisions bit for bit.
+//! Schema-migration guarantees: pinned v1 and v2 installation artefacts
+//! (committed under `tests/fixtures/`, written by the pre-redesign and
+//! pre-plan runtimes respectively) must load as schema v3 with
+//! threads-only candidate grids and reproduce the writing build's
+//! decisions bit for bit.
 
 use std::path::{Path, PathBuf};
 
 use adsala::prelude::*;
 
-fn fixture_path() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/artifact_v1.json")
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
 }
 
 /// Decisions recorded from the pre-redesign (v1, PR 2) runtime for the
 /// committed fixture: `((m, k, n), threads, predicted_runtime_s bits)`.
-const PINNED_DECISIONS: &[((u64, u64, u64), u32, u64)] = &[
+const V1_PINNED_DECISIONS: &[((u64, u64, u64), u32, u64)] = &[
     ((64, 64, 64), 2, 0x3ef443b62fa98b82),
     ((1000, 500, 1000), 6, 0x3f323a9371b2c949),
     ((64, 4096, 64), 1, 0x3f6321d6ddf11c85),
@@ -24,23 +25,69 @@ const PINNED_DECISIONS: &[((u64, u64, u64), u32, u64)] = &[
     ((1, 74000, 1), 1, 0x3f7bca6b6bd223c5),
 ];
 
+/// Decisions recorded from the pre-plan (v2, PR 5) runtime for the
+/// committed fixture, captured immediately before the ExecutionPlan
+/// refactor landed.
+const V2_PINNED_DECISIONS: &[((u64, u64, u64), u32, u64)] = &[
+    ((64, 64, 64), 1, 0x3f1091f6760314da),
+    ((1000, 500, 1000), 24, 0x3f4a29c9b3399047),
+    ((64, 4096, 64), 1, 0x3f520da6f52e309c),
+    ((128, 512, 128), 1, 0x3f2cef4d91414aab),
+    ((2000, 64, 2000), 8, 0x3f43885b5df00ac0),
+    ((48, 48, 48), 2, 0x3f103753d5a2512d),
+    ((3000, 3000, 3000), 96, 0x3f8bdf51e35f8c65),
+    ((1, 74000, 1), 1, 0x3f83dbf78a10ef9a),
+];
+
 #[test]
-fn v1_fixture_loads_as_v2_with_model_in_gemm_slot() {
-    let art = Artifact::load(&fixture_path()).expect("fixture must load");
+fn v1_fixture_loads_as_v3_with_model_in_gemm_slot() {
+    let art = Artifact::load(&fixture_path("artifact_v1.json")).expect("fixture must load");
     assert_eq!(art.version, Artifact::VERSION, "loaded artefacts carry the current schema");
     assert_eq!(art.machine, "gadi-sim-v1");
-    assert!(!art.candidates.is_empty());
+    assert!(!art.candidates().is_empty());
+    assert!(art.grid.is_threads_only(), "migrated artefacts degrade to threads-only grids");
+    assert!(!art.grid.plan_features, "migrated configs were fitted without plan features");
     assert!(art.models.has_dedicated(Routine::Gemm));
     assert!(!art.models.has_dedicated(Routine::Syrk), "migration must not invent models");
     assert!(!art.models.has_dedicated(Routine::Gemv));
 }
 
 #[test]
+fn v2_fixture_loads_as_v3_with_threads_only_grid() {
+    let art = Artifact::load(&fixture_path("artifact_v2.json")).expect("fixture must load");
+    assert_eq!(art.version, Artifact::VERSION);
+    assert_eq!(art.machine, "gadi-sim-v2");
+    assert_eq!(art.grid, PlanGrid::threads_only(art.candidates().to_vec()));
+    assert!(art.models.has_dedicated(Routine::Gemm));
+}
+
+#[test]
 fn v1_fixture_decides_bitwise_identically_to_pre_redesign_runtime() {
-    let mut runtime = Artifact::load(&fixture_path()).expect("fixture must load").into_runtime();
-    for &((m, k, n), threads, runtime_bits) in PINNED_DECISIONS {
+    let mut runtime = Artifact::load(&fixture_path("artifact_v1.json"))
+        .expect("fixture must load")
+        .into_runtime();
+    for &((m, k, n), threads, runtime_bits) in V1_PINNED_DECISIONS {
         let d = runtime.select_threads(m, k, n);
-        assert_eq!(d.threads, threads, "thread decision drifted for {m}x{k}x{n}");
+        assert_eq!(d.threads(), threads, "thread decision drifted for {m}x{k}x{n}");
+        assert!(d.plan.is_threads_only(), "migrated artefacts must emit threads-only plans");
+        assert_eq!(
+            d.predicted_runtime_s.to_bits(),
+            runtime_bits,
+            "predicted runtime drifted for {m}x{k}x{n}: {:e}",
+            d.predicted_runtime_s
+        );
+    }
+}
+
+#[test]
+fn v2_fixture_decides_bitwise_identically_to_pre_plan_runtime() {
+    let mut runtime = Artifact::load(&fixture_path("artifact_v2.json"))
+        .expect("fixture must load")
+        .into_runtime();
+    for &((m, k, n), threads, runtime_bits) in V2_PINNED_DECISIONS {
+        let d = runtime.select_threads(m, k, n);
+        assert_eq!(d.threads(), threads, "thread decision drifted for {m}x{k}x{n}");
+        assert!(d.plan.is_threads_only(), "migrated artefacts must emit threads-only plans");
         assert_eq!(
             d.predicted_runtime_s.to_bits(),
             runtime_bits,
@@ -52,28 +99,45 @@ fn v1_fixture_decides_bitwise_identically_to_pre_redesign_runtime() {
 
 #[test]
 fn v1_fixture_serves_identically_through_the_concurrent_service() {
-    let art = Artifact::load(&fixture_path()).expect("fixture must load");
+    let art = Artifact::load(&fixture_path("artifact_v1.json")).expect("fixture must load");
     let service = AdsalaService::with_config(
         art.into_bundle().into_shared(),
         ServiceConfig { pool_workers: 1, ..ServiceConfig::default() },
     );
-    for &((m, k, n), threads, runtime_bits) in PINNED_DECISIONS {
+    for &((m, k, n), threads, runtime_bits) in V1_PINNED_DECISIONS {
         let d = service.select_threads(m, k, n);
-        assert_eq!(d.threads, threads);
+        assert_eq!(d.threads(), threads);
         assert_eq!(d.predicted_runtime_s.to_bits(), runtime_bits);
     }
 }
 
 #[test]
-fn migrated_fixture_rewrites_as_v2_and_round_trips() {
-    let art = Artifact::load(&fixture_path()).expect("fixture must load");
-    let json = art.to_json().expect("serialise");
-    assert!(json.contains("\"version\":2"), "rewritten artefacts must be v2");
-    assert!(json.contains("\"models\""), "v2 carries the per-routine model table");
-    let back = Artifact::from_json(&json).expect("v2 round trip");
-    let mut a = art.into_runtime();
-    let mut b = back.into_runtime();
-    for &((m, k, n), _, _) in PINNED_DECISIONS {
-        assert_eq!(a.select_threads(m, k, n), b.select_threads(m, k, n));
+fn v2_fixture_serves_identically_through_the_concurrent_service() {
+    let art = Artifact::load(&fixture_path("artifact_v2.json")).expect("fixture must load");
+    let service = AdsalaService::with_config(
+        art.into_bundle().into_shared(),
+        ServiceConfig { pool_workers: 1, ..ServiceConfig::default() },
+    );
+    for &((m, k, n), threads, runtime_bits) in V2_PINNED_DECISIONS {
+        let d = service.select_threads(m, k, n);
+        assert_eq!(d.threads(), threads);
+        assert_eq!(d.predicted_runtime_s.to_bits(), runtime_bits);
+    }
+}
+
+#[test]
+fn migrated_fixture_rewrites_as_v3_and_round_trips() {
+    for name in ["artifact_v1.json", "artifact_v2.json"] {
+        let art = Artifact::load(&fixture_path(name)).expect("fixture must load");
+        let json = art.to_json().expect("serialise");
+        assert!(json.contains("\"version\":3"), "rewritten artefacts must be v3 ({name})");
+        assert!(json.contains("\"models\""), "v3 carries the per-routine model table");
+        assert!(json.contains("\"grid\""), "v3 carries the candidate plan grid");
+        let back = Artifact::from_json(&json).expect("v3 round trip");
+        let mut a = art.into_runtime();
+        let mut b = back.into_runtime();
+        for &((m, k, n), _, _) in V1_PINNED_DECISIONS {
+            assert_eq!(a.select_threads(m, k, n), b.select_threads(m, k, n));
+        }
     }
 }

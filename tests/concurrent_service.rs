@@ -38,7 +38,7 @@ fn concurrent_clients_get_deterministic_in_ladder_decisions() {
     let shapes: Vec<ShapeKey> =
         (0..25u64).map(|i| (32 + 16 * (i % 5), 64 + 128 * (i % 7), 32 + 8 * (i % 11))).collect();
 
-    let per_client: Vec<Vec<(ShapeKey, ThreadDecision)>> = std::thread::scope(|scope| {
+    let per_client: Vec<Vec<(ShapeKey, PlanDecision)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_clients)
             .map(|client| {
                 let service = &service;
@@ -63,12 +63,12 @@ fn concurrent_clients_get_deterministic_in_ladder_decisions() {
     for decisions in &per_client {
         for &((m, k, n), d) in decisions {
             let expected =
-                *agreed.entry((m, k, n)).or_insert_with(|| bundle.decide(m, k, n).threads);
-            assert_eq!(d.threads, expected, "non-deterministic decision for {m}x{k}x{n}");
+                *agreed.entry((m, k, n)).or_insert_with(|| bundle.decide(m, k, n).threads());
+            assert_eq!(d.threads(), expected, "non-deterministic decision for {m}x{k}x{n}");
             assert!(
-                bundle.candidates.contains(&d.threads),
+                bundle.candidates().contains(&d.threads()),
                 "decision {} outside the candidate ladder",
-                d.threads
+                d.threads()
             );
             assert!(d.predicted_runtime_s > 0.0);
         }
@@ -136,7 +136,7 @@ fn concurrent_sgemm_matches_spawn_path_bitwise() {
                     assert!(stats.exec.threads_used >= 1);
 
                     // Same thread request through the spawn-per-call driver.
-                    let threads = decision.threads.clamp(1, 4) as usize;
+                    let threads = decision.threads().clamp(1, 4) as usize;
                     let mut c_spawn = vec![1.0f32; m * n];
                     let call = GemmCall::new(m, n, k, threads);
                     gemm_with_stats(&call, 1.5, &a, k, &b, n, 0.5, &mut c_spawn, n);
@@ -178,7 +178,7 @@ fn mixed_routine_traffic_matches_direct_kernels_bitwise() {
                 let (d, stats) =
                     svc.run_with(&mut req, RunOptions::with_host_cap(cap)).expect("f32 gemm");
                 assert_eq!((stats.routine, stats.precision), (Routine::Gemm, Precision::F32));
-                let threads = d.threads.clamp(1, cap) as usize;
+                let threads = d.threads().clamp(1, cap) as usize;
                 let mut c_direct = vec![1.0f32; m * n];
                 let call = GemmCall::new(m, n, k, threads);
                 gemm_with_stats(&call, 1.5, &a, k, &b, n, 0.5, &mut c_direct, n);
@@ -196,7 +196,7 @@ fn mixed_routine_traffic_matches_direct_kernels_bitwise() {
                 let (d, stats) =
                     svc.dgemm(m, n, k, 1.0, &a, k, &b, n, -0.5, &mut c, n, cap).expect("f64 gemm");
                 assert_eq!((stats.routine, stats.precision), (Routine::Gemm, Precision::F64));
-                let threads = d.threads.clamp(1, cap) as usize;
+                let threads = d.threads().clamp(1, cap) as usize;
                 let mut c_direct = vec![2.0f64; m * n];
                 let call = GemmCall::new(m, n, k, threads);
                 gemm_with_stats(&call, 1.0, &a, k, &b, n, -0.5, &mut c_direct, n);
@@ -216,7 +216,7 @@ fn mixed_routine_traffic_matches_direct_kernels_bitwise() {
                 let (d, stats) =
                     svc.run_with(&mut req, RunOptions::with_host_cap(cap)).expect("f64 syrk");
                 assert_eq!((stats.routine, stats.precision), (Routine::Syrk, Precision::F64));
-                let threads = d.threads.clamp(1, cap) as usize;
+                let threads = d.threads().clamp(1, cap) as usize;
                 let mut c_direct = vec![0.5f64; m * m];
                 adsala_gemm::syrk_with_stats(m, k, 2.0, &a, k, 0.25, &mut c_direct, m, threads);
                 assert_eq!(c, c_direct, "SYRK diverged from direct kernel");
@@ -236,7 +236,7 @@ fn mixed_routine_traffic_matches_direct_kernels_bitwise() {
                 let (d, stats) =
                     svc.run_with(&mut req, RunOptions::with_host_cap(cap)).expect("f32 gemv");
                 assert_eq!((stats.routine, stats.precision), (Routine::Gemv, Precision::F32));
-                let threads = d.threads.clamp(1, cap) as usize;
+                let threads = d.threads().clamp(1, cap) as usize;
                 let mut y_direct = vec![1.0f32; m];
                 adsala_gemm::gemv_with_stats(m, n, 1.0, &a, n, &x, 0.5, &mut y_direct, threads);
                 assert_eq!(y, y_direct, "GEMV diverged from direct kernel");

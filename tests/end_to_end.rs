@@ -33,7 +33,7 @@ fn gadi_pipeline_selects_boosting_and_speeds_up() {
     for s in shapes {
         let d = runtime.select_threads(s.m, s.k, s.n);
         t_orig += timer.time(s, p_max, 5);
-        t_ml += timer.time(s, d.threads, 5);
+        t_ml += timer.time(s, d.threads(), 5);
     }
     let aggregate_speedup = t_orig / t_ml;
     assert!(
@@ -48,9 +48,13 @@ fn setonix_pipeline_end_to_end() {
     assert_eq!(install.max_threads, 256);
     let mut runtime = install.into_runtime();
     let small = runtime.select_threads(64, 64, 64);
-    assert!(small.threads < 128, "tiny GEMM got {} threads on a 256-thread node", small.threads);
+    assert!(
+        small.threads() < 128,
+        "tiny GEMM got {} threads on a 256-thread node",
+        small.threads()
+    );
     let large = runtime.select_threads(4000, 4000, 4000);
-    assert!(large.threads >= 64, "large square GEMM got only {} threads", large.threads);
+    assert!(large.threads() >= 64, "large square GEMM got only {} threads", large.threads());
     let _ = timer; // timer participates via the install above
 }
 
@@ -69,8 +73,8 @@ fn artifact_file_roundtrip_preserves_runtime_behaviour() {
     let mut b = restored.into_runtime();
     for (m, k, n) in [(64, 2048, 64), (128, 128, 128), (2000, 500, 300)] {
         assert_eq!(
-            a.select_threads(m, k, n).threads,
-            b.select_threads(m, k, n).threads,
+            a.select_threads(m, k, n).threads(),
+            b.select_threads(m, k, n).threads(),
             "decision changed after disk roundtrip for {m}x{k}x{n}"
         );
     }

@@ -47,7 +47,7 @@ proptest! {
         let mut c = fill(m * n, seed + 2);
         let mut c_ref = c.clone();
 
-        let call = GemmCall { trans_a: ta, trans_b: tb, m, n, k, threads, blocks: None, isa: None };
+        let call = GemmCall { trans_a: ta, trans_b: tb, ..GemmCall::new(m, n, k, threads) };
         gemm_with_stats(&call, alpha, &a, ac.max(1), &b, bc.max(1), beta, &mut c, n);
         naive_gemm(ta, tb, m, n, k, alpha, &a, ac.max(1), &b, bc.max(1), beta, &mut c_ref, n);
 

@@ -60,7 +60,7 @@ fn pipeline_trains_against_real_host_gemm() {
     // correct GEMM with them.
     let mut gemm = install.into_runtime();
     let d = gemm.select_threads(96, 96, 96);
-    assert!((1..=host_threads).contains(&d.threads));
+    assert!((1..=host_threads).contains(&d.threads()));
 
     let (m, k, n) = (48usize, 32usize, 40usize);
     let a: Vec<f32> = (0..m * k).map(|i| (i % 11) as f32 - 5.0).collect();

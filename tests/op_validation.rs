@@ -54,7 +54,8 @@ proptest! {
         let valid = req.validate().is_ok();
         // `execute` must agree with `validate` and must never panic —
         // a panic here fails the test case outright.
-        let result = req.execute(&pool, threads);
+        let result =
+            req.execute(&pool, &adsala_gemm::plan::ExecutionPlan::with_threads(threads as u32));
         prop_assert_eq!(valid, result.is_ok(), "validate/execute disagree: {:?}", result.err());
     }
 
@@ -77,7 +78,8 @@ proptest! {
         let mut req: OpRequest<'_, f64> =
             SyrkArgs { m, k, alpha: 1.0, a: &a, lda, beta: 0.0, c: &mut c, ldc }.into();
         let valid = req.validate().is_ok();
-        let result = req.execute(&pool, threads);
+        let result =
+            req.execute(&pool, &adsala_gemm::plan::ExecutionPlan::with_threads(threads as u32));
         prop_assert_eq!(valid, result.is_ok(), "validate/execute disagree: {:?}", result.err());
     }
 
@@ -100,7 +102,8 @@ proptest! {
         let mut req: OpRequest<'_, f32> =
             GemvArgs { m, n, alpha: 1.0, a: &a, lda, x: &x, beta: 0.25, y: &mut y }.into();
         let valid = req.validate().is_ok();
-        let result = req.execute(&pool, threads);
+        let result =
+            req.execute(&pool, &adsala_gemm::plan::ExecutionPlan::with_threads(threads as u32));
         prop_assert_eq!(valid, result.is_ok(), "validate/execute disagree: {:?}", result.err());
     }
 }

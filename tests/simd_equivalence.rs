@@ -123,8 +123,8 @@ fn run_isa<T: Element>(
     c_init: &[T],
 ) -> (Vec<T>, KernelIsa) {
     let mut c = c_init.to_vec();
-    let call = GemmCall { trans_a: ta, trans_b: tb, m, n, k, threads, blocks: None, isa: None }
-        .with_isa(isa);
+    let call =
+        GemmCall { trans_a: ta, trans_b: tb, ..GemmCall::new(m, n, k, threads) }.with_isa(isa);
     let stats = gemm_with_stats(&call, alpha, a, lda, b, ldb, beta, &mut c, n.max(1));
     (c, stats.kernel_isa)
 }
@@ -339,8 +339,7 @@ fn scalar_path_is_bitwise_identical_to_pr4_reference() {
 
     // The driver under test: serial, forced scalar, PR 4 blocking.
     let blocks = BlockSizes::for_f64();
-    let call =
-        GemmCall { blocks: Some(blocks), ..GemmCall::new(m, n, k, 1) }.with_isa(KernelIsa::Scalar);
+    let call = GemmCall::new(m, n, k, 1).with_blocks(blocks).with_isa(KernelIsa::Scalar);
     let mut c_driver = c0.clone();
     let stats = gemm_with_stats(&call, alpha, &a, k, &b, n, beta, &mut c_driver, n);
     assert_eq!(stats.kernel_isa, KernelIsa::Scalar);
