@@ -221,11 +221,109 @@ fn bench_routine_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The co-scheduling payoff: 8 clients of same-shape shared-`B` traffic
+/// racing `service.run` independently (gang collisions settled after the
+/// fact) vs the same traffic through `ServiceScheduler::submit`
+/// (admission wave → joint plan → fused firm-gang dispatch).
+fn bench_scheduled_vs_unscheduled(c: &mut Criterion) {
+    use adsala::prelude::*;
+    use std::sync::Arc;
+
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(4);
+    let timer = SimTimer::new(MachineModel::gadi());
+    let bundle = Installation::run(&timer, &InstallConfig::quick())
+        .expect("quick install")
+        .into_bundle()
+        .into_shared();
+    let clients = 8usize;
+    let reps = 4usize;
+    let (m, k, n) = (192usize, 128usize, 160usize);
+    let a_mats: Vec<Vec<f32>> =
+        (0..clients).map(|t| vec![(t as f32 + 1.0) * 0.25; m * k]).collect();
+    let b_mat = vec![0.5f32; k * n];
+
+    let mut group = c.benchmark_group("service/scheduler");
+    group.sample_size(10);
+
+    let service = AdsalaService::with_config(
+        Arc::clone(&bundle),
+        ServiceConfig { pool_workers: workers, ..ServiceConfig::default() },
+    );
+    group.bench_function("independent_clients_8", |bench| {
+        bench.iter(|| {
+            std::thread::scope(|scope| {
+                for a in &a_mats {
+                    let (service, b_mat) = (&service, &b_mat);
+                    scope.spawn(move || {
+                        let mut c_out = vec![0.0f32; m * n];
+                        for _ in 0..reps {
+                            let mut req: OpRequest<'_, f32> = GemmArgs::untransposed(
+                                m,
+                                n,
+                                k,
+                                1.0,
+                                a,
+                                k,
+                                b_mat,
+                                n,
+                                0.0,
+                                black_box(&mut c_out),
+                                n,
+                            )
+                            .into();
+                            service.run(&mut req).expect("serve sgemm");
+                        }
+                    });
+                }
+            })
+        })
+    });
+
+    let sched = ServiceScheduler::with_config(
+        Arc::new(AdsalaService::with_config(
+            bundle,
+            ServiceConfig { pool_workers: workers, ..ServiceConfig::default() },
+        )),
+        SchedulerConfig::default(),
+    );
+    group.bench_function("scheduled_clients_8", |bench| {
+        bench.iter(|| {
+            std::thread::scope(|scope| {
+                for a in &a_mats {
+                    let (sched, b_mat) = (&sched, &b_mat);
+                    scope.spawn(move || {
+                        let mut c_out = vec![0.0f32; m * n];
+                        for _ in 0..reps {
+                            let mut req: OpRequest<'_, f32> = GemmArgs::untransposed(
+                                m,
+                                n,
+                                k,
+                                1.0,
+                                a,
+                                k,
+                                b_mat,
+                                n,
+                                0.0,
+                                black_box(&mut c_out),
+                                n,
+                            )
+                            .into();
+                            sched.submit(&mut req).expect("schedule sgemm");
+                        }
+                    });
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_shared_selection,
     bench_client_scaling,
     bench_service_sgemm,
-    bench_routine_dispatch
+    bench_routine_dispatch,
+    bench_scheduled_vs_unscheduled
 );
 criterion_main!(benches);

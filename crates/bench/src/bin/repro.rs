@@ -19,6 +19,7 @@
 //!   fig13     predesigned-shape GFLOPS sweeps, Setonix
 //!   fig14     predesigned-shape GFLOPS sweeps, Gadi
 //!   table7    profiler-style sync/copy/kernel breakdown, Gadi
+//!   scheduler co-scheduled vs independent serving throughput (host)
 //!   ablation  yj | lof | corr | halton | memo | eval-overhead
 //!   all       everything above in paper order
 //! ```
@@ -45,7 +46,7 @@ use adsala_sampling::{DomainSampler, GemmShape, MemoryCap, Precision, Predesigne
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: repro <fig1|fig4|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table3|table4|table5|table6|table7|plans|ablation <name>|all>");
+        eprintln!("usage: repro <fig1|fig4|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table3|table4|table5|table6|table7|plans|scheduler|ablation <name>|all>");
         std::process::exit(2);
     };
     let started = Instant::now();
@@ -68,6 +69,7 @@ fn main() {
         "table7" => table7(),
         "ops" => ops_extension(),
         "learning-curve" => learning_curve(),
+        "scheduler" => scheduler_bench(),
         "ablation" => ablation(args.get(1).map(String::as_str).unwrap_or("")),
         "all" => {
             fig1();
@@ -88,6 +90,7 @@ fn main() {
             table7();
             ops_extension();
             learning_curve();
+            scheduler_bench();
             for name in ["yj", "lof", "corr", "halton", "memo", "eval-overhead"] {
                 ablation(name);
             }
@@ -336,6 +339,8 @@ struct SpeedupRun {
     cache: adsala::CacheStats,
     /// Model sweeps the service performed.
     evaluations: u64,
+    /// Full service counters (pool gang traffic, plan downgrades).
+    service: adsala::ServiceStats,
 }
 
 fn speedup_run(machine: Machine, ht: bool) -> SpeedupRun {
@@ -371,6 +376,7 @@ fn speedup_run(machine: Machine, ht: bool) -> SpeedupRun {
         plans: decisions.iter().map(|d| d.plan).collect(),
         cache: service.cache_stats(),
         evaluations: service.evaluations(),
+        service: service.stats(),
     }
 }
 
@@ -402,6 +408,13 @@ fn speedup_table(ht: bool) {
             run.cache.misses,
             run.cache.evictions,
             run.evaluations
+        ));
+        service_lines.push(format!(
+            "[service] {} pool gangs: {} reserved, {} refused; plan downgrades: {}",
+            machine.name(),
+            run.service.pool.gang_reserved,
+            run.service.pool.gang_refused,
+            run.service.plan_downgrades
         ));
         // What the decision layer actually hands the drivers: with the
         // cached threads-only artefacts every plan's non-thread axes stay
@@ -581,6 +594,12 @@ fn plan_table() {
             stats.exec.kernel_isa,
             stats.plan_degraded
         );
+        let svc = service.stats();
+        println!(
+            "[service] pool gangs: {} reserved, {} refused (independent-packing fallbacks); \
+             plan downgrades: {}",
+            svc.pool.gang_reserved, svc.pool.gang_refused, svc.plan_downgrades
+        );
     }
 
     let path = write_csv(
@@ -589,6 +608,264 @@ fn plan_table() {
         &csv_rows,
     );
     println!("[csv] {}", path.display());
+}
+
+// ------------------------------------------------------------- scheduler
+
+/// Nearest-rank percentile of an already-sorted latency sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One side of the scheduler comparison, as written to
+/// `BENCH_scheduler.json`.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SchedulerSide {
+    throughput_ops_s: f64,
+    p50_latency_ms: f64,
+    p99_latency_ms: f64,
+    gang_reserved: u64,
+    gang_fallbacks: u64,
+}
+
+/// Scheduler-only counters attached to the scheduled side.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SchedulerQueueReport {
+    fused_ops: u64,
+    waves: u64,
+    admission_waits: u64,
+    max_queue_depth: usize,
+    thread_budget: usize,
+    plan_downgrades: u64,
+    predicted_makespan_s: f64,
+    measured_makespan_s: f64,
+}
+
+/// The `BENCH_scheduler.json` schema.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SchedulerBenchReport {
+    bench: String,
+    clients: usize,
+    reps_per_client: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    independent: SchedulerSide,
+    scheduled: SchedulerSide,
+    queue: SchedulerQueueReport,
+    throughput_ratio: f64,
+}
+
+/// Serving comparison on the real host pool: N clients of same-shape
+/// shared-`B` GEMM traffic through [`adsala::ServiceScheduler::submit`]
+/// (admission queue → joint plan → fused gang dispatch) versus the same
+/// traffic through independent [`adsala::AdsalaService::run`] calls that
+/// race for the pool. Writes `results/BENCH_scheduler.json`.
+fn scheduler_bench() {
+    use adsala_gemm::dispatch::{GemmArgs, OpRequest};
+
+    banner("Co-scheduler — admission-controlled queue vs independent dispatch (host)");
+    let timer = sim_timer(Machine::Gadi, true, Affinity::CoreBased);
+    let install = Installation::run(&timer, &InstallConfig::quick()).expect("quick install");
+    let bundle = install.into_bundle().into_shared();
+
+    let clients = 8usize;
+    let reps = 48usize;
+    let warmup = 4usize;
+    let (m, n, k) = (256usize, 192usize, 160usize);
+    let fill = |len: usize, seed: u64| -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s % 1000) as f32 - 500.0) / 250.0
+            })
+            .collect()
+    };
+    let b = fill(k * n, 7);
+    let a_mats: Vec<Vec<f32>> = (0..clients).map(|t| fill(m * k, 100 + t as u64)).collect();
+    // Keep enough workers that waves can hold several ops even on a
+    // narrow host — the comparison is about arbitration, not core count.
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).max(4);
+    let svc_cfg = adsala::ServiceConfig { pool_workers: workers, ..Default::default() };
+    println!(
+        "{clients} clients x {reps} reps of sgemm {m}x{k}x{n}, one shared B operand, \
+         {workers}-worker host pool"
+    );
+
+    // --- independent dispatch: every client races `service.run` alone.
+    let service = adsala::AdsalaService::with_config(std::sync::Arc::clone(&bundle), svc_cfg);
+    // Untimed warm-up so pool spin-up and decision memoisation are paid
+    // outside the measured window on both sides.
+    std::thread::scope(|scope| {
+        for a in a_mats.iter() {
+            let (service, b) = (&service, &b);
+            scope.spawn(move || {
+                let mut c = vec![0.0f32; m * n];
+                for _ in 0..warmup {
+                    let mut req: OpRequest<'_, f32> =
+                        GemmArgs::untransposed(m, n, k, 1.0, a, k, b, n, 0.0, &mut c, n).into();
+                    service.run(&mut req).expect("warm sgemm");
+                }
+            });
+        }
+    });
+    let unsched_lat = std::sync::Mutex::new(Vec::<f64>::new());
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for (t, a) in a_mats.iter().enumerate() {
+            let (service, b, lat) = (&service, &b, &unsched_lat);
+            scope.spawn(move || {
+                let mut c = vec![0.0f32; m * n];
+                let mut local = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    let mut req: OpRequest<'_, f32> =
+                        GemmArgs::untransposed(m, n, k, 1.0, a, k, b, n, 0.0, &mut c, n).into();
+                    let t0 = Instant::now();
+                    service.run(&mut req).expect("serve sgemm");
+                    local.push(t0.elapsed().as_secs_f64());
+                }
+                let _ = t;
+                lat.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let unsched_wall = wall.elapsed().as_secs_f64();
+    let unsched_pool = service.pool_stats();
+    let mut unsched_lat = unsched_lat.into_inner().unwrap();
+    unsched_lat.sort_by(f64::total_cmp);
+
+    // --- co-scheduled dispatch: same traffic through the admission queue.
+    let service = std::sync::Arc::new(adsala::AdsalaService::with_config(
+        std::sync::Arc::clone(&bundle),
+        svc_cfg,
+    ));
+    let sched = adsala::ServiceScheduler::with_config(service, adsala::SchedulerConfig::default());
+    std::thread::scope(|scope| {
+        for a in a_mats.iter() {
+            let (sched, b) = (&sched, &b);
+            scope.spawn(move || {
+                let mut c = vec![0.0f32; m * n];
+                for _ in 0..warmup {
+                    let mut req: OpRequest<'_, f32> =
+                        GemmArgs::untransposed(m, n, k, 1.0, a, k, b, n, 0.0, &mut c, n).into();
+                    sched.submit(&mut req).expect("warm sgemm");
+                }
+            });
+        }
+    });
+    let sched_lat = std::sync::Mutex::new(Vec::<f64>::new());
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for (t, a) in a_mats.iter().enumerate() {
+            let (sched, b, lat) = (&sched, &b, &sched_lat);
+            scope.spawn(move || {
+                let mut c = vec![0.0f32; m * n];
+                let mut local = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    let mut req: OpRequest<'_, f32> =
+                        GemmArgs::untransposed(m, n, k, 1.0, a, k, b, n, 0.0, &mut c, n).into();
+                    let t0 = Instant::now();
+                    sched.submit(&mut req).expect("schedule sgemm");
+                    local.push(t0.elapsed().as_secs_f64());
+                }
+                let _ = t;
+                lat.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let sched_wall = wall.elapsed().as_secs_f64();
+    let sstats = sched.stats();
+    let mut sched_lat = sched_lat.into_inner().unwrap();
+    sched_lat.sort_by(f64::total_cmp);
+
+    let ops = (clients * reps) as f64;
+    let unsched_tput = ops / unsched_wall;
+    let sched_tput = ops / sched_wall;
+    let ratio = sched_tput / unsched_tput;
+    println!(
+        "[service] independent: {:.1} ops/s (p50 {:.3} ms, p99 {:.3} ms); \
+         gangs {} reserved / {} refused",
+        unsched_tput,
+        percentile(&unsched_lat, 0.50) * 1e3,
+        percentile(&unsched_lat, 0.99) * 1e3,
+        unsched_pool.gang_reserved,
+        unsched_pool.gang_refused,
+    );
+    println!(
+        "[service] scheduled:   {:.1} ops/s (p50 {:.3} ms, p99 {:.3} ms); \
+         gangs {} reserved / {} refused; fused {} of {} ops",
+        sched_tput,
+        percentile(&sched_lat, 0.50) * 1e3,
+        percentile(&sched_lat, 0.99) * 1e3,
+        sstats.service.pool.gang_reserved,
+        sstats.gang_fallbacks(),
+        sstats.fused_ops,
+        sstats.completed,
+    );
+    println!(
+        "[service] queue: max depth {}, admission waits {}, {} waves, \
+         budget {} threads (peak in-flight {})",
+        sstats.max_queue_depth,
+        sstats.admission_waits,
+        sstats.waves_completed,
+        sstats.thread_budget,
+        sstats.max_in_flight_threads,
+    );
+    println!(
+        "[service] makespan over {} waves: predicted {:.3}s vs measured {:.3}s; \
+         plan downgrades {}",
+        sstats.waves_completed,
+        sstats.predicted_makespan_s,
+        sstats.measured_makespan_s,
+        sstats.plan_downgrades,
+    );
+    println!("[service] scheduled/independent throughput ratio: {ratio:.2}x");
+
+    let report = SchedulerBenchReport {
+        bench: "scheduler".to_string(),
+        clients,
+        reps_per_client: reps,
+        m,
+        k,
+        n,
+        independent: SchedulerSide {
+            throughput_ops_s: unsched_tput,
+            p50_latency_ms: percentile(&unsched_lat, 0.50) * 1e3,
+            p99_latency_ms: percentile(&unsched_lat, 0.99) * 1e3,
+            gang_reserved: unsched_pool.gang_reserved,
+            gang_fallbacks: unsched_pool.gang_refused,
+        },
+        scheduled: SchedulerSide {
+            throughput_ops_s: sched_tput,
+            p50_latency_ms: percentile(&sched_lat, 0.50) * 1e3,
+            p99_latency_ms: percentile(&sched_lat, 0.99) * 1e3,
+            gang_reserved: sstats.service.pool.gang_reserved,
+            gang_fallbacks: sstats.gang_fallbacks(),
+        },
+        queue: SchedulerQueueReport {
+            fused_ops: sstats.fused_ops,
+            waves: sstats.waves_completed,
+            admission_waits: sstats.admission_waits,
+            max_queue_depth: sstats.max_queue_depth,
+            thread_budget: sstats.thread_budget,
+            plan_downgrades: sstats.plan_downgrades,
+            predicted_makespan_s: sstats.predicted_makespan_s,
+            measured_makespan_s: sstats.measured_makespan_s,
+        },
+        throughput_ratio: ratio,
+    };
+    let path = results_dir().join("BENCH_scheduler.json");
+    std::fs::create_dir_all(results_dir()).expect("create results dir");
+    std::fs::write(&path, serde_json::to_string(&report).expect("serialise bench"))
+        .expect("write BENCH_scheduler.json");
+    println!("[json] {}", path.display());
 }
 
 // ---------------------------------------------------------------- fig 10

@@ -32,7 +32,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::artifact::{Artifact, ModelTable};
 use crate::preprocess::PreprocessConfig;
-use crate::select::predict_plan_for_op;
+use crate::select::{predict_curve_for_op, predict_plan_for_op, predict_plan_for_op_capped};
 use crate::AdsalaError;
 
 /// The outcome of a plan selection: the full learned execution plan plus
@@ -133,6 +133,37 @@ impl ArtifactBundle {
     /// for the paper-faithful `(m, k, n)` call sites.
     pub fn decide(&self, m: u64, k: u64, n: u64) -> PlanDecision {
         self.decide_op(OpShape::gemm(Precision::F32, m, k, n))
+    }
+
+    /// [`ArtifactBundle::decide_op`] under a per-call thread cap: the
+    /// sweep clamps every candidate to `cap` threads *before* the model
+    /// prices it, so both the chosen plan and its predicted runtime
+    /// respect the cap (no decide-then-clamp mismatch). A cap at or above
+    /// the grid maximum decides bit-identically to the uncapped sweep.
+    pub fn decide_op_capped(&self, shape: OpShape, cap: u32) -> PlanDecision {
+        let model = self.models.for_routine(shape.routine);
+        let (plan, predicted_runtime_s) =
+            predict_plan_for_op_capped(model, &self.config, &self.grid, shape, cap);
+        PlanDecision { plan, predicted_runtime_s, memoised: false }
+    }
+
+    /// The predicted-runtime curve a joint scheduler optimises over: for
+    /// each distinct thread count ≤ `cap` in the grid, the best
+    /// materialised plan at that count and its predicted runtime in
+    /// seconds, ascending by thread count. The curve's global minimum is
+    /// the [`ArtifactBundle::decide_op_capped`] decision.
+    pub fn decide_op_curve(&self, shape: OpShape, cap: u32) -> Vec<(ExecutionPlan, f64)> {
+        let model = self.models.for_routine(shape.routine);
+        predict_curve_for_op(model, &self.config, &self.grid, shape, cap)
+            .into_iter()
+            .map(|(point, runtime_s)| (point.materialise(shape.precision), runtime_s))
+            .collect()
+    }
+
+    /// The largest candidate thread count in the grid — the widest plan
+    /// any uncapped decision can emit.
+    pub fn max_candidate_threads(&self) -> u32 {
+        self.grid.threads.iter().copied().max().unwrap_or(1)
     }
 
     /// Strip provenance off an on-disk artefact.

@@ -29,10 +29,12 @@ use serde::{Deserialize, Serialize};
 
 use crate::bundle::PlanDecision;
 
-/// A decision key: routine, precision, and the routine's logical
-/// dimensions. An f32 GEMM and an f64 GEMM of the same dimensions are
-/// distinct entries, as are a GEMM and the SYRK that maps onto the same
-/// feature-space point.
+/// The default decision key: routine, precision, and the routine's
+/// logical dimensions. An f32 GEMM and an f64 GEMM of the same dimensions
+/// are distinct entries, as are a GEMM and the SYRK that maps onto the
+/// same feature-space point. Layers that decide under additional context
+/// instantiate [`DecisionCache`] with a wider key instead (the service
+/// keys on `(OpShape, thread cap)`).
 pub type ShapeKey = OpShape;
 
 /// A point-in-time snapshot of the cache's counters and occupancy.
@@ -69,17 +71,27 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Default)]
-struct ShardState {
-    /// The shard's last-decided shape — the §III-C fast path.
-    last: Option<(ShapeKey, PlanDecision)>,
-    map: HashMap<ShapeKey, PlanDecision>,
+#[derive(Debug)]
+struct ShardState<K> {
+    /// The shard's last-decided key — the §III-C fast path.
+    last: Option<(K, PlanDecision)>,
+    map: HashMap<K, PlanDecision>,
 }
 
-/// A sharded, capacity-bounded, concurrent memo of thread decisions.
+impl<K> Default for ShardState<K> {
+    fn default() -> Self {
+        Self { last: None, map: HashMap::new() }
+    }
+}
+
+/// A sharded, capacity-bounded, concurrent memo of plan decisions.
+///
+/// Generic over the key: the plain [`ShapeKey`] for context-free
+/// decisions, or any `Hash + Eq + Copy` composite (like the service's
+/// `(OpShape, cap)`) when the decision depends on more than the shape.
 #[derive(Debug)]
-pub struct DecisionCache {
-    shards: Box<[RwLock<ShardState>]>,
+pub struct DecisionCache<K: Hash + Eq + Copy = ShapeKey> {
+    shards: Box<[RwLock<ShardState<K>>]>,
     /// `shards.len() - 1`; shard count is a power of two.
     shard_mask: usize,
     per_shard_capacity: usize,
@@ -93,13 +105,13 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 /// Default number of lock stripes.
 pub const DEFAULT_CACHE_SHARDS: usize = 16;
 
-impl Default for DecisionCache {
+impl<K: Hash + Eq + Copy> Default for DecisionCache<K> {
     fn default() -> Self {
         Self::new(DEFAULT_CACHE_SHARDS, DEFAULT_CACHE_CAPACITY)
     }
 }
 
-impl DecisionCache {
+impl<K: Hash + Eq + Copy> DecisionCache<K> {
     /// Build a cache with `shards` stripes (rounded up to a power of two,
     /// at least 1). The per-shard bound is `capacity` divided across the
     /// shards, rounded up to at least one each — so the effective total
@@ -118,14 +130,14 @@ impl DecisionCache {
         }
     }
 
-    fn shard_for(&self, key: ShapeKey) -> &RwLock<ShardState> {
+    fn shard_for(&self, key: K) -> &RwLock<ShardState<K>> {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
         &self.shards[hasher.finish() as usize & self.shard_mask]
     }
 
     /// Look a shape up, counting exactly one hit or one miss.
-    pub fn get(&self, key: ShapeKey) -> Option<PlanDecision> {
+    pub fn get(&self, key: K) -> Option<PlanDecision> {
         let shard = self.shard_for(key);
         let found = {
             let state = shard.read();
@@ -149,7 +161,7 @@ impl DecisionCache {
     /// Insert (or refresh) a decision, evicting an arbitrary resident
     /// entry if the shard is at capacity. Also refreshes the shard's
     /// last-shape fast path.
-    pub fn insert(&self, key: ShapeKey, decision: PlanDecision) {
+    pub fn insert(&self, key: K, decision: PlanDecision) {
         // The fast path must replay as a memo hit.
         let stored = PlanDecision { memoised: true, ..decision };
         let shard = self.shard_for(key);
@@ -283,9 +295,9 @@ mod tests {
 
     #[test]
     fn shard_count_rounds_to_power_of_two() {
-        let cache = DecisionCache::new(5, 100);
+        let cache = DecisionCache::<ShapeKey>::new(5, 100);
         assert_eq!(cache.stats().shards, 8);
-        let one = DecisionCache::new(0, 0);
+        let one = DecisionCache::<ShapeKey>::new(0, 0);
         assert_eq!(one.stats().shards, 1);
         assert_eq!(one.capacity(), 1);
     }

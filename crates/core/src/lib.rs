@@ -56,6 +56,7 @@ pub mod gather;
 pub mod install;
 pub mod preprocess;
 pub mod runtime;
+pub mod scheduler;
 pub mod select;
 pub mod service;
 pub mod speedup;
@@ -74,11 +75,13 @@ pub use preprocess::{
     fit_preprocess, fit_preprocess_with, PreprocessConfig, PreprocessOptions, PreprocessReport,
 };
 pub use runtime::AdsalaGemm;
+pub use scheduler::{ScheduledRun, SchedulerConfig, SchedulerStats, ServiceScheduler};
 pub use select::{
-    estimate_speedups, predict_plan_for_op, predict_point_for_op, predict_threads_for_op,
+    estimate_speedups, predict_curve_for_op, predict_plan_for_op, predict_plan_for_op_capped,
+    predict_point_for_op, predict_point_for_op_capped, predict_threads_for_op,
     predict_threads_with_runtime, SpeedupEstimate,
 };
-pub use service::{AdsalaService, RunOptions, ServiceConfig};
+pub use service::{AdsalaService, RunOptions, ServiceConfig, ServiceStats};
 pub use speedup::SpeedupStats;
 pub use train::{train_all_families, ModelReport, TrainedCandidate};
 
@@ -113,7 +116,8 @@ pub mod prelude {
     pub use crate::cache::CacheStats;
     pub use crate::install::{InstallConfig, Installation};
     pub use crate::runtime::AdsalaGemm;
-    pub use crate::service::{AdsalaService, RunOptions, ServiceConfig};
+    pub use crate::scheduler::{ScheduledRun, SchedulerConfig, SchedulerStats, ServiceScheduler};
+    pub use crate::service::{AdsalaService, RunOptions, ServiceConfig, ServiceStats};
     pub use crate::AdsalaError;
     pub use adsala_gemm::dispatch::{
         GemmArgs, GemvArgs, OpRequest, OpShape, OpStats, Precision, Routine, ShapeError, SyrkArgs,

@@ -38,8 +38,11 @@ pub struct AdsalaGemm {
     bundle: ArtifactBundle,
     /// Keep every shape's decision, not just the last one.
     pub full_cache: bool,
-    last: Option<(OpShape, PlanDecision)>,
-    cache: HashMap<OpShape, PlanDecision>,
+    /// Memo keys carry the normalised thread cap alongside the shape: a
+    /// capped sweep is a different optimisation problem, so a capped
+    /// decision must never replay for an uncapped call (or vice versa).
+    last: Option<((OpShape, u32), PlanDecision)>,
+    cache: HashMap<(OpShape, u32), PlanDecision>,
     /// Model sweeps performed (diagnostics; memo hits don't count).
     pub evaluations: u64,
     /// Created on the first executing call, then reused — the facade
@@ -108,23 +111,33 @@ impl AdsalaGemm {
     /// predictions … without re-evaluation" (§III-C) — here generalised
     /// to the full `(routine, precision, dims)` key.
     pub fn select_for(&mut self, shape: OpShape) -> PlanDecision {
+        self.select_for_capped(shape, u32::MAX)
+    }
+
+    /// Like [`AdsalaGemm::select_for`], but the sweep only considers
+    /// plans with at most `cap` threads, so the decision's prediction
+    /// describes the configuration that actually executes. Caps at or
+    /// above the grid's largest candidate share the uncapped memo entry.
+    pub fn select_for_capped(&mut self, shape: OpShape, cap: u32) -> PlanDecision {
+        let cap = cap.clamp(1, self.bundle.max_candidate_threads());
+        let key = (shape, cap);
         if let Some((last_key, decision)) = self.last {
-            if last_key == shape {
+            if last_key == key {
                 return PlanDecision { memoised: true, ..decision };
             }
         }
         if self.full_cache {
-            if let Some(&decision) = self.cache.get(&shape) {
+            if let Some(&decision) = self.cache.get(&key) {
                 let hit = PlanDecision { memoised: true, ..decision };
-                self.last = Some((shape, decision));
+                self.last = Some((key, decision));
                 return hit;
             }
         }
-        let decision = self.bundle.decide_op(shape);
+        let decision = self.bundle.decide_op_capped(shape, cap);
         self.evaluations += 1;
-        self.last = Some((shape, decision));
+        self.last = Some((key, decision));
         if self.full_cache {
-            self.cache.insert(shape, decision);
+            self.cache.insert(key, decision);
         }
         decision
     }
@@ -165,16 +178,16 @@ impl AdsalaGemm {
     ) -> Result<(PlanDecision, OpStats), AdsalaError> {
         req.validate()?;
         let shape = req.shape();
+        let cap = opts.thread_cap().clamp(1, self.bundle.max_candidate_threads());
         let decision = if opts.bypass_cache {
             self.evaluations += 1;
-            self.bundle.decide_op(shape)
+            self.bundle.decide_op_capped(shape, cap)
         } else {
-            self.select_for(shape)
+            self.select_for_capped(shape, cap)
         };
-        let plan = opts.effective_plan(&decision);
         let pool = self.pool.get_or_insert_with(ThreadPool::with_host_parallelism);
-        // Already validated above; skip the descriptor's re-check.
-        let stats = req.execute_validated(pool, &plan);
+        // The cap bounded the sweep; the decision is the executed plan.
+        let stats = req.execute_validated(pool, &decision.plan);
         Ok((decision, stats))
     }
 

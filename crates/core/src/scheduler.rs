@@ -1,0 +1,835 @@
+//! Model-guided co-scheduling — the admission-controlled serving queue.
+//!
+//! [`crate::service::AdsalaService`] decides each request *alone*: every
+//! call sweeps (or replays) the model for its own shape and dispatches
+//! immediately, so N concurrent clients race for the pool and the gang
+//! arbiter settles the collisions after the fact — the loser degrades to
+//! independent packing. [`ServiceScheduler`] moves that arbitration
+//! *before* dispatch, where the model can inform it:
+//!
+//! 1. **Admission**: clients block in [`ServiceScheduler::submit`] on a
+//!    bounded queue (back-pressure instead of unbounded pile-up).
+//! 2. **Co-planning**: queued ops are admitted in FIFO *waves*. For each
+//!    op the scheduler holds the model's full predicted-runtime curve
+//!    ([`crate::bundle::ArtifactBundle::decide_op_curve`]): what running
+//!    at 1, 2, … threads is predicted to cost. A wave starts every op at
+//!    its narrowest plan, then greedily widens whichever op is the
+//!    predicted makespan bottleneck (LPT-style) while the pool's thread
+//!    budget lasts and the model predicts an improvement.
+//! 3. **Fusion**: same-shape GEMMs sharing one stored `B` operand
+//!    ([`adsala_gemm::dispatch::FuseKey`]) collapse into one unit — one
+//!    decision, one packed-B stream, N concurrent executes
+//!    ([`OpRequest::execute_fused_refs_validated`]).
+//! 4. **Firm gang dispatch**: because the sum of assigned threads never
+//!    exceeds the budget (≤ pool workers), every shared-B gang
+//!    reservation succeeds; the pool's 1-thread-packing fallback becomes
+//!    the exception, observable as `gang_refused` staying flat in
+//!    [`SchedulerStats`].
+//!
+//! Strict FIFO admission is what makes the queue starvation-free: the
+//! head op is never bypassed, so a flood of heavy ops cannot indefinitely
+//! delay a small one (and vice versa) — the wave simply waits until the
+//! head's narrowest plan fits the free budget.
+//!
+//! Clients execute their own ops (the scheduler has no dispatcher
+//! thread): a submitting thread parks until its ticket is planned, then
+//! runs the kernel itself on the shared pool. For a fused unit the first
+//! member drives the whole batch while the others stay parked until their
+//! results — and per-op [`OpStats`] — are filled in.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use adsala_gemm::dispatch::{FuseKey, OpRequest, OpShape, OpStats};
+use adsala_gemm::plan::ExecutionPlan;
+use adsala_gemm::Element;
+use parking_lot::{Condvar, Mutex};
+
+use crate::service::{AdsalaService, RunOptions, ServiceStats};
+use crate::AdsalaError;
+
+/// Tunables for [`ServiceScheduler`].
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Queued (not yet admitted) ops beyond which `submit` blocks —
+    /// the admission-control bound. Must be ≥ 1.
+    pub max_queue: usize,
+    /// Worker threads the planner may assign across concurrent ops;
+    /// 0 means the service pool's worker count. Capping below the pool
+    /// size leaves headroom for unscheduled traffic on the same pool.
+    pub thread_budget: usize,
+    /// Fuse same-shape shared-B GEMMs into one pooled dispatch.
+    pub fuse: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self { max_queue: 64, thread_budget: 0, fuse: true }
+    }
+}
+
+/// What one scheduled op came back with: the jointly planned execution,
+/// its model prediction, and the kernel report.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledRun {
+    /// The plan the co-scheduler assigned (for a fused op: the whole
+    /// batch's plan; the driver splits its threads evenly per member).
+    pub plan: ExecutionPlan,
+    /// Model-predicted runtime of the assigned configuration in seconds.
+    pub predicted_runtime_s: f64,
+    /// `true` when the op ran as part of a fused same-shape batch.
+    pub fused: bool,
+    /// The executed kernel's report.
+    pub stats: OpStats,
+}
+
+/// Point-in-time snapshot of the scheduler's counters, with the
+/// underlying service's counters attached (gang traffic lives in
+/// `service.pool`).
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerStats {
+    /// Ops ever submitted.
+    pub submitted: u64,
+    /// Ops fully served (results handed back).
+    pub completed: u64,
+    /// Waves admitted so far.
+    pub waves: u64,
+    /// Waves whose every unit has completed.
+    pub waves_completed: u64,
+    /// Ops that executed inside a fused batch (leaders included).
+    pub fused_ops: u64,
+    /// Submits that blocked on a full admission queue.
+    pub admission_waits: u64,
+    /// Scheduled ops whose kernel fell back from the planned ISA.
+    pub plan_downgrades: u64,
+    /// Ops currently queued, not yet admitted.
+    pub queue_depth: usize,
+    /// High-water mark of `queue_depth`.
+    pub max_queue_depth: usize,
+    /// Threads currently assigned to in-flight ops.
+    pub in_flight_threads: usize,
+    /// High-water mark of `in_flight_threads` — never exceeds
+    /// `thread_budget`.
+    pub max_in_flight_threads: usize,
+    /// The planner's worker budget.
+    pub thread_budget: usize,
+    /// Σ over completed waves of the model-predicted makespan (max
+    /// predicted runtime across the wave's units), seconds.
+    pub predicted_makespan_s: f64,
+    /// Σ over completed waves of the measured admission→last-completion
+    /// span, seconds. Compare against `predicted_makespan_s` to judge
+    /// the model as a co-scheduling oracle.
+    pub measured_makespan_s: f64,
+    /// The wrapped service's counters (cache, pool gang traffic,
+    /// workspace).
+    pub service: ServiceStats,
+}
+
+impl SchedulerStats {
+    /// Gang reservations the pool refused — the "loser repacks B alone"
+    /// path the co-scheduler exists to make rare.
+    pub fn gang_fallbacks(&self) -> u64 {
+        self.service.pool.gang_refused
+    }
+}
+
+/// The client's request, type-erased so heterogeneous (`f32`/`f64`)
+/// tickets share one queue.
+///
+/// Safety invariant: the pointee is the `OpRequest` inside a client's
+/// `submit` frame, and that client stays parked until its ticket reaches
+/// `Phase::Done` — so the pointer is valid for the whole time the planner
+/// or a fusion leader may dereference it, and never aliased (the owner
+/// does not touch the request while parked).
+#[derive(Debug, Clone, Copy)]
+struct ErasedReq {
+    ptr: *mut (),
+}
+
+// Tickets live inside the scheduler's mutex and hop between client
+// threads; the invariant above makes that sound.
+unsafe impl Send for ErasedReq {}
+
+#[derive(Debug, Clone)]
+enum Admission {
+    /// Execute alone under the assigned plan.
+    Solo { plan: ExecutionPlan, predicted_s: f64, threads: usize, wave: u64 },
+    /// Drive the fused batch: own request plus `members`, in order.
+    Leader { plan: ExecutionPlan, predicted_s: f64, threads: usize, wave: u64, members: Vec<u64> },
+    /// Parked inside a fused batch; the leader fills in the result.
+    Member,
+}
+
+#[derive(Debug)]
+enum Phase {
+    Queued,
+    Admitted(Admission),
+    Done { plan: ExecutionPlan, predicted_s: f64, fused: bool, stats: OpStats },
+}
+
+/// A predicted-runtime curve: `(plan, seconds)` rows ascending by
+/// threads, shared between the memo and the tickets holding it.
+type PlanCurve = Arc<Vec<(ExecutionPlan, f64)>>;
+
+#[derive(Debug)]
+struct Ticket {
+    /// Fusability class (`None` never fuses) plus the cap its curve was
+    /// computed under — only identically-capped requests share a unit.
+    fuse: Option<(FuseKey, u32)>,
+    /// Predicted-runtime rows `(plan, seconds)` ascending by threads.
+    curve: PlanCurve,
+    slot: ErasedReq,
+    phase: Phase,
+}
+
+#[derive(Debug)]
+struct WaveState {
+    started: Instant,
+    /// Units (solo ops / fused groups) still in flight.
+    remaining: usize,
+    predicted_makespan_s: f64,
+}
+
+#[derive(Debug, Default)]
+struct SchedState {
+    next_id: u64,
+    next_wave: u64,
+    tickets: HashMap<u64, Ticket>,
+    /// FIFO of `Queued` ticket ids — admission order is submission order.
+    queue: VecDeque<u64>,
+    waves: HashMap<u64, WaveState>,
+    in_flight_threads: usize,
+    max_in_flight_threads: usize,
+    max_queue_depth: usize,
+    waves_completed: u64,
+    predicted_makespan_s: f64,
+    measured_makespan_s: f64,
+}
+
+/// One co-planned dispatch unit under construction: a solo op or a fused
+/// same-shape group, with its allocation ladder.
+struct Unit {
+    /// Ticket ids; the first is the solo op or the fusion leader.
+    ids: Vec<u64>,
+    /// `(group plan, predicted seconds, total threads)` ascending rows.
+    rows: Vec<(ExecutionPlan, f64, usize)>,
+    /// Currently selected row.
+    idx: usize,
+}
+
+impl Unit {
+    fn selected(&self) -> &(ExecutionPlan, f64, usize) {
+        &self.rows[self.idx]
+    }
+}
+
+/// The admission-controlled co-scheduling front-end over an
+/// [`AdsalaService`]. See the module docs for the full lifecycle.
+#[derive(Debug)]
+pub struct ServiceScheduler {
+    service: Arc<AdsalaService>,
+    max_queue: usize,
+    thread_budget: usize,
+    fuse: bool,
+    state: Mutex<SchedState>,
+    /// Signalled on any ticket phase change.
+    work: Condvar,
+    /// Signalled when the admission queue gains room.
+    space: Condvar,
+    /// Memo of predicted-runtime curves per `(shape, cap)`.
+    curves: Mutex<HashMap<(OpShape, u32), PlanCurve>>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    waves: AtomicU64,
+    fused_ops: AtomicU64,
+    admission_waits: AtomicU64,
+    plan_downgrades: AtomicU64,
+}
+
+/// Bound on the scheduler-local curve memo (entries, then wholesale
+/// clear — curves are cheap to recompute and shape churn is rare).
+const CURVE_CACHE_CAP: usize = 512;
+
+impl ServiceScheduler {
+    /// Wrap `service` with default tunables (budget = pool workers).
+    pub fn new(service: Arc<AdsalaService>) -> Self {
+        Self::with_config(service, SchedulerConfig::default())
+    }
+
+    /// Wrap `service` with explicit tunables.
+    pub fn with_config(service: Arc<AdsalaService>, cfg: SchedulerConfig) -> Self {
+        let thread_budget = if cfg.thread_budget == 0 {
+            service.pool_workers()
+        } else {
+            cfg.thread_budget.min(service.pool_workers())
+        };
+        Self {
+            service,
+            max_queue: cfg.max_queue.max(1),
+            thread_budget: thread_budget.max(1),
+            fuse: cfg.fuse,
+            state: Mutex::new(SchedState::default()),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            curves: Mutex::new(HashMap::new()),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            waves: AtomicU64::new(0),
+            fused_ops: AtomicU64::new(0),
+            admission_waits: AtomicU64::new(0),
+            plan_downgrades: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &AdsalaService {
+        &self.service
+    }
+
+    /// The planner's worker budget.
+    pub fn thread_budget(&self) -> usize {
+        self.thread_budget
+    }
+
+    /// Submit one op and block until it has been co-planned and executed.
+    /// Safe to call from any number of client threads.
+    pub fn submit<T: Element>(
+        &self,
+        req: &mut OpRequest<'_, T>,
+    ) -> Result<ScheduledRun, AdsalaError> {
+        self.submit_with(req, RunOptions::default())
+    }
+
+    /// Like [`ServiceScheduler::submit`] with per-call options. The
+    /// host cap bounds this op's share of the *joint* assignment: the
+    /// planner only considers curve rows at or below the cap, so the
+    /// op's allocation never exceeds it — before, during, or after the
+    /// LPT upgrades.
+    pub fn submit_with<T: Element>(
+        &self,
+        req: &mut OpRequest<'_, T>,
+        opts: RunOptions,
+    ) -> Result<ScheduledRun, AdsalaError> {
+        req.validate()?;
+        let shape = req.shape();
+        let cap = self.normalised_cap(opts.thread_cap());
+        let curve = self.curve_for(shape, cap);
+        let fuse = if self.fuse { req.fuse_key().map(|k| (k, cap)) } else { None };
+        // Erase the request so the planner and a fusion leader can reach
+        // it; we park below until `Done`, upholding ErasedReq's contract.
+        let slot = ErasedReq { ptr: req as *mut OpRequest<'_, T> as *mut () };
+
+        let mut st = self.state.lock();
+        if st.queue.len() >= self.max_queue {
+            self.admission_waits.fetch_add(1, Ordering::Relaxed);
+            while st.queue.len() >= self.max_queue {
+                self.space.wait(&mut st);
+            }
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.tickets.insert(id, Ticket { fuse, curve, slot, phase: Phase::Queued });
+        st.queue.push_back(id);
+        st.max_queue_depth = st.max_queue_depth.max(st.queue.len());
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.try_admit(&mut st);
+
+        while let Phase::Queued | Phase::Admitted(Admission::Member) =
+            &st.tickets.get(&id).expect("live ticket").phase
+        {
+            self.work.wait(&mut st);
+        }
+
+        let admission = match &st.tickets.get(&id).expect("live ticket").phase {
+            Phase::Done { .. } => {
+                // A fusion leader already ran this op and filled the result.
+                return Ok(self.take_done(&mut st, id));
+            }
+            Phase::Admitted(a) => a.clone(),
+            Phase::Queued => unreachable!("wait loop exits only on Admitted/Done"),
+        };
+
+        match admission {
+            Admission::Solo { plan, predicted_s, threads, wave } => {
+                drop(st);
+                let stats = req.execute_validated(self.service.pool(), &plan);
+                if stats.plan_degraded {
+                    self.plan_downgrades.fetch_add(1, Ordering::Relaxed);
+                }
+                let mut st = self.state.lock();
+                st.tickets.remove(&id);
+                self.complete_unit(&mut st, wave, threads);
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(ScheduledRun { plan, predicted_runtime_s: predicted_s, fused: false, stats })
+            }
+            Admission::Leader { plan, predicted_s, threads, wave, members } => {
+                let member_ptrs: Vec<*mut ()> = members
+                    .iter()
+                    .map(|m| st.tickets.get(m).expect("member parked").slot.ptr)
+                    .collect();
+                drop(st);
+                // SAFETY: every member shares this unit's FuseKey, whose
+                // precision pins the element type to T; the pointees are
+                // OpRequests parked in their owners' submit frames until
+                // we mark them Done below (ErasedReq's contract).
+                let mut refs: Vec<&mut OpRequest<'_, T>> = Vec::with_capacity(1 + members.len());
+                refs.push(req);
+                for p in &member_ptrs {
+                    refs.push(unsafe { &mut *(*p as *mut OpRequest<'_, T>) });
+                }
+                let all =
+                    OpRequest::execute_fused_refs_validated(&mut refs, self.service.pool(), &plan);
+                drop(refs);
+                let degraded = all.iter().filter(|s| s.plan_degraded).count() as u64;
+                if degraded > 0 {
+                    self.plan_downgrades.fetch_add(degraded, Ordering::Relaxed);
+                }
+                self.fused_ops.fetch_add(all.len() as u64, Ordering::Relaxed);
+                let mut st = self.state.lock();
+                for (m, s) in members.iter().zip(all.iter().skip(1)) {
+                    let t = st.tickets.get_mut(m).expect("member parked");
+                    t.phase = Phase::Done { plan, predicted_s, fused: true, stats: *s };
+                }
+                st.tickets.remove(&id);
+                self.complete_unit(&mut st, wave, threads);
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                self.work.notify_all();
+                Ok(ScheduledRun {
+                    plan,
+                    predicted_runtime_s: predicted_s,
+                    fused: true,
+                    stats: all[0],
+                })
+            }
+            Admission::Member => unreachable!("members only leave the wait loop via Done"),
+        }
+    }
+
+    /// Snapshot every scheduler counter plus the wrapped service's.
+    pub fn stats(&self) -> SchedulerStats {
+        let st = self.state.lock();
+        SchedulerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            waves: self.waves.load(Ordering::Relaxed),
+            waves_completed: st.waves_completed,
+            fused_ops: self.fused_ops.load(Ordering::Relaxed),
+            admission_waits: self.admission_waits.load(Ordering::Relaxed),
+            plan_downgrades: self.plan_downgrades.load(Ordering::Relaxed),
+            queue_depth: st.queue.len(),
+            max_queue_depth: st.max_queue_depth,
+            in_flight_threads: st.in_flight_threads,
+            max_in_flight_threads: st.max_in_flight_threads,
+            thread_budget: self.thread_budget,
+            predicted_makespan_s: st.predicted_makespan_s,
+            measured_makespan_s: st.measured_makespan_s,
+            service: self.service.stats(),
+        }
+    }
+
+    fn normalised_cap(&self, cap: u32) -> u32 {
+        let budget = u32::try_from(self.thread_budget).unwrap_or(u32::MAX);
+        cap.min(budget).clamp(1, self.service.bundle().max_candidate_threads())
+    }
+
+    fn curve_for(&self, shape: OpShape, cap: u32) -> Arc<Vec<(ExecutionPlan, f64)>> {
+        let key = (shape, cap);
+        if let Some(curve) = self.curves.lock().get(&key) {
+            return Arc::clone(curve);
+        }
+        let curve = Arc::new(self.service.bundle().decide_op_curve(shape, cap));
+        assert!(!curve.is_empty(), "plan grids always hold at least one thread count");
+        let mut memo = self.curves.lock();
+        if memo.len() >= CURVE_CACHE_CAP {
+            memo.clear();
+        }
+        memo.insert(key, Arc::clone(&curve));
+        curve
+    }
+
+    /// Remove a finished ticket and hand its result back (caller holds
+    /// the lock via `st`).
+    fn take_done(&self, st: &mut SchedState, id: u64) -> ScheduledRun {
+        let ticket = st.tickets.remove(&id).expect("live ticket");
+        let Phase::Done { plan, predicted_s, fused, stats } = ticket.phase else {
+            unreachable!("take_done called on a non-Done ticket")
+        };
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        ScheduledRun { plan, predicted_runtime_s: predicted_s, fused, stats }
+    }
+
+    /// One unit (solo op or fused batch) finished: return its threads to
+    /// the budget, settle wave accounting, and re-plan the queue.
+    fn complete_unit(&self, st: &mut SchedState, wave: u64, threads: usize) {
+        st.in_flight_threads -= threads;
+        if let Some(w) = st.waves.get_mut(&wave) {
+            w.remaining -= 1;
+            if w.remaining == 0 {
+                let w = st.waves.remove(&wave).expect("wave live");
+                st.predicted_makespan_s += w.predicted_makespan_s;
+                st.measured_makespan_s += w.started.elapsed().as_secs_f64();
+                st.waves_completed += 1;
+            }
+        }
+        self.try_admit(st);
+        self.work.notify_all();
+    }
+
+    /// Admit as many FIFO waves as the free budget allows. Strict FIFO:
+    /// the queue head is never bypassed, which is the starvation-freedom
+    /// guarantee — a head op that doesn't fit simply waits for in-flight
+    /// units to drain.
+    fn try_admit(&self, st: &mut SchedState) {
+        loop {
+            let avail = self.thread_budget - st.in_flight_threads;
+            let Some(units) = self.plan_wave(st, avail) else { return };
+
+            let wave = st.next_wave;
+            st.next_wave += 1;
+            let admitted: usize = units.iter().map(|u| u.ids.len()).sum();
+            let assigned: usize = units.iter().map(|u| u.selected().2).sum();
+            let makespan = units.iter().map(|u| u.selected().1).fold(0.0f64, f64::max);
+            st.queue.drain(..admitted);
+            st.in_flight_threads += assigned;
+            st.max_in_flight_threads = st.max_in_flight_threads.max(st.in_flight_threads);
+            st.waves.insert(
+                wave,
+                WaveState {
+                    started: Instant::now(),
+                    remaining: units.len(),
+                    predicted_makespan_s: makespan,
+                },
+            );
+            self.waves.fetch_add(1, Ordering::Relaxed);
+
+            for unit in &units {
+                let &(plan, predicted_s, threads) = unit.selected();
+                let (leader, members) = unit.ids.split_first().expect("units are non-empty");
+                let leader_phase = if members.is_empty() {
+                    Phase::Admitted(Admission::Solo { plan, predicted_s, threads, wave })
+                } else {
+                    Phase::Admitted(Admission::Leader {
+                        plan,
+                        predicted_s,
+                        threads,
+                        wave,
+                        members: members.to_vec(),
+                    })
+                };
+                st.tickets.get_mut(leader).expect("live ticket").phase = leader_phase;
+                for m in members {
+                    st.tickets.get_mut(m).expect("live ticket").phase =
+                        Phase::Admitted(Admission::Member);
+                }
+            }
+
+            self.work.notify_all();
+            self.space.notify_all();
+        }
+    }
+
+    /// Plan one wave from the queue's FIFO prefix under `avail` threads:
+    /// group fusable neighbours into units, seat every unit at its
+    /// narrowest row, then spend the leftover budget on LPT upgrades.
+    /// Returns `None` when nothing is admissible (empty queue, or the
+    /// head's narrowest plan doesn't fit).
+    fn plan_wave(&self, st: &SchedState, avail: usize) -> Option<Vec<Unit>> {
+        let mut units: Vec<Unit> = Vec::new();
+        // Fusion class → unit index, for this wave only.
+        let mut classes: HashMap<(FuseKey, u32), usize> = HashMap::new();
+        let mut used = 0usize;
+
+        for &id in &st.queue {
+            let ticket = &st.tickets[&id];
+            let min_threads = ticket.curve[0].0.threads as usize;
+            if let Some(class) = ticket.fuse {
+                if let Some(&u) = classes.get(&class) {
+                    // Joining an existing unit costs one more member's
+                    // share at every row.
+                    if used + min_threads > avail {
+                        break;
+                    }
+                    used += min_threads;
+                    units[u].ids.push(id);
+                    let n = units[u].ids.len();
+                    for (row, &(plan, pred)) in units[u].rows.iter_mut().zip(ticket.curve.iter()) {
+                        let total = plan.threads as usize * n;
+                        *row = (plan.with_thread_count(total), pred, total);
+                    }
+                    continue;
+                }
+                if used + min_threads > avail {
+                    break;
+                }
+                used += min_threads;
+                classes.insert(class, units.len());
+                units.push(Unit {
+                    ids: vec![id],
+                    rows: ticket
+                        .curve
+                        .iter()
+                        .map(|&(plan, pred)| (plan, pred, plan.threads as usize))
+                        .collect(),
+                    idx: 0,
+                });
+            } else {
+                if used + min_threads > avail {
+                    break;
+                }
+                used += min_threads;
+                units.push(Unit {
+                    ids: vec![id],
+                    rows: ticket
+                        .curve
+                        .iter()
+                        .map(|&(plan, pred)| (plan, pred, plan.threads as usize))
+                        .collect(),
+                    idx: 0,
+                });
+            }
+        }
+        if units.is_empty() {
+            return None;
+        }
+
+        // Greedy LPT: repeatedly widen the predicted-makespan bottleneck,
+        // while the upgrade fits the budget and the model predicts it
+        // helps. Upgrades never pass an op's capped curve, so per-op host
+        // caps bound the joint assignment by construction.
+        let mut remaining = avail - used;
+        loop {
+            let mut pick: Option<(usize, f64)> = None;
+            for (u, unit) in units.iter().enumerate() {
+                if unit.idx + 1 >= unit.rows.len() {
+                    continue;
+                }
+                let cur = unit.selected();
+                let next = &unit.rows[unit.idx + 1];
+                let cost = next.2 - cur.2;
+                if cost > remaining || next.1 >= cur.1 {
+                    continue;
+                }
+                if pick.map_or(true, |(_, p)| cur.1 > p) {
+                    pick = Some((u, cur.1));
+                }
+            }
+            let Some((u, _)) = pick else { break };
+            remaining -= units[u].rows[units[u].idx + 1].2 - units[u].selected().2;
+            units[u].idx += 1;
+        }
+        Some(units)
+    }
+}
+
+// Clients on many threads share the scheduler by reference.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<ServiceScheduler>();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::tests::quick_bundle;
+    use crate::service::ServiceConfig;
+    use adsala_gemm::dispatch::{GemmArgs, Routine};
+
+    fn scheduler(workers: usize, cfg: SchedulerConfig) -> ServiceScheduler {
+        let service = Arc::new(AdsalaService::with_config(
+            quick_bundle().into_shared(),
+            ServiceConfig { pool_workers: workers, ..ServiceConfig::default() },
+        ));
+        ServiceScheduler::with_config(service, cfg)
+    }
+
+    fn fill(n: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s % 2000) as f32 - 1000.0) / 350.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_op_is_admitted_and_correct() {
+        let sched = scheduler(4, SchedulerConfig::default());
+        let (m, n, k) = (48usize, 40usize, 24usize);
+        let a = fill(m * k, 1);
+        let b = fill(k * n, 2);
+        let mut c = vec![0.0f32; m * n];
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let run = sched.submit(&mut req).unwrap();
+        assert_eq!(run.stats.routine, Routine::Gemm);
+        assert!(run.plan.threads >= 1);
+        assert!(run.predicted_runtime_s > 0.0);
+        assert!(!run.fused, "a lone op has nothing to fuse with");
+        adsala_gemm::naive::naive_gemm(
+            adsala_gemm::Transpose::No,
+            adsala_gemm::Transpose::No,
+            m,
+            n,
+            k,
+            1.0f32,
+            &a,
+            k,
+            &b,
+            n,
+            0.0,
+            &mut c_ref,
+            n,
+        );
+        for (x, y) in c.iter().zip(&c_ref) {
+            assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+        let stats = sched.stats();
+        assert_eq!((stats.submitted, stats.completed), (1, 1));
+        assert_eq!(stats.waves, 1);
+        assert_eq!(stats.waves_completed, 1);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.in_flight_threads, 0);
+        assert!(stats.predicted_makespan_s > 0.0);
+        assert!(stats.measured_makespan_s > 0.0);
+    }
+
+    #[test]
+    fn joint_assignment_never_exceeds_the_budget() {
+        let sched = Arc::new(scheduler(4, SchedulerConfig::default()));
+        let clients = 8usize;
+        let (m, n, k) = (96usize, 96usize, 48usize);
+        std::thread::scope(|scope| {
+            for t in 0..clients {
+                let sched = Arc::clone(&sched);
+                scope.spawn(move || {
+                    let a = fill(m * k, t as u64 + 10);
+                    let b = fill(k * n, t as u64 + 60);
+                    let mut c = vec![0.0f32; m * n];
+                    for _ in 0..4 {
+                        let mut req: OpRequest<'_, f32> =
+                            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n)
+                                .into();
+                        let run = sched.submit(&mut req).unwrap();
+                        assert!(run.plan.threads as usize <= sched.thread_budget());
+                    }
+                });
+            }
+        });
+        let stats = sched.stats();
+        assert_eq!(stats.submitted, (clients * 4) as u64);
+        assert_eq!(stats.completed, stats.submitted);
+        assert!(
+            stats.max_in_flight_threads <= stats.thread_budget,
+            "joint assignment exceeded the budget: {stats:?}"
+        );
+        assert_eq!(stats.in_flight_threads, 0);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn same_shape_shared_b_clients_fuse() {
+        // Two clients ship the same shape against the same B. Force the
+        // wave to see both: a tiny budget makes the first wave one op
+        // wide only if they race in; instead park client 0's op behind a
+        // queue the test controls by submitting from two threads and
+        // letting the scheduler group whatever lands in one wave. Fusion
+        // is opportunistic, so assert on the aggregate: every result is
+        // correct and at least the counters are consistent.
+        let sched = Arc::new(scheduler(4, SchedulerConfig::default()));
+        let (m, n, k) = (64usize, 48usize, 32usize);
+        let b = fill(k * n, 7);
+        let clients = 6usize;
+        let reps = 8usize;
+        std::thread::scope(|scope| {
+            for t in 0..clients {
+                let sched = Arc::clone(&sched);
+                let b = &b;
+                scope.spawn(move || {
+                    let a = fill(m * k, 100 + t as u64);
+                    let mut c = vec![0.0f32; m * n];
+                    let mut c_ref = vec![0.0f32; m * n];
+                    adsala_gemm::naive::naive_gemm(
+                        adsala_gemm::Transpose::No,
+                        adsala_gemm::Transpose::No,
+                        m,
+                        n,
+                        k,
+                        1.0f32,
+                        &a,
+                        k,
+                        b,
+                        n,
+                        0.0,
+                        &mut c_ref,
+                        n,
+                    );
+                    for _ in 0..reps {
+                        c.fill(0.0);
+                        let mut req: OpRequest<'_, f32> =
+                            GemmArgs::untransposed(m, n, k, 1.0, &a, k, b, n, 0.0, &mut c, n)
+                                .into();
+                        let run = sched.submit(&mut req).unwrap();
+                        assert_eq!(run.stats.routine, Routine::Gemm);
+                        for (x, y) in c.iter().zip(&c_ref) {
+                            assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+                        }
+                    }
+                });
+            }
+        });
+        let stats = sched.stats();
+        assert_eq!(stats.completed, (clients * reps) as u64);
+        assert_eq!(stats.gang_fallbacks(), 0, "budgeted waves must never lose a gang: {stats:?}");
+    }
+
+    #[test]
+    fn host_cap_bounds_the_joint_share() {
+        let sched = scheduler(4, SchedulerConfig::default());
+        let (m, n, k) = (256usize, 256usize, 32usize);
+        let a = fill(m * k, 3);
+        let b = fill(k * n, 4);
+        let mut c = vec![0.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let run = sched.submit_with(&mut req, RunOptions::with_host_cap(2)).unwrap();
+        assert!(run.plan.threads <= 2, "{run:?}");
+        assert!(run.stats.exec.threads_used <= 2);
+    }
+
+    #[test]
+    fn admission_queue_applies_back_pressure() {
+        // max_queue = 1 with a 1-thread budget: while one op runs, at
+        // most one more may queue; further submits must block (and be
+        // counted) rather than pile up.
+        let sched = Arc::new(scheduler(
+            2,
+            SchedulerConfig { max_queue: 1, thread_budget: 1, ..SchedulerConfig::default() },
+        ));
+        let clients = 4usize;
+        std::thread::scope(|scope| {
+            for t in 0..clients {
+                let sched = Arc::clone(&sched);
+                scope.spawn(move || {
+                    let (m, n, k) = (64usize, 64usize, 32usize);
+                    let a = fill(m * k, 40 + t as u64);
+                    let b = fill(k * n, 80 + t as u64);
+                    let mut c = vec![0.0f32; m * n];
+                    for _ in 0..3 {
+                        let mut req: OpRequest<'_, f32> =
+                            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n)
+                                .into();
+                        sched.submit(&mut req).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = sched.stats();
+        assert_eq!(stats.completed, (clients * 3) as u64);
+        assert!(stats.max_queue_depth <= 1, "{stats:?}");
+        assert!(stats.max_in_flight_threads <= 1, "{stats:?}");
+    }
+}

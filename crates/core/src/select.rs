@@ -76,12 +76,7 @@ pub fn predict_point_for_op(
     let mut best = PlanPoint::threads_only(grid.threads.first().copied().unwrap_or(1));
     let mut best_pred = f64::INFINITY;
     for point in grid.points() {
-        let row = if grid.plan_features {
-            config.features_for_op_plan(&shape, &point)
-        } else {
-            config.features_for_op(&shape, point.threads)
-        };
-        let pred = model.predict_row(&row);
+        let pred = predict_at_point(model, config, grid, &shape, &point);
         if pred < best_pred {
             best_pred = pred;
             best = point;
@@ -100,6 +95,118 @@ pub fn predict_plan_for_op(
 ) -> (ExecutionPlan, f64) {
     let (point, runtime_s) = predict_point_for_op(model, config, grid, shape);
     (point.materialise(shape.precision), runtime_s)
+}
+
+/// Evaluate the model at one (possibly clamped) candidate point.
+fn predict_at_point(
+    model: &AnyModel,
+    config: &PreprocessConfig,
+    grid: &PlanGrid,
+    shape: &adsala_gemm::OpShape,
+    point: &PlanPoint,
+) -> f64 {
+    let row = if grid.plan_features {
+        config.features_for_op_plan(shape, point)
+    } else {
+        config.features_for_op(shape, point.threads)
+    };
+    model.predict_row(&row)
+}
+
+/// [`predict_point_for_op`] under a per-call thread cap: every candidate
+/// point's thread count is clamped to `cap` *before* the model evaluates
+/// it, so the argmin — and its predicted runtime — describe a
+/// configuration that actually respects the cap. This is the fix for the
+/// clamp-after-decide bug, where a capped call executed `cap` threads but
+/// reported the prediction of the uncapped winner.
+///
+/// Clamping can alias grid points (ladder `[1, 2, 4, 8]` under cap 3
+/// yields `1, 2, 3, 3`); duplicates are swept once, keeping the grid's
+/// candidate order, so a cap at or above the grid maximum decides
+/// bit-identically to the uncapped sweep. The feature chain accepts any
+/// thread count, so off-ladder caps (like 3) are predicted genuinely, not
+/// approximated by a neighbouring ladder rung.
+pub fn predict_point_for_op_capped(
+    model: &AnyModel,
+    config: &PreprocessConfig,
+    grid: &PlanGrid,
+    shape: adsala_gemm::OpShape,
+    cap: u32,
+) -> (PlanPoint, f64) {
+    debug_assert!(!grid.is_empty());
+    let cap = cap.max(1);
+    let mut seen: Vec<PlanPoint> = Vec::new();
+    let mut best = PlanPoint::threads_only(grid.threads.first().copied().unwrap_or(1).min(cap));
+    let mut best_pred = f64::INFINITY;
+    for mut point in grid.points() {
+        point.threads = point.threads.min(cap);
+        if seen.contains(&point) {
+            continue;
+        }
+        seen.push(point);
+        let pred = predict_at_point(model, config, grid, &shape, &point);
+        if pred < best_pred {
+            best_pred = pred;
+            best = point;
+        }
+    }
+    (best, config.runtime_from_prediction(best_pred))
+}
+
+/// The [`ExecutionPlan`] form of [`predict_point_for_op_capped`].
+pub fn predict_plan_for_op_capped(
+    model: &AnyModel,
+    config: &PreprocessConfig,
+    grid: &PlanGrid,
+    shape: adsala_gemm::OpShape,
+    cap: u32,
+) -> (ExecutionPlan, f64) {
+    let (point, runtime_s) = predict_point_for_op_capped(model, config, grid, shape, cap);
+    (point.materialise(shape.precision), runtime_s)
+}
+
+/// The full predicted-runtime curve a joint scheduler optimises over: for
+/// each distinct capped thread count in the grid, the best point at that
+/// count (argmin over the non-thread axes) and its predicted runtime in
+/// seconds, sorted by ascending thread count.
+///
+/// The curve's global minimum is exactly the
+/// [`predict_point_for_op_capped`] decision; the other rows price what
+/// running narrower costs, which is what lets a co-scheduler trade one
+/// op's threads for another's.
+pub fn predict_curve_for_op(
+    model: &AnyModel,
+    config: &PreprocessConfig,
+    grid: &PlanGrid,
+    shape: adsala_gemm::OpShape,
+    cap: u32,
+) -> Vec<(PlanPoint, f64)> {
+    let cap = cap.max(1);
+    let mut seen: Vec<PlanPoint> = Vec::new();
+    // (threads, best point, best raw prediction), in first-seen order.
+    let mut per_count: Vec<(u32, PlanPoint, f64)> = Vec::new();
+    for mut point in grid.points() {
+        point.threads = point.threads.min(cap);
+        if seen.contains(&point) {
+            continue;
+        }
+        seen.push(point);
+        let pred = predict_at_point(model, config, grid, &shape, &point);
+        match per_count.iter_mut().find(|(t, _, _)| *t == point.threads) {
+            Some(entry) => {
+                if pred < entry.2 {
+                    entry.1 = point;
+                    entry.2 = pred;
+                }
+            }
+            None => per_count.push((point.threads, point, pred)),
+        }
+    }
+    per_count.sort_by_key(|&(t, _, _)| t);
+    per_count
+        .into_iter()
+        .map(|(_, point, pred)| (point, config.runtime_from_prediction(pred)))
+        .collect()
 }
 
 /// The GEMM special case of [`predict_threads_for_op`].
@@ -229,6 +336,72 @@ mod tests {
             let (plan, _) = predict_plan_for_op(&model, &config, &grid, op);
             assert_eq!(plan, ExecutionPlan::with_threads(t));
             assert!(plan.is_threads_only());
+        }
+    }
+
+    #[test]
+    fn capped_sweep_respects_cap_and_generalises_the_uncapped_sweep() {
+        let (_, config, model, candidates) = setup();
+        let grid = PlanGrid::threads_only(candidates.clone());
+        let max = candidates.iter().copied().max().unwrap();
+        for shape in [
+            GemmShape::new(64, 64, 64),
+            GemmShape::new(128, 512, 128),
+            GemmShape::new(2000, 64, 2000),
+        ] {
+            let op =
+                adsala_gemm::OpShape::gemm(adsala_gemm::Precision::F32, shape.m, shape.k, shape.n);
+            // Off-ladder cap: the winner must obey it, and its prediction
+            // must be a genuine model evaluation at the clamped count.
+            let (point, rt) = predict_point_for_op_capped(&model, &config, &grid, op, 3);
+            assert!(point.threads <= 3, "{point:?}");
+            let re = config
+                .runtime_from_prediction(predict_at_point(&model, &config, &grid, &op, &point));
+            assert_eq!(rt.to_bits(), re.to_bits(), "prediction must match the clamped point");
+
+            // Cap at/above the grid max is bit-identical to no cap.
+            let uncapped = predict_point_for_op(&model, &config, &grid, op);
+            for wide in [max, max + 1, u32::MAX] {
+                let capped = predict_point_for_op_capped(&model, &config, &grid, op, wide);
+                assert_eq!(capped.0, uncapped.0);
+                assert_eq!(capped.1.to_bits(), uncapped.1.to_bits());
+            }
+
+            // Cap 1 forces the serial plan.
+            let (serial, _) = predict_point_for_op_capped(&model, &config, &grid, op, 1);
+            assert_eq!(serial.threads, 1);
+        }
+    }
+
+    #[test]
+    fn curve_minimum_is_the_capped_decision() {
+        let (_, config, model, candidates) = setup();
+        let grid = PlanGrid::threads_only(candidates.clone());
+        for (shape, cap) in [
+            (GemmShape::new(64, 64, 64), u32::MAX),
+            (GemmShape::new(128, 512, 128), 3),
+            (GemmShape::new(2000, 64, 2000), 8),
+        ] {
+            let op =
+                adsala_gemm::OpShape::gemm(adsala_gemm::Precision::F32, shape.m, shape.k, shape.n);
+            let curve = predict_curve_for_op(&model, &config, &grid, op, cap);
+            // One row per distinct clamped thread count, ascending.
+            let counts: Vec<u32> = curve.iter().map(|(p, _)| p.threads).collect();
+            let mut expected: Vec<u32> = candidates.iter().map(|&t| t.min(cap)).collect::<Vec<_>>();
+            expected.sort_unstable();
+            expected.dedup();
+            assert_eq!(counts, expected);
+            assert!(curve.iter().all(|&(_, rt)| rt > 0.0));
+
+            // The curve's argmin row is exactly the capped decision.
+            let (best_point, best_rt) =
+                predict_point_for_op_capped(&model, &config, &grid, op, cap);
+            let min = curve
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .expect("curve is non-empty");
+            assert_eq!(min.0, best_point);
+            assert_eq!(min.1.to_bits(), best_rt.to_bits());
         }
     }
 

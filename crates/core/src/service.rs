@@ -35,8 +35,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use adsala_gemm::dispatch::{GemmArgs, OpRequest, OpShape, OpStats, Precision};
-use adsala_gemm::plan::ExecutionPlan;
-use adsala_gemm::{ArenaStats, Element, ThreadPool};
+use adsala_gemm::{ArenaStats, Element, PoolStats, ThreadPool};
 
 use crate::bundle::{ArtifactBundle, PlanDecision};
 use crate::cache::{CacheStats, DecisionCache, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS};
@@ -82,12 +81,22 @@ impl RunOptions {
         Self { host_max_threads: max, ..Self::default() }
     }
 
-    /// The plan actually executed for `decision` under these options: the
-    /// model's choice with its thread count clamped to the host cap
-    /// (0 = no cap). Every other plan axis passes through unchanged.
-    pub fn effective_plan(&self, decision: &PlanDecision) -> ExecutionPlan {
-        let cap = if self.host_max_threads == 0 { u32::MAX } else { self.host_max_threads };
-        ExecutionPlan { threads: decision.plan.threads.clamp(1, cap), ..decision.plan }
+    /// The thread cap these options impose on the decision sweep
+    /// (`u32::MAX` when uncapped).
+    ///
+    /// The cap bounds the *sweep*, not the executed plan after the fact:
+    /// the model prices candidates clamped to the cap and the argmin is
+    /// taken among them, so a capped call's `PlanDecision` reports the
+    /// predicted runtime of the configuration that actually runs. (The
+    /// old decide-then-clamp behaviour executed `cap` threads while
+    /// reporting the uncapped winner's prediction — and let a scheduler's
+    /// joint budget be silently exceeded at decision time.)
+    pub fn thread_cap(&self) -> u32 {
+        if self.host_max_threads == 0 {
+            u32::MAX
+        } else {
+            self.host_max_threads.max(1)
+        }
     }
 }
 
@@ -97,10 +106,35 @@ impl RunOptions {
 #[derive(Debug)]
 pub struct AdsalaService {
     bundle: Arc<ArtifactBundle>,
-    cache: DecisionCache,
+    /// Decisions are memoised per `(shape, normalised thread cap)`: a
+    /// capped sweep is a genuinely different optimisation problem, so a
+    /// capped decision must never be served to an uncapped caller (or
+    /// vice versa). Caps at or above the grid's maximum candidate
+    /// normalise to the same key as "no cap", sharing one entry.
+    cache: DecisionCache<(OpShape, u32)>,
     pool: ThreadPool,
     /// Model sweeps performed (memo hits don't count).
     evaluations: AtomicU64,
+    /// Ops whose requested kernel ISA was unavailable at execution time
+    /// and ran on a humbler one (see `OpStats::plan_degraded`).
+    plan_downgrades: AtomicU64,
+}
+
+/// One-call snapshot of every service-level counter, for `[service]`
+/// report lines and scheduler diagnostics.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceStats {
+    /// Model sweeps performed (memo hits don't count).
+    pub evaluations: u64,
+    /// Ops that executed on a humbler kernel ISA than their plan asked
+    /// for.
+    pub plan_downgrades: u64,
+    /// Decision-memo counters.
+    pub cache: CacheStats,
+    /// Execution-pool gang-reservation counters.
+    pub pool: PoolStats,
+    /// Packing-arena counters of the pool's workspace.
+    pub workspace: ArenaStats,
 }
 
 impl AdsalaService {
@@ -121,6 +155,7 @@ impl AdsalaService {
             cache: DecisionCache::new(cfg.cache_shards, cfg.cache_capacity),
             pool,
             evaluations: AtomicU64::new(0),
+            plan_downgrades: AtomicU64::new(0),
         }
     }
 
@@ -150,17 +185,34 @@ impl AdsalaService {
         self.pool.workspace().arena_stats()
     }
 
+    /// Normalise a thread cap into the memo key space: caps at or above
+    /// the grid's largest candidate are equivalent to "no cap" (the sweep
+    /// is identical), so they share one entry per shape.
+    fn normalised_cap(&self, cap: u32) -> u32 {
+        cap.clamp(1, self.bundle.max_candidate_threads())
+    }
+
     /// Pick the execution plan for any operation: memo first, model sweep
     /// on a miss. Callable concurrently through `&self`; equal shapes
     /// always yield equal plans because both the cache and the bundle
     /// are deterministic.
     pub fn select_for(&self, shape: OpShape) -> PlanDecision {
-        if let Some(decision) = self.cache.get(shape) {
+        self.select_for_capped(shape, u32::MAX)
+    }
+
+    /// Like [`AdsalaService::select_for`], but the sweep only considers
+    /// plans with at most `cap` threads (candidates above the cap are
+    /// clamped onto it before the model prices them). The returned
+    /// decision's predicted runtime therefore describes the plan that
+    /// will actually execute. Memoised per `(shape, normalised cap)`.
+    pub fn select_for_capped(&self, shape: OpShape, cap: u32) -> PlanDecision {
+        let cap = self.normalised_cap(cap);
+        if let Some(decision) = self.cache.get((shape, cap)) {
             return decision;
         }
-        let decision = self.bundle.decide_op(shape);
+        let decision = self.bundle.decide_op_capped(shape, cap);
         self.evaluations.fetch_add(1, Ordering::Relaxed);
-        self.cache.insert(shape, decision);
+        self.cache.insert((shape, cap), decision);
         decision
     }
 
@@ -207,16 +259,21 @@ impl AdsalaService {
         // Reject malformed operands before touching the memo or the pool.
         req.validate()?;
         let shape = req.shape();
+        let cap = self.normalised_cap(opts.thread_cap());
         let decision = if opts.bypass_cache {
-            let d = self.bundle.decide_op(shape);
+            let d = self.bundle.decide_op_capped(shape, cap);
             self.evaluations.fetch_add(1, Ordering::Relaxed);
             d
         } else {
-            self.select_for(shape)
+            self.select_for_capped(shape, cap)
         };
-        let plan = opts.effective_plan(&decision);
-        // Already validated above; skip the descriptor's re-check.
-        let stats = req.execute_validated(&self.pool, &plan);
+        // The cap bounded the sweep, so the decision *is* the executed
+        // plan — no post-hoc clamp that would desynchronise the reported
+        // prediction from the configuration that runs.
+        let stats = req.execute_validated(&self.pool, &decision.plan);
+        if stats.plan_degraded {
+            self.plan_downgrades.fetch_add(1, Ordering::Relaxed);
+        }
         Ok((decision, stats))
     }
 
@@ -268,14 +325,42 @@ impl AdsalaService {
         self.run_with(&mut req, RunOptions::with_host_cap(host_max_threads.max(1)))
     }
 
+    /// The persistent execution pool, for layers (like the co-scheduler)
+    /// that dispatch through this service's workers directly.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
     /// Model sweeps performed so far (accurate under concurrency).
     pub fn evaluations(&self) -> u64 {
         self.evaluations.load(Ordering::Relaxed)
     }
 
+    /// Ops that executed on a humbler kernel ISA than their plan asked
+    /// for (accurate under concurrency).
+    pub fn plan_downgrades(&self) -> u64 {
+        self.plan_downgrades.load(Ordering::Relaxed)
+    }
+
     /// Snapshot the decision-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Snapshot the pool's gang-reservation counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Snapshot every service-level counter at once.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            evaluations: self.evaluations(),
+            plan_downgrades: self.plan_downgrades(),
+            cache: self.cache_stats(),
+            pool: self.pool_stats(),
+            workspace: self.workspace_stats(),
+        }
     }
 
     /// Forget all memoised decisions (e.g. after a machine change). The
@@ -438,6 +523,49 @@ mod tests {
             GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
         let (_, stats) = svc.run_with(&mut req, RunOptions::with_host_cap(2)).unwrap();
         assert!(stats.exec.threads_used <= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn host_cap_bounds_the_sweep_not_just_execution() {
+        // Regression: the cap used to be applied *after* the uncapped
+        // argmin, so a capped call executed `cap` threads while reporting
+        // the uncapped winner's (plan, prediction). The cap must bound
+        // the candidate sweep itself, including off-ladder caps that sit
+        // between grid points.
+        let svc = service();
+        let shape = OpShape::gemm(Precision::F32, 512, 64, 512);
+        let capped = svc.select_for_capped(shape, 3);
+        assert!(capped.threads() <= 3, "{capped:?}");
+        let direct = svc.bundle().decide_op_capped(shape, 3);
+        assert_eq!(capped.plan, direct.plan, "service must serve the capped sweep's argmin");
+        assert_eq!(
+            capped.predicted_runtime_s, direct.predicted_runtime_s,
+            "prediction must describe the executed configuration"
+        );
+
+        // Capped and uncapped decisions are distinct memo entries.
+        let uncapped = svc.select_for(shape);
+        assert_eq!(svc.evaluations(), 2, "distinct caps must sweep separately");
+        assert_eq!(svc.cache_stats().entries, 2);
+        assert!(uncapped.threads() >= capped.threads());
+
+        // A cap at/above the grid's maximum is "no cap" and shares the
+        // uncapped entry instead of re-sweeping.
+        let wide = svc.select_for_capped(shape, u32::MAX - 1);
+        assert!(wide.memoised);
+        assert_eq!(wide.plan, uncapped.plan);
+        assert_eq!(svc.evaluations(), 2);
+
+        // And the executed plan is the capped decision, not a clamp.
+        let (m, n, k) = (512usize, 512usize, 64usize);
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        let mut c = vec![0.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let (decision, stats) = svc.run_with(&mut req, RunOptions::with_host_cap(3)).unwrap();
+        assert_eq!(decision.plan, capped.plan);
+        assert!(stats.exec.threads_used <= 3, "{stats:?}");
     }
 
     #[test]

@@ -183,6 +183,233 @@ pub fn gemm_with_stats_pooled_unshared<T: Element>(
     drive(Executor::Pool(pool), false, call, alpha, a, lda, b, ldb, beta, c, ldc)
 }
 
+/// One member of a fused same-shape batch: its own `A` and `C` operands
+/// (and scalars) for the `B` operand every member shares.
+///
+/// See [`gemm_fused_with_stats_pooled`].
+#[derive(Debug)]
+pub struct FusedGemm<'a, T: Element> {
+    /// Scale on the product.
+    pub alpha: T,
+    /// Stored `A` for this member.
+    pub a: &'a [T],
+    /// Row stride of stored `A`.
+    pub lda: usize,
+    /// Scale on the existing `C`.
+    pub beta: T,
+    /// Output `C` (`m×n`) for this member.
+    pub c: &'a mut [T],
+    /// Row stride of `C`.
+    pub ldc: usize,
+}
+
+/// Execute N same-shape GEMMs that share one stored `B` operand as a
+/// single gang-reserved pooled dispatch: one plan, one packed-B stream,
+/// N result matrices.
+///
+/// Every member becomes a rank in one cooperative barrier group per grid
+/// column, so each `kc×nc` B block is packed **once** for the whole batch
+/// instead of once per member — the co-scheduling layer uses this to
+/// collapse a flood of small same-shape ops into one decision and one
+/// copy of B traffic. `call` describes the shared shape/flags/plan;
+/// `call.plan.threads` is the budget for the *whole batch* (each member
+/// runs on `max(1, threads / N)` workers). Results are bitwise identical
+/// to running each member through [`gemm_with_stats_pooled`] on its own.
+///
+/// When the batch cannot gang-reserve enough workers (or the plan asks
+/// for independent packing) it degrades to executing the members
+/// sequentially through the ordinary pooled driver — identical results,
+/// counted in [`crate::PoolStats::gang_refused`].
+///
+/// # Panics
+/// Panics if a member's `C` buffer is too small for its described shape.
+pub fn gemm_fused_with_stats_pooled<T: Element>(
+    pool: &ThreadPool,
+    call: &GemmCall,
+    b: &[T],
+    ldb: usize,
+    items: &mut [FusedGemm<'_, T>],
+) -> Vec<GemmStats> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let (m, n, k) = (call.m, call.n, call.k);
+    for item in items.iter() {
+        assert!(item.ldc >= n.max(1), "ldc too small");
+        if m > 0 && n > 0 {
+            assert!(item.c.len() >= (m - 1) * item.ldc + n, "C buffer too small");
+        }
+    }
+
+    let kernel = match call.plan.kernel_isa {
+        Some(isa) => Kernel::<T>::for_isa(isa),
+        None => Kernel::<T>::dispatched(),
+    };
+    let kernel_stat = (kernel.isa, kernel.mr, kernel.nr);
+    let start = Instant::now();
+    if m == 0 || n == 0 {
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        return items
+            .iter()
+            .map(|_| GemmStats {
+                kernel_isa: kernel.isa,
+                mr: kernel.mr,
+                nr: kernel.nr,
+                wall_ns,
+                ..GemmStats::default()
+            })
+            .collect();
+    }
+
+    let blocks = match (call.plan.blocking, call.plan.kernel_isa) {
+        (Some(b), _) => b.with_tile(kernel.mr, kernel.nr),
+        (None, None) => BlockSizes::dispatched::<T>(),
+        (None, Some(isa)) => BlockSizes::for_isa::<T>(isa),
+    };
+    let blocks = blocks.clamped(m, n, k);
+    // The batch splits the plan's thread budget evenly; every member uses
+    // the same grid, so their barrier sequences line up.
+    let per_item_threads = (call.threads() / items.len()).max(1);
+    let grid = ThreadGrid::choose(per_item_threads, m, n, blocks.mr, blocks.nr);
+    let members = grid.count() * items.len();
+
+    let share = call.plan.packing == PackingStrategy::SharedB;
+    let gang = if share { pool.try_reserve_gang(members) } else { None };
+    let Some(_reservation) = gang else {
+        // Degraded path: same results, one member at a time, each free to
+        // gang-reserve (or not) on its own.
+        let item_call = GemmCall { plan: call.plan.with_thread_count(per_item_threads), ..*call };
+        return items
+            .iter_mut()
+            .map(|it| {
+                drive(
+                    Executor::Pool(pool),
+                    true,
+                    &item_call,
+                    it.alpha,
+                    it.a,
+                    it.lda,
+                    b,
+                    ldb,
+                    it.beta,
+                    it.c,
+                    it.ldc,
+                )
+            })
+            .collect();
+    };
+
+    let b_view = match call.trans_b {
+        Transpose::No => MatView::row_major(b, k, n, ldb),
+        Transpose::Yes => MatView::row_major(b, n, k, ldb).t(),
+    };
+    struct MemberCtx<'v, T: Element> {
+        a_view: MatView<'v, T>,
+        c_ptr: SendMutPtr<T>,
+        ldc: usize,
+        alpha: T,
+        beta: T,
+    }
+    let ctxs: Vec<MemberCtx<'_, T>> = items
+        .iter_mut()
+        .map(|it| {
+            let a_view = match call.trans_a {
+                Transpose::No => MatView::row_major(it.a, m, k, it.lda),
+                Transpose::Yes => MatView::row_major(it.a, k, m, it.lda).t(),
+            };
+            MemberCtx {
+                a_view,
+                c_ptr: SendMutPtr(it.c.as_mut_ptr()),
+                ldc: it.ldc,
+                alpha: it.alpha,
+                beta: it.beta,
+            }
+        })
+        .collect();
+
+    let ws = pool.workspace();
+    let (a_len, b_len) = pack_buffer_lens(&blocks);
+    let elems_per_line = (CACHE_LINE / std::mem::size_of::<T>()).max(1);
+    let region_elems = b_len.div_ceil(elems_per_line) * elems_per_line;
+    let mut shared = ws.checkout_shared();
+    let (b_all, shared_reused) = shared.checkout_elems::<T>(region_elems * grid.cols);
+    let b_base = SendMutPtr(b_all.as_mut_ptr());
+    let _shared_return = RestoreSharedOnDrop { ws, arena: Some(shared) };
+
+    // One barrier group per grid column spanning ALL members' row groups:
+    // rank (item, r) packs when `block_idx % group_rows` lands on it, so
+    // the whole batch shares one packed-B stream per column.
+    let group_rows = grid.rows * items.len();
+    let barriers: Vec<PanelBarrier> =
+        (0..grid.cols).map(|_| PanelBarrier::new(group_rows)).collect();
+    let collectors: Vec<StatsCollector> = items.iter().map(|_| StatsCollector::default()).collect();
+    collectors[0]
+        .absorb(&ThreadLocalStats { arena_bytes_reused: shared_reused, ..Default::default() });
+
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(members * grid.cols);
+    for (col, barrier) in barriers.iter().enumerate() {
+        for (idx, ctx) in ctxs.iter().enumerate() {
+            for r in 0..grid.rows {
+                let rank = idx * grid.rows + r;
+                let (r0, r1) = grid.row_range(r, m);
+                let (c0, c1) = grid.col_range(col, n);
+                let a_sub = ctx.a_view.sub(r0, 0, r1 - r0, k);
+                let b_sub = b_view.sub(0, c0, k, c1 - c0);
+                let (c_ptr, ldc, alpha, beta) = (ctx.c_ptr, ctx.ldc, ctx.alpha, ctx.beta);
+                let collector = &collectors[idx];
+                let blocks = &blocks;
+                tasks.push(Box::new(move || {
+                    let _poison = PoisonOnUnwind(barrier);
+                    let mut local = ThreadLocalStats::default();
+                    // Move the Send wrappers, not the raw pointers.
+                    let c_ptr = c_ptr;
+                    let b_base = b_base;
+                    ws.with_arena(|arena| {
+                        let (a_buf, reused) = arena.checkout_elems::<T>(a_len);
+                        local.arena_bytes_reused += reused;
+                        // SAFETY: C tiles are pairwise disjoint — across
+                        // members because each `c` is its own `&mut`
+                        // buffer, within a member by the grid partition.
+                        // All `group_rows` ranks share one `b` view/`ns`/
+                        // `k`, so their barrier sequences are identical;
+                        // the shared region and arena lifetimes are as in
+                        // `run_cooperative`.
+                        unsafe {
+                            coop_subproblem(
+                                &kernel,
+                                &a_sub,
+                                &b_sub,
+                                c_ptr.0.add(r0 * ldc + c0),
+                                ldc,
+                                r1 - r0,
+                                c1 - c0,
+                                k,
+                                alpha,
+                                beta,
+                                blocks,
+                                b_base.0.add(col * region_elems),
+                                barrier,
+                                rank,
+                                group_rows,
+                                a_buf,
+                                &mut local,
+                            );
+                        }
+                    });
+                    collector.absorb(&local);
+                }));
+            }
+        }
+    }
+    pool.scope_execute(tasks);
+
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    collectors
+        .iter()
+        .map(|c| c.finish(grid.count(), grid.rows, grid.cols, wall_ns, kernel_stat))
+        .collect()
+}
+
 /// The one blocked GEMM driver behind every public entry point.
 #[allow(clippy::too_many_arguments)]
 fn drive<T: Element>(
@@ -1136,6 +1363,93 @@ mod tests {
             gemm_with_stats_pooled(&pool, &call, 1.0, &a, m, &b, m, 0.0, &mut c, m);
             assert_eq!(c, first);
         }
+    }
+
+    #[test]
+    fn fused_batch_matches_per_item_execution_bitwise() {
+        let pool = crate::pool::ThreadPool::new(8);
+        let (m, n, k) = (96usize, 64usize, 80usize);
+        let b = fill(k * n, 90);
+        let n_items = 4;
+        let a_mats: Vec<Vec<f64>> = (0..n_items).map(|i| fill(m * k, 91 + i as u64)).collect();
+        let c_init: Vec<Vec<f64>> = (0..n_items).map(|i| fill(m * n, 95 + i as u64)).collect();
+
+        // Reference: each op through the ordinary pooled driver at the
+        // same per-item thread count the fused batch will use.
+        let call = GemmCall::new(m, n, k, 8);
+        let item_call = GemmCall::new(m, n, k, 2); // 8 threads / 4 items
+        let mut reference = c_init.clone();
+        let mut ref_stats = Vec::new();
+        for (a, c) in a_mats.iter().zip(reference.iter_mut()) {
+            ref_stats.push(gemm_with_stats_pooled(&pool, &item_call, 1.25, a, k, &b, n, 0.5, c, n));
+        }
+
+        let mut fused_c = c_init.clone();
+        let mut items: Vec<FusedGemm<'_, f64>> = a_mats
+            .iter()
+            .zip(fused_c.iter_mut())
+            .map(|(a, c)| FusedGemm { alpha: 1.25, a, lda: k, beta: 0.5, c, ldc: n })
+            .collect();
+        let stats = gemm_fused_with_stats_pooled(&pool, &call, &b, n, &mut items);
+        assert_eq!(stats.len(), n_items);
+        assert_eq!(fused_c, reference, "fusion must not change results");
+
+        // The whole batch shares one packed-B stream: total packed B
+        // equals ONE op's worth (at the same grid), and every other
+        // member accounts the copies it skipped.
+        let packed: u64 = stats.iter().map(|s| s.b_packed_bytes).sum();
+        let shared: u64 = stats.iter().map(|s| s.b_pack_shared).sum();
+        let single = &ref_stats[0];
+        assert_eq!(packed, single.b_packed_bytes, "B must be packed once for the whole batch");
+        assert_eq!(
+            packed + shared,
+            (single.b_packed_bytes + single.b_pack_shared) * n_items as u64,
+            "copy volume must be conserved across the batch"
+        );
+    }
+
+    #[test]
+    fn fused_batch_falls_back_when_gang_unavailable() {
+        // A 2-worker pool cannot gang 4 members: the fused driver must
+        // degrade to sequential per-item execution with equal results.
+        let pool = crate::pool::ThreadPool::new(2);
+        let _hold = pool.try_reserve_gang(1).expect("shrink the gang capacity");
+        let (m, n, k) = (64usize, 48usize, 32usize);
+        let b = fill(k * n, 70);
+        let a_mats: Vec<Vec<f64>> = (0..4).map(|i| fill(m * k, 71 + i as u64)).collect();
+        let mut reference: Vec<Vec<f64>> = (0..4).map(|_| vec![0.0f64; m * n]).collect();
+        for (a, c) in a_mats.iter().zip(reference.iter_mut()) {
+            gemm_with_stats_pooled(&pool, &GemmCall::new(m, n, k, 1), 1.0, a, k, &b, n, 0.0, c, n);
+        }
+        let refused_before = pool.stats().gang_refused;
+        let mut fused_c: Vec<Vec<f64>> = (0..4).map(|_| vec![0.0f64; m * n]).collect();
+        let mut items: Vec<FusedGemm<'_, f64>> = a_mats
+            .iter()
+            .zip(fused_c.iter_mut())
+            .map(|(a, c)| FusedGemm { alpha: 1.0, a, lda: k, beta: 0.0, c, ldc: n })
+            .collect();
+        let stats =
+            gemm_fused_with_stats_pooled(&pool, &GemmCall::new(m, n, k, 4), &b, n, &mut items);
+        assert_eq!(stats.len(), 4);
+        assert_eq!(fused_c, reference, "fallback must not change results");
+        assert!(pool.stats().gang_refused > refused_before, "the refusal must be counted");
+    }
+
+    #[test]
+    fn fused_single_item_matches_plain_pooled_driver() {
+        let pool = crate::pool::ThreadPool::new(4);
+        let (m, n, k) = (128usize, 96usize, 64usize);
+        let a = fill(m * k, 11);
+        let b = fill(k * n, 12);
+        let mut c_plain = fill(m * n, 13);
+        let mut c_fused = c_plain.clone();
+        let call = GemmCall::new(m, n, k, 4);
+        gemm_with_stats_pooled(&pool, &call, 2.0, &a, k, &b, n, -0.5, &mut c_plain, n);
+        let mut items =
+            vec![FusedGemm { alpha: 2.0, a: &a, lda: k, beta: -0.5, c: &mut c_fused, ldc: n }];
+        // One item keeps the whole thread budget.
+        gemm_fused_with_stats_pooled(&pool, &call, &b, n, &mut items);
+        assert_eq!(c_fused, c_plain);
     }
 
     #[test]

@@ -40,16 +40,17 @@ pub mod workspace;
 
 pub use blocking::{BlockSizes, CacheInfo};
 pub use dispatch::{
-    GemmArgs, GemvArgs, OpRequest, OpShape, OpStats, Precision, Routine, ShapeError, SyrkArgs,
+    FuseKey, GemmArgs, GemvArgs, OpRequest, OpShape, OpStats, Precision, Routine, ShapeError,
+    SyrkArgs,
 };
 pub use gemm::{
-    dgemm, gemm_with_stats, gemm_with_stats_pooled, gemm_with_stats_pooled_unshared, sgemm,
-    GemmCall,
+    dgemm, gemm_fused_with_stats_pooled, gemm_with_stats, gemm_with_stats_pooled,
+    gemm_with_stats_pooled_unshared, sgemm, FusedGemm, GemmCall,
 };
 pub use gemv::{gemv_with_stats, gemv_with_stats_pooled};
 pub use isa::{Kernel, KernelIsa};
 pub use plan::{ExecutionPlan, IsaChoice, PackingStrategy, PlanGrid, PlanPoint};
-pub use pool::{Executor, ThreadPool};
+pub use pool::{Executor, PoolStats, ThreadPool};
 pub use stats::GemmStats;
 pub use syrk::{syrk_with_stats, syrk_with_stats_pooled};
 pub use threading::ThreadGrid;

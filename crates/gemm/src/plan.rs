@@ -101,6 +101,14 @@ impl ExecutionPlan {
         self
     }
 
+    /// This plan with a different thread count (≥ 1), every other axis
+    /// kept — how a scheduler re-budgets a learned plan without touching
+    /// its kernel/blocking/packing choices.
+    pub fn with_thread_count(mut self, threads: usize) -> Self {
+        self.threads = u32::try_from(threads.max(1)).unwrap_or(u32::MAX);
+        self
+    }
+
     /// Compact human-readable form for stats lines and tables, e.g.
     /// `t=8 isa=auto blk=auto pack=shared-b`.
     pub fn describe(&self) -> String {

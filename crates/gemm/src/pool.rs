@@ -17,12 +17,44 @@
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::workspace::{with_thread_arena, PackArena, Workspace};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counter snapshot of one [`ThreadPool`]'s gang-reservation traffic.
+///
+/// `gang_refused` is the silent-degradation signal the co-scheduling
+/// layer exists to eliminate: every refusal means a barrier-using batch
+/// fell back to independent (duplicated) B packing because concurrent
+/// callers had already reserved the workers it wanted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Gang reservations granted since the pool was built.
+    pub gang_reserved: u64,
+    /// Gang reservations refused (the caller degraded to independent
+    /// packing or deferred).
+    pub gang_refused: u64,
+    /// Workers currently free for gang reservation.
+    pub gang_available: usize,
+}
+
+impl PoolStats {
+    /// Fraction of gang requests that were refused (0 when idle).
+    pub fn refusal_rate(&self) -> f64 {
+        let total = self.gang_reserved + self.gang_refused;
+        if total == 0 {
+            0.0
+        } else {
+            self.gang_refused as f64 / total as f64
+        }
+    }
+}
 
 /// Counts outstanding jobs; `wait` blocks until zero.
 struct Latch {
@@ -82,6 +114,11 @@ pub struct ThreadPool {
     /// Workers not currently reserved by a gang-scheduled (barrier-using)
     /// batch; see [`ThreadPool::try_reserve_gang`].
     gang_capacity: Mutex<usize>,
+    /// Granted gang reservations (lifetime counter).
+    gang_reserved: AtomicU64,
+    /// Refused gang reservations — each one is a caller silently
+    /// degrading to independent packing.
+    gang_refused: AtomicU64,
 }
 
 impl std::fmt::Debug for ThreadPool {
@@ -118,6 +155,8 @@ impl ThreadPool {
             workers: handles,
             workspace,
             gang_capacity: Mutex::new(workers),
+            gang_reserved: AtomicU64::new(0),
+            gang_refused: AtomicU64::new(0),
         }
     }
 
@@ -138,6 +177,16 @@ impl ThreadPool {
         &self.workspace
     }
 
+    /// Snapshot the pool's gang-reservation counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers.len(),
+            gang_reserved: self.gang_reserved.load(Ordering::Relaxed),
+            gang_refused: self.gang_refused.load(Ordering::Relaxed),
+            gang_available: *self.gang_capacity.lock(),
+        }
+    }
+
     /// Reserve `n` workers for a gang-scheduled batch whose tasks
     /// synchronise with each other (the cooperative shared-B driver's
     /// barriers). Returns `None` — caller must fall back to independent
@@ -154,8 +203,10 @@ impl ThreadPool {
         let mut available = self.gang_capacity.lock();
         if *available >= n {
             *available -= n;
+            self.gang_reserved.fetch_add(1, Ordering::Relaxed);
             Some(GangReservation { pool: self, n })
         } else {
+            self.gang_refused.fetch_add(1, Ordering::Relaxed);
             None
         }
     }
@@ -401,6 +452,22 @@ mod tests {
         drop(second);
         drop(third);
         assert!(pool.try_reserve_gang(4).is_some(), "full capacity restored");
+    }
+
+    #[test]
+    fn pool_stats_count_gang_traffic() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(
+            pool.stats(),
+            PoolStats { workers: 4, gang_available: 4, ..PoolStats::default() }
+        );
+        let held = pool.try_reserve_gang(3).expect("capacity free");
+        assert!(pool.try_reserve_gang(2).is_none());
+        let stats = pool.stats();
+        assert_eq!((stats.gang_reserved, stats.gang_refused, stats.gang_available), (1, 1, 1));
+        assert!((stats.refusal_rate() - 0.5).abs() < 1e-12);
+        drop(held);
+        assert_eq!(pool.stats().gang_available, 4, "drop returns capacity");
     }
 
     #[test]
