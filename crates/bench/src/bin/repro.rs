@@ -20,6 +20,7 @@
 //!   fig14     predesigned-shape GFLOPS sweeps, Gadi
 //!   table7    profiler-style sync/copy/kernel breakdown, Gadi
 //!   scheduler co-scheduled vs independent serving throughput (host)
+//!   online    drift → retrain → hot-swap feedback loop (beyond the paper)
 //!   ablation  yj | lof | corr | halton | memo | eval-overhead
 //!   all       everything above in paper order
 //! ```
@@ -46,7 +47,7 @@ use adsala_sampling::{DomainSampler, GemmShape, MemoryCap, Precision, Predesigne
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: repro <fig1|fig4|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table3|table4|table5|table6|table7|plans|scheduler|ablation <name>|all>");
+        eprintln!("usage: repro <fig1|fig4|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table3|table4|table5|table6|table7|plans|scheduler|online|ablation <name>|all>");
         std::process::exit(2);
     };
     let started = Instant::now();
@@ -70,6 +71,7 @@ fn main() {
         "ops" => ops_extension(),
         "learning-curve" => learning_curve(),
         "scheduler" => scheduler_bench(),
+        "online" => online_bench(),
         "ablation" => ablation(args.get(1).map(String::as_str).unwrap_or("")),
         "all" => {
             fig1();
@@ -91,6 +93,7 @@ fn main() {
             ops_extension();
             learning_curve();
             scheduler_bench();
+            online_bench();
             for name in ["yj", "lof", "corr", "halton", "memo", "eval-overhead"] {
                 ablation(name);
             }
@@ -106,6 +109,22 @@ fn main() {
 /// Sample `n` shapes under `cap` from the scrambled Halton domain.
 fn sample_shapes(cap: MemoryCap, n: usize, seed: u64) -> Vec<GemmShape> {
     DomainSampler::new(cap, Precision::F32, seed).sample(n)
+}
+
+/// Render the service's rolling predicted-vs-measured error as one
+/// `[service]` line (the feedback-loop counter every serve now carries).
+fn prediction_line(label: &str, p: &adsala_gemm::PredictionErrorStats) -> String {
+    if p.samples == 0 {
+        return format!("[service] {label} prediction error: no predicted ops observed");
+    }
+    format!(
+        "[service] {label} prediction error: {:.1}% mean abs over {} ops \
+         (mean log ratio {:+.3}, {:.0}% slower-than-predicted)",
+        p.mean_abs_pct(),
+        p.samples,
+        p.mean_log_ratio,
+        p.overshoot_fraction * 100.0
+    )
 }
 
 // ---------------------------------------------------------------- fig 1
@@ -416,6 +435,7 @@ fn speedup_table(ht: bool) {
             run.service.pool.gang_refused,
             run.service.plan_downgrades
         ));
+        service_lines.push(prediction_line(machine.name(), &run.service.prediction));
         // What the decision layer actually hands the drivers: with the
         // cached threads-only artefacts every plan's non-thread axes stay
         // at host defaults; a grid-trained artefact (see `repro plans`)
@@ -594,12 +614,20 @@ fn plan_table() {
             stats.exec.kernel_isa,
             stats.plan_degraded
         );
+        println!(
+            "[service] sgemm {m}x{k}x{n}: predicted {:.3} ms, measured {:.3} ms \
+             (log error {})",
+            stats.predicted_ns as f64 / 1e6,
+            stats.exec.wall_ns as f64 / 1e6,
+            stats.prediction_log_error().map_or_else(|| "n/a".to_string(), |e| format!("{e:+.3}")),
+        );
         let svc = service.stats();
         println!(
             "[service] pool gangs: {} reserved, {} refused (independent-packing fallbacks); \
              plan downgrades: {}",
             svc.pool.gang_reserved, svc.pool.gang_refused, svc.plan_downgrades
         );
+        println!("{}", prediction_line("plan-table", &svc.prediction));
     }
 
     let path = write_csv(
@@ -738,6 +766,7 @@ fn scheduler_bench() {
     });
     let unsched_wall = wall.elapsed().as_secs_f64();
     let unsched_pool = service.pool_stats();
+    let unsched_pred = service.prediction_stats();
     let mut unsched_lat = unsched_lat.into_inner().unwrap();
     unsched_lat.sort_by(f64::total_cmp);
 
@@ -826,6 +855,8 @@ fn scheduler_bench() {
         sstats.measured_makespan_s,
         sstats.plan_downgrades,
     );
+    println!("{}", prediction_line("independent", &unsched_pred));
+    println!("{}", prediction_line("scheduled", &sstats.service.prediction));
     println!("[service] scheduled/independent throughput ratio: {ratio:.2}x");
 
     let report = SchedulerBenchReport {
@@ -865,6 +896,237 @@ fn scheduler_bench() {
     std::fs::create_dir_all(results_dir()).expect("create results dir");
     std::fs::write(&path, serde_json::to_string(&report).expect("serialise bench"))
         .expect("write BENCH_scheduler.json");
+    println!("[json] {}", path.display());
+}
+
+// ------------------------------------------------------------------ online
+
+/// One phase's predicted-vs-measured error, as written to
+/// `BENCH_online.json`.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct OnlinePhaseError {
+    observations: u64,
+    mean_abs_log_error: f64,
+    mean_abs_pct: f64,
+}
+
+/// The `BENCH_online.json` schema: the drift → retrain → hot-swap →
+/// recovery arc, with the zero-downtime evidence attached.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct OnlineBenchReport {
+    bench: String,
+    shapes: usize,
+    rounds_per_phase: u64,
+    injected_slowdown: f64,
+    healthy: OnlinePhaseError,
+    drifted: OnlinePhaseError,
+    recovered: OnlinePhaseError,
+    drift_tripped: bool,
+    drift_trips: u64,
+    drift_fallbacks: u64,
+    retrained_routines: Vec<String>,
+    retrain_observations: usize,
+    swap_generation: u64,
+    train_latency_ms: f64,
+    swap_latency_us: f64,
+    requests_during_retrain: u64,
+    requests_dropped: u64,
+}
+
+/// The online feedback loop end to end: serve sim-priced traffic whose
+/// "machine" matches the install-time model, inject a sustained 3×
+/// slowdown until the drift detector trips, retrain from the observed
+/// timings while real host traffic floods the service (nothing blocks,
+/// nothing drops), hot-swap the refreshed bundle, and show the
+/// prediction error recovering under the still-slowed traffic. Writes
+/// `results/BENCH_online.json`.
+fn online_bench() {
+    use adsala::online::{retrain_now, OnlineConfig, RetrainConfig};
+    use adsala_gemm::dispatch::{GemmArgs, OpRequest, OpShape, Routine};
+    use adsala_gemm::Precision as GemmPrecision;
+    use adsala_machine::noise::{combine, drift_slowdown, lognormal_factor};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    banner("Online adaptation — drift detection, retrain, zero-downtime hot-swap");
+    const SEED: u64 = 0x0_D21F;
+    const SEVERITY: f64 = 3.0;
+    const SIGMA: f64 = 0.02;
+    const ROUNDS: u64 = 8;
+
+    let timer = sim_timer(Machine::Gadi, true, Affinity::CoreBased);
+    let install = Installation::run(&timer, &InstallConfig::quick()).expect("quick install");
+    let bundle = install.into_bundle().into_shared();
+    let service = adsala::AdsalaService::with_config(
+        std::sync::Arc::clone(&bundle),
+        adsala::ServiceConfig { online: OnlineConfig::enabled(), ..Default::default() },
+    );
+
+    // Eight shapes, decided at a 1-thread cap so the plan (and so the
+    // injected ground truth) is pinned per shape; the "machine" runs each
+    // exactly as fast as the install-time model predicts, times a factor.
+    let shapes: Vec<OpShape> = (0..8u64)
+        .map(|i| {
+            OpShape::gemm(GemmPrecision::F32, 64 + 32 * (i % 4), 128 + 64 * (i % 3), 48 + 16 * i)
+        })
+        .collect();
+    let baseline: Vec<f64> =
+        shapes.iter().map(|&s| bundle.decide_op_capped(s, 1).predicted_runtime_s).collect();
+
+    let run_phase = |tag: u64, severity: f64| -> OnlinePhaseError {
+        let mut abs_sum = 0.0;
+        let mut n = 0u64;
+        for round in 0..ROUNDS {
+            for (j, &shape) in shapes.iter().enumerate() {
+                let d = service.select_for_capped(shape, 1);
+                let factor =
+                    drift_slowdown(combine(&[SEED, tag, round]), j as u64, severity, SIGMA)
+                        * lognormal_factor(combine(&[SEED, tag, round, j as u64]), SIGMA);
+                let measured_s = baseline[j] * factor;
+                service.observe(shape, &d.plan, d.predicted_runtime_s, (measured_s * 1e9) as u64);
+                abs_sum += (measured_s / d.predicted_runtime_s).ln().abs();
+                n += 1;
+            }
+        }
+        let mean = abs_sum / n.max(1) as f64;
+        OnlinePhaseError {
+            observations: n,
+            mean_abs_log_error: mean,
+            mean_abs_pct: (mean.exp() - 1.0) * 100.0,
+        }
+    };
+
+    // Phase 1 — healthy traffic: measurements match the model.
+    let healthy = run_phase(0, 1.0);
+    println!(
+        "healthy:   {:.1}% mean abs error over {} ops; drift tripped: {}",
+        healthy.mean_abs_pct,
+        healthy.observations,
+        service.is_drifted()
+    );
+    // The retrainer should learn from post-drift traffic only.
+    let _ = service.drain_observations();
+
+    // Phase 2 — a sustained 3× slowdown: the detector must trip and real
+    // requests must switch to the conservative fallback plan.
+    let drifted = run_phase(1, SEVERITY);
+    let tripped = service.is_drifted();
+    println!(
+        "drifted:   {:.1}% mean abs error over {} ops; drift tripped: {tripped}",
+        drifted.mean_abs_pct, drifted.observations
+    );
+    {
+        let (m, n, k) = (96usize, 64, 48);
+        let a = vec![1.0f32; m * k];
+        let b = vec![0.5f32; k * n];
+        let mut c = vec![0.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let (d, _) = service
+            .run_with(&mut req, adsala::RunOptions::with_host_cap(2))
+            .expect("drifted serve");
+        println!(
+            "[service] while drifted: served conservative fallback [{}] (memoised: {})",
+            d.plan.describe(),
+            d.memoised
+        );
+    }
+
+    // Phase 3 — retrain from the drifted observations while four client
+    // threads flood the service with real host traffic: every request
+    // completes, none block on the swap.
+    let stop = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    let (outcome, requests_during_retrain) = std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let (service, stop, served) = (&service, &stop, &served);
+            scope.spawn(move || {
+                let (m, n, k) = (64usize, 48, 32);
+                let a: Vec<f32> =
+                    (0..m * k).map(|i| ((i + t as usize) % 13) as f32 - 6.0).collect();
+                let b: Vec<f32> = (0..k * n).map(|i| (i % 11) as f32 * 0.25).collect();
+                let mut c = vec![0.0f32; m * n];
+                while !stop.load(Ordering::Relaxed) {
+                    let mut req: OpRequest<'_, f32> =
+                        GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+                    service.run(&mut req).expect("request dropped during hot-swap");
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Let the flood establish itself before retraining under it.
+        while served.load(Ordering::Relaxed) < 32 {
+            std::thread::yield_now();
+        }
+        let before = served.load(Ordering::Relaxed);
+        let cfg = RetrainConfig { min_observations: 32, ..RetrainConfig::default() };
+        let outcome = retrain_now(&service, &cfg).expect("retrain");
+        let during = served.load(Ordering::Relaxed) - before;
+        stop.store(true, Ordering::Relaxed);
+        (outcome, during)
+    });
+    println!(
+        "retrain: {:?} refit from {} observations in {:.1} ms; swap took {:.1} µs \
+         (generation {:?}); {} requests served during the retrain, 0 dropped",
+        outcome.retrained,
+        outcome.observations,
+        outcome.train_latency.as_secs_f64() * 1e3,
+        outcome.swap_latency.as_secs_f64() * 1e6,
+        outcome.swap_generation,
+        requests_during_retrain,
+    );
+
+    // Phase 4 — the machine is STILL 3× slower, but the refreshed model
+    // learned that from the reservoir: the error collapses back down.
+    let recovered = run_phase(2, SEVERITY);
+    println!(
+        "recovered: {:.1}% mean abs error over {} ops; drift tripped: {}",
+        recovered.mean_abs_pct,
+        recovered.observations,
+        service.is_drifted()
+    );
+
+    let stats = service.stats();
+    println!("{}", prediction_line("online", &stats.prediction));
+    println!(
+        "[service] swaps {}, generation {}, drift trips {}, fallback decisions {}; \
+         reservoir recorded {} (dropped on contention: {})",
+        stats.swaps,
+        stats.generation,
+        stats.drift.trips,
+        stats.drift_fallbacks,
+        stats.reservoir.recorded,
+        stats.reservoir.contended_drops,
+    );
+
+    let report = OnlineBenchReport {
+        bench: "online".to_string(),
+        shapes: shapes.len(),
+        rounds_per_phase: ROUNDS,
+        injected_slowdown: SEVERITY,
+        healthy,
+        drifted,
+        recovered,
+        drift_tripped: tripped,
+        drift_trips: stats.drift.trips,
+        drift_fallbacks: stats.drift_fallbacks,
+        retrained_routines: outcome.retrained.iter().map(|r| r.as_str().to_string()).collect(),
+        retrain_observations: outcome.observations,
+        swap_generation: outcome.swap_generation.unwrap_or(0),
+        train_latency_ms: outcome.train_latency.as_secs_f64() * 1e3,
+        swap_latency_us: outcome.swap_latency.as_secs_f64() * 1e6,
+        requests_during_retrain,
+        requests_dropped: 0,
+    };
+    assert!(report.drift_tripped, "the injected slowdown must trip the detector");
+    assert_eq!(report.retrained_routines, vec![Routine::Gemm.as_str().to_string()]);
+    assert!(
+        report.recovered.mean_abs_log_error < report.drifted.mean_abs_log_error,
+        "retraining must reduce the prediction error"
+    );
+    let path = results_dir().join("BENCH_online.json");
+    std::fs::create_dir_all(results_dir()).expect("create results dir");
+    std::fs::write(&path, serde_json::to_string(&report).expect("serialise bench"))
+        .expect("write BENCH_online.json");
     println!("[json] {}", path.display());
 }
 

@@ -33,6 +33,10 @@
 //!    owns a persistent [`adsala_gemm::ThreadPool`] and answers typed
 //!    [`OpRequest`]s — GEMM, SYRK, GEMV, in `f32` or `f64` — through one
 //!    `run` entry point, from any number of client threads;
+//! 4. [`online`] — the control plane that closes the loop: every call
+//!    feeds an observation reservoir and a drift detector, and a
+//!    background retrainer rebuilds models from observed timings and
+//!    hot-swaps the bundle under live traffic with zero downtime;
 //!
 //! plus [`runtime::AdsalaGemm`], the paper-faithful single-threaded
 //! facade over the same bundle (`&mut self`, §III-C memo semantics).
@@ -54,6 +58,7 @@ pub mod cache;
 pub mod features;
 pub mod gather;
 pub mod install;
+pub mod online;
 pub mod preprocess;
 pub mod runtime;
 pub mod scheduler;
@@ -71,6 +76,10 @@ pub use features::{
 };
 pub use gather::{GatherConfig, GemmRecord, ThreadLadder, TrainingData};
 pub use install::{InstallConfig, Installation};
+pub use online::{
+    retrain_now, DriftConfig, DriftDetector, DriftSnapshot, Observation, ObservationReservoir,
+    OnlineAdapter, OnlineConfig, ReservoirStats, RetrainConfig, RetrainOutcome,
+};
 pub use preprocess::{
     fit_preprocess, fit_preprocess_with, PreprocessConfig, PreprocessOptions, PreprocessReport,
 };
@@ -115,6 +124,9 @@ pub mod prelude {
     pub use crate::bundle::{ArtifactBundle, PlanDecision};
     pub use crate::cache::CacheStats;
     pub use crate::install::{InstallConfig, Installation};
+    pub use crate::online::{
+        retrain_now, DriftConfig, OnlineAdapter, OnlineConfig, RetrainConfig, RetrainOutcome,
+    };
     pub use crate::runtime::AdsalaGemm;
     pub use crate::scheduler::{ScheduledRun, SchedulerConfig, SchedulerStats, ServiceScheduler};
     pub use crate::service::{AdsalaService, RunOptions, ServiceConfig, ServiceStats};

@@ -173,6 +173,11 @@ enum Phase {
 /// threads, shared between the memo and the tickets holding it.
 type PlanCurve = Arc<Vec<(ExecutionPlan, f64)>>;
 
+/// The scheduler's curve memo: predicted-runtime curves per
+/// `(shape, cap)`, tagged with the service generation they were
+/// computed under.
+type TaggedCurves = (u64, HashMap<(OpShape, u32), PlanCurve>);
+
 #[derive(Debug)]
 struct Ticket {
     /// Fusability class (`None` never fuses) plus the cap its curve was
@@ -238,8 +243,10 @@ pub struct ServiceScheduler {
     work: Condvar,
     /// Signalled when the admission queue gains room.
     space: Condvar,
-    /// Memo of predicted-runtime curves per `(shape, cap)`.
-    curves: Mutex<HashMap<(OpShape, u32), PlanCurve>>,
+    /// Memo of predicted-runtime curves per `(shape, cap)`, tagged with
+    /// the service generation it was computed under: a bundle hot-swap
+    /// invalidates every curve, exactly like the service's decision memo.
+    curves: Mutex<TaggedCurves>,
     submitted: AtomicU64,
     completed: AtomicU64,
     waves: AtomicU64,
@@ -273,7 +280,7 @@ impl ServiceScheduler {
             state: Mutex::new(SchedState::default()),
             work: Condvar::new(),
             space: Condvar::new(),
-            curves: Mutex::new(HashMap::new()),
+            curves: Mutex::new((0, HashMap::new())),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             waves: AtomicU64::new(0),
@@ -354,10 +361,14 @@ impl ServiceScheduler {
         match admission {
             Admission::Solo { plan, predicted_s, threads, wave } => {
                 drop(st);
-                let stats = req.execute_validated(self.service.pool(), &plan);
+                let mut stats = req.execute_validated(self.service.pool(), &plan);
+                stats.predicted_ns = crate::service::predicted_ns(predicted_s);
                 if stats.plan_degraded {
                     self.plan_downgrades.fetch_add(1, Ordering::Relaxed);
                 }
+                // The scheduler executes on the pool directly (bypassing
+                // service.run), so it must feed the feedback loop itself.
+                self.service.observe(shape, &plan, predicted_s, stats.exec.wall_ns);
                 let mut st = self.state.lock();
                 st.tickets.remove(&id);
                 self.complete_unit(&mut st, wave, threads);
@@ -379,9 +390,15 @@ impl ServiceScheduler {
                 for p in &member_ptrs {
                     refs.push(unsafe { &mut *(*p as *mut OpRequest<'_, T>) });
                 }
-                let all =
+                let mut all =
                     OpRequest::execute_fused_refs_validated(&mut refs, self.service.pool(), &plan);
                 drop(refs);
+                for s in &mut all {
+                    s.predicted_ns = crate::service::predicted_ns(predicted_s);
+                    // Every fused member shares the unit's shape and
+                    // plan; each contributes its own measurement.
+                    self.service.observe(shape, &plan, predicted_s, s.exec.wall_ns);
+                }
                 let degraded = all.iter().filter(|s| s.plan_degraded).count() as u64;
                 if degraded > 0 {
                     self.plan_downgrades.fetch_add(degraded, Ordering::Relaxed);
@@ -436,16 +453,29 @@ impl ServiceScheduler {
 
     fn curve_for(&self, shape: OpShape, cap: u32) -> Arc<Vec<(ExecutionPlan, f64)>> {
         let key = (shape, cap);
-        if let Some(curve) = self.curves.lock().get(&key) {
-            return Arc::clone(curve);
+        // Generation before bundle, mirroring the service's swap
+        // protocol: a curve computed against a retired bundle may be
+        // memoised under its own (old) tag but can never pollute the
+        // post-swap memo.
+        let generation = self.service.generation();
+        {
+            let mut memo = self.curves.lock();
+            if memo.0 != generation {
+                memo.0 = generation;
+                memo.1.clear();
+            } else if let Some(curve) = memo.1.get(&key) {
+                return Arc::clone(curve);
+            }
         }
         let curve = Arc::new(self.service.bundle().decide_op_curve(shape, cap));
         assert!(!curve.is_empty(), "plan grids always hold at least one thread count");
         let mut memo = self.curves.lock();
-        if memo.len() >= CURVE_CACHE_CAP {
-            memo.clear();
+        if memo.0 == generation {
+            if memo.1.len() >= CURVE_CACHE_CAP {
+                memo.1.clear();
+            }
+            memo.1.insert(key, Arc::clone(&curve));
         }
-        memo.insert(key, Arc::clone(&curve));
         curve
     }
 

@@ -98,7 +98,9 @@ pub fn predict_plan_for_op(
 }
 
 /// Evaluate the model at one (possibly clamped) candidate point.
-fn predict_at_point(
+/// `pub(crate)` so the bundle can price a single conservative fallback
+/// plan with the same feature path the sweeps use.
+pub(crate) fn predict_at_point(
     model: &AnyModel,
     config: &PreprocessConfig,
     grid: &PlanGrid,

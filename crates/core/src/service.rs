@@ -30,15 +30,39 @@
 //! Diagnostics are atomics: `evaluations` counts actual model sweeps
 //! (concurrent racing misses may sweep the same shape twice — both count),
 //! and [`AdsalaService::cache_stats`] snapshots the memo counters.
+//!
+//! **Online adaptation.** The bundle slot is hot-swappable: every call
+//! feeds the [`crate::online`] feedback loop (prediction-error meter,
+//! drift detector, observation reservoir — all lock-cheap accounting),
+//! and [`AdsalaService::swap_bundle`] publishes a retrained bundle under
+//! live traffic. The swap is two ordered steps — install the new `Arc`
+//! under the bundle `RwLock`, then bump the decision-cache generation —
+//! while serving threads read the generation *before* loading the
+//! bundle and publish decisions through `insert_if_generation`, so a
+//! decision computed against the retired bundle can never outlive the
+//! swap in the memo. In-flight requests are never blocked or dropped:
+//! they finish under the plan they decided with (the retiring `Arc`
+//! keeps its artefacts alive), and the next request simply decides
+//! under the new epoch. When [`OnlineConfig::enabled`] is set and the
+//! drift detector is tripped, decisions fall back to conservative
+//! max-threads plans instead of trusting a model the measurements have
+//! disowned.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use adsala_gemm::dispatch::{GemmArgs, OpRequest, OpShape, OpStats, Precision};
-use adsala_gemm::{ArenaStats, Element, PoolStats, ThreadPool};
+use adsala_gemm::plan::ExecutionPlan;
+use adsala_gemm::{
+    ArenaStats, Element, PoolStats, PredictionErrorStats, PredictionMeter, ThreadPool,
+};
+use parking_lot::RwLock;
 
 use crate::bundle::{ArtifactBundle, PlanDecision};
 use crate::cache::{CacheStats, DecisionCache, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS};
+use crate::online::{
+    DriftDetector, DriftSnapshot, Observation, ObservationReservoir, OnlineConfig, ReservoirStats,
+};
 use crate::AdsalaError;
 
 /// Tunables for [`AdsalaService`].
@@ -51,6 +75,9 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Maximum resident decisions across all stripes.
     pub cache_capacity: usize,
+    /// Online-adaptation knobs (reservoir size/sampling, drift band, and
+    /// whether drift changes behaviour).
+    pub online: OnlineConfig,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +86,7 @@ impl Default for ServiceConfig {
             pool_workers: 0,
             cache_shards: DEFAULT_CACHE_SHARDS,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            online: OnlineConfig::default(),
         }
     }
 }
@@ -105,7 +133,10 @@ impl RunOptions {
 /// and precision.
 #[derive(Debug)]
 pub struct AdsalaService {
-    bundle: Arc<ArtifactBundle>,
+    /// The current artefact epoch. Reads are one brief `RwLock` read to
+    /// clone the `Arc`; [`AdsalaService::swap_bundle`] takes the only
+    /// write this lock ever sees.
+    bundle: RwLock<Arc<ArtifactBundle>>,
     /// Decisions are memoised per `(shape, normalised thread cap)`: a
     /// capped sweep is a genuinely different optimisation problem, so a
     /// capped decision must never be served to an uncapped caller (or
@@ -118,6 +149,18 @@ pub struct AdsalaService {
     /// Ops whose requested kernel ISA was unavailable at execution time
     /// and ran on a humbler one (see `OpStats::plan_degraded`).
     plan_downgrades: AtomicU64,
+    /// Online-adaptation knobs.
+    online: OnlineConfig,
+    /// Rolling predicted-vs-measured error over every executed op.
+    prediction: PredictionMeter,
+    /// Per-routine rolling error with the drift trip wire.
+    drift: DriftDetector,
+    /// Bounded sink of executed-op observations for the retrainer.
+    reservoir: ObservationReservoir,
+    /// Bundle hot-swaps performed.
+    swaps: AtomicU64,
+    /// Decisions served as conservative fallbacks while drifted.
+    drift_fallbacks: AtomicU64,
 }
 
 /// One-call snapshot of every service-level counter, for `[service]`
@@ -129,6 +172,18 @@ pub struct ServiceStats {
     /// Ops that executed on a humbler kernel ISA than their plan asked
     /// for.
     pub plan_downgrades: u64,
+    /// Bundle hot-swaps performed.
+    pub swaps: u64,
+    /// Current decision-cache generation (bumped once per swap).
+    pub generation: u64,
+    /// Decisions served as conservative fallbacks while drifted.
+    pub drift_fallbacks: u64,
+    /// Rolling predicted-vs-measured error since the last swap.
+    pub prediction: PredictionErrorStats,
+    /// Drift-detector state (trip wire + per-routine rolling error).
+    pub drift: DriftSnapshot,
+    /// Observation-reservoir occupancy and traffic.
+    pub reservoir: ReservoirStats,
     /// Decision-memo counters.
     pub cache: CacheStats,
     /// Execution-pool gang-reservation counters.
@@ -143,7 +198,7 @@ impl AdsalaService {
         Self::with_config(bundle, ServiceConfig::default())
     }
 
-    /// Build a service with explicit pool/cache tunables.
+    /// Build a service with explicit pool/cache/online tunables.
     pub fn with_config(bundle: Arc<ArtifactBundle>, cfg: ServiceConfig) -> Self {
         let pool = if cfg.pool_workers == 0 {
             ThreadPool::with_host_parallelism()
@@ -151,23 +206,57 @@ impl AdsalaService {
             ThreadPool::new(cfg.pool_workers)
         };
         Self {
-            bundle,
+            bundle: RwLock::new(bundle),
             cache: DecisionCache::new(cfg.cache_shards, cfg.cache_capacity),
             pool,
             evaluations: AtomicU64::new(0),
             plan_downgrades: AtomicU64::new(0),
+            online: cfg.online,
+            prediction: PredictionMeter::default(),
+            drift: DriftDetector::new(cfg.online.drift),
+            reservoir: ObservationReservoir::new(
+                cfg.online.reservoir_stripes,
+                cfg.online.reservoir_capacity,
+                cfg.online.sample_every,
+            ),
+            swaps: AtomicU64::new(0),
+            drift_fallbacks: AtomicU64::new(0),
         }
     }
 
-    /// The shared artefact bundle this service decides with.
-    pub fn bundle(&self) -> &Arc<ArtifactBundle> {
-        &self.bundle
+    /// The artefact bundle of the current epoch (a cheap `Arc` clone; the
+    /// caller's decisions stay coherent against this snapshot even if a
+    /// hot-swap lands concurrently).
+    pub fn bundle(&self) -> Arc<ArtifactBundle> {
+        Arc::clone(&self.bundle.read())
+    }
+
+    /// Atomically publish a new artefact bundle and retire every memoised
+    /// decision, without blocking or invalidating in-flight requests:
+    /// first the bundle slot is replaced (one brief write lock), then the
+    /// decision-cache generation is bumped so pre-swap decisions die.
+    /// Requests already executing finish under the plan they decided with
+    /// — the old `Arc` keeps their artefacts alive. Also resets the
+    /// prediction meter and drift detector (their rolling errors measured
+    /// the retiring model). Returns the new cache generation.
+    pub fn swap_bundle(&self, bundle: Arc<ArtifactBundle>) -> u64 {
+        *self.bundle.write() = bundle;
+        // Order matters: the generation bump must follow the publish, so
+        // any reader who saw the old generation either decided with the
+        // old bundle (entry dies now) or the new one (entry is refused by
+        // insert_if_generation and re-decided — conservative but never
+        // stale).
+        let generation = self.cache.bump_generation();
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.prediction.reset();
+        self.drift.reset();
+        generation
     }
 
     /// Candidate thread counts swept per decision (the grid's thread
     /// axis).
-    pub fn candidates(&self) -> &[u32] {
-        self.bundle.candidates()
+    pub fn candidates(&self) -> Vec<u32> {
+        self.bundle().candidates().to_vec()
     }
 
     /// Worker threads in the persistent execution pool.
@@ -187,9 +276,10 @@ impl AdsalaService {
 
     /// Normalise a thread cap into the memo key space: caps at or above
     /// the grid's largest candidate are equivalent to "no cap" (the sweep
-    /// is identical), so they share one entry per shape.
+    /// is identical), so they share one entry per shape. (Swap-safe: a
+    /// refreshed bundle keeps its grid, so the bound is epoch-invariant.)
     fn normalised_cap(&self, cap: u32) -> u32 {
-        cap.clamp(1, self.bundle.max_candidate_threads())
+        cap.clamp(1, self.bundle().max_candidate_threads())
     }
 
     /// Pick the execution plan for any operation: memo first, model sweep
@@ -207,12 +297,17 @@ impl AdsalaService {
     /// will actually execute. Memoised per `(shape, normalised cap)`.
     pub fn select_for_capped(&self, shape: OpShape, cap: u32) -> PlanDecision {
         let cap = self.normalised_cap(cap);
+        // Generation before bundle: if a swap lands in between, this
+        // decision is refused below and the next caller re-decides under
+        // the new epoch — a decision can never enter a younger memo than
+        // the bundle it came from.
+        let generation = self.cache.generation();
         if let Some(decision) = self.cache.get((shape, cap)) {
             return decision;
         }
-        let decision = self.bundle.decide_op_capped(shape, cap);
+        let decision = self.bundle().decide_op_capped(shape, cap);
         self.evaluations.fetch_add(1, Ordering::Relaxed);
-        self.cache.insert((shape, cap), decision);
+        self.cache.insert_if_generation((shape, cap), decision, generation);
         decision
     }
 
@@ -260,8 +355,14 @@ impl AdsalaService {
         req.validate()?;
         let shape = req.shape();
         let cap = self.normalised_cap(opts.thread_cap());
-        let decision = if opts.bypass_cache {
-            let d = self.bundle.decide_op_capped(shape, cap);
+        let decision = if self.online.enabled && self.drift.is_drifted() {
+            // The measurements have disowned the model: serve the
+            // conservative max-threads baseline (never memoised — the
+            // fallback must vanish the moment the detector recovers).
+            self.drift_fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.bundle().conservative_op(shape, cap)
+        } else if opts.bypass_cache {
+            let d = self.bundle().decide_op_capped(shape, cap);
             self.evaluations.fetch_add(1, Ordering::Relaxed);
             d
         } else {
@@ -270,11 +371,30 @@ impl AdsalaService {
         // The cap bounded the sweep, so the decision *is* the executed
         // plan — no post-hoc clamp that would desynchronise the reported
         // prediction from the configuration that runs.
-        let stats = req.execute_validated(&self.pool, &decision.plan);
+        let mut stats = req.execute_validated(&self.pool, &decision.plan);
+        stats.predicted_ns = predicted_ns(decision.predicted_runtime_s);
         if stats.plan_degraded {
             self.plan_downgrades.fetch_add(1, Ordering::Relaxed);
         }
+        self.observe(shape, &decision.plan, decision.predicted_runtime_s, stats.exec.wall_ns);
         Ok((decision, stats))
+    }
+
+    /// Feed one executed op into the feedback loop: the prediction
+    /// meter, the drift detector, and (sampled) the observation
+    /// reservoir. [`AdsalaService::run_with`] calls this for every
+    /// request; layers that execute on the pool directly (the
+    /// co-scheduler) call it themselves. Lock-cheap and never blocking.
+    pub fn observe(
+        &self,
+        shape: OpShape,
+        plan: &ExecutionPlan,
+        predicted_runtime_s: f64,
+        wall_ns: u64,
+    ) {
+        self.prediction.record(predicted_runtime_s, wall_ns);
+        self.drift.record(shape.routine, predicted_runtime_s, wall_ns);
+        self.reservoir.record(Observation { shape, plan: *plan, predicted_runtime_s, wall_ns });
     }
 
     /// Single-precision GEMM through [`AdsalaService::run_with`]:
@@ -352,11 +472,63 @@ impl AdsalaService {
         self.pool.stats()
     }
 
+    /// Rolling predicted-vs-measured error since the last swap.
+    pub fn prediction_stats(&self) -> PredictionErrorStats {
+        self.prediction.snapshot()
+    }
+
+    /// Drift-detector state (trip wire + per-routine rolling error).
+    pub fn drift_snapshot(&self) -> DriftSnapshot {
+        self.drift.snapshot()
+    }
+
+    /// Whether the drift detector is currently tripped.
+    pub fn is_drifted(&self) -> bool {
+        self.drift.is_drifted()
+    }
+
+    /// Untrip the drift detector and zero its rolling errors without
+    /// swapping a bundle (an operator override; a swap resets it anyway).
+    pub fn reset_drift(&self) {
+        self.drift.reset();
+    }
+
+    /// Observation-reservoir occupancy and traffic counters.
+    pub fn reservoir_stats(&self) -> ReservoirStats {
+        self.reservoir.stats()
+    }
+
+    /// Take every resident observation (the retrainer's feed).
+    pub fn drain_observations(&self) -> Vec<crate::online::Observation> {
+        self.reservoir.drain()
+    }
+
+    /// Bundle hot-swaps performed so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Current decision-cache generation (bumped once per swap).
+    pub fn generation(&self) -> u64 {
+        self.cache.generation()
+    }
+
+    /// Decisions served as conservative fallbacks while drifted.
+    pub fn drift_fallbacks(&self) -> u64 {
+        self.drift_fallbacks.load(Ordering::Relaxed)
+    }
+
     /// Snapshot every service-level counter at once.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             evaluations: self.evaluations(),
             plan_downgrades: self.plan_downgrades(),
+            swaps: self.swaps(),
+            generation: self.generation(),
+            drift_fallbacks: self.drift_fallbacks(),
+            prediction: self.prediction_stats(),
+            drift: self.drift_snapshot(),
+            reservoir: self.reservoir_stats(),
             cache: self.cache_stats(),
             pool: self.pool_stats(),
             workspace: self.workspace_stats(),
@@ -367,6 +539,16 @@ impl AdsalaService {
     /// counters and the evaluation count are preserved.
     pub fn clear_cache(&self) {
         self.cache.clear();
+    }
+}
+
+/// A model prediction in seconds as integer nanoseconds for
+/// [`OpStats::predicted_ns`] (0 for absent/absurd predictions).
+pub(crate) fn predicted_ns(predicted_runtime_s: f64) -> u64 {
+    if predicted_runtime_s > 0.0 && predicted_runtime_s.is_finite() {
+        (predicted_runtime_s * 1e9).round().max(0.0) as u64
+    } else {
+        0
     }
 }
 
@@ -566,6 +748,88 @@ mod tests {
         let (decision, stats) = svc.run_with(&mut req, RunOptions::with_host_cap(3)).unwrap();
         assert_eq!(decision.plan, capped.plan);
         assert!(stats.exec.threads_used <= 3, "{stats:?}");
+    }
+
+    #[test]
+    fn swap_bundle_bumps_generation_and_forces_reevaluation() {
+        let svc = service();
+        let before = svc.select_threads(128, 512, 128);
+        assert_eq!(svc.generation(), 0);
+        let refreshed = svc.bundle().refreshed(svc.bundle().models.clone()).into_shared();
+        let generation = svc.swap_bundle(refreshed);
+        assert_eq!(generation, 1);
+        assert_eq!(svc.generation(), 1);
+        assert_eq!(svc.swaps(), 1);
+        let after = svc.select_threads(128, 512, 128);
+        assert!(!after.memoised, "a swap must retire memoised decisions");
+        assert_eq!(svc.evaluations(), 2);
+        // Identical models ⇒ identical decision, freshly swept.
+        assert_eq!(after.plan, before.plan);
+    }
+
+    #[test]
+    fn run_stamps_prediction_and_feeds_the_meter() {
+        let svc = service();
+        let (m, n, k) = (64usize, 64usize, 64usize);
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        let mut c = vec![0.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let (decision, stats) = svc.run(&mut req).unwrap();
+        assert!(decision.predicted_runtime_s > 0.0);
+        assert_eq!(stats.predicted_ns, (decision.predicted_runtime_s * 1e9).round() as u64);
+        assert!(stats.prediction_log_error().is_some());
+        let s = svc.stats();
+        assert_eq!(s.prediction.samples, 1);
+        assert_eq!(s.reservoir.recorded, 1, "every served op must reach the reservoir");
+        assert_eq!(s.drift.for_routine(Routine::Gemm).samples, 1);
+        let drained = svc.drain_observations();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].shape, OpShape::gemm(Precision::F32, 64, 64, 64));
+        assert_eq!(drained[0].plan, decision.plan);
+        assert_eq!(drained[0].wall_ns, stats.exec.wall_ns);
+    }
+
+    #[test]
+    fn drifted_service_serves_conservative_fallbacks_when_enabled() {
+        use crate::online::DriftConfig;
+        let cfg = ServiceConfig {
+            pool_workers: 4,
+            online: OnlineConfig {
+                enabled: true,
+                drift: DriftConfig { min_samples: 4, alpha: 0.5, ..DriftConfig::default() },
+                ..OnlineConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let svc = AdsalaService::with_config(quick_bundle().into_shared(), cfg);
+        let shape = OpShape::gemm(Precision::F32, 64, 64, 64);
+        let plan = adsala_gemm::plan::ExecutionPlan::with_threads(2);
+        // Sustained 8× slowdown versus prediction: trips the detector.
+        for _ in 0..16 {
+            svc.observe(shape, &plan, 1e-3, 8_000_000);
+        }
+        assert!(svc.is_drifted());
+        let (m, n, k) = (64usize, 64usize, 64usize);
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        let mut c = vec![0.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let cap = 2;
+        let (decision, _) = svc.run_with(&mut req, RunOptions::with_host_cap(cap)).unwrap();
+        assert_eq!(svc.drift_fallbacks(), 1);
+        assert!(!decision.memoised, "fallback decisions must not be memoised");
+        assert_eq!(decision.plan, svc.bundle().conservative_op(shape, cap).plan);
+        assert_eq!(decision.threads(), cap, "conservative = widest plan within the cap");
+        // Recovery (here via the operator override) restores model serving.
+        svc.reset_drift();
+        assert!(!svc.is_drifted());
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        svc.run_with(&mut req, RunOptions::with_host_cap(cap)).unwrap();
+        assert_eq!(svc.drift_fallbacks(), 1, "recovered service trusts the model again");
     }
 
     #[test]

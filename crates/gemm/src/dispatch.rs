@@ -437,8 +437,24 @@ pub struct OpStats {
     /// or `ADSALA_FORCE_SCALAR`), or a non-thread plan axis was requested
     /// for a routine (SYRK/GEMV) that only honours the thread count.
     pub plan_degraded: bool,
+    /// The model's runtime prediction for this call in nanoseconds, or 0
+    /// when no model priced the plan (direct execution, cache bypass).
+    /// Stored as integer nanoseconds so `OpStats` stays `Eq`.
+    pub predicted_ns: u64,
     /// The sync/copy/kernel breakdown shared by every routine.
     pub exec: GemmStats,
+}
+
+impl OpStats {
+    /// Signed prediction log-error `ln(measured / predicted)`, or `None`
+    /// when the call carried no prediction or no measurement. Positive
+    /// means the model was optimistic (reality slower than predicted).
+    pub fn prediction_log_error(&self) -> Option<f64> {
+        if self.predicted_ns == 0 || self.exec.wall_ns == 0 {
+            return None;
+        }
+        Some((self.exec.wall_ns as f64 / self.predicted_ns as f64).ln())
+    }
 }
 
 /// One operation request: a routine tag plus its typed operands.
@@ -581,6 +597,7 @@ impl<T: Element> OpRequest<'_, T> {
             precision: shape.precision,
             plan: *plan,
             plan_degraded,
+            predicted_ns: 0,
             exec,
         }
     }
@@ -681,6 +698,7 @@ impl<T: Element> OpRequest<'_, T> {
                 precision: T::PRECISION,
                 plan: *plan,
                 plan_degraded: plan.kernel_isa.is_some_and(|isa| exec.kernel_isa != isa),
+                predicted_ns: 0,
                 exec,
             })
             .collect()

@@ -51,7 +51,7 @@ pub use gemv::{gemv_with_stats, gemv_with_stats_pooled};
 pub use isa::{Kernel, KernelIsa};
 pub use plan::{ExecutionPlan, IsaChoice, PackingStrategy, PlanGrid, PlanPoint};
 pub use pool::{Executor, PoolStats, ThreadPool};
-pub use stats::GemmStats;
+pub use stats::{GemmStats, PredictionErrorStats, PredictionMeter};
 pub use syrk::{syrk_with_stats, syrk_with_stats_pooled};
 pub use threading::ThreadGrid;
 pub use workspace::{ArenaStats, PackArena, Workspace};

@@ -29,6 +29,16 @@ impl<T> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard { inner: self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner) }
     }
+
+    /// Acquire the lock only if it is free right now. Returns `None` on
+    /// contention (parking_lot returns an `Option`, not a `Result`).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard { inner: p.into_inner() }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 impl<T> Deref for MutexGuard<'_, T> {
@@ -137,6 +147,36 @@ impl Condvar {
         }
     }
 
+    /// Atomically release the lock and block until notified or until
+    /// `timeout` elapses, matching parking_lot's `wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        // Same guard-bridging scheme as `wait` above; see its SAFETY note.
+        struct AbortOnUnwind;
+        impl Drop for AbortOnUnwind {
+            fn drop(&mut self) {
+                std::process::abort();
+            }
+        }
+        unsafe {
+            let taken = std::ptr::read(&guard.inner);
+            let bomb = AbortOnUnwind;
+            let (reacquired, result) = match self.inner.wait_timeout(taken, timeout) {
+                Ok((g, r)) => (g, r),
+                Err(poisoned) => {
+                    let (g, r) = poisoned.into_inner();
+                    (g, r)
+                }
+            };
+            std::mem::forget(bomb);
+            std::ptr::write(&mut guard.inner, reacquired);
+            WaitTimeoutResult { timed_out: result.timed_out() }
+        }
+    }
+
     pub fn notify_one(&self) {
         self.inner.notify_one();
     }
@@ -146,10 +186,24 @@ impl Condvar {
     }
 }
 
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::{Condvar, Mutex, RwLock};
     use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn rwlock_readers_share_writers_exclude() {
@@ -168,6 +222,45 @@ mod tests {
         let m = Mutex::new(1);
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let m = Mutex::new(5);
+        let g = m.try_lock().expect("uncontended try_lock succeeds");
+        assert_eq!(*g, 5);
+        assert!(m.try_lock().is_none(), "second try_lock must fail while held");
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let state = (Mutex::new(false), Condvar::new());
+        let mut flag = state.0.lock();
+        let r = state.1.wait_for(&mut flag, Duration::from_millis(10));
+        assert!(r.timed_out());
+        assert!(!*flag);
+    }
+
+    #[test]
+    fn wait_for_wakes_on_notify() {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*state;
+                let mut done = lock.lock();
+                while !*done {
+                    cv.wait_for(&mut done, Duration::from_secs(5));
+                }
+                true
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        *state.0.lock() = true;
+        state.1.notify_all();
+        assert!(waiter.join().unwrap());
     }
 
     #[test]
