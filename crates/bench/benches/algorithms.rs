@@ -1,0 +1,112 @@
+//! Throughput across the algorithm axis of the execution plan: the
+//! blocked loop nest vs the Strassen recursion vs the Z-order serial
+//! traversal, on the shapes where the learned dispatcher must tell them
+//! apart.
+//!
+//! * `algorithms/large_square` — Strassen-eligible squares where the
+//!   7-multiplications-for-8 trade pays (or starts to);
+//! * `algorithms/skewed` — eligible but lopsided shapes where the
+//!   recursion's combine traffic usually loses to the blocked driver;
+//! * `algorithms/zorder` — the Morton-traversal serial driver against
+//!   the serial blocked baseline it re-orders.
+//!
+//! Element throughput equals the FLOPs of the measured call, so
+//! criterion's element rate is FLOP/s.
+
+use adsala_gemm::gemm::{gemm_with_stats_pooled, GemmCall};
+use adsala_gemm::plan::Algorithm;
+use adsala_gemm::pool::ThreadPool;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn fill(n: usize, seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 997) as f32 / 500.0 - 1.0
+        })
+        .collect()
+}
+
+fn bench_algorithms(
+    c: &mut Criterion,
+    group_name: &str,
+    shapes: &[(usize, usize, usize)],
+    algorithms: &[(&str, Algorithm)],
+    threads: u32,
+) {
+    let pool = ThreadPool::new(threads as usize);
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for &(m, n, k) in shapes {
+        let a = fill(m * k, 3);
+        let b = fill(k * n, 4);
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        for &(label, algorithm) in algorithms {
+            let base = GemmCall::new(m, n, k, threads as usize);
+            let call = base.with_plan(base.plan.with_algorithm(algorithm));
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{m}x{k}x{n}")),
+                &call,
+                |bench, call| {
+                    let mut out = vec![0.0f32; m * n];
+                    bench.iter(|| {
+                        gemm_with_stats_pooled(
+                            &pool,
+                            call,
+                            1.0,
+                            &a,
+                            k,
+                            &b,
+                            n,
+                            0.0,
+                            black_box(&mut out),
+                            n,
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Strassen-eligible squares: cutoff 128 recurses at 512 and above.
+fn bench_large_square(c: &mut Criterion) {
+    bench_algorithms(
+        c,
+        "algorithms/large_square",
+        &[(512, 512, 512), (768, 768, 768)],
+        &[
+            ("blocked", Algorithm::Blocked),
+            ("strassen_128", Algorithm::Strassen { cutoff: 128 }),
+            ("strassen_256", Algorithm::Strassen { cutoff: 256 }),
+        ],
+        1,
+    );
+}
+
+/// Eligible but lopsided shapes: the recursion halves every dimension,
+/// so a thin axis shrinks below the kernel's sweet spot quickly.
+fn bench_skewed(c: &mut Criterion) {
+    bench_algorithms(
+        c,
+        "algorithms/skewed",
+        &[(768, 256, 256), (256, 256, 1024)],
+        &[("blocked", Algorithm::Blocked), ("strassen_128", Algorithm::Strassen { cutoff: 128 })],
+        1,
+    );
+}
+
+/// The Morton-traversal serial driver against its blocked baseline.
+fn bench_zorder(c: &mut Criterion) {
+    bench_algorithms(
+        c,
+        "algorithms/zorder",
+        &[(512, 512, 512), (640, 320, 160)],
+        &[("blocked", Algorithm::Blocked), ("zorder", Algorithm::ZOrder)],
+        1,
+    );
+}
+
+criterion_group!(benches, bench_large_square, bench_skewed, bench_zorder);
+criterion_main!(benches);

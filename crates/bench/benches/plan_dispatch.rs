@@ -15,7 +15,7 @@
 
 use adsala_gemm::dispatch::Precision;
 use adsala_gemm::gemm::{gemm_with_stats_pooled, GemmCall};
-use adsala_gemm::plan::{ExecutionPlan, PackingStrategy, PlanGrid, PlanPoint};
+use adsala_gemm::plan::{BlockScale, ExecutionPlan, PackingStrategy, PlanGrid, PlanPoint};
 use adsala_gemm::pool::ThreadPool;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -65,8 +65,8 @@ fn bench_axes(c: &mut Criterion) {
     let plans = [
         ("baseline", base),
         ("scalar_isa", PlanPoint { isa: adsala_gemm::plan::IsaChoice::Scalar, ..base }),
-        ("blk_50", PlanPoint { block_percent: 50, ..base }),
-        ("blk_200", PlanPoint { block_percent: 200, ..base }),
+        ("blk_50", PlanPoint { blocking: BlockScale::uniform(50), ..base }),
+        ("blk_200", PlanPoint { blocking: BlockScale::uniform(200), ..base }),
         ("independent_pack", PlanPoint { packing: PackingStrategy::Independent, ..base }),
     ];
     for (label, point) in plans {

@@ -21,6 +21,7 @@
 //!   table7    profiler-style sync/copy/kernel breakdown, Gadi
 //!   scheduler co-scheduled vs independent serving throughput (host)
 //!   online    drift → retrain → hot-swap feedback loop (beyond the paper)
+//!   algo      algorithm-axis dispatch: Strassen/Z-order vs blocked (host)
 //!   ablation  yj | lof | corr | halton | memo | eval-overhead
 //!   all       everything above in paper order
 //! ```
@@ -47,7 +48,7 @@ use adsala_sampling::{DomainSampler, GemmShape, MemoryCap, Precision, Predesigne
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: repro <fig1|fig4|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table3|table4|table5|table6|table7|plans|scheduler|online|ablation <name>|all>");
+        eprintln!("usage: repro <fig1|fig4|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table3|table4|table5|table6|table7|plans|scheduler|online|algo|ablation <name>|all>");
         std::process::exit(2);
     };
     let started = Instant::now();
@@ -72,6 +73,7 @@ fn main() {
         "learning-curve" => learning_curve(),
         "scheduler" => scheduler_bench(),
         "online" => online_bench(),
+        "algo" => algo_bench(),
         "ablation" => ablation(args.get(1).map(String::as_str).unwrap_or("")),
         "all" => {
             fig1();
@@ -94,6 +96,7 @@ fn main() {
             learning_curve();
             scheduler_bench();
             online_bench();
+            algo_bench();
             for name in ["yj", "lof", "corr", "halton", "memo", "eval-overhead"] {
                 ablation(name);
             }
@@ -436,6 +439,13 @@ fn speedup_table(ht: bool) {
             run.service.plan_downgrades
         ));
         service_lines.push(prediction_line(machine.name(), &run.service.prediction));
+        service_lines.push(format!(
+            "[service] {} executed algorithms: {} blocked, {} strassen, {} z-order",
+            machine.name(),
+            run.service.algorithms.blocked,
+            run.service.algorithms.strassen,
+            run.service.algorithms.zorder
+        ));
         // What the decision layer actually hands the drivers: with the
         // cached threads-only artefacts every plan's non-thread axes stay
         // at host defaults; a grid-trained artefact (see `repro plans`)
@@ -525,7 +535,7 @@ fn plan_table() {
         install.grid.len(),
         install.grid.threads.len(),
         install.grid.isa.len(),
-        install.grid.block_percents.len(),
+        install.grid.blockings.len(),
         install.grid.packing.len(),
         install.selected
     );
@@ -536,7 +546,7 @@ fn plan_table() {
     let swept = optimal.len();
     let opt_isa =
         optimal.iter().filter(|(_, p)| p.isa != adsala_gemm::plan::IsaChoice::default()).count();
-    let opt_blk = optimal.iter().filter(|(_, p)| p.block_percent != 100).count();
+    let opt_blk = optimal.iter().filter(|(_, p)| !p.blocking.is_default()).count();
     let opt_pack = optimal
         .iter()
         .filter(|(_, p)| p.packing != adsala_gemm::plan::PackingStrategy::SharedB)
@@ -626,6 +636,10 @@ fn plan_table() {
             "[service] pool gangs: {} reserved, {} refused (independent-packing fallbacks); \
              plan downgrades: {}",
             svc.pool.gang_reserved, svc.pool.gang_refused, svc.plan_downgrades
+        );
+        println!(
+            "[service] executed algorithms: {} blocked, {} strassen, {} z-order",
+            svc.algorithms.blocked, svc.algorithms.strassen, svc.algorithms.zorder
         );
         println!("{}", prediction_line("plan-table", &svc.prediction));
     }
@@ -1127,6 +1141,265 @@ fn online_bench() {
     std::fs::create_dir_all(results_dir()).expect("create results dir");
     std::fs::write(&path, serde_json::to_string(&report).expect("serialise bench"))
         .expect("write BENCH_online.json");
+    println!("[json] {}", path.display());
+}
+
+// ------------------------------------------------------ algorithm axis
+
+/// One measured (shape, algorithm) row of `BENCH_algo.json`.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct AlgoRow {
+    m: u64,
+    k: u64,
+    n: u64,
+    algorithm: String,
+    seconds: f64,
+    gflops: f64,
+    ratio_vs_blocked: f64,
+}
+
+/// What the learned dispatcher picked for one fresh square.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct AlgoSelection {
+    m: u64,
+    k: u64,
+    n: u64,
+    plan: String,
+    algorithm: String,
+    predicted_s: f64,
+}
+
+/// The `BENCH_algo.json` schema: raw per-algorithm host timings, then
+/// the learned-selection leg — which driver the grid-trained model
+/// routes each square onto and what actually executed.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct AlgoBenchReport {
+    bench: String,
+    host: String,
+    threads: u32,
+    reps: u32,
+    rows: Vec<AlgoRow>,
+    best_large_square_ratio: f64,
+    best_large_square_n: u64,
+    target_ratio: f64,
+    target_met: bool,
+    selections: Vec<AlgoSelection>,
+    strassen_selected: bool,
+    executed_algorithm: String,
+    plan_degraded: bool,
+    mix_blocked: u64,
+    mix_strassen: u64,
+    mix_zorder: u64,
+}
+
+/// Beyond the paper: the algorithm axis of the execution plan on the
+/// real host. Times the blocked loop nest against the Strassen
+/// recursion and the Z-order driver on serial large squares (where the
+/// 7-multiplications-for-8 trade genuinely pays), then trains a serial
+/// algorithm-only grid and checks the learned dispatcher routes large
+/// squares onto Strassen. Written to `results/BENCH_algo.json`.
+fn algo_bench() {
+    use adsala_gemm::dispatch::OpShape;
+    use adsala_gemm::plan::{
+        Algorithm, BlockScale, IsaChoice, PackingStrategy, PlanGrid, PlanPoint, FEATURE_REV_AXES,
+    };
+    use adsala_machine::HostTimer;
+
+    banner("Algorithm axis — Strassen & Z-order vs blocked on the host (serial)");
+    let timer = HostTimer::with_max_threads(1);
+    let reps = 2u32;
+    let candidates: [(&str, Algorithm); 4] = [
+        ("blocked", Algorithm::Blocked),
+        ("strassen_384", Algorithm::Strassen { cutoff: 384 }),
+        ("strassen_512", Algorithm::Strassen { cutoff: 512 }),
+        ("zorder", Algorithm::ZOrder),
+    ];
+    let mut rows: Vec<AlgoRow> = Vec::new();
+    let mut best_ratio = 0.0f64;
+    let mut best_n = 0u64;
+    println!(
+        "{:<8} {:>14} {:>12} {:>10} {:>12}",
+        "n", "algorithm", "seconds", "gflops", "vs blocked"
+    );
+    for n in [1024u64, 1536, 2048, 2560] {
+        let shape = GemmShape::new(n, n, n);
+        let flops = 2.0 * (n as f64).powi(3);
+        let mut blocked_s = 0.0f64;
+        for (label, algorithm) in candidates {
+            let point = PlanPoint { algorithm, ..PlanPoint::threads_only(1) };
+            let seconds = timer.time_plan(shape, &point, reps);
+            if algorithm == Algorithm::Blocked {
+                blocked_s = seconds;
+            }
+            let ratio = blocked_s / seconds;
+            if matches!(algorithm, Algorithm::Strassen { .. }) && n >= 2048 && ratio > best_ratio {
+                best_ratio = ratio;
+                best_n = n;
+            }
+            println!(
+                "{n:<8} {label:>14} {seconds:>12.4} {:>10.2} {ratio:>12.3}",
+                flops / seconds / 1e9
+            );
+            rows.push(AlgoRow {
+                m: n,
+                k: n,
+                n,
+                algorithm: label.to_string(),
+                seconds,
+                gflops: flops / seconds / 1e9,
+                ratio_vs_blocked: ratio,
+            });
+        }
+    }
+    println!(
+        "\nbest serial Strassen speedup on a large square: {best_ratio:.3}x at n={best_n} \
+         (aspirational target 1.15x)"
+    );
+    assert!(
+        best_ratio > 1.0,
+        "Strassen should beat the blocked driver on at least one large square (best {best_ratio:.3}x)"
+    );
+
+    // Learned selection: a serial, algorithm-only grid isolates the new
+    // axis — every other axis stays at its default so the decision the
+    // model learns is purely "which driver".
+    let grid = PlanGrid {
+        threads: vec![1],
+        isa: vec![IsaChoice::Dispatched],
+        blockings: vec![BlockScale::default()],
+        packing: vec![PackingStrategy::SharedB],
+        algorithms: vec![
+            Algorithm::Blocked,
+            Algorithm::Strassen { cutoff: 512 },
+            Algorithm::ZOrder,
+        ],
+        plan_features: true,
+        feature_rev: FEATURE_REV_AXES,
+    };
+    let mut shapes: Vec<GemmShape> =
+        [512u64, 768, 1024, 1536, 2048].iter().map(|&d| GemmShape::new(d, d, d)).collect();
+    shapes.extend(
+        DomainSampler::new(MemoryCap::paper_training(), Precision::F32, 0xA160)
+            .with_dim_bounds(1, 900)
+            .sample(12),
+    );
+    let mut records = Vec::new();
+    for &shape in &shapes {
+        for point in grid.points() {
+            let runtime_s = timer.time_plan(shape, &point, reps);
+            records.push(adsala::gather::GemmRecord { shape, point, runtime_s });
+        }
+    }
+    let data = TrainingData {
+        records,
+        shapes: shapes.clone(),
+        ladder: ThreadLadder { counts: vec![1] },
+        grid: grid.clone(),
+        machine: timer.name(),
+        max_threads: 1,
+    };
+    // LOF would see each shape's three near-identical rows as density
+    // and the large squares as outliers, and correlation pruning could
+    // drop the one-hot algorithm columns the decision hinges on — keep
+    // both out of this leg.
+    let fitted = fit_preprocess_with(
+        &data,
+        PreprocessOptions { yeo_johnson: true, lof: false, corr_threshold: 1.0 },
+    )
+    .expect("preprocess");
+    let mut model =
+        adsala_ml::tune::ModelSpec::DecisionTree { max_depth: 14, min_samples_leaf: 1 }.build(0);
+    model.fit(&fitted.dataset.x, &fitted.dataset.y).expect("fit");
+    let artifact = adsala::Artifact::from_table(
+        &timer.name(),
+        fitted.config,
+        adsala::ModelTable::gemm_only(model),
+        grid,
+    );
+    let service = adsala::AdsalaService::with_config(
+        artifact.into_bundle().into_shared(),
+        adsala::ServiceConfig { pool_workers: 1, ..Default::default() },
+    );
+
+    println!("\n{:<8} {:>12}  learned plan", "square", "pred (s)");
+    let mut selections: Vec<AlgoSelection> = Vec::new();
+    let mut strassen_square: Option<u64> = None;
+    for n in [2048u64, 1536, 1024, 512] {
+        let d = service.select_for(OpShape::gemm(adsala_gemm::dispatch::Precision::F32, n, n, n));
+        if matches!(d.plan.algorithm, Algorithm::Strassen { .. })
+            && n >= 1536
+            && strassen_square.is_none()
+        {
+            strassen_square = Some(n);
+        }
+        println!("{n:<8} {:>12.3e}  [{}]", d.predicted_runtime_s, d.plan.describe());
+        selections.push(AlgoSelection {
+            m: n,
+            k: n,
+            n,
+            plan: d.plan.describe(),
+            algorithm: format!("{:?}", d.plan.algorithm),
+            predicted_s: d.predicted_runtime_s,
+        });
+    }
+    let strassen_selected = strassen_square.is_some();
+    assert!(
+        strassen_selected,
+        "the learned dispatcher should route at least one large square onto Strassen"
+    );
+
+    // Serve the Strassen-routed square for real so the executed plan —
+    // and the service's algorithm-mix telemetry — is on record.
+    let serve_n = strassen_square.expect("asserted above") as usize;
+    let (exec_algorithm, degraded) = {
+        use adsala_gemm::dispatch::{GemmArgs, OpRequest};
+        let (m, n, k) = (serve_n, serve_n, serve_n);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i % 13) as f32 - 6.0) * 0.25).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i % 11) as f32 - 5.0) * 0.5).collect();
+        let mut c = vec![0.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let (d, stats) = service.run(&mut req).expect("serve large square");
+        println!(
+            "[service] sgemm {m}x{k}x{n}: requested [{}], executed algorithm={:?} degraded={}",
+            d.plan.describe(),
+            stats.exec.algorithm,
+            stats.plan_degraded
+        );
+        (stats.exec.algorithm, stats.plan_degraded)
+    };
+    assert!(
+        matches!(exec_algorithm, Algorithm::Strassen { .. }) && !degraded,
+        "the served large square should execute the Strassen recursion undegraded"
+    );
+    let mix = service.stats().algorithms;
+    println!(
+        "[service] executed algorithms: {} blocked, {} strassen, {} z-order",
+        mix.blocked, mix.strassen, mix.zorder
+    );
+
+    let report = AlgoBenchReport {
+        bench: "algorithm_axis".to_string(),
+        host: timer.name(),
+        threads: 1,
+        reps,
+        rows,
+        best_large_square_ratio: best_ratio,
+        best_large_square_n: best_n,
+        target_ratio: 1.15,
+        target_met: best_ratio >= 1.15,
+        selections,
+        strassen_selected,
+        executed_algorithm: format!("{exec_algorithm:?}"),
+        plan_degraded: degraded,
+        mix_blocked: mix.blocked,
+        mix_strassen: mix.strassen,
+        mix_zorder: mix.zorder,
+    };
+    let path = results_dir().join("BENCH_algo.json");
+    std::fs::create_dir_all(results_dir()).expect("create results dir");
+    std::fs::write(&path, serde_json::to_string(&report).expect("serialise bench"))
+        .expect("write BENCH_algo.json");
     println!("[json] {}", path.display());
 }
 

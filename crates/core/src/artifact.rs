@@ -6,12 +6,18 @@
 //! candidate plan grid) so a runtime handle can be reconstructed with
 //! nothing else.
 //!
-//! **Schema v3** carries a full candidate [`PlanGrid`] — thread counts
-//! plus the ISA, blocking-scale, and packing axes the install-time sweep
-//! sampled — instead of v2's bare thread-count list. Both earlier schemas
-//! still load and degrade to threads-only grids, so a migrated artefact
-//! decides bit-identically to the build that wrote it:
+//! **Schema v4** widens the candidate [`PlanGrid`] with the algorithm
+//! axis and per-axis cache-block scales: v3's uniform `block_percents`
+//! list becomes a list of [`BlockScale`] triples, and the grid gains an
+//! `algorithms` list plus a `feature_rev` tag naming the plan-feature
+//! layout its model was trained on. All three earlier schemas still load
+//! and decide bit-identically to the build that wrote them:
 //!
+//! * **v3** (uniform block scales, no algorithm axis) → each
+//!   `block_percent` becomes [`BlockScale::uniform`], the algorithm list
+//!   pins [`Algorithm::Blocked`], and `feature_rev` stays at the legacy
+//!   layout — the candidate set, iteration order and feature rows are
+//!   unchanged, so decisions are bit-exact;
 //! * **v2** (per-routine [`ModelTable`], `candidates` list) → the list
 //!   becomes [`PlanGrid::threads_only`];
 //! * **v1** (single GEMM model) → the model additionally migrates into
@@ -22,7 +28,9 @@
 use std::fs;
 use std::path::Path;
 
-use adsala_gemm::plan::PlanGrid;
+use adsala_gemm::plan::{
+    Algorithm, BlockScale, IsaChoice, PackingStrategy, PlanGrid, FEATURE_REV_LEGACY,
+};
 use adsala_gemm::Routine;
 use adsala_ml::AnyModel;
 use serde::{Deserialize, Serialize};
@@ -85,7 +93,7 @@ impl ModelTable {
     }
 }
 
-/// A complete, self-describing installation artefact (schema v3).
+/// A complete, self-describing installation artefact (schema v4).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Artifact {
     /// Schema version; [`Artifact::VERSION`] when written by this build.
@@ -112,11 +120,48 @@ struct ArtifactV1 {
 }
 
 /// The v2 on-disk layout: a model table, but a bare thread-count list
-/// where v3 has the plan grid. Kept only for migration.
+/// where v3+ has the plan grid. Kept only for migration.
 #[derive(Deserialize)]
 struct ArtifactV2 {
     machine: String,
     candidates: Vec<u32>,
+    config: PreprocessConfig,
+    models: ModelTable,
+}
+
+/// The v3 on-disk grid: one uniform `block_percents` scale list and no
+/// algorithm axis. Kept only for migration.
+#[derive(Deserialize)]
+struct PlanGridV3 {
+    threads: Vec<u32>,
+    isa: Vec<IsaChoice>,
+    block_percents: Vec<u32>,
+    packing: Vec<PackingStrategy>,
+    plan_features: bool,
+}
+
+impl PlanGridV3 {
+    /// Widen into the v4 grid without changing the candidate set, its
+    /// iteration order, or (via [`FEATURE_REV_LEGACY`]) the feature rows
+    /// — migrated artefacts decide bit-identically.
+    fn widen(self) -> PlanGrid {
+        PlanGrid {
+            threads: self.threads,
+            isa: self.isa,
+            blockings: self.block_percents.into_iter().map(BlockScale::uniform).collect(),
+            packing: self.packing,
+            algorithms: vec![Algorithm::Blocked],
+            plan_features: self.plan_features,
+            feature_rev: FEATURE_REV_LEGACY,
+        }
+    }
+}
+
+/// The v3 on-disk layout: a full artefact around the uniform-scale grid.
+#[derive(Deserialize)]
+struct ArtifactV3 {
+    machine: String,
+    grid: PlanGridV3,
     config: PreprocessConfig,
     models: ModelTable,
 }
@@ -129,11 +174,14 @@ struct VersionProbe {
 
 impl Artifact {
     /// Current schema version.
-    pub const VERSION: u32 = 3;
+    pub const VERSION: u32 = 4;
     /// The legacy single-model schema still accepted by `from_json`.
     pub const V1: u32 = 1;
     /// The legacy threads-only schema still accepted by `from_json`.
     pub const V2: u32 = 2;
+    /// The legacy uniform-block-scale schema still accepted by
+    /// `from_json`.
+    pub const V3: u32 = 3;
 
     /// Bundle runtime state into an artefact with only a GEMM model and a
     /// threads-only candidate grid.
@@ -172,10 +220,12 @@ impl Artifact {
         serde_json::to_string(self).map_err(|e| AdsalaError::Artifact(e.to_string()))
     }
 
-    /// Deserialise from a JSON string, migrating older documents: a v2
-    /// thread-count list becomes a threads-only [`PlanGrid`], and a v1
-    /// single model additionally lands in the table's GEMM slot. Versions
-    /// this build does not know return [`AdsalaError::Unsupported`].
+    /// Deserialise from a JSON string, migrating older documents: a v3
+    /// uniform-scale grid widens to per-axis triples with a pinned
+    /// blocked algorithm list, a v2 thread-count list becomes a
+    /// threads-only [`PlanGrid`], and a v1 single model additionally
+    /// lands in the table's GEMM slot. Versions this build does not know
+    /// return [`AdsalaError::Unsupported`].
     pub fn from_json(json: &str) -> Result<Self, AdsalaError> {
         let err = |e: serde_json::Error| AdsalaError::Artifact(e.to_string());
         let probe: VersionProbe = serde_json::from_str(json).map_err(err)?;
@@ -201,6 +251,11 @@ impl Artifact {
                     config,
                     models,
                 }
+            }
+            Self::V3 => {
+                let ArtifactV3 { machine, grid, config, models } =
+                    serde_json::from_str(json).map_err(err)?;
+                Artifact { version: Self::VERSION, machine, grid: grid.widen(), config, models }
             }
             Self::VERSION => serde_json::from_str::<Artifact>(json).map_err(err)?,
             v => {
@@ -284,6 +339,26 @@ mod tests {
         models: ModelTable,
     }
 
+    /// Writer for the v3 grid (uniform block scales, no algorithm axis).
+    #[derive(Serialize)]
+    struct GridV3Writer {
+        threads: Vec<u32>,
+        isa: Vec<IsaChoice>,
+        block_percents: Vec<u32>,
+        packing: Vec<PackingStrategy>,
+        plan_features: bool,
+    }
+
+    /// Writer for the v3 layout.
+    #[derive(Serialize)]
+    struct V3Writer {
+        version: u32,
+        machine: String,
+        grid: GridV3Writer,
+        config: PreprocessConfig,
+        models: ModelTable,
+    }
+
     #[test]
     fn json_roundtrip_preserves_behaviour() {
         let art = artifact();
@@ -338,6 +413,40 @@ mod tests {
         for (m, k, n) in [(64, 64, 64), (1000, 500, 1000), (2000, 64, 2000)] {
             assert_eq!(a.select_threads(m, k, n), b.select_threads(m, k, n));
         }
+    }
+
+    #[test]
+    fn v3_document_widens_bit_exactly() {
+        use adsala_gemm::plan::FEATURE_REV_LEGACY;
+        let art = artifact();
+        // A v3 grid with every legacy axis populated.
+        let v3 = V3Writer {
+            version: Artifact::V3,
+            machine: art.machine.clone(),
+            grid: GridV3Writer {
+                threads: art.candidates().to_vec(),
+                isa: vec![IsaChoice::Dispatched, IsaChoice::Scalar],
+                block_percents: vec![100, 50, 200],
+                packing: vec![PackingStrategy::SharedB, PackingStrategy::Independent],
+                plan_features: true,
+            },
+            config: art.config.clone(),
+            models: art.models.clone(),
+        };
+        let json = serde_json::to_string(&v3).unwrap();
+        let migrated = Artifact::from_json(&json).unwrap();
+        assert_eq!(migrated.version, Artifact::VERSION);
+        assert_eq!(
+            migrated.grid.blockings,
+            vec![BlockScale::uniform(100), BlockScale::uniform(50), BlockScale::uniform(200)]
+        );
+        assert_eq!(migrated.grid.algorithms, vec![Algorithm::Blocked]);
+        assert_eq!(migrated.grid.feature_rev, FEATURE_REV_LEGACY);
+        assert!(migrated.grid.plan_features);
+        // The widened grid enumerates exactly the v3 candidate set: the
+        // pinned algorithm axis adds no points.
+        assert_eq!(migrated.grid.len(), art.candidates().len() * 2 * 3 * 2);
+        assert!(migrated.grid.points().all(|p| p.algorithm == Algorithm::Blocked));
     }
 
     #[test]

@@ -12,15 +12,29 @@
 //! [`build_features_for_op`], so one trained model — or one per-routine
 //! model trained on that routine's timings — serves every routine.
 
-use adsala_gemm::plan::{IsaChoice, PackingStrategy, PlanPoint};
+use adsala_gemm::plan::{Algorithm, IsaChoice, PackingStrategy, PlanPoint, FEATURE_REV_AXES};
 use adsala_gemm::OpShape;
 
 /// Number of raw features before correlation pruning.
 pub const FEATURE_COUNT: usize = 17;
 
-/// Raw feature count when the plan axes ride along (grid-trained models):
-/// the Table II set plus one column per non-thread plan axis.
+/// Raw feature count when the legacy (rev-1) plan axes ride along
+/// (grid-trained models): the Table II set plus one column per non-thread
+/// plan axis of the v3 plan space.
 pub const PLAN_FEATURE_COUNT: usize = FEATURE_COUNT + 3;
+
+/// Raw feature count for the rev-2 (per-axis blocking + algorithm) plan
+/// feature layout.
+pub const PLAN_FEATURE_COUNT_AXES: usize = FEATURE_COUNT + 8;
+
+/// Raw plan-feature row width for a given feature revision.
+pub fn plan_feature_count(feature_rev: u32) -> usize {
+    if feature_rev >= FEATURE_REV_AXES {
+        PLAN_FEATURE_COUNT_AXES
+    } else {
+        PLAN_FEATURE_COUNT
+    }
+}
 
 /// Names of the raw features, in [`build_features`] order.
 pub fn feature_names() -> [&'static str; FEATURE_COUNT] {
@@ -85,39 +99,88 @@ pub fn build_features_for_op(shape: &OpShape, n_threads: u32) -> Vec<f64> {
     build_features(m, k, n, n_threads)
 }
 
-/// Names of the plan-axis columns appended by [`build_plan_features`].
+/// Names of the legacy (rev-1) plan-axis columns appended by
+/// [`build_plan_features`]. `block_scale` is the v3 uniform cache-block
+/// scale; migrated v4 points reproduce it from `kc_percent` (the three
+/// axes are equal on a migrated uniform triple), keeping rev-1 rows
+/// bit-identical under v3→v4 migration.
 pub fn plan_feature_names() -> [&'static str; 3] {
     ["isa_scalar", "block_scale", "packing_independent"]
 }
 
+/// Names of the rev-2 plan-axis columns: per-axis cache-block scales plus
+/// one-hot algorithm flags and the Strassen cutoff (0 when not Strassen).
+pub fn plan_feature_names_axes() -> [&'static str; 8] {
+    [
+        "isa_scalar",
+        "mc_scale",
+        "kc_scale",
+        "nc_scale",
+        "packing_independent",
+        "algo_strassen",
+        "algo_zorder",
+        "strassen_cutoff",
+    ]
+}
+
 /// Build the extended feature vector for one plan-grid point: the Table II
 /// set at the point's thread count, plus one column per non-thread plan
-/// axis (scalar-ISA flag, cache-block scale, independent-packing flag).
-/// Only grid-trained models ([`adsala_gemm::PlanGrid::plan_features`])
-/// consume these; threads-only artefacts keep the 17-feature space.
-pub fn build_plan_features(m: u64, k: u64, n: u64, point: &PlanPoint) -> Vec<f64> {
+/// axis in the layout of `feature_rev` (the owning
+/// [`adsala_gemm::PlanGrid::feature_rev`]). Only grid-trained models
+/// ([`adsala_gemm::PlanGrid::plan_features`]) consume these; threads-only
+/// artefacts keep the 17-feature space.
+pub fn build_plan_features(
+    m: u64,
+    k: u64,
+    n: u64,
+    point: &PlanPoint,
+    feature_rev: u32,
+) -> Vec<f64> {
     let mut f = build_features(m, k, n, point.threads);
     f.push(match point.isa {
         IsaChoice::Dispatched => 0.0,
         IsaChoice::Scalar => 1.0,
     });
-    f.push(f64::from(point.block_percent.max(1)) / 100.0);
+    if feature_rev >= FEATURE_REV_AXES {
+        f.push(f64::from(point.blocking.mc_percent.max(1)) / 100.0);
+        f.push(f64::from(point.blocking.kc_percent.max(1)) / 100.0);
+        f.push(f64::from(point.blocking.nc_percent.max(1)) / 100.0);
+    } else {
+        // The v3 space had one uniform scale; kc carries it on a migrated
+        // uniform triple (all three axes equal), bit-exactly.
+        f.push(f64::from(point.blocking.kc_percent.max(1)) / 100.0);
+    }
     f.push(match point.packing {
         PackingStrategy::SharedB => 0.0,
         PackingStrategy::Independent => 1.0,
     });
+    if feature_rev >= FEATURE_REV_AXES {
+        let (strassen, zorder, cutoff) = match point.algorithm {
+            Algorithm::Blocked => (0.0, 0.0, 0.0),
+            Algorithm::Strassen { cutoff } => (1.0, 0.0, f64::from(cutoff) / 1024.0),
+            Algorithm::ZOrder => (0.0, 1.0, 0.0),
+        };
+        f.push(strassen);
+        f.push(zorder);
+        f.push(cutoff);
+    }
     f
 }
 
 /// The [`build_plan_features`] analogue of [`build_features_for_op`].
-pub fn build_plan_features_for_op(shape: &OpShape, point: &PlanPoint) -> Vec<f64> {
+pub fn build_plan_features_for_op(
+    shape: &OpShape,
+    point: &PlanPoint,
+    feature_rev: u32,
+) -> Vec<f64> {
     let (m, k, n) = shape.gemm_equivalent();
-    build_plan_features(m, k, n, point)
+    build_plan_features(m, k, n, point, feature_rev)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adsala_gemm::plan::FEATURE_REV_LEGACY;
     use adsala_gemm::Precision;
 
     #[test]
@@ -153,31 +216,80 @@ mod tests {
         assert_eq!(feature_names().len(), FEATURE_COUNT);
         assert_eq!(build_features(2, 3, 4, 5).len(), FEATURE_COUNT);
         assert_eq!(FEATURE_COUNT + plan_feature_names().len(), PLAN_FEATURE_COUNT);
-        assert_eq!(
-            build_plan_features(2, 3, 4, &PlanPoint::threads_only(5)).len(),
-            PLAN_FEATURE_COUNT
-        );
+        assert_eq!(FEATURE_COUNT + plan_feature_names_axes().len(), PLAN_FEATURE_COUNT_AXES);
+        let point = PlanPoint::threads_only(5);
+        for (rev, width) in
+            [(FEATURE_REV_LEGACY, PLAN_FEATURE_COUNT), (FEATURE_REV_AXES, PLAN_FEATURE_COUNT_AXES)]
+        {
+            assert_eq!(build_plan_features(2, 3, 4, &point, rev).len(), width);
+            assert_eq!(plan_feature_count(rev), width);
+        }
     }
 
     #[test]
     fn plan_features_extend_the_base_row() {
+        use adsala_gemm::plan::BlockScale;
         let point = PlanPoint {
             threads: 5,
             isa: IsaChoice::Scalar,
-            block_percent: 50,
+            blocking: BlockScale::uniform(50),
             packing: PackingStrategy::Independent,
+            algorithm: Algorithm::Blocked,
         };
-        let f = build_plan_features(2, 3, 4, &point);
+        let f = build_plan_features(2, 3, 4, &point, FEATURE_REV_LEGACY);
         assert_eq!(&f[..FEATURE_COUNT], &build_features(2, 3, 4, 5)[..]);
         assert_eq!(&f[FEATURE_COUNT..], &[1.0, 0.5, 1.0]);
         // A default-axes point appends the all-defaults columns.
-        let base = build_plan_features(2, 3, 4, &PlanPoint::threads_only(5));
+        let base = build_plan_features(2, 3, 4, &PlanPoint::threads_only(5), FEATURE_REV_LEGACY);
         assert_eq!(&base[FEATURE_COUNT..], &[0.0, 1.0, 0.0]);
         // And the op-shaped builder maps through gemm equivalents.
         assert_eq!(
-            build_plan_features_for_op(&OpShape::syrk(Precision::F64, 100, 30), &point),
-            build_plan_features(100, 30, 100, &point)
+            build_plan_features_for_op(
+                &OpShape::syrk(Precision::F64, 100, 30),
+                &point,
+                FEATURE_REV_LEGACY
+            ),
+            build_plan_features(100, 30, 100, &point, FEATURE_REV_LEGACY)
         );
+    }
+
+    #[test]
+    fn axes_rev_appends_per_axis_and_algorithm_columns() {
+        use adsala_gemm::plan::BlockScale;
+        let point = PlanPoint {
+            threads: 5,
+            isa: IsaChoice::Scalar,
+            blocking: BlockScale::new(100, 50, 200),
+            packing: PackingStrategy::Independent,
+            algorithm: Algorithm::Strassen { cutoff: 512 },
+        };
+        let f = build_plan_features(2, 3, 4, &point, FEATURE_REV_AXES);
+        assert_eq!(&f[..FEATURE_COUNT], &build_features(2, 3, 4, 5)[..]);
+        assert_eq!(&f[FEATURE_COUNT..], &[1.0, 1.0, 0.5, 2.0, 1.0, 1.0, 0.0, 0.5]);
+        // Z-order flips the second one-hot and zeroes the cutoff.
+        let z = PlanPoint { algorithm: Algorithm::ZOrder, ..point };
+        let fz = build_plan_features(2, 3, 4, &z, FEATURE_REV_AXES);
+        assert_eq!(&fz[FEATURE_COUNT + 5..], &[0.0, 1.0, 0.0]);
+        // A default point is all-default columns in the wide layout too.
+        let base = build_plan_features(2, 3, 4, &PlanPoint::threads_only(5), FEATURE_REV_AXES);
+        assert_eq!(&base[FEATURE_COUNT..], &[0.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn legacy_rows_read_the_uniform_scale_from_kc() {
+        use adsala_gemm::plan::BlockScale;
+        // A migrated v3 point (uniform triple) must produce the exact
+        // legacy row; the kc axis carries the shared value.
+        let migrated = PlanPoint {
+            threads: 8,
+            isa: IsaChoice::Dispatched,
+            blocking: BlockScale::uniform(150),
+            packing: PackingStrategy::SharedB,
+            algorithm: Algorithm::Blocked,
+        };
+        let f = build_plan_features(10, 20, 30, &migrated, FEATURE_REV_LEGACY);
+        assert_eq!(f[FEATURE_COUNT + 1], 1.5);
+        assert_eq!(f.len(), PLAN_FEATURE_COUNT);
     }
 
     #[test]

@@ -72,7 +72,8 @@ pub use bundle::{ArtifactBundle, PlanDecision};
 pub use cache::{CacheStats, DecisionCache};
 pub use features::{
     build_features, build_features_for_op, build_plan_features, build_plan_features_for_op,
-    feature_names, plan_feature_names, FEATURE_COUNT, PLAN_FEATURE_COUNT,
+    feature_names, plan_feature_count, plan_feature_names, plan_feature_names_axes, FEATURE_COUNT,
+    PLAN_FEATURE_COUNT, PLAN_FEATURE_COUNT_AXES,
 };
 pub use gather::{GatherConfig, GemmRecord, ThreadLadder, TrainingData};
 pub use install::{InstallConfig, Installation};
@@ -90,7 +91,7 @@ pub use select::{
     predict_point_for_op, predict_point_for_op_capped, predict_threads_for_op,
     predict_threads_with_runtime, SpeedupEstimate,
 };
-pub use service::{AdsalaService, RunOptions, ServiceConfig, ServiceStats};
+pub use service::{AdsalaService, AlgorithmMix, RunOptions, ServiceConfig, ServiceStats};
 pub use speedup::SpeedupStats;
 pub use train::{train_all_families, ModelReport, TrainedCandidate};
 

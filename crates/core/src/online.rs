@@ -40,7 +40,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use adsala_gemm::plan::{ExecutionPlan, IsaChoice, PlanGrid, PlanPoint};
+use adsala_gemm::plan::{BlockScale, ExecutionPlan, IsaChoice, PlanGrid, PlanPoint};
 use adsala_gemm::{BlockSizes, KernelIsa, OpShape, Precision, Routine};
 use adsala_ml::data::{Dataset, Matrix};
 use adsala_ml::tune::ModelSpec;
@@ -423,25 +423,36 @@ impl DriftDetector {
 /// Invert [`PlanPoint::materialise`] as far as the grid allows: recover
 /// the abstract grid point a concrete executed plan corresponds to, so an
 /// observation can be featurised exactly like the install sweep that
-/// trained the model. Thread count and packing invert exactly; the ISA
-/// inverts to `Scalar` iff the plan pinned the scalar kernel; a
+/// trained the model. Thread count, packing and algorithm invert exactly;
+/// the ISA inverts to `Scalar` iff the plan pinned the scalar kernel; a
 /// materialised blocking override is matched against the grid's
-/// `block_percents` (host-default blocking ⇒ 100). An off-grid blocking
-/// falls back to 100% rather than failing — the feature is then slightly
-/// wrong for that row, which a statistical refit tolerates.
+/// `blockings` (host-default blocking ⇒ the uniform 100 triple). An
+/// off-grid blocking falls back to the default triple rather than failing
+/// — the feature is then slightly wrong for that row, which a statistical
+/// refit tolerates.
 pub fn point_for_plan(grid: &PlanGrid, precision: Precision, plan: &ExecutionPlan) -> PlanPoint {
     let isa = match plan.kernel_isa {
         Some(KernelIsa::Scalar) => IsaChoice::Scalar,
         _ => IsaChoice::Dispatched,
     };
-    let block_percent = match plan.blocking {
-        None => 100,
-        Some(blocking) => {
+    let blocking = match plan.blocking {
+        None => BlockScale::default(),
+        Some(concrete) => {
             let base = BlockSizes::dispatched_for(precision);
-            grid.block_percents.iter().copied().find(|&p| base.scaled(p) == blocking).unwrap_or(100)
+            grid.blockings
+                .iter()
+                .copied()
+                .find(|s| base.scaled_axes(s.mc_percent, s.kc_percent, s.nc_percent) == concrete)
+                .unwrap_or_default()
         }
     };
-    PlanPoint { threads: plan.threads.max(1), isa, block_percent, packing: plan.packing }
+    PlanPoint {
+        threads: plan.threads.max(1),
+        isa,
+        blocking,
+        packing: plan.packing,
+        algorithm: plan.algorithm,
+    }
 }
 
 /// Tunables for the retrainer.
@@ -546,7 +557,7 @@ pub fn retrain_now(
             .map(|o| {
                 if bundle.grid.plan_features {
                     let point = point_for_plan(&bundle.grid, o.shape.precision, &o.plan);
-                    bundle.config.features_for_op_plan(&o.shape, &point)
+                    bundle.config.features_for_op_plan(&o.shape, &point, bundle.grid.feature_rev)
                 } else {
                     bundle.config.features_for_op(&o.shape, o.plan.threads)
                 }
@@ -841,11 +852,12 @@ mod tests {
 
     #[test]
     fn point_for_plan_inverts_materialise_across_the_grid() {
-        let grid = PlanGrid::full(vec![1, 2, 4, 8]);
-        for point in grid.points() {
-            for precision in [Precision::F32, Precision::F64] {
-                let plan = point.materialise(precision);
-                assert_eq!(point_for_plan(&grid, precision, &plan), point, "{plan:?}");
+        for grid in [PlanGrid::full(vec![1, 2, 4, 8]), PlanGrid::widened(vec![1, 2, 4, 8], 512)] {
+            for point in grid.points() {
+                for precision in [Precision::F32, Precision::F64] {
+                    let plan = point.materialise(precision);
+                    assert_eq!(point_for_plan(&grid, precision, &plan), point, "{plan:?}");
+                }
             }
         }
         // Threads-only plans invert on a threads-only grid too.
@@ -861,6 +873,6 @@ mod tests {
         let grid = PlanGrid::threads_only(vec![1, 2, 4]);
         let plan = ExecutionPlan::with_threads(4)
             .with_blocking(BlockSizes::dispatched_for(Precision::F32).scaled(73));
-        assert_eq!(point_for_plan(&grid, Precision::F32, &plan).block_percent, 100);
+        assert_eq!(point_for_plan(&grid, Precision::F32, &plan).blocking, BlockScale::default());
     }
 }

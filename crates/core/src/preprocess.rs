@@ -52,9 +52,17 @@ impl PreprocessConfig {
 
     /// Model-ready feature row for one plan-grid point of a `(m, k, n)`
     /// GEMM input. Only valid against a config fitted on plan-feature
-    /// rows (a grid-trained artefact).
-    pub fn features_for_plan(&self, m: u64, k: u64, n: u64, point: &PlanPoint) -> Vec<f64> {
-        self.transform_raw(build_plan_features(m, k, n, point))
+    /// rows (a grid-trained artefact); `feature_rev` is the owning grid's
+    /// plan-feature layout revision.
+    pub fn features_for_plan(
+        &self,
+        m: u64,
+        k: u64,
+        n: u64,
+        point: &PlanPoint,
+        feature_rev: u32,
+    ) -> Vec<f64> {
+        self.transform_raw(build_plan_features(m, k, n, point, feature_rev))
     }
 
     /// The any-routine analogue of [`PreprocessConfig::features_for_plan`].
@@ -62,8 +70,9 @@ impl PreprocessConfig {
         &self,
         shape: &adsala_gemm::OpShape,
         point: &PlanPoint,
+        feature_rev: u32,
     ) -> Vec<f64> {
-        self.transform_raw(crate::features::build_plan_features_for_op(shape, point))
+        self.transform_raw(crate::features::build_plan_features_for_op(shape, point, feature_rev))
     }
 
     fn transform_raw(&self, mut row: Vec<f64>) -> Vec<f64> {
@@ -145,7 +154,13 @@ pub fn fit_preprocess_with(
         .iter()
         .map(|r| {
             if data.grid.plan_features {
-                build_plan_features(r.shape.m, r.shape.k, r.shape.n, &r.point)
+                build_plan_features(
+                    r.shape.m,
+                    r.shape.k,
+                    r.shape.n,
+                    &r.point,
+                    data.grid.feature_rev,
+                )
             } else {
                 build_features(r.shape.m, r.shape.k, r.shape.n, r.threads())
             }
@@ -276,7 +291,9 @@ mod tests {
 
     #[test]
     fn plan_feature_fit_keeps_at_least_one_plan_axis() {
-        use adsala_gemm::plan::{IsaChoice, PackingStrategy, PlanGrid};
+        use adsala_gemm::plan::{
+            Algorithm, BlockScale, IsaChoice, PackingStrategy, PlanGrid, FEATURE_REV_LEGACY,
+        };
         let timer = SimTimer::new(MachineModel::gadi());
         let config = GatherConfig {
             n_shapes: 40,
@@ -285,6 +302,7 @@ mod tests {
             ..GatherConfig::quick()
         };
         let data = crate::gather::TrainingData::gather(&timer, &config);
+        assert_eq!(data.grid.feature_rev, FEATURE_REV_LEGACY);
         let f = fit_preprocess(&data).unwrap();
         assert_eq!(f.report.features_in, crate::features::PLAN_FEATURE_COUNT);
         // The plan axes are weakly correlated with the size terms, so the
@@ -300,10 +318,37 @@ mod tests {
         let point = PlanPoint {
             threads: 4,
             isa: IsaChoice::Scalar,
-            block_percent: 50,
+            blocking: BlockScale::uniform(50),
             packing: PackingStrategy::Independent,
+            algorithm: Algorithm::Blocked,
         };
-        let row = f.config.features_for_plan(500, 300, 400, &point);
+        let row = f.config.features_for_plan(500, 300, 400, &point, data.grid.feature_rev);
+        assert_eq!(row.len(), f.config.pruner.kept.len());
+        assert!(row.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn widened_grid_fit_uses_the_axes_layout() {
+        use adsala_gemm::plan::{PlanGrid, FEATURE_REV_AXES};
+        let timer = SimTimer::new(MachineModel::gadi());
+        let config = GatherConfig {
+            n_shapes: 40,
+            reps: 2,
+            grid: Some(PlanGrid::widened(vec![1, 4, 16, 96], 512)),
+            ..GatherConfig::quick()
+        };
+        let data = crate::gather::TrainingData::gather(&timer, &config);
+        assert_eq!(data.grid.feature_rev, FEATURE_REV_AXES);
+        let f = fit_preprocess(&data).unwrap();
+        assert_eq!(f.report.features_in, crate::features::PLAN_FEATURE_COUNT_AXES);
+        // The runtime plan path produces rows of the fitted width for a
+        // widened-grid point (a Strassen candidate here).
+        let point = data
+            .grid
+            .points()
+            .find(|p| matches!(p.algorithm, adsala_gemm::plan::Algorithm::Strassen { .. }))
+            .expect("widened grid has Strassen candidates");
+        let row = f.config.features_for_plan(2048, 2048, 2048, &point, data.grid.feature_rev);
         assert_eq!(row.len(), f.config.pruner.kept.len());
         assert!(row.iter().all(|v| v.is_finite()));
     }

@@ -368,6 +368,7 @@ impl ServiceScheduler {
                 }
                 // The scheduler executes on the pool directly (bypassing
                 // service.run), so it must feed the feedback loop itself.
+                self.service.record_algorithm(stats.exec.algorithm);
                 self.service.observe(shape, &plan, predicted_s, stats.exec.wall_ns);
                 let mut st = self.state.lock();
                 st.tickets.remove(&id);
@@ -397,6 +398,7 @@ impl ServiceScheduler {
                     s.predicted_ns = crate::service::predicted_ns(predicted_s);
                     // Every fused member shares the unit's shape and
                     // plan; each contributes its own measurement.
+                    self.service.record_algorithm(s.exec.algorithm);
                     self.service.observe(shape, &plan, predicted_s, s.exec.wall_ns);
                 }
                 let degraded = all.iter().filter(|s| s.plan_degraded).count() as u64;

@@ -108,7 +108,7 @@ pub(crate) fn predict_at_point(
     point: &PlanPoint,
 ) -> f64 {
     let row = if grid.plan_features {
-        config.features_for_op_plan(shape, point)
+        config.features_for_op_plan(shape, point, grid.feature_rev)
     } else {
         config.features_for_op(shape, point.threads)
     };

@@ -52,7 +52,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use adsala_gemm::dispatch::{GemmArgs, OpRequest, OpShape, OpStats, Precision};
-use adsala_gemm::plan::ExecutionPlan;
+use adsala_gemm::plan::{Algorithm, ExecutionPlan};
 use adsala_gemm::{
     ArenaStats, Element, PoolStats, PredictionErrorStats, PredictionMeter, ThreadPool,
 };
@@ -161,6 +161,21 @@ pub struct AdsalaService {
     swaps: AtomicU64,
     /// Decisions served as conservative fallbacks while drifted.
     drift_fallbacks: AtomicU64,
+    /// Executed-algorithm tallies: `[blocked, strassen, zorder]`, counted
+    /// by what actually ran (a refused Strassen plan lands in `blocked`
+    /// *and* in `plan_downgrades`).
+    algo_executed: [AtomicU64; 3],
+}
+
+/// Executed-algorithm mix of a service — the `[service]` plan-mix line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlgorithmMix {
+    /// Ops that ran the blocked loop nest (including degraded plans).
+    pub blocked: u64,
+    /// Ops that ran the Strassen recursion.
+    pub strassen: u64,
+    /// Ops that ran the Z-order serial traversal.
+    pub zorder: u64,
 }
 
 /// One-call snapshot of every service-level counter, for `[service]`
@@ -190,6 +205,8 @@ pub struct ServiceStats {
     pub pool: PoolStats,
     /// Packing-arena counters of the pool's workspace.
     pub workspace: ArenaStats,
+    /// Executed-algorithm mix.
+    pub algorithms: AlgorithmMix,
 }
 
 impl AdsalaService {
@@ -221,6 +238,7 @@ impl AdsalaService {
             ),
             swaps: AtomicU64::new(0),
             drift_fallbacks: AtomicU64::new(0),
+            algo_executed: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
         }
     }
 
@@ -376,8 +394,28 @@ impl AdsalaService {
         if stats.plan_degraded {
             self.plan_downgrades.fetch_add(1, Ordering::Relaxed);
         }
+        self.record_algorithm(stats.exec.algorithm);
         self.observe(shape, &decision.plan, decision.predicted_runtime_s, stats.exec.wall_ns);
         Ok((decision, stats))
+    }
+
+    /// Execute a request under a caller-pinned [`ExecutionPlan`] on the
+    /// service's pool, skipping the model sweep and the memo. Downgrade
+    /// and algorithm-mix telemetry still apply; the prediction meter and
+    /// drift detector do not (a pinned run carries no prediction to
+    /// compare against).
+    pub fn run_pinned<T: Element>(
+        &self,
+        req: &mut OpRequest<'_, T>,
+        plan: &ExecutionPlan,
+    ) -> Result<OpStats, AdsalaError> {
+        req.validate()?;
+        let stats = req.execute_validated(&self.pool, plan);
+        if stats.plan_degraded {
+            self.plan_downgrades.fetch_add(1, Ordering::Relaxed);
+        }
+        self.record_algorithm(stats.exec.algorithm);
+        Ok(stats)
     }
 
     /// Feed one executed op into the feedback loop: the prediction
@@ -518,6 +556,28 @@ impl AdsalaService {
         self.drift_fallbacks.load(Ordering::Relaxed)
     }
 
+    /// Tally one executed op under the algorithm that actually ran.
+    /// [`AdsalaService::run_with`] calls this; layers that execute on the
+    /// pool directly (the co-scheduler) call it themselves, like
+    /// [`AdsalaService::observe`].
+    pub fn record_algorithm(&self, algorithm: Algorithm) {
+        let slot = match algorithm {
+            Algorithm::Blocked => 0,
+            Algorithm::Strassen { .. } => 1,
+            Algorithm::ZOrder => 2,
+        };
+        self.algo_executed[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Executed-algorithm mix so far.
+    pub fn algorithm_mix(&self) -> AlgorithmMix {
+        AlgorithmMix {
+            blocked: self.algo_executed[0].load(Ordering::Relaxed),
+            strassen: self.algo_executed[1].load(Ordering::Relaxed),
+            zorder: self.algo_executed[2].load(Ordering::Relaxed),
+        }
+    }
+
     /// Snapshot every service-level counter at once.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
@@ -532,6 +592,7 @@ impl AdsalaService {
             cache: self.cache_stats(),
             pool: self.pool_stats(),
             workspace: self.workspace_stats(),
+            algorithms: self.algorithm_mix(),
         }
     }
 
@@ -705,6 +766,49 @@ mod tests {
             GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
         let (_, stats) = svc.run_with(&mut req, RunOptions::with_host_cap(2)).unwrap();
         assert!(stats.exec.threads_used <= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn algorithm_mix_counts_what_actually_ran() {
+        let svc = service();
+        let (m, n, k) = (32usize, 32usize, 32usize);
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        let mut c = vec![0.0f32; m * n];
+
+        // A model-decided run lands in the blocked bucket (the quick
+        // bundle's grid has no algorithm axis).
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        svc.run(&mut req).unwrap();
+        assert_eq!(svc.algorithm_mix(), AlgorithmMix { blocked: 1, strassen: 0, zorder: 0 });
+
+        // A pinned Z-order plan is honoured and tallied as such.
+        let zorder =
+            ExecutionPlan { algorithm: Algorithm::ZOrder, ..ExecutionPlan::with_threads(1) };
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let stats = svc.run_pinned(&mut req, &zorder).unwrap();
+        assert_eq!(stats.exec.algorithm, Algorithm::ZOrder);
+        assert!(!stats.plan_degraded);
+
+        // A Strassen plan on an ineligible (tiny) shape degrades to the
+        // blocked driver: the mix records the executed algorithm and the
+        // downgrade counter records the refusal.
+        let downgrades_before = svc.stats().plan_downgrades;
+        let strassen = ExecutionPlan {
+            algorithm: Algorithm::Strassen { cutoff: 64 },
+            ..ExecutionPlan::with_threads(1)
+        };
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let stats = svc.run_pinned(&mut req, &strassen).unwrap();
+        assert_eq!(stats.exec.algorithm, Algorithm::Blocked);
+        assert!(stats.plan_degraded);
+
+        let snapshot = svc.stats();
+        assert_eq!(snapshot.algorithms, AlgorithmMix { blocked: 2, strassen: 0, zorder: 1 });
+        assert_eq!(snapshot.plan_downgrades, downgrades_before + 1);
     }
 
     #[test]

@@ -98,7 +98,7 @@ pub fn measure_eval_time(
     let sweep = |sink: &mut f64, m: u64, k: u64, n: u64| {
         for point in grid.points() {
             let row = if grid.plan_features {
-                config.features_for_plan(m, k, n, &point)
+                config.features_for_plan(m, k, n, &point, grid.feature_rev)
             } else {
                 config.features_for(m, k, n, point.threads)
             };

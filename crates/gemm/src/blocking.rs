@@ -133,14 +133,29 @@ impl BlockSizes {
 
     /// Scale the cache blocks `MC`/`KC`/`NC` to `percent` of their
     /// current values (100 = unchanged) and re-snap to the register tile.
-    /// This is the blocking-multiplier axis of the plan-candidate grid:
-    /// coarse deviations around the topology-derived baseline, not a free
-    /// search over three independent block sizes.
+    /// This is the legacy single-knob blocking axis of the plan-candidate
+    /// grid; it is exactly [`BlockSizes::scaled_axes`] with the same
+    /// percent on every axis, which is what schema-v3 artefacts migrate
+    /// to.
     pub fn scaled(self, percent: u32) -> Self {
-        let p = percent.max(1) as usize;
-        let scale = |v: usize| (v * p / 100).max(1);
-        Self { mc: scale(self.mc), kc: scale(self.kc), nc: scale(self.nc), ..self }
-            .with_tile(self.mr, self.nr)
+        self.scaled_axes(percent, percent, percent)
+    }
+
+    /// Scale each cache-block axis independently (in percent of the
+    /// current values; 100 = unchanged) and re-snap to the register tile.
+    /// Degenerate inputs (0%) are snapped to 1% and the tile snap keeps
+    /// `MC`/`NC` at whole tiles and `KC ≥ 1`, so any candidate triple
+    /// yields a valid, cache-legal blocking — coarse deviations around the
+    /// topology-derived baseline, not a free search over raw block sizes.
+    pub fn scaled_axes(self, mc_percent: u32, kc_percent: u32, nc_percent: u32) -> Self {
+        let scale = |v: usize, percent: u32| (v * percent.max(1) as usize / 100).max(1);
+        Self {
+            mc: scale(self.mc, mc_percent),
+            kc: scale(self.kc, kc_percent),
+            nc: scale(self.nc, nc_percent),
+            ..self
+        }
+        .with_tile(self.mr, self.nr)
     }
 
     /// Re-target these cache blocks at a different register tile: sets
@@ -163,13 +178,21 @@ impl BlockSizes {
     /// micro-kernel still sees whole tiles after clamping, and degenerate
     /// dimensions (`m`, `n` or `k` of 0) still produce valid, non-empty
     /// panel geometry — the drivers early-out before packing, but the
-    /// workspace sizing math must never see a zero block.
-    pub fn clamped(mut self, m: usize, n: usize, k: usize) -> Self {
+    /// workspace sizing math must never see a zero block. Degenerate
+    /// *candidates* (a plan carrying `MC`/`KC`/`NC` of 0 or below one
+    /// register tile, e.g. a hand-built `BlockSizes`) are snapped to the
+    /// nearest legal geometry first instead of flowing zero blocks into
+    /// the workspace math.
+    pub fn clamped(self, m: usize, n: usize, k: usize) -> Self {
+        // Snap hand-built or otherwise degenerate blocks (zero axes, a
+        // zero tile, MC/NC not tile multiples) to legal geometry before
+        // clamping; `with_tile` floors MC/NC at one whole tile and KC at 1.
+        let mut snapped = self.with_tile(self.mr.max(1), self.nr.max(1));
         let round_up = |v: usize, q: usize| v.div_ceil(q.max(1)) * q.max(1);
-        self.mc = self.mc.min(round_up(m.max(1), self.mr));
-        self.nc = self.nc.min(round_up(n.max(1), self.nr));
-        self.kc = self.kc.min(k.max(1));
-        self
+        snapped.mc = snapped.mc.min(round_up(m.max(1), snapped.mr));
+        snapped.nc = snapped.nc.min(round_up(n.max(1), snapped.nr));
+        snapped.kc = snapped.kc.min(k.max(1));
+        snapped
     }
 
     /// Validity check used by debug assertions and property tests.
@@ -402,6 +425,55 @@ mod tests {
             assert!(base.scaled(1).is_valid());
             assert!(base.scaled(0).is_valid());
         }
+    }
+
+    #[test]
+    fn scaled_axes_uniform_matches_legacy_scaled() {
+        // The v3→v4 migration maps block_percent=p to (p,p,p); the two
+        // paths must stay bit-identical.
+        for base in
+            [BlockSizes::for_f32(), BlockSizes::for_f64(), BlockSizes::for_tile(6, 16, 4, None)]
+        {
+            for percent in [1u32, 25, 50, 100, 200, 400] {
+                assert_eq!(base.scaled(percent), base.scaled_axes(percent, percent, percent));
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_axes_scales_independently() {
+        let base = BlockSizes::for_f32();
+        let s = base.scaled_axes(50, 100, 200);
+        assert!(s.is_valid());
+        assert!(s.mc <= base.mc && s.mc >= base.mc / 4, "{s:?}");
+        assert_eq!(s.kc, base.kc, "kc at 100% must be untouched");
+        assert_eq!(s.nc, base.nc * 2, "nc at 200% doubles (already tile-aligned)");
+        // Degenerate percents still yield one whole tile.
+        assert!(base.scaled_axes(0, 0, 0).is_valid());
+    }
+
+    #[test]
+    fn clamped_snaps_degenerate_candidates() {
+        // Regression (algorithm-axis era): a hand-built plan can carry
+        // MC/KC/NC of 0 or below one register tile; `clamped` must snap
+        // them to legal geometry instead of panicking downstream. Sits
+        // alongside the degenerate-k pin above.
+        for degenerate in [
+            BlockSizes { mc: 0, kc: 0, nc: 0, mr: 8, nr: 8 },
+            BlockSizes { mc: 3, kc: 1, nc: 2, mr: 6, nr: 16 },
+            BlockSizes { mc: 0, kc: 384, nc: 0, mr: 6, nr: 8 },
+            BlockSizes { mc: 0, kc: 0, nc: 0, mr: 0, nr: 0 },
+        ] {
+            let c = degenerate.clamped(64, 64, 64);
+            assert!(c.is_valid(), "{degenerate:?} -> {c:?}");
+            let (a_len, b_len) = crate::workspace::pack_buffer_lens(&c);
+            assert!(a_len > 0 && b_len > 0, "{c:?}");
+            // And the all-degenerate problem on a degenerate candidate.
+            assert!(degenerate.clamped(0, 0, 0).is_valid());
+        }
+        // Valid blocks are untouched by the snap.
+        let d = BlockSizes::for_f32();
+        assert_eq!(d.clamped(10_000, 10_000, 10_000), d);
     }
 
     #[test]

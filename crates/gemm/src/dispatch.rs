@@ -434,8 +434,11 @@ pub struct OpStats {
     pub plan: ExecutionPlan,
     /// `true` when the executed configuration fell back from the
     /// requested plan: a pinned kernel ISA was clamped (unsupported host
-    /// or `ADSALA_FORCE_SCALAR`), or a non-thread plan axis was requested
-    /// for a routine (SYRK/GEMV) that only honours the thread count.
+    /// or `ADSALA_FORCE_SCALAR`), the requested algorithm was refused
+    /// (e.g. Strassen on an ineligible shape ran blocked — compare
+    /// `plan.algorithm` against `exec.algorithm`), or a non-thread plan
+    /// axis was requested for a routine (SYRK/GEMV) that only honours the
+    /// thread count.
     pub plan_degraded: bool,
     /// The model's runtime prediction for this call in nanoseconds, or 0
     /// when no model priced the plan (direct execution, cache bypass).
@@ -589,7 +592,10 @@ impl<T: Element> OpRequest<'_, T> {
             ),
         };
         let plan_degraded = match shape.routine {
-            Routine::Gemm => plan.kernel_isa.is_some_and(|isa| exec.kernel_isa != isa),
+            Routine::Gemm => {
+                plan.kernel_isa.is_some_and(|isa| exec.kernel_isa != isa)
+                    || plan.algorithm != exec.algorithm
+            }
             Routine::Syrk | Routine::Gemv => !plan.is_threads_only(),
         };
         OpStats {
@@ -697,7 +703,10 @@ impl<T: Element> OpRequest<'_, T> {
                 routine: Routine::Gemm,
                 precision: T::PRECISION,
                 plan: *plan,
-                plan_degraded: plan.kernel_isa.is_some_and(|isa| exec.kernel_isa != isa),
+                // The fused driver is blocked-only, so a non-blocked
+                // algorithm request degrades (and is reported as such).
+                plan_degraded: plan.kernel_isa.is_some_and(|isa| exec.kernel_isa != isa)
+                    || plan.algorithm != exec.algorithm,
                 predicted_ns: 0,
                 exec,
             })
@@ -838,6 +847,33 @@ mod tests {
         let plan = ExecutionPlan::with_threads(2).with_packing(PackingStrategy::Independent);
         let stats = req.execute(&pool, &plan).unwrap();
         assert!(stats.plan_degraded, "SYRK honours only the thread axis");
+    }
+
+    #[test]
+    fn algorithm_downgrade_is_reported() {
+        use crate::plan::Algorithm;
+        let pool = ThreadPool::new(2);
+        let (m, n, k) = (30, 30, 30); // far below any Strassen cutoff
+        let a = fill(m * k, 12);
+        let b = fill(k * n, 13);
+        let plan =
+            ExecutionPlan::with_threads(2).with_algorithm(Algorithm::Strassen { cutoff: 64 });
+
+        let mut c = vec![0.0f64; m * n];
+        let mut req: OpRequest<'_, f64> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let stats = req.execute(&pool, &plan).unwrap();
+        assert_eq!(stats.exec.algorithm, Algorithm::Blocked);
+        assert!(stats.plan_degraded, "a refused Strassen plan must be flagged");
+
+        // An honoured algorithm is not a degradation.
+        let mut c = vec![0.0f64; m * n];
+        let mut req: OpRequest<'_, f64> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let zplan = ExecutionPlan::with_threads(2).with_algorithm(Algorithm::ZOrder);
+        let stats = req.execute(&pool, &zplan).unwrap();
+        assert_eq!(stats.exec.algorithm, Algorithm::ZOrder);
+        assert!(!stats.plan_degraded);
     }
 
     #[test]

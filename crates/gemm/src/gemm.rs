@@ -44,8 +44,8 @@ use std::time::Instant;
 
 use crate::blocking::BlockSizes;
 use crate::isa::{Kernel, KernelIsa};
-use crate::pack::{pack_a, pack_b, MatView};
-use crate::plan::{ExecutionPlan, PackingStrategy};
+use crate::pack::{morton_decode, pack_a, pack_b, MatView};
+use crate::plan::{Algorithm, ExecutionPlan, PackingStrategy};
 use crate::pool::{Executor, ThreadPool};
 use crate::stats::{GemmStats, StatsCollector, ThreadLocalStats};
 use crate::threading::{SendMutPtr, ThreadGrid};
@@ -138,7 +138,7 @@ pub fn gemm_with_stats<T: Element>(
     c: &mut [T],
     ldc: usize,
 ) -> GemmStats {
-    drive(Executor::Scoped, false, call, alpha, a, lda, b, ldb, beta, c, ldc)
+    run_planned(Executor::Scoped, false, call, alpha, a, lda, b, ldb, beta, c, ldc)
 }
 
 /// Like [`gemm_with_stats`], but running the workers on a persistent
@@ -159,7 +159,7 @@ pub fn gemm_with_stats_pooled<T: Element>(
     c: &mut [T],
     ldc: usize,
 ) -> GemmStats {
-    drive(Executor::Pool(pool), true, call, alpha, a, lda, b, ldb, beta, c, ldc)
+    run_planned(Executor::Pool(pool), true, call, alpha, a, lda, b, ldb, beta, c, ldc)
 }
 
 /// [`gemm_with_stats_pooled`] with cooperative shared-B packing disabled:
@@ -180,7 +180,50 @@ pub fn gemm_with_stats_pooled_unshared<T: Element>(
     c: &mut [T],
     ldc: usize,
 ) -> GemmStats {
-    drive(Executor::Pool(pool), false, call, alpha, a, lda, b, ldb, beta, c, ldc)
+    run_planned(Executor::Pool(pool), false, call, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+/// Algorithm dispatch in front of the blocked driver: route the call to
+/// the plan's algorithm when the shape is eligible, degrade to the
+/// blocked loop nest otherwise. The *executed* algorithm is reported in
+/// [`GemmStats::algorithm`], so telemetry can count downgrades (a
+/// Strassen plan refused below its cutoff reports `Blocked`).
+#[allow(clippy::too_many_arguments)]
+fn run_planned<T: Element>(
+    exec: Executor<'_>,
+    allow_shared_b: bool,
+    call: &GemmCall,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) -> GemmStats {
+    match call.plan.algorithm {
+        Algorithm::Strassen { cutoff }
+            if crate::strassen::applicable(call.m, call.n, call.k, cutoff) =>
+        {
+            crate::strassen::strassen_with_stats(
+                exec,
+                allow_shared_b,
+                call,
+                cutoff,
+                alpha,
+                a,
+                lda,
+                b,
+                ldb,
+                beta,
+                c,
+                ldc,
+            )
+        }
+        Algorithm::ZOrder => zorder_with_stats(call, alpha, a, lda, b, ldb, beta, c, ldc),
+        _ => drive(exec, allow_shared_b, call, alpha, a, lda, b, ldb, beta, c, ldc),
+    }
 }
 
 /// One member of a fused same-shape batch: its own `A` and `C` operands
@@ -410,9 +453,11 @@ pub fn gemm_fused_with_stats_pooled<T: Element>(
         .collect()
 }
 
-/// The one blocked GEMM driver behind every public entry point.
+/// The one blocked GEMM driver behind every public entry point (and the
+/// Strassen recursion's base case, which re-enters it directly so a base
+/// sub-problem can never re-dispatch on the algorithm axis).
 #[allow(clippy::too_many_arguments)]
-fn drive<T: Element>(
+pub(crate) fn drive<T: Element>(
     exec: Executor<'_>,
     allow_shared_b: bool,
     call: &GemmCall,
@@ -568,6 +613,176 @@ fn drive<T: Element>(
 
     let wall_ns = start.elapsed().as_nanos() as u64;
     collector.finish(grid.count(), grid.rows, grid.cols, wall_ns, kernel_stat)
+}
+
+/// The Morton-traversal serial driver behind [`Algorithm::ZOrder`]:
+/// identical per-tile FLOP order to the serial blocked driver (each `C`
+/// macro-tile still sees its rank updates in ascending `pc`), but the
+/// `(ic, jc)` macro-block grid is walked along the Z curve of
+/// [`morton_decode`] and the packed `B` panel is reused whenever two
+/// consecutive live Morton steps share a column block. Single-threaded by
+/// construction — its profitability on large squares against the
+/// parallel blocked driver is exactly what the model has to learn.
+#[allow(clippy::too_many_arguments)]
+fn zorder_with_stats<T: Element>(
+    call: &GemmCall,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) -> GemmStats {
+    let (m, n, k) = (call.m, call.n, call.k);
+    assert!(ldc >= n.max(1), "ldc too small");
+    if m > 0 && n > 0 {
+        assert!(c.len() >= (m - 1) * ldc + n, "C buffer too small");
+    }
+    let kernel = match call.plan.kernel_isa {
+        Some(isa) => Kernel::<T>::for_isa(isa),
+        None => Kernel::<T>::dispatched(),
+    };
+    let kernel_stat = (kernel.isa, kernel.mr, kernel.nr);
+    let start = Instant::now();
+    if m == 0 || n == 0 {
+        return GemmStats {
+            kernel_isa: kernel.isa,
+            algorithm: Algorithm::ZOrder,
+            mr: kernel.mr,
+            nr: kernel.nr,
+            wall_ns: start.elapsed().as_nanos() as u64,
+            ..GemmStats::default()
+        };
+    }
+    let a_view = match call.trans_a {
+        Transpose::No => MatView::row_major(a, m, k, lda),
+        Transpose::Yes => MatView::row_major(a, k, m, lda).t(),
+    };
+    let b_view = match call.trans_b {
+        Transpose::No => MatView::row_major(b, k, n, ldb),
+        Transpose::Yes => MatView::row_major(b, n, k, ldb).t(),
+    };
+    let blocks = match (call.plan.blocking, call.plan.kernel_isa) {
+        (Some(b), _) => b.with_tile(kernel.mr, kernel.nr),
+        (None, None) => BlockSizes::dispatched::<T>(),
+        (None, Some(isa)) => BlockSizes::for_isa::<T>(isa),
+    };
+    let blocks = blocks.clamped(m, n, k);
+
+    let collector = StatsCollector::default();
+    let mut local = ThreadLocalStats::default();
+    with_thread_arena(|arena| {
+        let (a_buf, b_buf, reused) = arena.checkout_pair::<T>(&blocks);
+        local.arena_bytes_reused += reused;
+        // SAFETY: single worker owns the whole of C.
+        unsafe {
+            zorder_subproblem(
+                &kernel,
+                &a_view,
+                &b_view,
+                c.as_mut_ptr(),
+                ldc,
+                m,
+                n,
+                k,
+                alpha,
+                beta,
+                &blocks,
+                a_buf,
+                b_buf,
+                &mut local,
+            );
+        }
+    });
+    collector.absorb(&local);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let mut stats = collector.finish(1, 1, 1, wall_ns, kernel_stat);
+    stats.algorithm = Algorithm::ZOrder;
+    stats
+}
+
+/// The Z-order macro-block sweep: for each `kc` rank update, visit the
+/// `(row block, col block)` grid in Morton order, packing `B` only when
+/// the column block changes between consecutive live steps.
+///
+/// # Safety
+/// As for [`subproblem`]: `c` points at the matrix origin and the `ms`
+/// rows of `ns` elements spaced `ldc` apart are exclusively owned.
+#[allow(clippy::too_many_arguments)]
+unsafe fn zorder_subproblem<T: Element>(
+    kernel: &Kernel<T>,
+    a: &MatView<'_, T>,
+    b: &MatView<'_, T>,
+    c: *mut T,
+    ldc: usize,
+    ms: usize,
+    ns: usize,
+    k: usize,
+    alpha: T,
+    beta: T,
+    blocks: &BlockSizes,
+    a_buf: &mut [T],
+    b_buf: &mut [T],
+    stats: &mut ThreadLocalStats,
+) {
+    let BlockSizes { mc, kc, nc, nr, .. } = *blocks;
+
+    if k == 0 {
+        scale_rows_by_beta(c, ldc, ms, ns, beta);
+        return;
+    }
+
+    let nbi = ms.div_ceil(mc);
+    let nbj = ns.div_ceil(nc);
+    // Walk a power-of-two Morton square covering the (possibly
+    // rectangular) block grid and skip dead codes: cheaper than sorting a
+    // code list and — crucially for the zero-alloc invariant — free of
+    // per-call heap traffic.
+    let side = nbi.max(nbj).next_power_of_two() as u64;
+    let mut pc = 0;
+    while pc < k {
+        let kcur = (k - pc).min(kc);
+        let beta_eff = if pc == 0 { beta } else { T::ONE };
+        let mut packed_bj = usize::MAX;
+        for z in 0..side * side {
+            let (bi, bj) = morton_decode(z);
+            let (bi, bj) = (bi as usize, bj as usize);
+            if bi >= nbi || bj >= nbj {
+                continue;
+            }
+            let jc = bj * nc;
+            let ncur = (ns - jc).min(nc);
+            let ic = bi * mc;
+            let mcur = (ms - ic).min(mc);
+            if packed_bj != bj {
+                let t0 = Instant::now();
+                let b_block = b.sub(pc, jc, kcur, ncur);
+                stats.b_packed_bytes += pack_b(&b_block, nr, b_buf);
+                stats.pack_ns += t0.elapsed().as_nanos() as u64;
+                packed_bj = bj;
+            }
+            row_panel_sweep(
+                kernel,
+                &a.sub(ic, 0, mcur, k),
+                c.add(ic * ldc),
+                ldc,
+                mcur,
+                jc,
+                pc,
+                ncur,
+                kcur,
+                alpha,
+                beta_eff,
+                blocks,
+                b_buf,
+                a_buf,
+                stats,
+            );
+        }
+        pc += kcur;
+    }
 }
 
 /// The cooperative shared-B parallel section: one shared packed-B region
@@ -1450,6 +1665,126 @@ mod tests {
         // One item keeps the whole thread budget.
         gemm_fused_with_stats_pooled(&pool, &call, &b, n, &mut items);
         assert_eq!(c_fused, c_plain);
+    }
+
+    #[test]
+    fn zorder_matches_serial_blocked_bitwise() {
+        // Same kernels, same blocking, same per-tile rank-update order —
+        // only the macro-block traversal differs, so results must be
+        // bitwise identical to the serial blocked driver.
+        let pool = crate::pool::ThreadPool::new(2);
+        for &(m, n, k) in &[(200usize, 300usize, 150usize), (97, 33, 131), (640, 640, 64)] {
+            let a = fill(m * k, 101);
+            let b = fill(k * n, 102);
+            let mut c_blocked = fill(m * n, 103);
+            let mut c_z = c_blocked.clone();
+            let serial = GemmCall::new(m, n, k, 1);
+            let zcall = serial
+                .with_plan(serial.plan.with_algorithm(Algorithm::ZOrder).with_thread_count(8));
+            let s1 = gemm_with_stats(&serial, 1.5, &a, k, &b, n, 0.25, &mut c_blocked, n);
+            let s2 = gemm_with_stats_pooled(&pool, &zcall, 1.5, &a, k, &b, n, 0.25, &mut c_z, n);
+            assert_eq!(c_blocked, c_z, "zorder differs at {m}x{n}x{k}");
+            assert_eq!(s2.algorithm, Algorithm::ZOrder);
+            assert_eq!(s1.algorithm, Algorithm::Blocked);
+            assert_eq!(s2.threads_used, 1, "zorder is serial by construction");
+            assert_eq!(s1.kernel_calls, s2.kernel_calls);
+            assert_eq!(s1.a_packed_bytes, s2.a_packed_bytes);
+            // Morton adjacency can only save B packs relative to the
+            // column-major sweep, never add them.
+            assert!(s2.b_packed_bytes <= s1.b_packed_bytes * 2);
+        }
+    }
+
+    #[test]
+    fn strassen_matches_naive_within_tolerance() {
+        // Strassen reassociates additions, so equality is to a relative
+        // tolerance, not bitwise. 256³ with the floor cutoff recurses
+        // twice.
+        let (m, n, k) = (256usize, 256usize, 256usize);
+        let a = fill(m * k, 111);
+        let b = fill(k * n, 112);
+        let mut c = fill(m * n, 113);
+        let mut c_ref = c.clone();
+        let base = GemmCall::new(m, n, k, 4);
+        let call = base.with_plan(base.plan.with_algorithm(Algorithm::Strassen { cutoff: 64 }));
+        let stats = gemm_with_stats(&call, 1.25, &a, k, &b, n, 0.5, &mut c, n);
+        assert_eq!(stats.algorithm, Algorithm::Strassen { cutoff: 64 });
+        assert!(stats.kernel_calls > 0);
+        naive_gemm(Transpose::No, Transpose::No, m, n, k, 1.25, &a, k, &b, n, 0.5, &mut c_ref, n);
+        assert_close(&c, &c_ref, 1e-9);
+    }
+
+    #[test]
+    fn strassen_ineligible_shape_degrades_to_blocked() {
+        // 255 is odd: the dispatch layer must refuse Strassen, run the
+        // blocked driver, and report the downgrade via the executed
+        // algorithm.
+        let (m, n, k) = (255usize, 256usize, 256usize);
+        let a = fill(m * k, 121);
+        let b = fill(k * n, 122);
+        let mut c = vec![0.0f64; m * n];
+        let mut c_ref = vec![0.0f64; m * n];
+        let base = GemmCall::new(m, n, k, 2);
+        let call = base.with_plan(base.plan.with_algorithm(Algorithm::Strassen { cutoff: 64 }));
+        let stats = gemm_with_stats(&call, 1.0, &a, k, &b, n, 0.0, &mut c, n);
+        assert_eq!(stats.algorithm, Algorithm::Blocked, "downgrade must be visible");
+        gemm_with_stats(&base, 1.0, &a, k, &b, n, 0.0, &mut c_ref, n);
+        assert_eq!(c, c_ref, "the degraded call is exactly the blocked call");
+    }
+
+    #[test]
+    fn strassen_pooled_is_allocation_free_after_warmup() {
+        let pool = crate::pool::ThreadPool::new(2);
+        let (m, n, k) = (256usize, 256usize, 256usize);
+        let a = fill(m * k, 131);
+        let b = fill(k * n, 132);
+        let base = GemmCall::new(m, n, k, 2);
+        let call = base.with_plan(base.plan.with_algorithm(Algorithm::Strassen { cutoff: 64 }));
+        let run = || {
+            let mut c = vec![0.0f64; m * n];
+            gemm_with_stats_pooled(&pool, &call, 1.0, &a, k, &b, n, 0.0, &mut c, n)
+        };
+        run();
+        run();
+        let scratch_before = crate::strassen::strassen_arena_stats();
+        let pack_before = crate::workspace::thread_arena_stats();
+        for _ in 0..5 {
+            let stats = run();
+            assert!(stats.arena_bytes_reused > 0, "warm Strassen must reuse arena bytes");
+        }
+        let scratch_after = crate::strassen::strassen_arena_stats();
+        let pack_after = crate::workspace::thread_arena_stats();
+        assert_eq!(
+            scratch_after.allocations, scratch_before.allocations,
+            "steady-state Strassen scratch must not allocate"
+        );
+        assert_eq!(
+            pack_after.allocations, pack_before.allocations,
+            "base-case packing must stay allocation-free too"
+        );
+    }
+
+    #[test]
+    fn strassen_transposed_operands_match_blocked() {
+        let (m, n, k) = (256usize, 256usize, 256usize);
+        let flags = [Transpose::No, Transpose::Yes];
+        for ta in flags {
+            for tb in flags {
+                let (ar, ac) = if ta.is_transposed() { (k, m) } else { (m, k) };
+                let (br, bc) = if tb.is_transposed() { (n, k) } else { (k, n) };
+                let a = fill(ar * ac, 141);
+                let b = fill(br * bc, 142);
+                let mut c = fill(m * n, 143);
+                let mut c_ref = c.clone();
+                let base = GemmCall { trans_a: ta, trans_b: tb, ..GemmCall::new(m, n, k, 2) };
+                let call =
+                    base.with_plan(base.plan.with_algorithm(Algorithm::Strassen { cutoff: 64 }));
+                let s = gemm_with_stats(&call, 1.0, &a, ac, &b, bc, 1.0, &mut c, n);
+                assert_eq!(s.algorithm, Algorithm::Strassen { cutoff: 64 });
+                gemm_with_stats(&base, 1.0, &a, ac, &b, bc, 1.0, &mut c_ref, n);
+                assert_close(&c, &c_ref, 1e-9);
+            }
+        }
     }
 
     #[test]

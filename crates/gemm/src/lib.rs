@@ -34,6 +34,7 @@ pub mod pack;
 pub mod plan;
 pub mod pool;
 pub mod stats;
+pub mod strassen;
 pub mod syrk;
 pub mod threading;
 pub mod workspace;
@@ -49,7 +50,10 @@ pub use gemm::{
 };
 pub use gemv::{gemv_with_stats, gemv_with_stats_pooled};
 pub use isa::{Kernel, KernelIsa};
-pub use plan::{ExecutionPlan, IsaChoice, PackingStrategy, PlanGrid, PlanPoint};
+pub use plan::{
+    Algorithm, BlockScale, ExecutionPlan, IsaChoice, PackingStrategy, PlanGrid, PlanPoint,
+    FEATURE_REV_AXES, FEATURE_REV_LEGACY,
+};
 pub use pool::{Executor, PoolStats, ThreadPool};
 pub use stats::{GemmStats, PredictionErrorStats, PredictionMeter};
 pub use syrk::{syrk_with_stats, syrk_with_stats_pooled};
@@ -94,6 +98,8 @@ pub trait Element:
     const ONE: Self;
     /// `self * a + b` — contracted to a hardware FMA under optimisation.
     fn mul_add_e(self, a: Self, b: Self) -> Self;
+    /// `self - a` — the Strassen quadrant combinations need subtraction.
+    fn sub_e(self, a: Self) -> Self;
     /// Size in bytes (used for packing statistics).
     const BYTES: usize;
     /// The precision tag the dispatch layer keys decisions on.
@@ -112,6 +118,10 @@ impl Element for f32 {
         // the target has no FMA: let LLVM contract it where profitable.
         self * a + b
     }
+    #[inline(always)]
+    fn sub_e(self, a: Self) -> Self {
+        self - a
+    }
     const BYTES: usize = 4;
     const PRECISION: dispatch::Precision = dispatch::Precision::F32;
     fn kernel(isa: isa::KernelIsa) -> isa::Kernel<Self> {
@@ -125,6 +135,10 @@ impl Element for f64 {
     #[inline(always)]
     fn mul_add_e(self, a: Self, b: Self) -> Self {
         self * a + b
+    }
+    #[inline(always)]
+    fn sub_e(self, a: Self) -> Self {
+        self - a
     }
     const BYTES: usize = 8;
     const PRECISION: dispatch::Precision = dispatch::Precision::F64;

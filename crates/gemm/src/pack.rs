@@ -199,6 +199,133 @@ pub fn pack_b<T: Element>(block: &MatView<'_, T>, nr: usize, buf: &mut [T]) -> u
     (needed * T::BYTES) as u64
 }
 
+/// Spread the low 32 bits of `x` into the even bit positions of a `u64`.
+#[inline]
+fn part1by1(x: u64) -> u64 {
+    let mut x = x & 0xffff_ffff;
+    x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x << 8)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Gather the even bit positions of `x` back into the low 32 bits.
+#[inline]
+fn compact1by1(x: u64) -> u64 {
+    let mut x = x & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x >> 4)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x >> 8)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x >> 16)) & 0xffff_ffff;
+    x
+}
+
+/// Morton (Z-order) code of the tile coordinate `(x, y)`: bits of `x`
+/// occupy the even positions, bits of `y` the odd ones. Walking codes in
+/// increasing order visits tiles along the recursive Z curve, which keeps
+/// both the row- and column-neighbour of the previous tile hot in cache —
+/// the layout the `Algorithm::ZOrder` driver traverses macro-blocks in.
+#[inline]
+pub fn morton_encode(x: u32, y: u32) -> u64 {
+    part1by1(x as u64) | (part1by1(y as u64) << 1)
+}
+
+/// Inverse of [`morton_encode`]: recover `(x, y)` from a Morton code.
+#[inline]
+pub fn morton_decode(z: u64) -> (u32, u32) {
+    (compact1by1(z) as u32, compact1by1(z >> 1) as u32)
+}
+
+/// Elements required by [`pack_zorder`] for a `rows×cols` operand split
+/// into `tile×tile` blocks: every live tile is stored in full (ragged
+/// edges zero-padded), dead Morton slots are skipped entirely.
+pub fn zorder_buffer_len(rows: usize, cols: usize, tile: usize) -> usize {
+    let t = tile.max(1);
+    rows.div_ceil(t) * cols.div_ceil(t) * t * t
+}
+
+/// Pack a matrix into tile-blocked Morton (Z-order) layout.
+///
+/// The operand is cut into `tile×tile` blocks; blocks are emitted in
+/// increasing Morton code of their `(tile_row, tile_col)` coordinate and
+/// each block is stored row-major, zero-padded to the full tile on ragged
+/// edges. `buf` must hold [`zorder_buffer_len`] elements. Returns bytes
+/// written (padding included) for copy accounting.
+pub fn pack_zorder<T: Element>(block: &MatView<'_, T>, tile: usize, buf: &mut [T]) -> u64 {
+    let t = tile.max(1);
+    let (rows, cols) = (block.rows(), block.cols());
+    let (tr, tc) = (rows.div_ceil(t), cols.div_ceil(t));
+    let needed = tr * tc * t * t;
+    assert!(buf.len() >= needed, "pack_zorder buffer too small");
+    let side = tr.max(tc).next_power_of_two() as u64;
+    let mut idx = 0;
+    for z in 0..side * side {
+        let (ti, tj) = morton_decode(z);
+        let (ti, tj) = (ti as usize, tj as usize);
+        if ti >= tr || tj >= tc {
+            continue;
+        }
+        let r0 = ti * t;
+        let c0 = tj * t;
+        let live_r = (rows - r0).min(t);
+        let live_c = (cols - c0).min(t);
+        for i in 0..t {
+            for j in 0..t {
+                buf[idx] =
+                    if i < live_r && j < live_c { block.at(r0 + i, c0 + j) } else { T::ZERO };
+                idx += 1;
+            }
+        }
+    }
+    (needed * T::BYTES) as u64
+}
+
+/// Inverse of [`pack_zorder`]: scatter a Morton-packed buffer back into a
+/// dense row-major `rows×cols` matrix with leading dimension `ld`. Only
+/// live elements are written (padding is dropped), so a
+/// pack→unpack round trip reproduces the live region bitwise.
+pub fn unpack_zorder<T: Element>(
+    buf: &[T],
+    rows: usize,
+    cols: usize,
+    tile: usize,
+    out: &mut [T],
+    ld: usize,
+) {
+    let t = tile.max(1);
+    let (tr, tc) = (rows.div_ceil(t), cols.div_ceil(t));
+    let needed = tr * tc * t * t;
+    assert!(buf.len() >= needed, "unpack_zorder buffer too small");
+    if rows > 0 && cols > 0 {
+        assert!(ld >= cols, "leading dimension too small");
+        assert!(out.len() >= (rows - 1) * ld + cols, "unpack_zorder output too small");
+    }
+    let side = tr.max(tc).next_power_of_two() as u64;
+    let mut idx = 0;
+    for z in 0..side * side {
+        let (ti, tj) = morton_decode(z);
+        let (ti, tj) = (ti as usize, tj as usize);
+        if ti >= tr || tj >= tc {
+            continue;
+        }
+        let r0 = ti * t;
+        let c0 = tj * t;
+        let live_r = (rows - r0).min(t);
+        let live_c = (cols - c0).min(t);
+        for i in 0..t {
+            for j in 0..t {
+                if i < live_r && j < live_c {
+                    out[(r0 + i) * ld + c0 + j] = buf[idx];
+                }
+                idx += 1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +492,86 @@ mod tests {
         assert_eq!(&buf[0..4], &[10.0, 11.0, 12.0, 13.0]);
         // Second strip holds the ragged column 14.0 + three zeros.
         assert_eq!(&buf[16..20], &[14.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn morton_codes_walk_the_z_curve() {
+        // The canonical 2x2 Z: (0,0) (1,0) (0,1) (1,1) with x in the even
+        // bits, then the next quadrant over.
+        assert_eq!(morton_encode(0, 0), 0);
+        assert_eq!(morton_encode(1, 0), 1);
+        assert_eq!(morton_encode(0, 1), 2);
+        assert_eq!(morton_encode(1, 1), 3);
+        assert_eq!(morton_encode(2, 0), 4);
+        assert_eq!(morton_encode(0, 2), 8);
+        assert_eq!(morton_encode(u32::MAX, 0), 0x5555_5555_5555_5555);
+        assert_eq!(morton_encode(0, u32::MAX), 0xaaaa_aaaa_aaaa_aaaa);
+    }
+
+    #[test]
+    fn morton_decode_inverts_encode() {
+        for &(x, y) in
+            &[(0u32, 0u32), (1, 0), (0, 1), (7, 3), (123, 456), (u32::MAX, 17), (65535, 65536)]
+        {
+            assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+        }
+        for z in 0..256u64 {
+            let (x, y) = morton_decode(z);
+            assert_eq!(morton_encode(x, y), z);
+        }
+    }
+
+    #[test]
+    fn zorder_round_trip_is_bitwise() {
+        // Ragged 7x5 with tile 3: 3x2 tile grid, padded slots dropped on
+        // unpack. Values chosen to be bit-sensitive (not representable
+        // sums).
+        let (rows, cols, tile, ld) = (7usize, 5usize, 3usize, 6usize);
+        let src: Vec<f64> = (0..rows * ld).map(|i| (i as f64 * 0.1).sin() * 1e3).collect();
+        let v = MatView::row_major(&src, rows, cols, ld);
+        let mut buf = vec![f64::NAN; zorder_buffer_len(rows, cols, tile)];
+        let bytes = pack_zorder(&v, tile, &mut buf);
+        assert_eq!(bytes as usize, zorder_buffer_len(rows, cols, tile) * 8);
+        let mut out = vec![0.0f64; rows * ld];
+        unpack_zorder(&buf, rows, cols, tile, &mut out, ld);
+        for i in 0..rows {
+            for j in 0..cols {
+                assert_eq!(
+                    out[i * ld + j].to_bits(),
+                    src[i * ld + j].to_bits(),
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+        // Padding slots stay untouched in the output (non-live columns).
+        assert_eq!(out[5], 0.0);
+    }
+
+    #[test]
+    fn zorder_pack_orders_tiles_by_morton_code() {
+        // 4x4 with tile 2: tiles visited (0,0) (1,0) (0,1) (1,1).
+        let d = seq(16);
+        let v = MatView::row_major(&d, 4, 4, 4);
+        let mut buf = vec![-1.0; zorder_buffer_len(4, 4, 2)];
+        pack_zorder(&v, 2, &mut buf);
+        // Tile (0,0) rows 0-1 cols 0-1.
+        assert_eq!(&buf[0..4], &[0.0, 1.0, 4.0, 5.0]);
+        // Morton code 1 is (x=1, y=0): tile rows 2-3, cols 0-1.
+        assert_eq!(&buf[4..8], &[8.0, 9.0, 12.0, 13.0]);
+        // Morton code 2 is (x=0, y=1): tile rows 0-1, cols 2-3.
+        assert_eq!(&buf[8..12], &[2.0, 3.0, 6.0, 7.0]);
+        assert_eq!(&buf[12..16], &[10.0, 11.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn zorder_handles_empty_and_degenerate_tiles() {
+        let d = seq(4);
+        let v = MatView::row_major(&d, 0, 0, 1);
+        let mut buf = [0.0f64; 0];
+        assert_eq!(pack_zorder(&v, 4, &mut buf), 0);
+        assert_eq!(zorder_buffer_len(0, 5, 4), 0);
+        // tile = 0 snaps to 1 instead of dividing by zero.
+        assert_eq!(zorder_buffer_len(2, 2, 0), 4);
     }
 
     #[test]

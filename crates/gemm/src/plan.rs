@@ -3,10 +3,12 @@
 //! The paper's runtime learns a single knob, the thread count. After the
 //! SIMD dispatch and shared-packing work, the substrate has more knobs
 //! that matter: which micro-kernel ISA to run, how to block for the cache
-//! hierarchy, and whether row groups cooperate on packing `B` or pack
-//! independent copies. [`ExecutionPlan`] carries all of them from the
-//! decision layer down to the drivers, so "pick a thread count" becomes
-//! "pick how to run".
+//! hierarchy, whether row groups cooperate on packing `B` or pack
+//! independent copies — and, since the algorithm axis landed, *which
+//! algorithm* multiplies at all (the blocked loop nest, Strassen
+//! recursion, or a Morton-ordered serial traversal). [`ExecutionPlan`]
+//! carries all of them from the decision layer down to the drivers, so
+//! "pick a thread count" becomes "pick how to run".
 //!
 //! A plan is deliberately *descriptive*, not prescriptive: `None` axes
 //! mean "derive from the host" (process-wide ISA dispatch, topology-fitted
@@ -45,6 +47,50 @@ impl std::fmt::Display for PackingStrategy {
     }
 }
 
+/// Which multiplication algorithm a plan dispatches. The default blocked
+/// loop nest is always legal; the alternatives are only *profitable* on a
+/// subset of shapes, which is exactly why the choice belongs to the
+/// learned plan rather than a hard-coded size threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// The GotoBLAS/BLIS blocked loop nest (the substrate's workhorse).
+    #[default]
+    Blocked,
+    /// Strassen recursion down to `cutoff`, blocked driver at the base
+    /// case. Refused (degrading to [`Algorithm::Blocked`]) when any
+    /// dimension is odd or smaller than `2·cutoff`.
+    Strassen {
+        /// Minimum sub-problem dimension: recursion stops once a halved
+        /// dimension would drop below this (clamped to at least
+        /// [`crate::strassen::MIN_CUTOFF`] at execution time).
+        cutoff: u32,
+    },
+    /// Serial blocked traversal that walks the macro-block grid in Morton
+    /// (Z-order) order, reusing the last packed `B` panel across adjacent
+    /// blocks. Single-threaded by construction.
+    ZOrder,
+}
+
+impl Algorithm {
+    /// Short label for stats lines, plan-mix telemetry and tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Algorithm::Blocked => "blocked",
+            Algorithm::Strassen { .. } => "strassen",
+            Algorithm::ZOrder => "zorder",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::Strassen { cutoff } => write!(f, "strassen:{cutoff}"),
+            other => f.write_str(other.as_str()),
+        }
+    }
+}
+
 /// The full learned decision: every execution knob for one call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ExecutionPlan {
@@ -60,6 +106,11 @@ pub struct ExecutionPlan {
     pub blocking: Option<BlockSizes>,
     /// `B`-panel packing across row groups.
     pub packing: PackingStrategy,
+    /// Multiplication algorithm. Non-default algorithms may degrade back
+    /// to [`Algorithm::Blocked`] at execution time when the shape is
+    /// ineligible (odd dims below a Strassen cutoff); the executed
+    /// algorithm is reported in the stats.
+    pub algorithm: Algorithm,
 }
 
 impl ExecutionPlan {
@@ -73,6 +124,7 @@ impl ExecutionPlan {
             kernel_isa: None,
             blocking: None,
             packing: PackingStrategy::SharedB,
+            algorithm: Algorithm::Blocked,
         }
     }
 
@@ -81,6 +133,7 @@ impl ExecutionPlan {
         self.kernel_isa.is_none()
             && self.blocking.is_none()
             && self.packing == PackingStrategy::SharedB
+            && self.algorithm == Algorithm::Blocked
     }
 
     /// Builder: pin the micro-kernel ISA.
@@ -101,16 +154,25 @@ impl ExecutionPlan {
         self
     }
 
+    /// Builder: pick the multiplication algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
     /// This plan with a different thread count (≥ 1), every other axis
     /// kept — how a scheduler re-budgets a learned plan without touching
-    /// its kernel/blocking/packing choices.
+    /// its kernel/blocking/packing/algorithm choices.
     pub fn with_thread_count(mut self, threads: usize) -> Self {
         self.threads = u32::try_from(threads.max(1)).unwrap_or(u32::MAX);
         self
     }
 
     /// Compact human-readable form for stats lines and tables, e.g.
-    /// `t=8 isa=auto blk=auto pack=shared-b`.
+    /// `t=8 isa=auto blk=auto pack=shared-b`. The algorithm is appended
+    /// only when it deviates from the blocked default
+    /// (`… algo=strassen:512`), so threads-only lines keep their
+    /// historical shape.
     pub fn describe(&self) -> String {
         let isa = match self.kernel_isa {
             None => "auto".to_string(),
@@ -120,7 +182,11 @@ impl ExecutionPlan {
             None => "auto".to_string(),
             Some(b) => format!("{}x{}x{}", b.mc, b.kc, b.nc),
         };
-        format!("t={} isa={} blk={} pack={}", self.threads, isa, blk, self.packing)
+        let mut out = format!("t={} isa={} blk={} pack={}", self.threads, isa, blk, self.packing);
+        if self.algorithm != Algorithm::Blocked {
+            out.push_str(&format!(" algo={}", self.algorithm));
+        }
+        out
     }
 }
 
@@ -152,6 +218,70 @@ impl IsaChoice {
     }
 }
 
+/// Per-axis cache-block scales in percent of the host-derived baseline
+/// (100/100/100 = host default). Until schema v4 the grid carried one
+/// scalar `block_percent` applied to all three axes; a v3 percent `p`
+/// migrates to the uniform triple `(p, p, p)`, which materialises
+/// bit-identically ([`BlockSizes::scaled_axes`] generalises
+/// [`BlockSizes::scaled`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockScale {
+    /// `MC` scale in percent.
+    pub mc_percent: u32,
+    /// `KC` scale in percent.
+    pub kc_percent: u32,
+    /// `NC` scale in percent.
+    pub nc_percent: u32,
+}
+
+impl BlockScale {
+    /// The same scale on all three axes — what a v3 `block_percent`
+    /// migrates to.
+    pub fn uniform(percent: u32) -> Self {
+        Self { mc_percent: percent, kc_percent: percent, nc_percent: percent }
+    }
+
+    /// Per-axis constructor.
+    pub fn new(mc_percent: u32, kc_percent: u32, nc_percent: u32) -> Self {
+        Self { mc_percent, kc_percent, nc_percent }
+    }
+
+    /// `true` when every axis is at the host default (100%).
+    pub fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// The cartesian product of per-axis percent domains, `mc`-major —
+    /// list defaults (100) first in each axis to keep the grid's
+    /// defaults-first candidate ordering.
+    pub fn axes_product(mc: &[u32], kc: &[u32], nc: &[u32]) -> Vec<BlockScale> {
+        let mut out = Vec::with_capacity(mc.len() * kc.len() * nc.len());
+        for &m in mc {
+            for &k in kc {
+                for &n in nc {
+                    out.push(BlockScale::new(m, k, n));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for BlockScale {
+    fn default() -> Self {
+        Self::uniform(100)
+    }
+}
+
+/// Plan-feature layout revision 1: the legacy three plan columns
+/// (`isa_scalar`, `block_scale`, `packing_independent`) that v3 grid
+/// artefacts were trained on. Migrated artefacts keep this revision so
+/// their models keep seeing byte-identical rows.
+pub const FEATURE_REV_LEGACY: u32 = 1;
+/// Plan-feature layout revision 2: per-axis blocking scales plus the
+/// algorithm one-hots and Strassen cutoff.
+pub const FEATURE_REV_AXES: u32 = 2;
+
 /// One candidate point of a [`PlanGrid`]: the abstract, host-portable
 /// form of an execution plan. [`PlanPoint::materialise`] turns it into a
 /// concrete [`ExecutionPlan`] for a precision on the current host.
@@ -161,11 +291,12 @@ pub struct PlanPoint {
     pub threads: u32,
     /// Kernel ISA choice.
     pub isa: IsaChoice,
-    /// Cache-block scale in percent of the host-derived `MC/KC/NC`
-    /// (100 = host default).
-    pub block_percent: u32,
+    /// Per-axis cache-block scales (100/100/100 = host default).
+    pub blocking: BlockScale,
     /// `B`-panel packing strategy.
     pub packing: PackingStrategy,
+    /// Multiplication algorithm.
+    pub algorithm: Algorithm,
 }
 
 impl PlanPoint {
@@ -174,16 +305,18 @@ impl PlanPoint {
         Self {
             threads: threads.max(1),
             isa: IsaChoice::Dispatched,
-            block_percent: 100,
+            blocking: BlockScale::default(),
             packing: PackingStrategy::SharedB,
+            algorithm: Algorithm::Blocked,
         }
     }
 
     /// `true` when every non-thread axis is at its default setting.
     pub fn is_default_axes(&self) -> bool {
         self.isa == IsaChoice::Dispatched
-            && self.block_percent == 100
+            && self.blocking.is_default()
             && self.packing == PackingStrategy::SharedB
+            && self.algorithm == Algorithm::Blocked
     }
 
     /// Concrete plan for `precision` on this host. Default axes map to
@@ -194,11 +327,20 @@ impl PlanPoint {
         if self.isa == IsaChoice::Scalar {
             plan = plan.with_isa(KernelIsa::Scalar);
         }
-        if self.block_percent != 100 {
-            plan = plan
-                .with_blocking(BlockSizes::dispatched_for(precision).scaled(self.block_percent));
+        if !self.blocking.is_default() {
+            plan = plan.with_blocking(BlockSizes::dispatched_for(precision).scaled_axes(
+                self.blocking.mc_percent,
+                self.blocking.kc_percent,
+                self.blocking.nc_percent,
+            ));
         }
-        plan.with_packing(self.packing)
+        plan.with_packing(self.packing).with_algorithm(self.algorithm)
+    }
+}
+
+impl Default for PlanPoint {
+    fn default() -> Self {
+        Self::threads_only(1)
     }
 }
 
@@ -207,21 +349,29 @@ impl PlanPoint {
 ///
 /// A [`PlanGrid::threads_only`] grid (what migrated v1/v2 artefacts carry)
 /// enumerates exactly the old thread ladder, so every downstream decision
-/// is bit-identical to the pre-grid pipeline.
+/// is bit-identical to the pre-grid pipeline. A migrated v3 grid carries
+/// its `block_percent` ladder as uniform [`BlockScale`] triples and
+/// [`FEATURE_REV_LEGACY`], again candidate-for-candidate identical.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PlanGrid {
     /// Thread-count candidates (the paper's ladder).
     pub threads: Vec<u32>,
     /// ISA candidates (defaults first).
     pub isa: Vec<IsaChoice>,
-    /// Cache-block scales in percent (defaults first; 100 = host default).
-    pub block_percents: Vec<u32>,
+    /// Cache-block scale candidates (defaults first; each entry scales
+    /// the three axes independently).
+    pub blockings: Vec<BlockScale>,
     /// Packing-strategy candidates (defaults first).
     pub packing: Vec<PackingStrategy>,
+    /// Algorithm candidates (defaults first).
+    pub algorithms: Vec<Algorithm>,
     /// Whether timing rows gathered from this grid carry the plan axes as
     /// model features (false for threads-only grids, preserving the
     /// paper's 17-feature space).
     pub plan_features: bool,
+    /// Plan-feature layout revision ([`FEATURE_REV_LEGACY`] or
+    /// [`FEATURE_REV_AXES`]); ignored when `plan_features` is false.
+    pub feature_rev: u32,
 }
 
 impl PlanGrid {
@@ -231,21 +381,26 @@ impl PlanGrid {
         Self {
             threads,
             isa: vec![IsaChoice::Dispatched],
-            block_percents: vec![100],
+            blockings: vec![BlockScale::default()],
             packing: vec![PackingStrategy::SharedB],
+            algorithms: vec![Algorithm::Blocked],
             plan_features: false,
+            feature_rev: FEATURE_REV_LEGACY,
         }
     }
 
-    /// The full grid: thread ladder × {dispatched, scalar} ×
-    /// {100, 50, 200}% blocking × {shared, independent} packing.
+    /// The full legacy grid: thread ladder × {dispatched, scalar} ×
+    /// {100, 50, 200}% uniform blocking × {shared, independent} packing.
+    /// Kept at [`FEATURE_REV_LEGACY`] — this is the v3 artefact shape.
     pub fn full(threads: Vec<u32>) -> Self {
         Self {
             threads,
             isa: vec![IsaChoice::Dispatched, IsaChoice::Scalar],
-            block_percents: vec![100, 50, 200],
+            blockings: vec![100, 50, 200].into_iter().map(BlockScale::uniform).collect(),
             packing: vec![PackingStrategy::SharedB, PackingStrategy::Independent],
+            algorithms: vec![Algorithm::Blocked],
             plan_features: true,
+            feature_rev: FEATURE_REV_LEGACY,
         }
     }
 
@@ -256,22 +411,49 @@ impl PlanGrid {
         Self {
             threads,
             isa: vec![IsaChoice::Dispatched],
-            block_percents: vec![100],
+            blockings: vec![BlockScale::default()],
             packing: vec![PackingStrategy::SharedB, PackingStrategy::Independent],
+            algorithms: vec![Algorithm::Blocked],
             plan_features: true,
+            feature_rev: FEATURE_REV_LEGACY,
+        }
+    }
+
+    /// The widened algorithm-axis grid: thread ladder × per-axis blocking
+    /// deviations × {blocked, strassen, zorder}. ISA and packing stay at
+    /// their defaults to keep the sweep affordable; rows carry the
+    /// [`FEATURE_REV_AXES`] feature layout.
+    pub fn widened(threads: Vec<u32>, strassen_cutoff: u32) -> Self {
+        Self {
+            threads,
+            isa: vec![IsaChoice::Dispatched],
+            blockings: BlockScale::axes_product(&[100], &[100, 50, 200], &[100, 200]),
+            packing: vec![PackingStrategy::SharedB],
+            algorithms: vec![
+                Algorithm::Blocked,
+                Algorithm::Strassen { cutoff: strassen_cutoff },
+                Algorithm::ZOrder,
+            ],
+            plan_features: true,
+            feature_rev: FEATURE_REV_AXES,
         }
     }
 
     /// `true` when only the thread axis has more than its default point.
     pub fn is_threads_only(&self) -> bool {
         self.isa == [IsaChoice::Dispatched]
-            && self.block_percents == [100]
+            && self.blockings == [BlockScale::default()]
             && self.packing == [PackingStrategy::SharedB]
+            && self.algorithms == [Algorithm::Blocked]
     }
 
     /// Number of candidate points.
     pub fn len(&self) -> usize {
-        self.threads.len() * self.isa.len() * self.block_percents.len() * self.packing.len()
+        self.threads.len()
+            * self.isa.len()
+            * self.blockings.len()
+            * self.packing.len()
+            * self.algorithms.len()
     }
 
     /// `true` when the grid has no candidate points.
@@ -281,16 +463,21 @@ impl PlanGrid {
 
     /// Every candidate point, thread-major with default axes first —
     /// for a threads-only grid this is exactly the old candidate order,
-    /// so strict-`<` argmin sweeps keep their tie-breaking behaviour.
+    /// and for a migrated v3 grid (singleton algorithm axis) the order is
+    /// unchanged too, so strict-`<` argmin sweeps keep their tie-breaking
+    /// behaviour.
     pub fn points(&self) -> impl Iterator<Item = PlanPoint> + '_ {
         self.threads.iter().flat_map(move |&threads| {
             self.isa.iter().flat_map(move |&isa| {
-                self.block_percents.iter().flat_map(move |&block_percent| {
-                    self.packing.iter().map(move |&packing| PlanPoint {
-                        threads,
-                        isa,
-                        block_percent,
-                        packing,
+                self.blockings.iter().flat_map(move |&blocking| {
+                    self.packing.iter().flat_map(move |&packing| {
+                        self.algorithms.iter().map(move |&algorithm| PlanPoint {
+                            threads,
+                            isa,
+                            blocking,
+                            packing,
+                            algorithm,
+                        })
                     })
                 })
             })
@@ -328,11 +515,25 @@ mod tests {
     }
 
     #[test]
+    fn algorithm_plans_are_not_threads_only() {
+        let p = ExecutionPlan::with_threads(4).with_algorithm(Algorithm::Strassen { cutoff: 256 });
+        assert!(!p.is_threads_only());
+        assert_eq!(p.with_thread_count(9).algorithm, Algorithm::Strassen { cutoff: 256 });
+        assert!(ExecutionPlan::with_threads(4)
+            .with_algorithm(Algorithm::Blocked)
+            .is_threads_only());
+    }
+
+    #[test]
     fn describe_is_compact() {
         let p = ExecutionPlan::with_threads(8);
         assert_eq!(p.describe(), "t=8 isa=auto blk=auto pack=shared-b");
         let q = p.with_isa(KernelIsa::Scalar).with_packing(PackingStrategy::Independent);
         assert_eq!(q.describe(), "t=8 isa=scalar blk=auto pack=independent");
+        let s = p.with_algorithm(Algorithm::Strassen { cutoff: 512 });
+        assert_eq!(s.describe(), "t=8 isa=auto blk=auto pack=shared-b algo=strassen:512");
+        let z = p.with_algorithm(Algorithm::ZOrder);
+        assert_eq!(z.describe(), "t=8 isa=auto blk=auto pack=shared-b algo=zorder");
     }
 
     #[test]
@@ -361,9 +562,27 @@ mod tests {
         assert_eq!(points[12], PlanPoint::threads_only(8));
         // All points distinct.
         let mut uniq = points.clone();
-        uniq.sort_by_key(|p| (p.threads, p.isa as u8, p.block_percent, p.packing as u8));
+        uniq.sort_by_key(|p| (p.threads, p.isa as u8, p.blocking.kc_percent, p.packing as u8));
         uniq.dedup();
         assert_eq!(uniq.len(), points.len());
+    }
+
+    #[test]
+    fn widened_grid_spans_the_algorithm_axis() {
+        let grid = PlanGrid::widened(vec![1, 8], 256);
+        assert!(!grid.is_threads_only());
+        assert_eq!(grid.feature_rev, FEATURE_REV_AXES);
+        // 2 threads × 1 isa × (1·3·2) blockings × 1 packing × 3 algos.
+        assert_eq!(grid.len(), 2 * 6 * 3);
+        let points: Vec<_> = grid.points().collect();
+        assert_eq!(points[0], PlanPoint::threads_only(1));
+        assert!(points.iter().any(|p| p.algorithm == Algorithm::Strassen { cutoff: 256 }));
+        assert!(points.iter().any(|p| p.algorithm == Algorithm::ZOrder));
+        // Per-axis deviations really are per-axis: some candidate scales
+        // KC without touching MC.
+        assert!(points
+            .iter()
+            .any(|p| p.blocking.kc_percent != 100 && p.blocking.mc_percent == 100));
     }
 
     #[test]
@@ -376,8 +595,9 @@ mod tests {
         let q = PlanPoint {
             threads: 4,
             isa: IsaChoice::Scalar,
-            block_percent: 50,
+            blocking: BlockScale::uniform(50),
             packing: PackingStrategy::Independent,
+            algorithm: Algorithm::Blocked,
         }
         .materialise(Precision::F32);
         assert_eq!(q.threads, 4);
@@ -388,11 +608,50 @@ mod tests {
     }
 
     #[test]
+    fn materialise_uniform_scale_matches_legacy_scaled() {
+        use crate::dispatch::Precision;
+        // A migrated v3 block_percent=p must materialise bit-identically
+        // to the old `scaled(p)` path.
+        for percent in [50u32, 200] {
+            let point =
+                PlanPoint { blocking: BlockScale::uniform(percent), ..PlanPoint::threads_only(4) };
+            let plan = point.materialise(Precision::F32);
+            assert_eq!(
+                plan.blocking,
+                Some(BlockSizes::dispatched_for(Precision::F32).scaled(percent))
+            );
+        }
+    }
+
+    #[test]
+    fn materialise_carries_the_algorithm() {
+        use crate::dispatch::Precision;
+        let point = PlanPoint {
+            algorithm: Algorithm::Strassen { cutoff: 128 },
+            ..PlanPoint::threads_only(2)
+        };
+        let plan = point.materialise(Precision::F64);
+        assert_eq!(plan.algorithm, Algorithm::Strassen { cutoff: 128 });
+        assert!(plan.blocking.is_none(), "default blocking stays host-derived");
+        assert!(!point.is_default_axes());
+    }
+
+    #[test]
     fn reduced_grid_has_two_axes() {
         let grid = PlanGrid::reduced(vec![1, 2, 4]);
         assert_eq!(grid.len(), 6);
         assert!(!grid.is_threads_only());
         assert!(grid.plan_features);
+        assert_eq!(grid.feature_rev, FEATURE_REV_LEGACY);
+    }
+
+    #[test]
+    fn axes_product_is_mc_major_defaults_first() {
+        let b = BlockScale::axes_product(&[100, 50], &[100, 200], &[100]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[0], BlockScale::default());
+        assert_eq!(b[1], BlockScale::new(100, 200, 100));
+        assert_eq!(b[2], BlockScale::new(50, 100, 100));
     }
 
     #[test]
@@ -400,9 +659,15 @@ mod tests {
         let p = ExecutionPlan::with_threads(6)
             .with_isa(KernelIsa::Scalar)
             .with_blocking(BlockSizes::for_f32())
-            .with_packing(PackingStrategy::Independent);
+            .with_packing(PackingStrategy::Independent)
+            .with_algorithm(Algorithm::Strassen { cutoff: 384 });
         let v = serde::Serialize::to_value(&p);
         let back: ExecutionPlan = serde::Deserialize::from_value(&v).unwrap();
         assert_eq!(p, back);
+
+        let grid = PlanGrid::widened(vec![1, 4], 256);
+        let v = serde::Serialize::to_value(&grid);
+        let back: PlanGrid = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(grid, back);
     }
 }

@@ -9,6 +9,7 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 use crate::isa::KernelIsa;
+use crate::plan::Algorithm;
 
 /// Aggregated statistics for one GEMM call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -18,6 +19,11 @@ pub struct GemmStats {
     /// routines without a register-tile kernel report
     /// [`KernelIsa::Scalar`].
     pub kernel_isa: KernelIsa,
+    /// The algorithm that *executed* — which may differ from the plan's
+    /// request when an ineligible shape degrades (e.g. Strassen refused
+    /// below its cutoff runs [`Algorithm::Blocked`]). Telemetry compares
+    /// this against the plan to count algorithm downgrades.
+    pub algorithm: Algorithm,
     /// Effective register-tile rows of the dispatched kernel (1 for
     /// routines without a tiled kernel, 0 only on `GemmStats::default`).
     pub mr: usize,
@@ -113,6 +119,7 @@ impl StatsCollector {
         let max_busy = self.max_busy_ns.load(Ordering::Relaxed);
         GemmStats {
             kernel_isa: kernel.0,
+            algorithm: Algorithm::Blocked,
             mr: kernel.1,
             nr: kernel.2,
             threads_used,

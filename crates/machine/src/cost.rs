@@ -6,7 +6,7 @@
 //! thread count" — which is exactly the question the paper's training data
 //! gathering asks the real machines.
 
-use adsala_gemm::plan::{IsaChoice, PackingStrategy, PlanPoint};
+use adsala_gemm::plan::{Algorithm, IsaChoice, PackingStrategy, PlanPoint};
 use adsala_sampling::GemmShape;
 use serde::{Deserialize, Serialize};
 
@@ -117,14 +117,69 @@ impl MachineModel {
     ///
     /// * **scalar ISA** — divides the kernel's FLOP capacity by the
     ///   vector width (`32 / element_bytes` lanes);
-    /// * **block scale** — rescales `KC`, which moves the per-panel
-    ///   barrier count, `C` write-back traffic and kernel-call overhead,
-    ///   at a small kernel-efficiency penalty for leaving the tuned
-    ///   cache footprint;
+    /// * **block scale** — the `kc` axis rescales `KC`, which moves the
+    ///   per-panel barrier count, `C` write-back traffic and kernel-call
+    ///   overhead; any axis off 100% additionally pays a small
+    ///   kernel-efficiency penalty for leaving the tuned cache footprint;
     /// * **independent packing** — drops the per-panel barrier (only a
     ///   start and end barrier remain) but pays duplicated `B`-copy
-    ///   traffic across row groups.
+    ///   traffic across row groups;
+    /// * **Strassen** — with `L` eligible recursion levels, the cost is
+    ///   `7^L` blocked base calls at the `2^L`-times-halved shape (this
+    ///   is literally what the driver executes) plus operand
+    ///   combine/scatter streaming per level; the `(7/8)^L` FLOP saving
+    ///   and the small-base-case inefficiency at high thread counts both
+    ///   fall out of pricing the base shape directly. An ineligible shape
+    ///   prices as blocked, exactly as the dispatcher degrades it;
+    /// * **Z-order** — serial by construction: priced as the one-thread
+    ///   blocked plan with a small `B`-repack saving from Morton-adjacent
+    ///   macro-block reuse.
     pub fn expected_point(&self, shape: GemmShape, point: &PlanPoint) -> CostBreakdown {
+        match point.algorithm {
+            Algorithm::Blocked => {}
+            Algorithm::Strassen { cutoff } => {
+                let (m, k, n) = (shape.m.max(1), shape.k.max(1), shape.n.max(1));
+                let levels =
+                    adsala_gemm::strassen::levels(m as usize, n as usize, k as usize, cutoff);
+                if levels == 0 {
+                    // The dispatcher refuses and runs blocked.
+                    return self.expected_point(
+                        shape,
+                        &PlanPoint { algorithm: Algorithm::Blocked, ..*point },
+                    );
+                }
+                // The driver runs 7^L blocked base calls at the halved
+                // shape; price exactly that. The thread team spawns once.
+                let div = 1u64 << levels;
+                let base_shape = GemmShape::new(m / div, k / div, n / div);
+                let base = self.expected_point(
+                    base_shape,
+                    &PlanPoint { algorithm: Algorithm::Blocked, ..*point },
+                );
+                let calls = 7f64.powi(levels as i32);
+                let lf = f64::from(levels);
+                let es = self.element_bytes as f64;
+                // Quadrant sums and ±α scatters stream operand-sized
+                // buffers through memory once per level.
+                let combine_bytes =
+                    es * lf * 2.0 * ((m * k) as f64 + (k * n) as f64 + 2.0 * (m * n) as f64);
+                let place = Placement::place(&self.topology, point.threads.max(1), self.affinity);
+                let bw = self.topology.socket_bw() * place.sockets_used as f64;
+                return CostBreakdown {
+                    spawn_s: base.spawn_s,
+                    sync_s: base.sync_s * calls,
+                    copy_s: base.copy_s * calls + combine_bytes / bw,
+                    kernel_s: base.kernel_s * calls,
+                };
+            }
+            Algorithm::ZOrder => {
+                let serial = self.expected_point(
+                    shape,
+                    &PlanPoint { threads: 1, algorithm: Algorithm::Blocked, ..*point },
+                );
+                return CostBreakdown { copy_s: serial.copy_s * 0.9, ..serial };
+            }
+        }
         let topo = &self.topology;
         let params = self.vendor.params();
         let p = point.threads.clamp(1, topo.total_threads());
@@ -138,10 +193,10 @@ impl MachineModel {
         // Zero-padding of ragged micro-tiles: packed bytes per logical byte.
         let pad_m = (tile_m.div_ceil(params.mr) * params.mr) as f64 / tile_m as f64;
         let pad_n = (tile_n.div_ceil(params.nr) * params.nr) as f64 / tile_n as f64;
-        let kc = if point.block_percent == 100 {
+        let kc = if point.blocking.kc_percent == 100 {
             params.kc
         } else {
-            (params.kc * point.block_percent.max(1) as u64 / 100).max(1)
+            (params.kc * point.blocking.kc_percent.max(1) as u64 / 100).max(1)
         };
         let kblocks = k.div_ceil(kc).max(1) as f64;
         let independent = point.packing == PackingStrategy::Independent;
@@ -209,10 +264,11 @@ impl MachineModel {
         let mut eff = params.kernel_eff * eff_m * eff_n * eff_k;
         // Leaving the vendor-tuned cache footprint costs kernel
         // efficiency: oversized panels spill L2, undersized ones re-load
-        // A micro-panels more often.
-        if point.block_percent > 100 {
+        // A micro-panels more often. Any axis off its default pays.
+        let b = &point.blocking;
+        if b.mc_percent > 100 || b.kc_percent > 100 || b.nc_percent > 100 {
             eff *= 0.90;
-        } else if point.block_percent < 100 {
+        } else if b.mc_percent < 100 || b.kc_percent < 100 || b.nc_percent < 100 {
             eff *= 0.96;
         }
         let flops = shape.flops() as f64;
@@ -288,8 +344,15 @@ impl MachineModel {
             matches!(self.affinity, Affinity::ThreadBased) as u64,
             0x504C_414E, // "PLAN": keeps plan streams off the legacy ones
             point.isa as u64,
-            point.block_percent as u64,
+            point.blocking.mc_percent as u64,
+            point.blocking.kc_percent as u64,
+            point.blocking.nc_percent as u64,
             point.packing as u64,
+            match point.algorithm {
+                Algorithm::Blocked => 0,
+                Algorithm::ZOrder => 1,
+                Algorithm::Strassen { cutoff } => 0x100 + cutoff as u64,
+            },
         ]);
         expected
             * lognormal_factor(seed, self.noise_sigma)
@@ -560,21 +623,96 @@ mod tests {
         let base = model.expected_point(shape, &PlanPoint::threads_only(48));
         let wide = model.expected_point(
             shape,
-            &PlanPoint { block_percent: 200, ..PlanPoint::threads_only(48) },
+            &PlanPoint {
+                blocking: adsala_gemm::plan::BlockScale::uniform(200),
+                ..PlanPoint::threads_only(48)
+            },
         );
         assert!(wide.sync_s < base.sync_s, "bigger KC means fewer panel barriers");
-        // Every non-default plan point stays finite and positive.
-        for point in adsala_gemm::plan::PlanGrid::full(vec![1, 48]).points().collect::<Vec<_>>() {
-            let c = model.expected_point(shape, &point);
-            assert!(c.total().is_finite() && c.total() > 0.0, "{point:?}");
+        // A kc-only widening moves barriers exactly like the uniform one
+        // (only the kc axis enters the barrier count)...
+        let kc_only = model.expected_point(
+            shape,
+            &PlanPoint {
+                blocking: adsala_gemm::plan::BlockScale::new(100, 200, 100),
+                ..PlanPoint::threads_only(48)
+            },
+        );
+        assert_eq!(kc_only.sync_s, wide.sync_s);
+        // Every non-default plan point stays finite and positive, over
+        // both the legacy and the widened grid.
+        for grid in [
+            adsala_gemm::plan::PlanGrid::full(vec![1, 48]),
+            adsala_gemm::plan::PlanGrid::widened(vec![1, 48], 512),
+        ] {
+            for point in grid.points() {
+                let c = model.expected_point(shape, &point);
+                assert!(c.total().is_finite() && c.total() > 0.0, "{point:?}");
+            }
         }
+    }
+
+    #[test]
+    fn strassen_trades_kernel_flops_for_sync_and_copy() {
+        let model = MachineModel::gadi();
+        let strassen = |p: u32| PlanPoint {
+            algorithm: Algorithm::Strassen { cutoff: 512 },
+            ..PlanPoint::threads_only(p)
+        };
+        // Compute-bound large square at low thread counts: the (7/8)^L
+        // FLOP saving wins, and by the ≥ 1.15× margin real Strassen
+        // implementations report at these sizes.
+        let big = sq(4096);
+        let blocked = model.expected_point(big, &PlanPoint::threads_only(1));
+        let fast = model.expected_point(big, &strassen(1));
+        assert!(fast.kernel_s < blocked.kernel_s, "Strassen must cut kernel time");
+        assert!(
+            fast.total() * 1.15 < blocked.total(),
+            "Strassen should win a serial 4096³ by ≥ 1.15×: {:.3e} vs {:.3e}",
+            fast.total(),
+            blocked.total()
+        );
+        // At the full 96-thread count the tiny base cases thrash (the
+        // same Table VII contention pathology the blocked model has), so
+        // blocked must win there — Strassen is a low-parallelism play.
+        let wide_blocked = model.expected_point(big, &PlanPoint::threads_only(96)).total();
+        let wide_strassen = model.expected_point(big, &strassen(96)).total();
+        assert!(wide_strassen > wide_blocked, "Strassen must lose at full thread count");
+        // Ineligible shape (odd dimension): priced exactly as blocked,
+        // mirroring the dispatcher's degrade.
+        let odd = GemmShape::new(4095, 4096, 4096);
+        assert_eq!(
+            model.expected_point(odd, &strassen(24)),
+            model.expected_point(odd, &PlanPoint::threads_only(24))
+        );
+        // An eligible skewed copy-bound shape: the duplicated base-call
+        // packing must make Strassen lose even serially.
+        let skew = GemmShape::new(1024, 8192, 1024);
+        let sk_blocked = model.expected_point(skew, &PlanPoint::threads_only(96)).total();
+        let sk_strassen = model.expected_point(skew, &strassen(96)).total();
+        assert!(sk_strassen > sk_blocked, "Strassen must lose a copy-bound skewed shape");
+    }
+
+    #[test]
+    fn zorder_prices_as_serial_blocked_with_cheaper_repacks() {
+        let model = MachineModel::gadi();
+        let shape = sq(1000);
+        let z = PlanPoint { algorithm: Algorithm::ZOrder, ..PlanPoint::threads_only(48) };
+        let priced = model.expected_point(shape, &z);
+        let serial = model.expected_point(shape, &PlanPoint::threads_only(1));
+        assert_eq!(priced.kernel_s, serial.kernel_s);
+        assert_eq!(priced.sync_s, 0.0, "Z-order is serial: no barriers");
+        assert!(priced.copy_s < serial.copy_s, "Morton reuse must save repack traffic");
     }
 
     #[test]
     fn plan_points_get_independent_noise_streams() {
         let model = MachineModel::gadi();
         let shape = sq(500);
-        let a = PlanPoint { block_percent: 200, ..PlanPoint::threads_only(24) };
+        let a = PlanPoint {
+            blocking: adsala_gemm::plan::BlockScale::uniform(200),
+            ..PlanPoint::threads_only(24)
+        };
         let b = PlanPoint { packing: PackingStrategy::Independent, ..PlanPoint::threads_only(24) };
         let ma = model.measure_point(shape, &a, 0);
         assert_eq!(ma, model.measure_point(shape, &a, 0), "deterministic");

@@ -193,17 +193,26 @@ mod tests {
 
     #[test]
     fn host_timer_runs_non_default_plans() {
-        use adsala_gemm::plan::{IsaChoice, PackingStrategy};
+        use adsala_gemm::plan::{Algorithm, BlockScale, IsaChoice, PackingStrategy};
         let timer = HostTimer::with_max_threads(2);
         let shape = GemmShape::new(48, 48, 48);
         let point = PlanPoint {
             threads: 2,
             isa: IsaChoice::Scalar,
-            block_percent: 50,
+            blocking: BlockScale::uniform(50),
             packing: PackingStrategy::Independent,
+            algorithm: Algorithm::Blocked,
         };
         let t = timer.time_plan(shape, &point, 1);
         assert!(t > 0.0 && t < 1.0, "implausible plan timing {t}");
+        // Algorithm-axis points run through the real dispatcher too: an
+        // eligible Z-order plan and an (ineligible, degrading) Strassen
+        // plan must both time without issue.
+        for algorithm in [Algorithm::ZOrder, Algorithm::Strassen { cutoff: 64 }] {
+            let point = PlanPoint { algorithm, ..PlanPoint::threads_only(2) };
+            let t = timer.time_plan(shape, &point, 1);
+            assert!(t > 0.0 && t < 1.0, "implausible {algorithm:?} timing {t}");
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Grid install smoke: train over a reduced execution-plan grid
-//! (threads × packing) on the simulated Gadi node, round-trip the v3
-//! artefact, and serve full-plan decisions plus one real host GEMM.
+//! (threads × packing) on the simulated Gadi node, round-trip the
+//! versioned artefact, and serve full-plan decisions plus one real host
+//! GEMM.
 //!
 //! This is the CI guard for the plan-candidate machinery: gathering over
 //! a non-degenerate `PlanGrid`, appending the plan axes to the feature
@@ -34,11 +35,11 @@ fn main() {
         install.grid.len()
     );
 
-    // The grid must survive the artefact round trip (schema v3).
+    // The grid must survive the artefact round trip at the current schema.
     let artifact = install.to_artifact();
     let json = artifact.to_json().expect("serialise");
-    assert!(json.contains("\"version\":3"));
-    let back = Artifact::from_json(&json).expect("v3 round trip");
+    assert!(json.contains(&format!("\"version\":{}", Artifact::VERSION)));
+    let back = Artifact::from_json(&json).expect("artefact round trip");
     assert!(!back.grid.is_threads_only(), "the reloaded artefact keeps the plan grid");
 
     // Serve decisions: full plans, not just thread counts.

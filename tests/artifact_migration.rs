@@ -1,8 +1,9 @@
 //! Schema-migration guarantees: pinned v1 and v2 installation artefacts
 //! (committed under `tests/fixtures/`, written by the pre-redesign and
-//! pre-plan runtimes respectively) must load as schema v3 with
+//! pre-plan runtimes respectively) must load at the current schema with
 //! threads-only candidate grids and reproduce the writing build's
-//! decisions bit for bit.
+//! decisions bit for bit. (The v3 → v4 grid-widening fixture lives in
+//! `tests/algorithm_equivalence.rs` next to the algorithm-axis suite.)
 
 use std::path::{Path, PathBuf};
 
@@ -40,7 +41,7 @@ const V2_PINNED_DECISIONS: &[((u64, u64, u64), u32, u64)] = &[
 ];
 
 #[test]
-fn v1_fixture_loads_as_v3_with_model_in_gemm_slot() {
+fn v1_fixture_loads_at_current_schema_with_model_in_gemm_slot() {
     let art = Artifact::load(&fixture_path("artifact_v1.json")).expect("fixture must load");
     assert_eq!(art.version, Artifact::VERSION, "loaded artefacts carry the current schema");
     assert_eq!(art.machine, "gadi-sim-v1");
@@ -53,7 +54,7 @@ fn v1_fixture_loads_as_v3_with_model_in_gemm_slot() {
 }
 
 #[test]
-fn v2_fixture_loads_as_v3_with_threads_only_grid() {
+fn v2_fixture_loads_at_current_schema_with_threads_only_grid() {
     let art = Artifact::load(&fixture_path("artifact_v2.json")).expect("fixture must load");
     assert_eq!(art.version, Artifact::VERSION);
     assert_eq!(art.machine, "gadi-sim-v2");
@@ -126,14 +127,15 @@ fn v2_fixture_serves_identically_through_the_concurrent_service() {
 }
 
 #[test]
-fn migrated_fixture_rewrites_as_v3_and_round_trips() {
+fn migrated_fixture_rewrites_at_current_schema_and_round_trips() {
     for name in ["artifact_v1.json", "artifact_v2.json"] {
         let art = Artifact::load(&fixture_path(name)).expect("fixture must load");
         let json = art.to_json().expect("serialise");
-        assert!(json.contains("\"version\":3"), "rewritten artefacts must be v3 ({name})");
-        assert!(json.contains("\"models\""), "v3 carries the per-routine model table");
-        assert!(json.contains("\"grid\""), "v3 carries the candidate plan grid");
-        let back = Artifact::from_json(&json).expect("v3 round trip");
+        let tag = format!("\"version\":{}", Artifact::VERSION);
+        assert!(json.contains(&tag), "rewritten artefacts must carry the current schema ({name})");
+        assert!(json.contains("\"models\""), "the per-routine model table must survive");
+        assert!(json.contains("\"grid\""), "the candidate plan grid must survive");
+        let back = Artifact::from_json(&json).expect("current-schema round trip");
         let mut a = art.into_runtime();
         let mut b = back.into_runtime();
         for &((m, k, n), _, _) in V1_PINNED_DECISIONS {
