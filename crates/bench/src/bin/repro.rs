@@ -48,7 +48,7 @@ use adsala_sampling::{DomainSampler, GemmShape, MemoryCap, Precision, Predesigne
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: repro <fig1|fig4|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table3|table4|table5|table6|table7|plans|scheduler|online|algo|ablation <name>|all>");
+        eprintln!("usage: repro <fig1|fig4|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table3|table4|table5|table6|table7|plans|scheduler|online|algo|faults|ablation <name>|all>");
         std::process::exit(2);
     };
     let started = Instant::now();
@@ -74,6 +74,7 @@ fn main() {
         "scheduler" => scheduler_bench(),
         "online" => online_bench(),
         "algo" => algo_bench(),
+        "faults" => faults_bench(),
         "ablation" => ablation(args.get(1).map(String::as_str).unwrap_or("")),
         "all" => {
             fig1();
@@ -97,6 +98,7 @@ fn main() {
             scheduler_bench();
             online_bench();
             algo_bench();
+            faults_bench();
             for name in ["yj", "lof", "corr", "halton", "memo", "eval-overhead"] {
                 ablation(name);
             }
@@ -910,6 +912,208 @@ fn scheduler_bench() {
     std::fs::create_dir_all(results_dir()).expect("create results dir");
     std::fs::write(&path, serde_json::to_string(&report).expect("serialise bench"))
         .expect("write BENCH_scheduler.json");
+    println!("[json] {}", path.display());
+}
+
+// ------------------------------------------------------------------ faults
+
+/// The `BENCH_faults.json` schema: recovery counters and tail latency
+/// from a chaos flood under an injected fault plan.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct FaultsBenchReport {
+    bench: String,
+    fault_spec: String,
+    clients: usize,
+    reps_per_client: usize,
+    ops_completed: u64,
+    injected_panics: u64,
+    injected_stalls: u64,
+    panics_recovered: u64,
+    degraded_retries: u64,
+    execution_failures: u64,
+    workers_respawned: u64,
+    deadline_misses: u64,
+    shed_expired: u64,
+    admission_timeouts: u64,
+    gang_backoff_retries: u64,
+    p50_latency_ms: f64,
+    p99_latency_ms: f64,
+}
+
+/// Chaos run on the host pool: an 8-client mixed-shape flood while a
+/// `FaultPlan` injects worker panics and stalls (honouring
+/// `ADSALA_FAULTS` when set, falling back to a built-in chaos spec),
+/// followed by deterministic expired-deadline traffic through the
+/// scheduler. Every flood client must still be served; the recovery
+/// counters and the tail latency under faults are recorded to
+/// `results/BENCH_faults.json`.
+fn faults_bench() {
+    use adsala_gemm::dispatch::{GemmArgs, OpRequest};
+    use adsala_gemm::fault::{self, FaultPlan};
+
+    banner("Fault tolerance — chaos flood with injected worker faults (host)");
+
+    const DEFAULT_SPEC: &str = "panic:where=worker:count=8, stall:ms=1:count=32";
+    let (plan, spec) = match fault::current_plan() {
+        Some(plan) => (plan, "env:ADSALA_FAULTS".to_string()),
+        None => (
+            fault::set_plan(Some(FaultPlan::parse(DEFAULT_SPEC).expect("default fault spec")))
+                .expect("install fault plan"),
+            DEFAULT_SPEC.to_string(),
+        ),
+    };
+    println!("fault plan: {spec}");
+
+    // Injected panics are the point of this run: silence their reports
+    // so the output stays readable, but keep the hook for real ones.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let expected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("injected fault"))
+            || info.payload().downcast_ref::<&str>().is_some_and(|m| m.contains("injected fault"));
+        if !expected {
+            default_hook(info);
+        }
+    }));
+
+    let bundle = adsala::bundle::quick_test_bundle().into_shared();
+    let svc = std::sync::Arc::new(adsala::AdsalaService::with_config(
+        bundle,
+        adsala::ServiceConfig { pool_workers: 4, ..adsala::ServiceConfig::default() },
+    ));
+
+    let clients = 8usize;
+    let reps = 24usize;
+    let shapes: [(usize, usize, usize); 4] =
+        [(256, 256, 256), (192, 192, 192), (96, 96, 96), (64, 64, 64)];
+    let fill = |len: usize, seed: u64| -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s % 1000) as f32 - 500.0) / 250.0
+            })
+            .collect()
+    };
+    let lat = std::sync::Mutex::new(Vec::<f64>::new());
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let (svc, lat, fill) = (&svc, &lat, &fill);
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(reps);
+                for rep in 0..reps {
+                    let (m, n, k) = shapes[(client + rep) % shapes.len()];
+                    let a = fill(m * k, (client * 100 + rep) as u64 + 1);
+                    let b = fill(k * n, (client * 100 + rep) as u64 + 51);
+                    let mut c = vec![0.0f32; m * n];
+                    let mut req: OpRequest<'_, f32> =
+                        GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+                    let t0 = Instant::now();
+                    svc.run(&mut req).expect("every client must be served under faults");
+                    local.push(t0.elapsed().as_secs_f64());
+                }
+                lat.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut lat = lat.into_inner().unwrap();
+    lat.sort_by(f64::total_cmp);
+
+    // Deterministic deadline traffic: already-expired deadlines must be
+    // shed by the wave planner (scheduler) and refused before execution
+    // (service), both counted, neither touching the output.
+    let sched = adsala::ServiceScheduler::with_config(
+        std::sync::Arc::clone(&svc),
+        adsala::SchedulerConfig::default(),
+    );
+    let expired = adsala::RunOptions::default()
+        .with_deadline(Instant::now() - std::time::Duration::from_millis(1));
+    for seed in 0..4u64 {
+        let (m, n, k) = (64usize, 64usize, 64usize);
+        let a = fill(m * k, 900 + seed);
+        let b = fill(k * n, 950 + seed);
+        let mut c = vec![0.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let outcome = if seed % 2 == 0 {
+            sched.submit_with(&mut req, expired).map(|_| ())
+        } else {
+            svc.run_with(&mut req, expired).map(|_| ())
+        };
+        assert!(
+            matches!(outcome, Err(adsala::AdsalaError::Timeout(_))),
+            "expired deadline must be refused with Timeout"
+        );
+    }
+
+    fault::set_plan(None);
+    let _ = std::panic::take_hook(); // restore the default panic hook
+
+    let stats = svc.stats();
+    let sstats = sched.stats();
+    let ops = (clients * reps) as u64;
+    if plan.injected_panics() > 0 {
+        assert!(stats.panics_recovered >= 1, "injected panics were not recovered");
+        assert!(stats.pool.workers_respawned >= 1, "dead workers were not respawned");
+    }
+    assert_eq!(stats.execution_failures, 0, "a client request was dropped");
+
+    println!(
+        "[service] chaos flood: {ops} ops served under faults \
+         (p50 {:.3} ms, p99 {:.3} ms)",
+        percentile(&lat, 0.50) * 1e3,
+        percentile(&lat, 0.99) * 1e3,
+    );
+    println!(
+        "[service] faults injected: {} kernel panics, {} worker stalls",
+        plan.injected_panics(),
+        plan.injected_stalls(),
+    );
+    println!(
+        "[service] recovery: {} panics recovered, {} degraded retries, \
+         {} execution failures, {} workers respawned",
+        stats.panics_recovered,
+        stats.degraded_retries,
+        stats.execution_failures,
+        stats.pool.workers_respawned,
+    );
+    println!(
+        "[service] deadlines: {} misses refused, {} shed while queued, \
+         {} admission timeouts",
+        stats.deadline_misses, sstats.shed_expired, sstats.admission_timeouts,
+    );
+    println!(
+        "[service] gangs under faults: {} reserved, {} refused, {} backoff retries",
+        stats.pool.gang_reserved, stats.pool.gang_refused, stats.pool.gang_backoff_retries,
+    );
+
+    let report = FaultsBenchReport {
+        bench: "faults".to_string(),
+        fault_spec: spec,
+        clients,
+        reps_per_client: reps,
+        ops_completed: ops,
+        injected_panics: plan.injected_panics(),
+        injected_stalls: plan.injected_stalls(),
+        panics_recovered: stats.panics_recovered,
+        degraded_retries: stats.degraded_retries,
+        execution_failures: stats.execution_failures,
+        workers_respawned: stats.pool.workers_respawned,
+        deadline_misses: stats.deadline_misses,
+        shed_expired: sstats.shed_expired,
+        admission_timeouts: sstats.admission_timeouts,
+        gang_backoff_retries: stats.pool.gang_backoff_retries,
+        p50_latency_ms: percentile(&lat, 0.50) * 1e3,
+        p99_latency_ms: percentile(&lat, 0.99) * 1e3,
+    };
+    let path = results_dir().join("BENCH_faults.json");
+    std::fs::create_dir_all(results_dir()).expect("create results dir");
+    std::fs::write(&path, serde_json::to_string(&report).expect("serialise bench"))
+        .expect("write BENCH_faults.json");
     println!("[json] {}", path.display());
 }
 

@@ -33,7 +33,7 @@ use adsala_gemm::plan::{
 };
 use adsala_gemm::Routine;
 use adsala_ml::AnyModel;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::bundle::ArtifactBundle;
 use crate::preprocess::PreprocessConfig;
@@ -172,6 +172,59 @@ struct VersionProbe {
     version: u32,
 }
 
+/// Reject any non-finite number anywhere in the document.
+///
+/// The typed float impls deserialize `null` (and JSON's out-of-range
+/// literals like `1e999` parse to ∞), so a corrupted predicted-runtime
+/// curve would otherwise flow silently into the runtime's argmin sweep,
+/// where a single NaN poisons every comparison. Walking the raw tree
+/// before the typed parse catches the corruption at the load boundary.
+fn reject_non_finite(v: &Value) -> Result<(), AdsalaError> {
+    match v {
+        Value::F64(f) if !f.is_finite() => Err(AdsalaError::Artifact(
+            "non-finite number in artifact JSON (corrupted model or curve)".into(),
+        )),
+        Value::Seq(items) => items.iter().try_for_each(reject_non_finite),
+        Value::Map(entries) => entries.iter().try_for_each(|(_, x)| reject_non_finite(x)),
+        _ => Ok(()),
+    }
+}
+
+/// Sanity-check a loaded (post-migration) candidate grid: every axis the
+/// runtime sweeps must be non-empty, thread counts must be positive and
+/// strictly ascending (the ladder order the installers write and the
+/// capped-selection path binary-searches), and block scales must be
+/// positive (a zero percent would collapse a cache-block axis to nothing).
+fn validate_grid(grid: &PlanGrid) -> Result<(), AdsalaError> {
+    let bad = |msg: String| Err(AdsalaError::Artifact(msg));
+    if grid.threads.is_empty() {
+        return bad("artifact has no thread candidates".into());
+    }
+    if grid.threads[0] == 0 {
+        return bad("artifact grid has a zero thread candidate".into());
+    }
+    if grid.threads.windows(2).any(|w| w[0] >= w[1]) {
+        return bad(format!(
+            "artifact thread ladder is not strictly ascending: {:?}",
+            grid.threads
+        ));
+    }
+    for (axis, empty) in [
+        ("isa", grid.isa.is_empty()),
+        ("blockings", grid.blockings.is_empty()),
+        ("packing", grid.packing.is_empty()),
+        ("algorithms", grid.algorithms.is_empty()),
+    ] {
+        if empty {
+            return bad(format!("artifact grid has an empty `{axis}` axis"));
+        }
+    }
+    if grid.blockings.iter().any(|b| b.mc_percent == 0 || b.kc_percent == 0 || b.nc_percent == 0) {
+        return bad("artifact grid has a zero cache-block scale".into());
+    }
+    Ok(())
+}
+
 impl Artifact {
     /// Current schema version.
     pub const VERSION: u32 = 4;
@@ -228,6 +281,11 @@ impl Artifact {
     /// return [`AdsalaError::Unsupported`].
     pub fn from_json(json: &str) -> Result<Self, AdsalaError> {
         let err = |e: serde_json::Error| AdsalaError::Artifact(e.to_string());
+        // Validate the raw tree before any typed parse: the typed float
+        // path maps non-finite values to NaN, which would only surface
+        // later as a poisoned argmin inside the decision sweep.
+        let raw: Value = serde_json::from_str(json).map_err(err)?;
+        reject_non_finite(&raw)?;
         let probe: VersionProbe = serde_json::from_str(json).map_err(err)?;
         let artifact = match probe.version {
             Self::V1 => {
@@ -266,9 +324,7 @@ impl Artifact {
                 )))
             }
         };
-        if artifact.grid.threads.is_empty() {
-            return Err(AdsalaError::Artifact("artifact has no thread candidates".into()));
-        }
+        validate_grid(&artifact.grid)?;
         Ok(artifact)
     }
 
@@ -497,5 +553,61 @@ mod tests {
     fn garbage_json_rejected() {
         assert!(Artifact::from_json("{not json").is_err());
         assert!(Artifact::load(Path::new("/nonexistent/artifact.json")).is_err());
+    }
+
+    #[test]
+    fn corrupted_model_curve_rejected_at_load() {
+        let art = artifact();
+        let json = art.to_json().unwrap();
+        // The fault harness's corruption vector: the first model
+        // coefficient becomes `1e999`, which parses to +∞ and would
+        // reach the decision sweep as NaN via the typed float path.
+        let corrupt = adsala_gemm::FaultPlan::corrupt_artifact_json(&json);
+        assert_ne!(corrupt, json, "corruption must alter the document");
+        match Artifact::from_json(&corrupt) {
+            Err(AdsalaError::Artifact(msg)) => {
+                assert!(msg.contains("non-finite"), "{msg}")
+            }
+            other => panic!("expected Artifact error, got {other:?}"),
+        }
+        // The pristine document still loads.
+        assert!(Artifact::from_json(&json).is_ok());
+    }
+
+    #[test]
+    fn unsorted_thread_ladder_rejected() {
+        let mut art = artifact();
+        art.grid.threads = vec![4, 2, 8];
+        let json = serde_json::to_string(&art).unwrap();
+        match Artifact::from_json(&json) {
+            Err(AdsalaError::Artifact(msg)) => {
+                assert!(msg.contains("ascending"), "{msg}")
+            }
+            other => panic!("expected Artifact error, got {other:?}"),
+        }
+        art.grid.threads = vec![0, 1, 2];
+        let json = serde_json::to_string(&art).unwrap();
+        assert!(Artifact::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn empty_grid_axis_rejected() {
+        for strip in [
+            |g: &mut PlanGrid| g.isa.clear(),
+            |g: &mut PlanGrid| g.blockings.clear(),
+            |g: &mut PlanGrid| g.packing.clear(),
+            |g: &mut PlanGrid| g.algorithms.clear(),
+            |g: &mut PlanGrid| {
+                g.blockings = vec![BlockScale { mc_percent: 0, kc_percent: 100, nc_percent: 100 }]
+            },
+        ] {
+            let mut art = artifact();
+            strip(&mut art.grid);
+            let json = serde_json::to_string(&art).unwrap();
+            match Artifact::from_json(&json) {
+                Err(AdsalaError::Artifact(_)) => {}
+                other => panic!("expected Artifact error, got {other:?}"),
+            }
+        }
     }
 }

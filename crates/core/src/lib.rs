@@ -154,6 +154,21 @@ pub enum AdsalaError {
     /// The input is recognised but this build cannot serve it (e.g. an
     /// artefact schema version newer than [`Artifact::VERSION`]).
     Unsupported(String),
+    /// An operation's kernel batch panicked and could not be recovered by
+    /// the degraded retry (see the service's fault-tolerance docs). The
+    /// output buffer contents are unspecified; the service itself is
+    /// healthy and keeps serving.
+    Execution {
+        /// The routine whose execution failed.
+        routine: Routine,
+        /// The captured panic message.
+        detail: String,
+    },
+    /// A deadline expired before the operation ran: the caller's
+    /// [`service::RunOptions::deadline`] passed, or a scheduler admission
+    /// wait exceeded its timeout and the request was shed while queued.
+    /// The output buffer is untouched.
+    Timeout(String),
 }
 
 impl std::fmt::Display for AdsalaError {
@@ -164,6 +179,10 @@ impl std::fmt::Display for AdsalaError {
             AdsalaError::Artifact(s) => write!(f, "artifact error: {s}"),
             AdsalaError::Shape(e) => write!(f, "{e}"),
             AdsalaError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            AdsalaError::Execution { routine, detail } => {
+                write!(f, "{routine} execution failed: {detail}")
+            }
+            AdsalaError::Timeout(s) => write!(f, "timed out: {s}"),
         }
     }
 }

@@ -36,16 +36,40 @@
 //! runs the kernel itself on the shared pool. For a fused unit the first
 //! member drives the whole batch while the others stay parked until their
 //! results — and per-op [`OpStats`] — are filled in.
+//!
+//! **Deadlines and load shedding.** Every park in the scheduler goes
+//! through one timeout-aware wait primitive: a plain
+//! [`ServiceScheduler::submit`] is simply the unbounded (`deadline =
+//! None`) case of [`ServiceScheduler::submit_within`]. A bounded call
+//! returns [`AdsalaError::Timeout`] instead of blocking forever — at the
+//! admission gate (also bounded globally by
+//! [`SchedulerConfig::admission_timeout`]), and while queued, where the
+//! wave planner sheds expired tickets before planning each wave (counted
+//! in `shed_expired`, surfaced to the owner as `Timeout` — never a
+//! silent drop). Once an op is *admitted* it always runs to completion:
+//! a fused member's pointer is held by its leader, and an in-flight
+//! unit's threads must return to the budget, so expiry mid-execution is
+//! deliberately not a cancellation point.
+//!
+//! **Panic isolation.** Solo and fused dispatches are guarded exactly
+//! like [`AdsalaService::run_with`]: a kernel panic is caught, the pool
+//! swept whole, and the op retried once on the degraded serial plan when
+//! that is sound (idempotent, deadline permitting; for a fused batch,
+//! member-by-member). Whatever the outcome, the unit completes — its
+//! threads return to the budget and its wave settles — so a panicked op
+//! can never wedge the queue. Unrecoverable members observe
+//! [`AdsalaError::Execution`] on their own `submit` calls.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use adsala_gemm::dispatch::{FuseKey, OpRequest, OpShape, OpStats};
+use adsala_gemm::dispatch::{FuseKey, OpRequest, OpShape, OpStats, Routine};
 use adsala_gemm::plan::ExecutionPlan;
 use adsala_gemm::Element;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::service::{AdsalaService, RunOptions, ServiceStats};
 use crate::AdsalaError;
@@ -62,11 +86,15 @@ pub struct SchedulerConfig {
     pub thread_budget: usize,
     /// Fuse same-shape shared-B GEMMs into one pooled dispatch.
     pub fuse: bool,
+    /// Upper bound on any submit's wait at the admission gate (a full
+    /// queue), regardless of the call's own deadline. `None` preserves
+    /// unbounded blocking back-pressure.
+    pub admission_timeout: Option<Duration>,
 }
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
-        Self { max_queue: 64, thread_budget: 0, fuse: true }
+        Self { max_queue: 64, thread_budget: 0, fuse: true, admission_timeout: None }
     }
 }
 
@@ -102,6 +130,13 @@ pub struct SchedulerStats {
     pub fused_ops: u64,
     /// Submits that blocked on a full admission queue.
     pub admission_waits: u64,
+    /// Submits refused with [`AdsalaError::Timeout`] at the admission
+    /// gate (queue still full when the wait's deadline passed).
+    pub admission_timeouts: u64,
+    /// Queued ops shed because their deadline passed before admission
+    /// (each owner observed [`AdsalaError::Timeout`]; none were dropped
+    /// silently or mid-execution).
+    pub shed_expired: u64,
     /// Scheduled ops whose kernel fell back from the planned ISA.
     pub plan_downgrades: u64,
     /// Ops currently queued, not yet admitted.
@@ -166,7 +201,22 @@ enum Admission {
 enum Phase {
     Queued,
     Admitted(Admission),
-    Done { plan: ExecutionPlan, predicted_s: f64, fused: bool, stats: OpStats },
+    Done {
+        plan: ExecutionPlan,
+        predicted_s: f64,
+        fused: bool,
+        stats: OpStats,
+    },
+    /// The ticket's deadline passed while it was still queued and the
+    /// wave planner dropped it from the queue; the owner observes
+    /// [`AdsalaError::Timeout`]. Admitted tickets are never shed.
+    Shed,
+    /// The op panicked and could not be recovered by the degraded retry;
+    /// the owner observes [`AdsalaError::Execution`].
+    Failed {
+        routine: Routine,
+        detail: String,
+    },
 }
 
 /// A predicted-runtime curve: `(plan, seconds)` rows ascending by
@@ -187,6 +237,9 @@ struct Ticket {
     curve: PlanCurve,
     slot: ErasedReq,
     phase: Phase,
+    /// The owner's deadline; the wave planner sheds the ticket if this
+    /// passes while it is still queued.
+    deadline: Option<Instant>,
 }
 
 #[derive(Debug)]
@@ -238,6 +291,7 @@ pub struct ServiceScheduler {
     max_queue: usize,
     thread_budget: usize,
     fuse: bool,
+    admission_timeout: Option<Duration>,
     state: Mutex<SchedState>,
     /// Signalled on any ticket phase change.
     work: Condvar,
@@ -252,6 +306,8 @@ pub struct ServiceScheduler {
     waves: AtomicU64,
     fused_ops: AtomicU64,
     admission_waits: AtomicU64,
+    admission_timeouts: AtomicU64,
+    shed_expired: AtomicU64,
     plan_downgrades: AtomicU64,
 }
 
@@ -277,6 +333,7 @@ impl ServiceScheduler {
             max_queue: cfg.max_queue.max(1),
             thread_budget: thread_budget.max(1),
             fuse: cfg.fuse,
+            admission_timeout: cfg.admission_timeout,
             state: Mutex::new(SchedState::default()),
             work: Condvar::new(),
             space: Condvar::new(),
@@ -286,6 +343,8 @@ impl ServiceScheduler {
             waves: AtomicU64::new(0),
             fused_ops: AtomicU64::new(0),
             admission_waits: AtomicU64::new(0),
+            admission_timeouts: AtomicU64::new(0),
+            shed_expired: AtomicU64::new(0),
             plan_downgrades: AtomicU64::new(0),
         }
     }
@@ -309,6 +368,20 @@ impl ServiceScheduler {
         self.submit_with(req, RunOptions::default())
     }
 
+    /// Like [`ServiceScheduler::submit`] but never waits past `timeout`:
+    /// if the op is still unadmitted (at the gate or queued) when the
+    /// timeout elapses, it is shed and the call returns
+    /// [`AdsalaError::Timeout`] with the output buffer untouched. An op
+    /// admitted in time runs to completion even if execution outlasts
+    /// the timeout — admission is the commit point.
+    pub fn submit_within<T: Element>(
+        &self,
+        req: &mut OpRequest<'_, T>,
+        timeout: Duration,
+    ) -> Result<ScheduledRun, AdsalaError> {
+        self.submit_with(req, RunOptions::default().with_deadline(Instant::now() + timeout))
+    }
+
     /// Like [`ServiceScheduler::submit`] with per-call options. The
     /// host cap bounds this op's share of the *joint* assignment: the
     /// planner only considers curve rows at or below the cap, so the
@@ -327,26 +400,65 @@ impl ServiceScheduler {
         // Erase the request so the planner and a fusion leader can reach
         // it; we park below until `Done`, upholding ErasedReq's contract.
         let slot = ErasedReq { ptr: req as *mut OpRequest<'_, T> as *mut () };
+        // The configured admission timeout tightens (never loosens) the
+        // call's own deadline at the gate.
+        let gate_deadline = match self.admission_timeout.map(|t| Instant::now() + t) {
+            Some(g) => Some(opts.deadline.map_or(g, |d| d.min(g))),
+            None => opts.deadline,
+        };
 
         let mut st = self.state.lock();
         if st.queue.len() >= self.max_queue {
             self.admission_waits.fetch_add(1, Ordering::Relaxed);
             while st.queue.len() >= self.max_queue {
-                self.space.wait(&mut st);
+                if self.wait_until(&self.space, &mut st, gate_deadline)
+                    && st.queue.len() >= self.max_queue
+                {
+                    self.admission_timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Err(AdsalaError::Timeout(format!(
+                        "{} refused: admission queue still full at the deadline",
+                        shape.routine
+                    )));
+                }
             }
         }
         let id = st.next_id;
         st.next_id += 1;
-        st.tickets.insert(id, Ticket { fuse, curve, slot, phase: Phase::Queued });
+        st.tickets.insert(
+            id,
+            Ticket { fuse, curve, slot, phase: Phase::Queued, deadline: opts.deadline },
+        );
         st.queue.push_back(id);
         st.max_queue_depth = st.max_queue_depth.max(st.queue.len());
         self.submitted.fetch_add(1, Ordering::Relaxed);
         self.try_admit(&mut st);
 
-        while let Phase::Queued | Phase::Admitted(Admission::Member) =
-            &st.tickets.get(&id).expect("live ticket").phase
-        {
-            self.work.wait(&mut st);
+        loop {
+            match &st.tickets.get(&id).expect("live ticket").phase {
+                Phase::Queued => {
+                    if self.wait_until(&self.work, &mut st, opts.deadline)
+                        && matches!(st.tickets.get(&id).expect("live ticket").phase, Phase::Queued)
+                    {
+                        // The planner hasn't run since the deadline
+                        // passed: shed ourselves. Safe under the state
+                        // lock — nothing else holds our pointer while we
+                        // are Queued.
+                        st.queue.retain(|&q| q != id);
+                        st.tickets.remove(&id);
+                        self.shed_expired.fetch_add(1, Ordering::Relaxed);
+                        self.space.notify_all();
+                        return Err(AdsalaError::Timeout(format!(
+                            "{} shed: deadline passed while queued",
+                            shape.routine
+                        )));
+                    }
+                }
+                // An admitted member is committed: its leader holds the
+                // request pointer, so it parks unconditionally until the
+                // leader fills in its result.
+                Phase::Admitted(Admission::Member) => self.work.wait(&mut st),
+                _ => break,
+            }
         }
 
         let admission = match &st.tickets.get(&id).expect("live ticket").phase {
@@ -354,25 +466,56 @@ impl ServiceScheduler {
                 // A fusion leader already ran this op and filled the result.
                 return Ok(self.take_done(&mut st, id));
             }
+            Phase::Shed => {
+                st.tickets.remove(&id);
+                return Err(AdsalaError::Timeout(format!(
+                    "{} shed: deadline passed while queued",
+                    shape.routine
+                )));
+            }
+            Phase::Failed { .. } => {
+                let Some(Ticket { phase: Phase::Failed { routine, detail }, .. }) =
+                    st.tickets.remove(&id)
+                else {
+                    unreachable!("phase just matched Failed")
+                };
+                return Err(AdsalaError::Execution { routine, detail });
+            }
             Phase::Admitted(a) => a.clone(),
-            Phase::Queued => unreachable!("wait loop exits only on Admitted/Done"),
+            Phase::Queued => unreachable!("wait loop exits only on Admitted/Done/Shed/Failed"),
         };
 
         match admission {
             Admission::Solo { plan, predicted_s, threads, wave } => {
                 drop(st);
-                let mut stats = req.execute_validated(self.service.pool(), &plan);
-                stats.predicted_ns = crate::service::predicted_ns(predicted_s);
-                if stats.plan_degraded {
-                    self.plan_downgrades.fetch_add(1, Ordering::Relaxed);
+                let outcome = match self.service.execute_guarded(req, &plan) {
+                    Ok(mut stats) => {
+                        stats.predicted_ns = crate::service::predicted_ns(predicted_s);
+                        // The scheduler executes on the pool directly
+                        // (bypassing service.run), so it must feed the
+                        // feedback loop itself.
+                        self.service.record_algorithm(stats.exec.algorithm);
+                        self.service.observe(shape, &plan, predicted_s, stats.exec.wall_ns);
+                        Ok(stats)
+                    }
+                    // Kernel panic: the same isolate → heal → degraded
+                    // retry the service applies (recovered ops skip
+                    // `observe`; the prediction no longer describes what
+                    // ran).
+                    Err(detail) => self.service.recover_from_panic(req, detail, opts.deadline),
+                };
+                if let Ok(stats) = &outcome {
+                    if stats.plan_degraded {
+                        self.plan_downgrades.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
-                // The scheduler executes on the pool directly (bypassing
-                // service.run), so it must feed the feedback loop itself.
-                self.service.record_algorithm(stats.exec.algorithm);
-                self.service.observe(shape, &plan, predicted_s, stats.exec.wall_ns);
+                // The unit completes whatever the outcome: a panicked op
+                // must still return its threads to the budget, or the
+                // queue wedges behind a phantom allocation.
                 let mut st = self.state.lock();
                 st.tickets.remove(&id);
                 self.complete_unit(&mut st, wave, threads);
+                let stats = outcome?;
                 self.completed.fetch_add(1, Ordering::Relaxed);
                 Ok(ScheduledRun { plan, predicted_runtime_s: predicted_s, fused: false, stats })
             }
@@ -391,38 +534,128 @@ impl ServiceScheduler {
                 for p in &member_ptrs {
                     refs.push(unsafe { &mut *(*p as *mut OpRequest<'_, T>) });
                 }
-                let mut all =
-                    OpRequest::execute_fused_refs_validated(&mut refs, self.service.pool(), &plan);
+                let batch = catch_unwind(AssertUnwindSafe(|| {
+                    OpRequest::execute_fused_refs_validated(&mut refs, self.service.pool(), &plan)
+                }))
+                .map_err(crate::service::panic_message);
+                let all: Vec<Result<OpStats, (Routine, String)>> = match batch {
+                    Ok(mut all) => {
+                        for s in &mut all {
+                            s.predicted_ns = crate::service::predicted_ns(predicted_s);
+                            // Every fused member shares the unit's shape
+                            // and plan; each contributes its own
+                            // measurement.
+                            self.service.record_algorithm(s.exec.algorithm);
+                            self.service.observe(shape, &plan, predicted_s, s.exec.wall_ns);
+                        }
+                        all.into_iter().map(Ok).collect()
+                    }
+                    Err(detail) => {
+                        // The whole gang unwound together. Isolate, sweep
+                        // the pool whole, and retry member-by-member on
+                        // the degraded serial plan, inline on this thread
+                        // — no gang, no barrier, nothing shared left to
+                        // poison a second time.
+                        self.service.note_panic_caught();
+                        let degraded = AdsalaService::degraded_plan();
+                        refs.iter_mut()
+                            .map(|r| {
+                                let routine = r.routine();
+                                if !r.is_idempotent() {
+                                    return Err((
+                                        routine,
+                                        format!(
+                                            "{detail} (not retried: beta != 0 makes a rerun \
+                                             unsound)"
+                                        ),
+                                    ));
+                                }
+                                self.service.note_degraded_retry();
+                                match self.service.execute_guarded(r, &degraded) {
+                                    Ok(mut s) => {
+                                        s.plan_degraded = true;
+                                        self.service.record_algorithm(s.exec.algorithm);
+                                        Ok(s)
+                                    }
+                                    Err(d2) => {
+                                        self.service.pool().heal();
+                                        Err((
+                                            routine,
+                                            format!("{detail}; degraded retry also failed: {d2}"),
+                                        ))
+                                    }
+                                }
+                            })
+                            .collect()
+                    }
+                };
                 drop(refs);
-                for s in &mut all {
-                    s.predicted_ns = crate::service::predicted_ns(predicted_s);
-                    // Every fused member shares the unit's shape and
-                    // plan; each contributes its own measurement.
-                    self.service.record_algorithm(s.exec.algorithm);
-                    self.service.observe(shape, &plan, predicted_s, s.exec.wall_ns);
-                }
-                let degraded = all.iter().filter(|s| s.plan_degraded).count() as u64;
+                let degraded =
+                    all.iter().filter(|r| matches!(r, Ok(s) if s.plan_degraded)).count() as u64;
                 if degraded > 0 {
                     self.plan_downgrades.fetch_add(degraded, Ordering::Relaxed);
                 }
-                self.fused_ops.fetch_add(all.len() as u64, Ordering::Relaxed);
+                let failures = all.iter().filter(|r| r.is_err()).count() as u64;
+                if failures > 0 {
+                    self.service.note_execution_failures(failures);
+                }
+                self.fused_ops.fetch_add(all.len() as u64 - failures, Ordering::Relaxed);
                 let mut st = self.state.lock();
-                for (m, s) in members.iter().zip(all.iter().skip(1)) {
+                for (m, res) in members.iter().zip(all.iter().skip(1)) {
                     let t = st.tickets.get_mut(m).expect("member parked");
-                    t.phase = Phase::Done { plan, predicted_s, fused: true, stats: *s };
+                    t.phase = match res {
+                        Ok(s) => Phase::Done { plan, predicted_s, fused: true, stats: *s },
+                        Err((routine, detail)) => {
+                            Phase::Failed { routine: *routine, detail: detail.clone() }
+                        }
+                    };
                 }
                 st.tickets.remove(&id);
                 self.complete_unit(&mut st, wave, threads);
-                self.completed.fetch_add(1, Ordering::Relaxed);
                 self.work.notify_all();
-                Ok(ScheduledRun {
-                    plan,
-                    predicted_runtime_s: predicted_s,
-                    fused: true,
-                    stats: all[0],
-                })
+                match &all[0] {
+                    Ok(stats) => {
+                        self.completed.fetch_add(1, Ordering::Relaxed);
+                        Ok(ScheduledRun {
+                            plan,
+                            predicted_runtime_s: predicted_s,
+                            fused: true,
+                            stats: *stats,
+                        })
+                    }
+                    Err((routine, detail)) => {
+                        Err(AdsalaError::Execution { routine: *routine, detail: detail.clone() })
+                    }
+                }
             }
             Admission::Member => unreachable!("members only leave the wait loop via Done"),
+        }
+    }
+
+    /// The scheduler's single wait primitive: park on `cv` until
+    /// notified, or until `deadline` passes (`None` parks indefinitely —
+    /// plain [`ServiceScheduler::submit`] is exactly the `None` case).
+    /// Returns whether the deadline has passed on wake; the caller
+    /// re-checks its predicate either way (condvar waits are spurious).
+    fn wait_until(
+        &self,
+        cv: &Condvar,
+        st: &mut MutexGuard<'_, SchedState>,
+        deadline: Option<Instant>,
+    ) -> bool {
+        match deadline {
+            None => {
+                cv.wait(st);
+                false
+            }
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    return true;
+                }
+                cv.wait_for(st, d - now);
+                Instant::now() >= d
+            }
         }
     }
 
@@ -436,6 +669,8 @@ impl ServiceScheduler {
             waves_completed: st.waves_completed,
             fused_ops: self.fused_ops.load(Ordering::Relaxed),
             admission_waits: self.admission_waits.load(Ordering::Relaxed),
+            admission_timeouts: self.admission_timeouts.load(Ordering::Relaxed),
+            shed_expired: self.shed_expired.load(Ordering::Relaxed),
             plan_downgrades: self.plan_downgrades.load(Ordering::Relaxed),
             queue_depth: st.queue.len(),
             max_queue_depth: st.max_queue_depth,
@@ -514,6 +749,7 @@ impl ServiceScheduler {
     /// guarantee — a head op that doesn't fit simply waits for in-flight
     /// units to drain.
     fn try_admit(&self, st: &mut SchedState) {
+        self.shed_expired_queued(st);
         loop {
             let avail = self.thread_budget - st.in_flight_threads;
             let Some(units) = self.plan_wave(st, avail) else { return };
@@ -557,6 +793,32 @@ impl ServiceScheduler {
                 }
             }
 
+            self.work.notify_all();
+            self.space.notify_all();
+        }
+    }
+
+    /// Drop every queued ticket whose deadline has passed, before the
+    /// planner considers the queue. Shedding marks the ticket
+    /// [`Phase::Shed`] and wakes its parked owner, who surfaces
+    /// [`AdsalaError::Timeout`] — a counted refusal, never a silent
+    /// drop. Admitted tickets are out of the queue and thus never shed.
+    fn shed_expired_queued(&self, st: &mut SchedState) {
+        let now = Instant::now();
+        let SchedState { queue, tickets, .. } = st;
+        let before = queue.len();
+        queue.retain(|id| {
+            let ticket = tickets.get_mut(id).expect("queued tickets are live");
+            if ticket.deadline.is_some_and(|d| now >= d) {
+                ticket.phase = Phase::Shed;
+                false
+            } else {
+                true
+            }
+        });
+        let shed = before - queue.len();
+        if shed > 0 {
+            self.shed_expired.fetch_add(shed as u64, Ordering::Relaxed);
             self.work.notify_all();
             self.space.notify_all();
         }

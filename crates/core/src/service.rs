@@ -47,12 +47,36 @@
 //! drift detector is tripped, decisions fall back to conservative
 //! max-threads plans instead of trusting a model the measurements have
 //! disowned.
+//!
+//! **Fault tolerance.** A kernel panic — a bug, or an injected fault from
+//! [`adsala_gemm::fault`] — is confined to the request that triggered it:
+//! the batch panic is caught at this boundary (the pool has already
+//! respawned any workers it killed and reclaimed their arenas), and the
+//! request is retried once on the *degraded plan* — serial, scalar
+//! kernel, independent packing, blocked loop nest — which shares no
+//! barriers, gangs, or workers with anything else and runs inline on the
+//! caller's thread. The retry is attempted only when it is sound: the
+//! deadline (if any) must not have passed, and the op must be idempotent
+//! ([`OpRequest::is_idempotent`], i.e. `β == 0` — a partial first attempt
+//! may have dirtied the output buffer, and with `β ≠ 0` the output is
+//! also an input). An unrecoverable op returns
+//! [`AdsalaError::Execution`]; the service itself stays healthy either
+//! way. [`RunOptions::deadline`] bounds a call end-to-end: a request
+//! whose deadline has already passed is refused up front with
+//! [`AdsalaError::Timeout`] before touching the memo or the pool — the
+//! check runs before the drift-fallback branch, so drifted routines
+//! honor deadlines too. The counters (`panics_recovered`,
+//! `degraded_retries`, `execution_failures`, `deadline_misses`) land in
+//! [`ServiceStats`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use adsala_gemm::dispatch::{GemmArgs, OpRequest, OpShape, OpStats, Precision};
-use adsala_gemm::plan::{Algorithm, ExecutionPlan};
+use adsala_gemm::dispatch::{GemmArgs, OpRequest, OpShape, OpStats, Precision, Routine};
+use adsala_gemm::isa::KernelIsa;
+use adsala_gemm::plan::{Algorithm, ExecutionPlan, PackingStrategy};
 use adsala_gemm::{
     ArenaStats, Element, PoolStats, PredictionErrorStats, PredictionMeter, ThreadPool,
 };
@@ -101,12 +125,23 @@ pub struct RunOptions {
     /// insert the result (useful for measurements and cache-poisoning
     /// tests; the sweep still counts as an evaluation).
     pub bypass_cache: bool,
+    /// Refuse the call with [`AdsalaError::Timeout`] if this instant has
+    /// passed before execution starts (also re-checked before a degraded
+    /// retry). `None` means no deadline. The check runs before the
+    /// drift-fallback branch, so drifted routines honor deadlines too.
+    pub deadline: Option<Instant>,
 }
 
 impl RunOptions {
     /// Cap the executed thread count at `max`.
     pub fn with_host_cap(max: u32) -> Self {
         Self { host_max_threads: max, ..Self::default() }
+    }
+
+    /// Set the call's deadline (builder-style).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// The thread cap these options impose on the decision sweep
@@ -165,6 +200,17 @@ pub struct AdsalaService {
     /// by what actually ran (a refused Strassen plan lands in `blocked`
     /// *and* in `plan_downgrades`).
     algo_executed: [AtomicU64; 3],
+    /// Kernel-batch panics caught at the service boundary (whether or not
+    /// the degraded retry then succeeded).
+    panics_recovered: AtomicU64,
+    /// Degraded-plan retries attempted after a caught panic.
+    degraded_retries: AtomicU64,
+    /// Ops that returned [`AdsalaError::Execution`] — panicked and could
+    /// not be (or were not safely) retried.
+    execution_failures: AtomicU64,
+    /// Calls refused with [`AdsalaError::Timeout`] because their deadline
+    /// had passed.
+    deadline_misses: AtomicU64,
 }
 
 /// Executed-algorithm mix of a service — the `[service]` plan-mix line.
@@ -207,6 +253,14 @@ pub struct ServiceStats {
     pub workspace: ArenaStats,
     /// Executed-algorithm mix.
     pub algorithms: AlgorithmMix,
+    /// Kernel-batch panics caught and isolated at the service boundary.
+    pub panics_recovered: u64,
+    /// Degraded-plan retries attempted after a caught panic.
+    pub degraded_retries: u64,
+    /// Ops that failed with [`AdsalaError::Execution`].
+    pub execution_failures: u64,
+    /// Calls refused with [`AdsalaError::Timeout`] (expired deadline).
+    pub deadline_misses: u64,
 }
 
 impl AdsalaService {
@@ -239,6 +293,10 @@ impl AdsalaService {
             swaps: AtomicU64::new(0),
             drift_fallbacks: AtomicU64::new(0),
             algo_executed: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            panics_recovered: AtomicU64::new(0),
+            degraded_retries: AtomicU64::new(0),
+            execution_failures: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
         }
     }
 
@@ -371,6 +429,16 @@ impl AdsalaService {
     ) -> Result<(PlanDecision, OpStats), AdsalaError> {
         // Reject malformed operands before touching the memo or the pool.
         req.validate()?;
+        // The deadline gate precedes the drift-fallback branch: a drifted
+        // routine's conservative decision still honors the caller's
+        // deadline. The output buffer is untouched here.
+        if opts.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            return Err(AdsalaError::Timeout(format!(
+                "{} deadline passed before execution started",
+                req.routine()
+            )));
+        }
         let shape = req.shape();
         let cap = self.normalised_cap(opts.thread_cap());
         let decision = if self.online.enabled && self.drift.is_drifted() {
@@ -389,14 +457,123 @@ impl AdsalaService {
         // The cap bounded the sweep, so the decision *is* the executed
         // plan — no post-hoc clamp that would desynchronise the reported
         // prediction from the configuration that runs.
-        let mut stats = req.execute_validated(&self.pool, &decision.plan);
-        stats.predicted_ns = predicted_ns(decision.predicted_runtime_s);
-        if stats.plan_degraded {
-            self.plan_downgrades.fetch_add(1, Ordering::Relaxed);
+        match self.execute_guarded(req, &decision.plan) {
+            Ok(mut stats) => {
+                stats.predicted_ns = predicted_ns(decision.predicted_runtime_s);
+                if stats.plan_degraded {
+                    self.plan_downgrades.fetch_add(1, Ordering::Relaxed);
+                }
+                self.record_algorithm(stats.exec.algorithm);
+                self.observe(
+                    shape,
+                    &decision.plan,
+                    decision.predicted_runtime_s,
+                    stats.exec.wall_ns,
+                );
+                Ok((decision, stats))
+            }
+            Err(detail) => {
+                let stats = self.recover_from_panic(req, detail, opts.deadline)?;
+                Ok((decision, stats))
+            }
         }
-        self.record_algorithm(stats.exec.algorithm);
-        self.observe(shape, &decision.plan, decision.predicted_runtime_s, stats.exec.wall_ns);
-        Ok((decision, stats))
+    }
+
+    /// The plan a panicked request retries on: serial, scalar kernel,
+    /// independent packing, blocked loop nest. It shares nothing with the
+    /// failed attempt — no pool workers, barriers, gangs, or shared-B
+    /// regions — and runs inline on the caller's thread, so it cannot
+    /// re-trip a worker-scoped fault or a poisoned coordination primitive.
+    pub(crate) fn degraded_plan() -> ExecutionPlan {
+        ExecutionPlan::with_threads(1)
+            .with_isa(KernelIsa::Scalar)
+            .with_packing(PackingStrategy::Independent)
+            .with_algorithm(Algorithm::Blocked)
+    }
+
+    /// Run a validated request under `plan`, converting a kernel-batch
+    /// panic into the captured message instead of unwinding through the
+    /// serving layer.
+    pub(crate) fn execute_guarded<T: Element>(
+        &self,
+        req: &mut OpRequest<'_, T>,
+        plan: &ExecutionPlan,
+    ) -> Result<OpStats, String> {
+        catch_unwind(AssertUnwindSafe(|| req.execute_validated(&self.pool, plan)))
+            .map_err(panic_message)
+    }
+
+    /// Count a caught kernel-batch panic and sweep the pool roster whole.
+    /// The scheduler calls this for panics it catches around its own
+    /// pool dispatches.
+    pub(crate) fn note_panic_caught(&self) {
+        self.panics_recovered.fetch_add(1, Ordering::Relaxed);
+        self.pool.heal();
+    }
+
+    /// Count a degraded-plan retry attempt (scheduler-driven recovery).
+    pub(crate) fn note_degraded_retry(&self) {
+        self.degraded_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` unrecoverable executions (scheduler-driven recovery).
+    pub(crate) fn note_execution_failures(&self, n: u64) {
+        self.execution_failures.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The isolate-and-retry path of [`AdsalaService::run_with`] after a
+    /// caught kernel panic. The pool has already respawned any workers the
+    /// panic killed (its batch wait does not return until the roster is
+    /// whole); the `heal` here is a belt-and-braces sweep for panics that
+    /// unwound outside a batch. A recovered op is *not* fed to
+    /// [`AdsalaService::observe`] — the decision's prediction does not
+    /// describe the degraded plan that actually ran — but it still counts
+    /// in the executed-algorithm mix.
+    pub(crate) fn recover_from_panic<T: Element>(
+        &self,
+        req: &mut OpRequest<'_, T>,
+        detail: String,
+        deadline: Option<Instant>,
+    ) -> Result<OpStats, AdsalaError> {
+        self.panics_recovered.fetch_add(1, Ordering::Relaxed);
+        self.pool.heal();
+        let routine = req.routine();
+        if !req.is_idempotent() {
+            // The first attempt may have dirtied the β-scaled output;
+            // rerunning would double-apply it.
+            self.execution_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(AdsalaError::Execution {
+                routine,
+                detail: format!("{detail} (not retried: beta != 0 makes a rerun unsound)"),
+            });
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            // Not a clean Timeout: the panicked attempt may have written
+            // into the output buffer, which Timeout promises is untouched.
+            self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            self.execution_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(AdsalaError::Execution {
+                routine,
+                detail: format!("{detail} (deadline passed before the degraded retry)"),
+            });
+        }
+        self.degraded_retries.fetch_add(1, Ordering::Relaxed);
+        match self.execute_guarded(req, &Self::degraded_plan()) {
+            Ok(mut stats) => {
+                stats.plan_degraded = true;
+                self.plan_downgrades.fetch_add(1, Ordering::Relaxed);
+                self.record_algorithm(stats.exec.algorithm);
+                Ok(stats)
+            }
+            Err(retry_detail) => {
+                self.pool.heal();
+                self.execution_failures.fetch_add(1, Ordering::Relaxed);
+                Err(AdsalaError::Execution {
+                    routine,
+                    detail: format!("{detail}; degraded retry also failed: {retry_detail}"),
+                })
+            }
+        }
     }
 
     /// Execute a request under a caller-pinned [`ExecutionPlan`] on the
@@ -410,12 +587,26 @@ impl AdsalaService {
         plan: &ExecutionPlan,
     ) -> Result<OpStats, AdsalaError> {
         req.validate()?;
-        let stats = req.execute_validated(&self.pool, plan);
+        let stats = match self.execute_guarded(req, plan) {
+            Ok(stats) => stats,
+            Err(detail) => return Err(self.pinned_panic(req.routine(), detail)),
+        };
         if stats.plan_degraded {
             self.plan_downgrades.fetch_add(1, Ordering::Relaxed);
         }
         self.record_algorithm(stats.exec.algorithm);
         Ok(stats)
+    }
+
+    /// Fault path of [`AdsalaService::run_pinned`]: the caller pinned the
+    /// plan, so there is no degraded retry — substituting a different
+    /// configuration would betray the pin. The panic is still isolated
+    /// and the pool swept whole.
+    fn pinned_panic(&self, routine: Routine, detail: String) -> AdsalaError {
+        self.panics_recovered.fetch_add(1, Ordering::Relaxed);
+        self.pool.heal();
+        self.execution_failures.fetch_add(1, Ordering::Relaxed);
+        AdsalaError::Execution { routine, detail: format!("{detail} (pinned plan, no retry)") }
     }
 
     /// Feed one executed op into the feedback loop: the prediction
@@ -556,6 +747,26 @@ impl AdsalaService {
         self.drift_fallbacks.load(Ordering::Relaxed)
     }
 
+    /// Kernel-batch panics caught and isolated at the service boundary.
+    pub fn panics_recovered(&self) -> u64 {
+        self.panics_recovered.load(Ordering::Relaxed)
+    }
+
+    /// Degraded-plan retries attempted after a caught panic.
+    pub fn degraded_retries(&self) -> u64 {
+        self.degraded_retries.load(Ordering::Relaxed)
+    }
+
+    /// Ops that failed with [`AdsalaError::Execution`].
+    pub fn execution_failures(&self) -> u64 {
+        self.execution_failures.load(Ordering::Relaxed)
+    }
+
+    /// Calls refused with [`AdsalaError::Timeout`] (expired deadline).
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses.load(Ordering::Relaxed)
+    }
+
     /// Tally one executed op under the algorithm that actually ran.
     /// [`AdsalaService::run_with`] calls this; layers that execute on the
     /// pool directly (the co-scheduler) call it themselves, like
@@ -593,6 +804,10 @@ impl AdsalaService {
             pool: self.pool_stats(),
             workspace: self.workspace_stats(),
             algorithms: self.algorithm_mix(),
+            panics_recovered: self.panics_recovered(),
+            degraded_retries: self.degraded_retries(),
+            execution_failures: self.execution_failures(),
+            deadline_misses: self.deadline_misses(),
         }
     }
 
@@ -600,6 +815,18 @@ impl AdsalaService {
     /// counters and the evaluation count are preserved.
     pub fn clear_cache(&self) {
         self.cache.clear();
+    }
+}
+
+/// Render a caught panic payload as a message for
+/// [`AdsalaError::Execution`] details.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

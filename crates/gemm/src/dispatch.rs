@@ -540,6 +540,20 @@ impl<T: Element> OpRequest<'_, T> {
         }
     }
 
+    /// Whether rerunning this request from scratch yields the same
+    /// result even after a partial earlier attempt wrote into the output
+    /// buffer. True exactly when `beta == 0`: the kernels then overwrite
+    /// `C` (or `y`) without reading it, so a panicked first attempt can
+    /// be retried on a degraded plan. With `beta != 0` the output is an
+    /// accumulator input and a retry would double-apply it.
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            OpRequest::Gemm(g) => g.beta == T::ZERO,
+            OpRequest::Syrk(s) => s.beta == T::ZERO,
+            OpRequest::Gemv(v) => v.beta == T::ZERO,
+        }
+    }
+
     /// Validate, then run the routine's blocked kernel on `pool` under
     /// `plan`. The output buffer is untouched on error.
     ///

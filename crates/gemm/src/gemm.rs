@@ -317,7 +317,7 @@ pub fn gemm_fused_with_stats_pooled<T: Element>(
     let members = grid.count() * items.len();
 
     let share = call.plan.packing == PackingStrategy::SharedB;
-    let gang = if share { pool.try_reserve_gang(members) } else { None };
+    let gang = if share { pool.reserve_gang_backoff(members) } else { None };
     let Some(_reservation) = gang else {
         // Degraded path: same results, one member at a time, each free to
         // gang-reserve (or not) on its own.
@@ -374,10 +374,14 @@ pub fn gemm_fused_with_stats_pooled<T: Element>(
     let (a_len, b_len) = pack_buffer_lens(&blocks);
     let elems_per_line = (CACHE_LINE / std::mem::size_of::<T>()).max(1);
     let region_elems = b_len.div_ceil(elems_per_line) * elems_per_line;
-    let mut shared = ws.checkout_shared();
-    let (b_all, shared_reused) = shared.checkout_elems::<T>(region_elems * grid.cols);
+    // The restore guard owns the arena *before* any region is checked
+    // out, so a panic anywhere past this point (including inside
+    // `checkout_elems` growth) returns the arena to the free list
+    // instead of dropping it.
+    let mut shared_return = RestoreSharedOnDrop { ws, arena: Some(ws.checkout_shared()) };
+    let (b_all, shared_reused) =
+        shared_return.arena_mut().checkout_elems::<T>(region_elems * grid.cols);
     let b_base = SendMutPtr(b_all.as_mut_ptr());
-    let _shared_return = RestoreSharedOnDrop { ws, arena: Some(shared) };
 
     // One barrier group per grid column spanning ALL members' row groups:
     // rank (item, r) packs when `block_idx % group_rows` lands on it, so
@@ -554,7 +558,7 @@ pub(crate) fn drive<T: Element>(
         // that asks for independent packing skips the gang entirely.
         let share = allow_shared_b && call.plan.packing == PackingStrategy::SharedB;
         let gang = if share && grid.rows > 1 {
-            exec.pool().and_then(|pool| pool.try_reserve_gang(grid.count()).map(|g| (pool, g)))
+            exec.pool().and_then(|pool| pool.reserve_gang_backoff(grid.count()).map(|g| (pool, g)))
         } else {
             None
         };
@@ -813,16 +817,17 @@ fn run_cooperative<T: Element>(
     let elems_per_line = (CACHE_LINE / std::mem::size_of::<T>()).max(1);
     let region_elems = b_len.div_ceil(elems_per_line) * elems_per_line;
 
-    let mut shared = ws.checkout_shared();
-    let (b_all, shared_reused) = shared.checkout_elems::<T>(region_elems * grid.cols);
-    collector.absorb(&ThreadLocalStats { arena_bytes_reused: shared_reused, ..Default::default() });
-    let b_base = SendMutPtr(b_all.as_mut_ptr());
     // Return the arena to the free list even if a worker panic is
     // re-raised below — dropping it would both lose its counters and
-    // force the next shared-B call to re-allocate. The arena's heap
-    // buffer is address-stable under the move into the guard, so
-    // `b_base` stays valid for the whole batch.
-    let _shared_return = RestoreSharedOnDrop { ws, arena: Some(shared) };
+    // force the next shared-B call to re-allocate. The guard owns the
+    // arena *before* the region checkout so even a panic during growth
+    // restores it. The arena's heap buffer is address-stable inside the
+    // guard, so `b_base` stays valid for the whole batch.
+    let mut shared_return = RestoreSharedOnDrop { ws, arena: Some(ws.checkout_shared()) };
+    let (b_all, shared_reused) =
+        shared_return.arena_mut().checkout_elems::<T>(region_elems * grid.cols);
+    collector.absorb(&ThreadLocalStats { arena_bytes_reused: shared_reused, ..Default::default() });
+    let b_base = SendMutPtr(b_all.as_mut_ptr());
     let barriers: Vec<PanelBarrier> =
         (0..grid.cols).map(|_| PanelBarrier::new(grid.rows)).collect();
 
@@ -890,6 +895,13 @@ struct RestoreSharedOnDrop<'w> {
     arena: Option<PackArena>,
 }
 
+impl RestoreSharedOnDrop<'_> {
+    /// The held arena (always present until drop).
+    fn arena_mut(&mut self) -> &mut PackArena {
+        self.arena.as_mut().expect("arena held until drop")
+    }
+}
+
 impl Drop for RestoreSharedOnDrop<'_> {
     fn drop(&mut self) {
         if let Some(arena) = self.arena.take() {
@@ -934,6 +946,7 @@ unsafe fn subproblem<T: Element>(
     b_buf: &mut [T],
     stats: &mut ThreadLocalStats,
 ) {
+    crate::fault::kernel_entry(kernel.isa, ms, ns, k);
     let BlockSizes { kc, nc, nr, .. } = *blocks;
 
     if k == 0 {
@@ -998,6 +1011,7 @@ unsafe fn coop_subproblem<T: Element>(
     a_buf: &mut [T],
     stats: &mut ThreadLocalStats,
 ) {
+    crate::fault::kernel_entry(kernel.isa, ms, ns, k);
     let BlockSizes { kc, nc, nr, .. } = *blocks;
 
     if k == 0 {

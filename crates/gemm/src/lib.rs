@@ -25,6 +25,7 @@
 
 pub mod blocking;
 pub mod dispatch;
+pub mod fault;
 pub mod gemm;
 pub mod gemv;
 pub mod isa;
@@ -44,6 +45,7 @@ pub use dispatch::{
     FuseKey, GemmArgs, GemvArgs, OpRequest, OpShape, OpStats, Precision, Routine, ShapeError,
     SyrkArgs,
 };
+pub use fault::FaultPlan;
 pub use gemm::{
     dgemm, gemm_fused_with_stats_pooled, gemm_with_stats, gemm_with_stats_pooled,
     gemm_with_stats_pooled_unshared, sgemm, FusedGemm, GemmCall,

@@ -13,14 +13,25 @@
 //! outlives every access. A panicking job still counts down (the latch
 //! decrement lives in a drop guard) and the panic is re-raised on the
 //! caller's thread after the batch drains, so no work is silently lost.
+//!
+//! Fault tolerance: a panicking job *kills its worker thread* — the
+//! realistic model for a kernel that corrupted its own stack — and the
+//! pool detects the death before `scope_execute` returns, reaps the dead
+//! thread, and respawns a replacement bound to the *same* workspace slot
+//! (so the warm per-worker arena is reclaimed, not leaked). The count is
+//! exposed as [`PoolStats::workers_respawned`]. Mid-batch deaths are also
+//! swept while the caller waits, so a batch whose workers all died with
+//! jobs still queued drains on the replacements instead of deadlocking.
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
+use crate::fault;
 use crate::workspace::{with_thread_arena, PackArena, Workspace};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -42,6 +53,11 @@ pub struct PoolStats {
     pub gang_refused: u64,
     /// Workers currently free for gang reservation.
     pub gang_available: usize,
+    /// Worker threads respawned after dying to a panicked job.
+    pub workers_respawned: u64,
+    /// Transient gang refusals that were retried with backoff instead of
+    /// immediately degrading the caller to independent packing.
+    pub gang_backoff_retries: u64,
 }
 
 impl PoolStats {
@@ -56,16 +72,24 @@ impl PoolStats {
     }
 }
 
-/// Counts outstanding jobs; `wait` blocks until zero.
+/// Counts outstanding jobs; the caller blocks until zero.
 struct Latch {
     remaining: Mutex<usize>,
     done: Condvar,
     panicked: Mutex<Option<String>>,
+    /// Panicked jobs in this batch — each one kills its worker, so this
+    /// is also the number of worker deaths the caller must reap.
+    panics: AtomicUsize,
 }
 
 impl Latch {
     fn new(count: usize) -> Self {
-        Self { remaining: Mutex::new(count), done: Condvar::new(), panicked: Mutex::new(None) }
+        Self {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panicked: Mutex::new(None),
+            panics: AtomicUsize::new(0),
+        }
     }
 
     fn count_down(&self) {
@@ -81,13 +105,12 @@ impl Latch {
         if p.is_none() {
             *p = Some(msg);
         }
-    }
-
-    fn wait(&self) {
-        let mut remaining = self.remaining.lock();
-        while *remaining > 0 {
-            self.done.wait(&mut remaining);
-        }
+        self.panics.fetch_add(1, Ordering::Release);
+        // Wake the waiting caller even though the batch has not drained:
+        // the panicking job's worker is dying, and if the rest of the
+        // batch is still queued behind dead workers the caller must
+        // respawn them for the batch to finish at all.
+        self.done.notify_all();
     }
 }
 
@@ -109,7 +132,10 @@ impl Drop for CountGuard<'_> {
 /// the packing side.
 pub struct ThreadPool {
     sender: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    /// Kept so replacement workers can be spawned onto the same queue.
+    receiver: Receiver<Job>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
     workspace: Arc<Workspace>,
     /// Workers not currently reserved by a gang-scheduled (barrier-using)
     /// batch; see [`ThreadPool::try_reserve_gang`].
@@ -119,12 +145,48 @@ pub struct ThreadPool {
     /// Refused gang reservations — each one is a caller silently
     /// degrading to independent packing.
     gang_refused: AtomicU64,
+    /// Transient refusals absorbed by [`ThreadPool::reserve_gang_backoff`].
+    gang_backoff_retries: AtomicU64,
+    /// Workers that have died to a panicked job (monotonic).
+    deaths_recorded: Arc<AtomicUsize>,
+    /// Dead workers reaped and replaced by [`ThreadPool::heal`].
+    deaths_reaped: AtomicUsize,
+    /// Replacement workers spawned (lifetime counter).
+    workers_respawned: AtomicU64,
 }
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool").field("workers", &self.workers.len()).finish()
+        f.debug_struct("ThreadPool").field("workers", &self.worker_count).finish()
     }
+}
+
+/// Spawn one pool worker bound to workspace slot `index`. The worker runs
+/// queued jobs until the sender closes — or until a job panics, which
+/// kills the worker (the death is recorded for [`ThreadPool::heal`] to
+/// reap; the job's completion latch was already counted down by its drop
+/// guard during the unwind).
+fn spawn_worker(
+    index: usize,
+    receiver: Receiver<Job>,
+    workspace: Arc<Workspace>,
+    deaths: Arc<AtomicUsize>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("adsala-gemm-{index}"))
+        .spawn(move || {
+            // Bind this thread to its stable workspace slot, then run
+            // until the sender is dropped.
+            workspace.register_worker(index);
+            while let Ok(job) = receiver.recv() {
+                fault::worker_job_entry(index);
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    deaths.fetch_add(1, Ordering::Release);
+                    break;
+                }
+            }
+        })
+        .expect("spawn pool worker")
 }
 
 impl ThreadPool {
@@ -132,31 +194,24 @@ impl ThreadPool {
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
         let workspace = Arc::new(Workspace::new(workers));
+        let deaths = Arc::new(AtomicUsize::new(0));
         let (sender, receiver) = unbounded::<Job>();
         let handles = (0..workers)
-            .map(|i| {
-                let receiver = receiver.clone();
-                let workspace = Arc::clone(&workspace);
-                std::thread::Builder::new()
-                    .name(format!("adsala-gemm-{i}"))
-                    .spawn(move || {
-                        // Bind this thread to its stable workspace slot,
-                        // then run until the sender is dropped.
-                        workspace.register_worker(i);
-                        while let Ok(job) = receiver.recv() {
-                            job();
-                        }
-                    })
-                    .expect("spawn pool worker")
-            })
+            .map(|i| spawn_worker(i, receiver.clone(), Arc::clone(&workspace), Arc::clone(&deaths)))
             .collect();
         Self {
             sender: Some(sender),
-            workers: handles,
+            receiver,
+            workers: Mutex::new(handles),
+            worker_count: workers,
             workspace,
             gang_capacity: Mutex::new(workers),
             gang_reserved: AtomicU64::new(0),
             gang_refused: AtomicU64::new(0),
+            gang_backoff_retries: AtomicU64::new(0),
+            deaths_recorded: deaths,
+            deaths_reaped: AtomicUsize::new(0),
+            workers_respawned: AtomicU64::new(0),
         }
     }
 
@@ -168,7 +223,45 @@ impl ThreadPool {
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.worker_count
+    }
+
+    /// Reap any workers that died to a panicked job and respawn
+    /// replacements bound to the same workspace slots, so the warm
+    /// per-worker arenas are reclaimed and the pool returns to full
+    /// strength. Cheap no-op (two relaxed loads) when nothing died.
+    /// Returns the number of workers respawned by *this* call.
+    ///
+    /// `scope_execute` calls this itself before re-raising a batch panic,
+    /// so external callers only need it as a belt-and-braces sweep.
+    pub fn heal(&self) -> usize {
+        let mut respawned = 0;
+        while self.deaths_recorded.load(Ordering::Acquire)
+            > self.deaths_reaped.load(Ordering::Relaxed)
+        {
+            let mut workers = self.workers.lock();
+            for (i, handle) in workers.iter_mut().enumerate() {
+                if handle.is_finished() {
+                    let fresh = spawn_worker(
+                        i,
+                        self.receiver.clone(),
+                        Arc::clone(&self.workspace),
+                        Arc::clone(&self.deaths_recorded),
+                    );
+                    let dead = std::mem::replace(handle, fresh);
+                    let _ = dead.join();
+                    self.deaths_reaped.fetch_add(1, Ordering::Relaxed);
+                    self.workers_respawned.fetch_add(1, Ordering::Relaxed);
+                    respawned += 1;
+                }
+            }
+            drop(workers);
+            // A death was recorded but its thread has not fully exited
+            // yet (`is_finished` lags the counter by the unwind epilogue);
+            // yield and sweep again.
+            std::thread::yield_now();
+        }
+        respawned
     }
 
     /// The packing workspace owned by this pool (per-worker arena slots
@@ -177,13 +270,15 @@ impl ThreadPool {
         &self.workspace
     }
 
-    /// Snapshot the pool's gang-reservation counters.
+    /// Snapshot the pool's gang-reservation and fault-recovery counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
-            workers: self.workers.len(),
+            workers: self.worker_count,
             gang_reserved: self.gang_reserved.load(Ordering::Relaxed),
             gang_refused: self.gang_refused.load(Ordering::Relaxed),
             gang_available: *self.gang_capacity.lock(),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            gang_backoff_retries: self.gang_backoff_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -211,19 +306,55 @@ impl ThreadPool {
         }
     }
 
+    /// [`ThreadPool::try_reserve_gang`] with bounded exponential backoff:
+    /// a refusal caused by concurrent holders is usually transient (gangs
+    /// live for one batch), so retry a few times before degrading the
+    /// caller to independent packing. A request larger than the pool can
+    /// *ever* satisfy is refused immediately — backing off cannot help.
+    pub fn reserve_gang_backoff(&self, n: usize) -> Option<GangReservation<'_>> {
+        const ATTEMPTS: u32 = 4;
+        const BASE: Duration = Duration::from_micros(50);
+        for attempt in 0..ATTEMPTS {
+            {
+                let mut available = self.gang_capacity.lock();
+                if *available >= n {
+                    *available -= n;
+                    self.gang_reserved.fetch_add(1, Ordering::Relaxed);
+                    return Some(GangReservation { pool: self, n });
+                }
+            }
+            if n > self.worker_count {
+                break; // permanent refusal: over the pool's total size
+            }
+            if attempt + 1 < ATTEMPTS {
+                self.gang_backoff_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(BASE * 2u32.pow(attempt));
+            }
+        }
+        self.gang_refused.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
     /// Execute a batch of borrowing closures on the pool, blocking until
-    /// every one has finished. Panics from jobs are re-raised here.
+    /// every one has finished. Panics from jobs are re-raised here —
+    /// after the batch drains, the dead worker is reaped, and its
+    /// replacement is running — so the caller observes one panic and a
+    /// pool already back at full strength.
     pub fn scope_execute<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
         if tasks.is_empty() {
             return;
         }
+        let deaths_before = self.deaths_recorded.load(Ordering::Acquire);
         let latch = Arc::new(Latch::new(tasks.len()));
         let sender = self.sender.as_ref().expect("pool alive");
         for task in tasks {
             let latch = Arc::clone(&latch);
-            // SAFETY: `wait()` below blocks until the latch reaches zero,
-            // i.e. until this closure (and its borrows of 'env data) has
-            // completed — so the 'env lifetime outlives every use.
+            // SAFETY: the wait loop below blocks until the latch reaches
+            // zero, i.e. until this closure (and its borrows of 'env
+            // data) has completed — so the 'env lifetime outlives every
+            // use. A panicking task counts down via `CountGuard`'s drop
+            // during the unwind before `resume_unwind` reaches the
+            // worker loop.
             let task: Box<dyn FnOnce() + Send + 'static> =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(task) };
             let job: Job = Box::new(move || {
@@ -235,13 +366,38 @@ impl ThreadPool {
                         .or_else(|| payload.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "worker panicked".into());
                     latch.record_panic(msg);
+                    // Kill this worker: a panicked kernel's thread state
+                    // is suspect. The caller respawns a clean one.
+                    std::panic::resume_unwind(payload);
                 }
             });
             sender.send(job).expect("pool workers alive");
         }
-        latch.wait();
+        // Wait for the batch. The fault-free path parks on the condvar
+        // with no polling; once a panic is recorded the batch's surviving
+        // jobs may be queued behind dead workers, so switch to a short
+        // timed wait and respawn between checks.
+        {
+            let mut remaining = latch.remaining.lock();
+            while *remaining > 0 {
+                if latch.panics.load(Ordering::Acquire) > 0 {
+                    self.heal();
+                    let _ = latch.done.wait_for(&mut remaining, Duration::from_millis(1));
+                } else {
+                    latch.done.wait(&mut remaining);
+                }
+            }
+        }
         let panicked = latch.panicked.lock().take();
         if let Some(msg) = panicked {
+            // Every panicked job killed one worker; wait until all of
+            // this batch's deaths are recorded, then reap and respawn
+            // them so the pool is whole before the caller sees the panic.
+            let target = deaths_before + latch.panics.load(Ordering::Acquire);
+            while self.deaths_recorded.load(Ordering::Acquire) < target {
+                std::thread::yield_now();
+            }
+            self.heal();
             panic!("pool job panicked: {msg}");
         }
     }
@@ -251,7 +407,7 @@ impl Drop for ThreadPool {
     fn drop(&mut self) {
         // Closing the channel lets workers drain and exit.
         self.sender.take();
-        for h in self.workers.drain(..) {
+        for h in self.workers.lock().drain(..) {
             let _ = h.join();
         }
     }
@@ -403,6 +559,108 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed);
         })]);
         assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panicked_worker_is_respawned_on_its_slot() {
+        let pool = ThreadPool::new(2);
+        // Warm both worker slots.
+        let warm = |pool: &ThreadPool| {
+            let ws = pool.workspace();
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..2)
+                .map(|_| {
+                    Box::new(move || {
+                        ws.with_arena(|arena| {
+                            arena.checkout_elems::<f64>(128);
+                        });
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.scope_execute(tasks);
+        };
+        warm(&pool);
+        warm(&pool);
+        let before = pool.workspace().arena_stats();
+        assert_eq!(pool.stats().workers_respawned, 0);
+
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope_execute(vec![Box::new(|| panic!("die"))]);
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.stats().workers_respawned, 1, "the dead worker must be replaced");
+
+        // The replacement is bound to the same workspace slot, so the
+        // warm arena is reclaimed: repeat traffic allocates nothing new.
+        warm(&pool);
+        warm(&pool);
+        let after = pool.workspace().arena_stats();
+        // The replacement landed on the dead worker's slot, so the pool
+        // still holds at most one arena allocation per slot — a fresh
+        // (unregistered or extra) slot would show up as a third.
+        assert!(
+            after.allocations <= 2,
+            "at most one allocation per slot even after a respawn, got {after:?}"
+        );
+        assert!(after.bytes_reused > before.bytes_reused);
+    }
+
+    #[test]
+    fn all_workers_dying_mid_batch_does_not_deadlock() {
+        let pool = ThreadPool::new(2);
+        let completed = AtomicUsize::new(0);
+        // More panicking jobs than workers, plus trailing good jobs that
+        // can only run if replacements are spawned mid-batch.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..3)
+                .map(|_| Box::new(|| panic!("die")) as Box<dyn FnOnce() + Send + '_>)
+                .collect();
+            for _ in 0..4 {
+                tasks.push(Box::new(|| {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            pool.scope_execute(tasks);
+        }));
+        assert!(result.is_err());
+        assert_eq!(completed.load(Ordering::Relaxed), 4, "surviving jobs must still run");
+        assert!(pool.stats().workers_respawned >= 3);
+        // And the pool still serves follow-up batches.
+        let counter = AtomicUsize::new(0);
+        pool.scope_execute(vec![Box::new(|| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        })]);
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn gang_backoff_retries_transient_refusals() {
+        let pool = ThreadPool::new(4);
+        // Permanent refusal: larger than the pool — no retries, immediate.
+        assert!(pool.reserve_gang_backoff(5).is_none());
+        assert_eq!(pool.stats().gang_backoff_retries, 0);
+        assert_eq!(pool.stats().gang_refused, 1);
+
+        // Transient refusal: capacity held elsewhere, released while the
+        // caller backs off. Timing-dependent which attempt wins, so
+        // repeat until a retry-then-success run is observed.
+        let mut saw_retry_success = false;
+        for _ in 0..50 {
+            let ok = std::thread::scope(|s| {
+                let held = pool.try_reserve_gang(4).expect("capacity free");
+                let releaser = s.spawn(move || {
+                    std::thread::sleep(Duration::from_micros(1));
+                    drop(held);
+                });
+                let got = pool.reserve_gang_backoff(2);
+                releaser.join().unwrap();
+                got.is_some()
+            });
+            if ok && pool.stats().gang_backoff_retries > 0 {
+                saw_retry_success = true;
+                break;
+            }
+        }
+        assert!(saw_retry_success, "backoff never converted a transient refusal");
     }
 
     #[test]

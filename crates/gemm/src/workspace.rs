@@ -263,6 +263,13 @@ pub fn reset_thread_arena() {
     THREAD_ARENA.with(|arena| arena.borrow_mut().reset());
 }
 
+/// `true` when the calling thread is a registered pool worker (of any
+/// workspace). Fault injection uses this to scope panics to pooled
+/// execution so a serial caller-thread retry runs clean.
+pub(crate) fn on_worker_thread() -> bool {
+    WORKER_SLOT.with(|slot| slot.get().0 != 0)
+}
+
 /// Pad a slot to a cache line so adjacent workers' arena headers (and
 /// lock words) never false-share.
 #[repr(align(64))]

@@ -202,6 +202,22 @@ impl Serialize for str {
     }
 }
 
+// Identity impls: a `Value` (de)serializes as itself, so callers can parse
+// a document into the raw tree — e.g. to validate it for non-finite
+// numbers, which the typed float impls silently map to NaN — before (or
+// instead of) a typed parse.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ------------------------------------------------------------- containers
 
 impl<T: Serialize + ?Sized> Serialize for &T {

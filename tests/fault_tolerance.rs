@@ -1,0 +1,429 @@
+//! Chaos and deadline tests for the fault-tolerance layer: injected
+//! kernel panics must never escape to a client, the pool must respawn
+//! dead workers and keep its packing arenas allocation-steady, expired
+//! deadlines must shed queued work with an honest `Timeout`, and a
+//! corrupted artifact must be refused at load.
+//!
+//! Fault state (`adsala_gemm::fault::set_plan`) is process-global, so
+//! every test that installs a plan serializes on one mutex and clears
+//! the plan through a drop guard — a failing assertion cannot leak
+//! faults into a neighbouring test.
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use adsala::bundle::quick_test_bundle as quick_bundle;
+use adsala::prelude::*;
+use adsala_gemm::fault::{self, FaultPlan};
+use adsala_gemm::gemm::{gemm_with_stats, GemmCall};
+use adsala_gemm::isa::KernelIsa;
+use adsala_gemm::plan::Algorithm;
+use adsala_gemm::workspace::thread_arena_stats;
+
+fn fault_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Clears the global fault plan when dropped, even on a panicking
+/// assertion, so the suite's other tests start fault-free.
+struct PlanGuard;
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        fault::set_plan(None);
+    }
+}
+
+/// Serialize on the global fault state and install `spec`. Returns the
+/// lock (held for the test's duration), the cleanup guard, and the
+/// installed plan for reading its injection counters.
+fn install(spec: &str) -> (MutexGuard<'static, ()>, PlanGuard, Arc<FaultPlan>) {
+    let lock = fault_lock().lock().unwrap_or_else(|e| e.into_inner());
+    let plan = fault::set_plan(Some(FaultPlan::parse(spec).expect("valid fault spec")))
+        .expect("installed");
+    (lock, PlanGuard, plan)
+}
+
+fn service(workers: usize) -> AdsalaService {
+    AdsalaService::with_config(
+        quick_bundle().into_shared(),
+        ServiceConfig { pool_workers: workers, ..ServiceConfig::default() },
+    )
+}
+
+fn fill(n: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 2000) as f32 - 1000.0) / 350.0
+        })
+        .collect()
+}
+
+/// Serial single-threaded reference for `C = A·B` (β = 0).
+fn serial_reference(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    gemm_with_stats(&GemmCall::new(m, n, k, 1), 1.0, a, k, b, n, 0.0, &mut c, n);
+    c
+}
+
+fn assert_close(c: &[f32], c_ref: &[f32], what: &str) {
+    for (i, (x, y)) in c.iter().zip(c_ref).enumerate() {
+        assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()), "{what}: c[{i}] = {x} vs reference {y}");
+    }
+}
+
+/// The acceptance-criteria chaos test: one fault plan injects kernel
+/// panics into pool workers while 8 clients flood the service with
+/// mixed shapes. Every client must get a numerically correct result
+/// (a degraded retry is allowed), the panics must be counted and the
+/// dead workers respawned, and once the plan is cleared a large op must
+/// run undegraded on the full pool.
+#[test]
+fn chaos_flood_isolates_injected_panics_from_every_client() {
+    let (_lock, guard, plan) = install("panic:where=worker:count=3");
+    let svc = service(4);
+
+    // Mixed shapes: the big symmetric ones decide multi-threaded plans
+    // (whose jobs run on pool workers — the fault's context filter), the
+    // small ones run serial and can never be hit.
+    let shapes: [(usize, usize, usize); 4] =
+        [(256, 256, 256), (384, 384, 384), (48, 48, 64), (64, 64, 64)];
+    let clients = 8usize;
+    let reps = 3usize;
+
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let svc = &svc;
+            scope.spawn(move || {
+                for rep in 0..reps {
+                    let (m, n, k) = shapes[(client + rep) % shapes.len()];
+                    let a = fill(m * k, (client * 100 + rep) as u64 + 1);
+                    let b = fill(k * n, (client * 100 + rep) as u64 + 51);
+                    let c_ref = serial_reference(m, n, k, &a, &b);
+                    let mut c = vec![0.0f32; m * n];
+                    let mut req: OpRequest<'_, f32> =
+                        GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+                    svc.run(&mut req).expect("no client may observe a panic");
+                    assert_close(&c, &c_ref, "chaos flood result");
+                }
+            });
+        }
+    });
+
+    assert!(plan.injected_panics() >= 1, "fault plan never fired during the flood");
+    let stats = svc.stats();
+    assert!(stats.panics_recovered >= 1, "panic not counted: {stats:?}");
+    assert!(stats.degraded_retries >= 1, "no degraded retry recorded: {stats:?}");
+    assert_eq!(stats.execution_failures, 0, "a request was dropped: {stats:?}");
+    assert!(stats.pool.workers_respawned >= 1, "dead worker not respawned: {stats:?}");
+
+    // Faults off: a subsequent large op must run undegraded and
+    // multi-threaded on the fully healed pool.
+    drop(guard);
+    let (m, n, k) = (256usize, 256usize, 256usize);
+    let a = fill(m * k, 901);
+    let b = fill(k * n, 902);
+    let c_ref = serial_reference(m, n, k, &a, &b);
+    let mut c = vec![0.0f32; m * n];
+    let mut req: OpRequest<'_, f32> =
+        GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+    let (_, post) = svc.run_with(&mut req, RunOptions::with_host_cap(4)).expect("healed pool run");
+    assert!(!post.plan_degraded, "post-recovery op should not be degraded");
+    assert!(post.exec.threads_used >= 2, "healed pool did not execute in parallel: {post:?}");
+    assert_close(&c, &c_ref, "post-recovery result");
+    assert_eq!(svc.pool_stats().workers, 4, "pool lost a worker permanently");
+}
+
+/// After a panic is isolated and the worker respawned, the pool must
+/// serve the *entire* plan grid again: pinned plans at every width up
+/// to the worker count execute with exactly that many threads, and no
+/// gang capacity is leaked.
+#[test]
+fn pool_serves_full_plan_grid_after_recovery() {
+    let (_lock, guard, plan) = install("panic:where=worker:count=1");
+    let svc = service(4);
+
+    let (m, n, k) = (256usize, 256usize, 256usize);
+    let a = fill(m * k, 11);
+    let b = fill(k * n, 12);
+    let c_ref = serial_reference(m, n, k, &a, &b);
+    let mut c = vec![0.0f32; m * n];
+    let mut req: OpRequest<'_, f32> =
+        GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+    svc.run(&mut req).expect("panicked op must recover");
+    assert_eq!(plan.injected_panics(), 1);
+    assert_close(&c, &c_ref, "recovered result");
+
+    drop(guard);
+    for threads in [1u32, 2, 4] {
+        let mut c = vec![0.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let stats = svc
+            .run_pinned(&mut req, &ExecutionPlan::with_threads(threads))
+            .expect("pinned run on healed pool");
+        assert_eq!(stats.exec.threads_used, threads as usize, "grid width {threads} unavailable");
+        assert_close(&c, &c_ref, "pinned post-recovery result");
+    }
+    let pool = svc.pool_stats();
+    assert_eq!(pool.workers, 4);
+    assert_eq!(pool.gang_available, 4, "gang capacity leaked across the panic: {pool:?}");
+    assert_eq!(pool.workers_respawned, 1);
+}
+
+/// Satellite 1: a poisoned batch must not leak packing-arena state. The
+/// respawned worker re-registers its predecessor's workspace slot and
+/// the shared-B region is reclaimed on batch teardown, so a warmed
+/// service reaches the same zero-allocation steady state after a panic
+/// as before it.
+#[test]
+fn packing_arenas_stay_allocation_steady_after_a_panic() {
+    let _lock = fault_lock().lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = PlanGuard;
+    fault::set_plan(None);
+    let svc = service(4);
+
+    let (m, n, k) = (256usize, 256usize, 256usize);
+    let a = fill(m * k, 21);
+    let b = fill(k * n, 22);
+    // The degraded retry runs serial/scalar/independent on *this* thread,
+    // so warm the caller's thread-local arena with the same shape the
+    // retry will pack, and the worker slots with pooled runs.
+    let degraded = ExecutionPlan::with_threads(1)
+        .with_isa(KernelIsa::Scalar)
+        .with_packing(PackingStrategy::Independent)
+        .with_algorithm(Algorithm::Blocked);
+    for round in 0..4 {
+        let mut c = vec![0.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        if round == 0 {
+            svc.run_pinned(&mut req, &degraded).expect("caller-arena warm-up");
+        } else {
+            svc.run(&mut req).expect("worker-arena warm-up");
+        }
+    }
+    let pool_before = svc.workspace_stats();
+    let local_before = thread_arena_stats();
+
+    fault::set_plan(Some(FaultPlan::parse("panic:where=worker:count=1").unwrap()));
+    let mut c = vec![0.0f32; m * n];
+    let mut req: OpRequest<'_, f32> =
+        GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+    svc.run(&mut req).expect("panicked op must recover");
+    assert_eq!(svc.stats().panics_recovered, 1);
+    fault::set_plan(None);
+
+    for round in 0..3 {
+        let mut c = vec![0.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        let _ = round;
+        svc.run(&mut req).expect("post-recovery run");
+    }
+    let pool_after = svc.workspace_stats();
+    let local_after = thread_arena_stats();
+    assert_eq!(
+        pool_after.allocations, pool_before.allocations,
+        "panic leaked pool arena state: {pool_before:?} -> {pool_after:?}"
+    );
+    assert_eq!(
+        local_after.allocations, local_before.allocations,
+        "degraded retry leaked caller arena state: {local_before:?} -> {local_after:?}"
+    );
+    assert!(pool_after.bytes_reused > pool_before.bytes_reused, "steady state never reused");
+}
+
+/// `submit_within` under a stalled wave: an occupier holds the whole
+/// thread budget behind injected worker stalls, so a small op's
+/// deadline expires while it is still queued. It must come back as a
+/// clean `Timeout` with its output untouched and be counted as shed —
+/// and the occupier itself must still complete.
+#[test]
+fn submit_within_times_out_under_a_stalled_wave() {
+    let (_lock, _guard, plan) = install("stall:ms=300:count=4");
+    let svc = Arc::new(service(4));
+    let sched = ServiceScheduler::with_config(
+        Arc::clone(&svc),
+        SchedulerConfig { thread_budget: 4, ..SchedulerConfig::default() },
+    );
+
+    std::thread::scope(|scope| {
+        let sched = &sched;
+        let occupier = scope.spawn(move || {
+            let (m, n, k) = (256usize, 256usize, 256usize);
+            let a = fill(m * k, 31);
+            let b = fill(k * n, 32);
+            let mut c = vec![0.0f32; m * n];
+            let mut req: OpRequest<'_, f32> =
+                GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+            sched
+                .submit_with(&mut req, RunOptions::with_host_cap(4))
+                .expect("stalled occupier must still complete")
+        });
+
+        // Let the occupier get admitted and hit the worker stalls, then
+        // ask for a slice of budget it cannot get within 50 ms.
+        std::thread::sleep(Duration::from_millis(100));
+        let (m, n, k) = (48usize, 48usize, 64usize);
+        let a = fill(m * k, 33);
+        let b = fill(k * n, 34);
+        let mut c = vec![7.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        match sched.submit_within(&mut req, Duration::from_millis(50)) {
+            Err(AdsalaError::Timeout(msg)) => {
+                assert!(msg.contains("shed"), "unexpected timeout message: {msg}")
+            }
+            other => panic!("expected Timeout for the queued op, got {other:?}"),
+        }
+        assert!(c.iter().all(|&x| x == 7.0), "shed op touched its output");
+
+        let run = occupier.join().expect("occupier thread");
+        assert!(run.stats.exec.threads_used >= 2, "occupier never occupied the workers");
+    });
+
+    assert!(plan.injected_stalls() >= 1, "no stall was injected");
+    let stats = sched.stats();
+    assert!(stats.shed_expired >= 1, "shed op not counted: {stats:?}");
+    assert_eq!(stats.completed, 1, "occupier not completed: {stats:?}");
+}
+
+/// A queued op whose deadline has already passed is shed by the wave
+/// planner's sweep before any planning happens — deterministically, no
+/// faults required — and the shed is counted, not silent.
+#[test]
+fn expired_deadline_is_shed_by_the_wave_planner() {
+    let svc = Arc::new(service(2));
+    let sched = ServiceScheduler::with_config(svc, SchedulerConfig::default());
+    let (m, n, k) = (64usize, 64usize, 64usize);
+    let a = fill(m * k, 41);
+    let b = fill(k * n, 42);
+    let mut c = vec![7.0f32; m * n];
+    let mut req: OpRequest<'_, f32> =
+        GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+    let opts = RunOptions::default().with_deadline(Instant::now() - Duration::from_millis(1));
+    match sched.submit_with(&mut req, opts) {
+        Err(AdsalaError::Timeout(_)) => {}
+        other => panic!("expected Timeout for the expired op, got {other:?}"),
+    }
+    assert!(c.iter().all(|&x| x == 7.0), "shed op touched its output");
+    let stats = sched.stats();
+    assert_eq!(stats.shed_expired, 1);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(stats.queue_depth, 0, "shed ticket still queued: {stats:?}");
+}
+
+/// `SchedulerConfig::admission_timeout` bounds the wait at a full
+/// admission queue: while a stalled occupier pins the budget and a
+/// second op fills the queue, a plain `submit` must give up after the
+/// configured timeout instead of blocking forever.
+#[test]
+fn admission_gate_honors_the_configured_timeout() {
+    let (_lock, _guard, _plan) = install("stall:ms=300:count=8");
+    let svc = Arc::new(service(4));
+    let sched = ServiceScheduler::with_config(
+        Arc::clone(&svc),
+        SchedulerConfig {
+            thread_budget: 4,
+            max_queue: 1,
+            admission_timeout: Some(Duration::from_millis(50)),
+            ..SchedulerConfig::default()
+        },
+    );
+
+    std::thread::scope(|scope| {
+        let sched = &sched;
+        let occupier = scope.spawn(move || {
+            let (m, n, k) = (256usize, 256usize, 256usize);
+            let a = fill(m * k, 51);
+            let b = fill(k * n, 52);
+            let mut c = vec![0.0f32; m * n];
+            let mut req: OpRequest<'_, f32> =
+                GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+            sched.submit_with(&mut req, RunOptions::with_host_cap(4)).expect("occupier")
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        let filler = scope.spawn(move || {
+            let (m, n, k) = (96usize, 96usize, 96usize);
+            let a = fill(m * k, 53);
+            let b = fill(k * n, 54);
+            let mut c = vec![0.0f32; m * n];
+            let mut req: OpRequest<'_, f32> =
+                GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+            sched.submit(&mut req).expect("queued filler must eventually run")
+        });
+        std::thread::sleep(Duration::from_millis(60));
+
+        // Queue is full (the filler) and the budget is pinned (the
+        // occupier): the gate must refuse after ~50 ms, long before the
+        // 300 ms stalls release anything.
+        let (m, n, k) = (64usize, 64usize, 64usize);
+        let a = fill(m * k, 55);
+        let b = fill(k * n, 56);
+        let mut c = vec![0.0f32; m * n];
+        let mut req: OpRequest<'_, f32> =
+            GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+        match sched.submit(&mut req) {
+            Err(AdsalaError::Timeout(msg)) => {
+                assert!(msg.contains("admission"), "unexpected timeout message: {msg}")
+            }
+            other => panic!("expected Timeout at the admission gate, got {other:?}"),
+        }
+
+        occupier.join().expect("occupier thread");
+        filler.join().expect("filler thread");
+    });
+
+    let stats = sched.stats();
+    assert_eq!(stats.admission_timeouts, 1, "gate timeout not counted: {stats:?}");
+    assert_eq!(stats.completed, 2, "occupier/filler lost: {stats:?}");
+}
+
+/// Service-level deadline: a call whose deadline has already passed is
+/// refused with `Timeout` before any execution, leaving the output
+/// untouched and counting a deadline miss.
+#[test]
+fn service_refuses_a_call_whose_deadline_has_passed() {
+    let svc = service(2);
+    let (m, n, k) = (64usize, 64usize, 64usize);
+    let a = fill(m * k, 61);
+    let b = fill(k * n, 62);
+    let mut c = vec![7.0f32; m * n];
+    let mut req: OpRequest<'_, f32> =
+        GemmArgs::untransposed(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n).into();
+    let opts = RunOptions::default().with_deadline(Instant::now() - Duration::from_millis(1));
+    match svc.run_with(&mut req, opts) {
+        Err(AdsalaError::Timeout(_)) => {}
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert!(c.iter().all(|&x| x == 7.0), "refused call touched its output");
+    let stats = svc.stats();
+    assert_eq!(stats.deadline_misses, 1);
+    assert_eq!(stats.panics_recovered, 0);
+}
+
+/// Satellite 2 end to end: flipping one model coefficient to a
+/// non-finite value must make `Artifact::from_json` refuse the whole
+/// document instead of serving decisions from a silently-NaN model.
+#[test]
+fn corrupted_artifact_is_rejected_at_load() {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/artifact_v3.json");
+    let pristine = std::fs::read_to_string(&path).expect("read fixture");
+    let corrupt = FaultPlan::corrupt_artifact_json(&pristine);
+    assert_ne!(corrupt, pristine, "corruption helper found no coefficient to flip");
+
+    match Artifact::from_json(&corrupt) {
+        Err(AdsalaError::Artifact(msg)) => {
+            assert!(msg.contains("non-finite"), "unexpected rejection: {msg}")
+        }
+        other => panic!("corrupted artifact must be rejected, got {other:?}"),
+    }
+    Artifact::from_json(&pristine).expect("pristine fixture still loads");
+}
